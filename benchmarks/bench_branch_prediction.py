@@ -1,0 +1,72 @@
+"""EXT-E5: branch-handling sensitivity of the core model.
+
+The validated Itanium 2 cores the papers simulate predict branches well;
+this ablation compares the three front-end models (static taken-penalty,
+bimodal 2-bit prediction, perfect) on the branchiest kernel (sjeng) and a
+regular loop kernel (equake), single-threaded and under DSWP.
+"""
+
+import dataclasses
+
+from harness import run_once
+
+from repro.analysis import build_pdg
+from repro.interp import run_function
+from repro.machine import DEFAULT_CONFIG, simulate_program, simulate_single
+from repro.mtcg import generate
+from repro.partition.dswp import DSWPPartitioner
+from repro.pipeline import normalize
+from repro.report import table
+from repro.workloads import get_workload
+
+MODES = ("static", "bimodal", "perfect")
+BENCHES = ("458.sjeng", "183.equake")
+
+
+def _sweep():
+    rows = []
+    for name in BENCHES:
+        workload = get_workload(name)
+        function = normalize(workload.build())
+        train = workload.make_inputs("train")
+        ref = workload.make_inputs("ref")
+        profile = run_function(function, train.args, train.memory).profile
+        pdg = build_pdg(function)
+        partition = DSWPPartitioner(DEFAULT_CONFIG).partition(
+            function, pdg, profile, 2)
+        program = generate(function, pdg, partition)
+        entry = [name]
+        for mode in MODES:
+            config = dataclasses.replace(DEFAULT_CONFIG.for_dswp(),
+                                         branch_predictor=mode)
+            st = simulate_single(function, ref.args, ref.memory,
+                                 config=config)
+            mt = simulate_program(program, ref.args, ref.memory,
+                                  config=config)
+            assert mt.live_outs == st.live_outs
+            entry.append(st.cycles)
+            entry.append(st.cycles / mt.cycles)
+        rows.append(entry)
+    return rows
+
+
+def test_branch_prediction_ablation(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print(table(["benchmark", "ST static", "x", "ST bimodal", "x",
+                 "ST perfect", "x"],
+                [(r[0], "%.0f" % r[1], "%.3f" % r[2], "%.0f" % r[3],
+                  "%.3f" % r[4], "%.0f" % r[5], "%.3f" % r[6])
+                 for r in rows],
+                title="EXT-E5: branch-handling models (ST cycles and "
+                      "DSWP speedup)"))
+    by_name = {row[0]: row for row in rows}
+    for name, st_static, _, st_bimodal, _, st_perfect, _ in rows:
+        # The perfect front end is the fastest single-threaded model.
+        assert st_perfect <= min(st_static, st_bimodal) * 1.001, name
+    # Regular loop code (equake) predicts essentially perfectly under
+    # bimodal; branchy evaluation code (sjeng) mispredicts enough that
+    # the 6-cycle mispredict penalty outweighs the flat 1-cycle taken
+    # charge — the model distinguishes the two regimes.
+    assert by_name["183.equake"][3] <= by_name["183.equake"][1]
+    assert by_name["458.sjeng"][3] > by_name["458.sjeng"][1]

@@ -1,0 +1,69 @@
+"""Compilation-cost microbenchmarks (the papers' claim: COCO's min-cut
+passes do not significantly increase compilation time).
+
+These are true pytest-benchmark microbenchmarks (multiple rounds) over the
+compile-side passes only — no simulation.
+"""
+
+from repro.analysis import build_pdg
+from repro.coco.driver import optimize as coco_optimize
+from repro.interp import run_function
+from repro.machine import DEFAULT_CONFIG
+from repro.mtcg import generate
+from repro.partition.dswp import DSWPPartitioner
+from repro.partition.gremio import GremioPartitioner
+from repro.pipeline import normalize
+from repro.workloads import get_workload
+
+BENCH = "435.gromacs"  # the largest kernel in the suite
+
+
+def _prepared():
+    workload = get_workload(BENCH)
+    function = normalize(workload.build())
+    train = workload.make_inputs("train")
+    profile = run_function(function, train.args, train.memory).profile
+    pdg = build_pdg(function)
+    return function, profile, pdg
+
+
+def test_pdg_construction_time(benchmark):
+    workload = get_workload(BENCH)
+    function = normalize(workload.build())
+    result = benchmark(lambda: build_pdg(function))
+    assert result.arcs
+
+
+def test_gremio_partition_time(benchmark):
+    function, profile, pdg = _prepared()
+    partitioner = GremioPartitioner(DEFAULT_CONFIG)
+    partition = benchmark(
+        lambda: partitioner.partition(function, pdg, profile, 2))
+    assert partition.n_threads == 2
+
+
+def test_dswp_partition_time(benchmark):
+    function, profile, pdg = _prepared()
+    partitioner = DSWPPartitioner(DEFAULT_CONFIG)
+    partition = benchmark(
+        lambda: partitioner.partition(function, pdg, profile, 2))
+    assert partition.n_threads == 2
+
+
+def test_mtcg_codegen_time(benchmark):
+    function, profile, pdg = _prepared()
+    partition = GremioPartitioner(DEFAULT_CONFIG).partition(
+        function, pdg, profile, 2)
+    program = benchmark(lambda: generate(function, pdg, partition))
+    assert program.n_threads == 2
+
+
+def test_coco_optimization_time(benchmark):
+    """COCO's Edmonds-Karp min cuts over every register's live range —
+    the pass whose compile cost the paper sizes as acceptable."""
+    function, profile, pdg = _prepared()
+    partition = GremioPartitioner(DEFAULT_CONFIG).partition(
+        function, pdg, profile, 2)
+    result = benchmark(
+        lambda: coco_optimize(function, pdg, partition, profile))
+    assert result.iterations >= 1

@@ -1,0 +1,42 @@
+"""COCO-Fig1: breakdown of dynamic instructions into computation vs
+communication for code parallelized with (a) GREMIO and (b) DSWP under
+baseline MTCG.
+
+Paper shape to reproduce: communication is a significant fraction of
+dynamic instructions — up to about one fourth — motivating COCO.
+"""
+
+from harness import BENCH_ORDER, evaluation, run_once
+
+from repro.report import bar_chart
+
+
+def _breakdown(technique):
+    rows = []
+    for name in BENCH_ORDER:
+        ev = evaluation(name, technique, coco=False)
+        rows.append((name, 100.0 * ev.communication_fraction))
+    return rows
+
+
+def test_fig1a_gremio_breakdown(benchmark):
+    rows = run_once(benchmark, lambda: _breakdown("gremio"))
+    print()
+    print(bar_chart(rows, title="Figure 1(a): dynamic communication "
+                                "instructions, GREMIO + MTCG (% of total)",
+                    unit="%", reference=100.0))
+    # Shape: communication is significant for parallelized benchmarks.
+    parallelized = [value for _, value in rows if value > 1.0]
+    assert parallelized, "GREMIO never parallelized anything"
+    assert max(value for _, value in rows) <= 50.0
+
+
+def test_fig1b_dswp_breakdown(benchmark):
+    rows = run_once(benchmark, lambda: _breakdown("dswp"))
+    print()
+    print(bar_chart(rows, title="Figure 1(b): dynamic communication "
+                                "instructions, DSWP + MTCG (% of total)",
+                    unit="%", reference=100.0))
+    parallelized = [value for _, value in rows if value > 1.0]
+    assert len(parallelized) >= 8, "DSWP should parallelize most benchmarks"
+    assert max(value for _, value in rows) <= 50.0

@@ -1,0 +1,31 @@
+"""COCO-Fig6: the experimental setup tables — (a) machine configuration,
+(b) selected benchmark functions."""
+
+from harness import run_once
+
+from repro.machine import DEFAULT_CONFIG, config_table
+from repro.workloads import all_workloads, benchmark_table
+
+
+def test_fig6a_machine_configuration(benchmark):
+    text = run_once(benchmark, config_table)
+    print()
+    print("Figure 6(a): machine details")
+    print(text)
+    assert "6 issue" in text or "6 ALU" in text
+    assert "141" in text
+    assert DEFAULT_CONFIG.sa_queues == 256
+
+
+def test_fig6b_benchmark_functions(benchmark):
+    text = run_once(benchmark, benchmark_table)
+    print()
+    print("Figure 6(b): selected benchmark functions")
+    print(text)
+    # The eleven functions of the papers' table, with their exec %.
+    for fragment in ("adpcm_decoder", "adpcm_coder", "FindMaxGpAndSwap",
+                     "dist1", "general_textured_triangle",
+                     "refresh_potential", "smvp", "mm_fv_update_nonbon",
+                     "new_dbox_a", "inl1130", "std_eval"):
+        assert fragment in text
+    assert len(all_workloads()) == 11

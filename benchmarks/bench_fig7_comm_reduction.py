@@ -1,0 +1,49 @@
+"""COCO-Fig7: relative dynamic communication / synchronization instructions
+after applying COCO (100% = unchanged from baseline MTCG).
+
+Paper shape to reproduce: COCO reduces communication on average (34.4% for
+GREMIO, 23.8% for DSWP in the paper), never increases it, and the largest
+reduction is ks with GREMIO (an inner loop that only consumed live-outs).
+"""
+
+from harness import BENCH_ORDER, evaluation, relative_communication, run_once
+
+from repro.report import bar_chart
+from repro.stats import arithmetic_mean
+
+
+def _relative(technique):
+    rows = []
+    for name in BENCH_ORDER:
+        base = evaluation(name, technique, coco=False)
+        if base.communication_instructions == 0:
+            continue  # not parallelized: no communication to optimize
+        rows.append((name, relative_communication(name, technique)))
+    return rows
+
+
+def test_fig7_gremio_relative_communication(benchmark):
+    rows = run_once(benchmark, lambda: _relative("gremio"))
+    print()
+    print(bar_chart(rows, title="Figure 7 (GREMIO): dynamic communication "
+                                "after COCO, relative to MTCG (%)",
+                    unit="%", reference=120.0))
+    values = [value for _, value in rows]
+    # COCO never increases dynamic communication.
+    assert all(value <= 100.0 + 1e-9 for value in values)
+    # ...and reduces it on average.
+    assert arithmetic_mean(values) < 100.0
+    # ks is among the largest reductions (the paper's headline case).
+    by_reduction = sorted(rows, key=lambda row: row[1])
+    assert "ks" in [name for name, _ in by_reduction[:3]]
+
+
+def test_fig7_dswp_relative_communication(benchmark):
+    rows = run_once(benchmark, lambda: _relative("dswp"))
+    print()
+    print(bar_chart(rows, title="Figure 7 (DSWP): dynamic communication "
+                                "after COCO, relative to MTCG (%)",
+                    unit="%", reference=120.0))
+    values = [value for _, value in rows]
+    assert all(value <= 100.0 + 1e-9 for value in values)
+    assert arithmetic_mean(values) < 95.0

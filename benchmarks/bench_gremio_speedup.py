@@ -1,0 +1,45 @@
+"""GREMIO-E1 (reconstructed from the titled MICRO 2007 paper): speedup of
+GREMIO-parallelized code over single-threaded execution on the dual-core
+model, per benchmark, plus the geomean.
+
+Shape to reproduce: GREMIO extracts non-speculative TLP from several
+general-purpose functions; where its cost model finds no profitable
+partition it falls back to (near-)single-threaded code rather than
+regressing badly.
+"""
+
+from harness import BENCH_ORDER, evaluation, run_once
+
+from repro.report import bar_chart
+from repro.stats import geomean
+
+
+def _speedups():
+    return [(name, evaluation(name, "gremio", coco=False).speedup)
+            for name in BENCH_ORDER]
+
+
+def test_gremio_speedup_over_single_threaded(benchmark):
+    rows = run_once(benchmark, _speedups)
+    overall = geomean([value for _, value in rows])
+    print()
+    print(bar_chart(rows + [("geomean", overall)],
+                    title="GREMIO-E1: GREMIO speedup over single-threaded "
+                          "(2 threads, baseline MTCG)",
+                    unit="x", reference=2.0))
+    # GREMIO finds real parallelism somewhere...
+    assert max(value for _, value in rows) > 1.2
+    # ...and is not a net loss across the suite.
+    assert overall > 0.95
+    # No catastrophic regression on any benchmark.
+    assert min(value for _, value in rows) > 0.7
+
+
+def test_gremio_parallelizes_multiple_benchmarks(benchmark):
+    rows = run_once(benchmark, _speedups)
+    parallelized = [
+        name for name, _ in rows
+        if evaluation(name, "gremio").communication_instructions > 100]
+    print()
+    print("GREMIO produced multi-threaded code for: %s" % parallelized)
+    assert len(parallelized) >= 4

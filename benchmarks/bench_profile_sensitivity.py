@@ -1,0 +1,99 @@
+"""EXT-E7: sensitivity of COCO to the profile source.
+
+The companion text bases its min-cut costs on edge profiles but notes the
+estimates "can be obtained through profiling or through static analyses,
+which have been demonstrated to be also very accurate" (Wu & Larus).
+This experiment runs COCO three ways — train-input profile (the papers'
+methodology), reference-input profile (oracle), and the static estimator —
+and compares the dynamic communication each placement yields.
+"""
+
+from harness import run_once
+
+from repro.analysis import build_pdg
+from repro.coco.driver import optimize as coco_optimize
+from repro.interp import run_function, static_profile
+from repro.machine import run_mt_program
+from repro.mtcg import generate
+from repro.partition.dswp import DSWPPartitioner
+from repro.pipeline import normalize, technique_config
+from repro.report import table
+from repro.workloads import get_workload
+
+BENCHES = ("ks", "mpeg2enc", "188.ammp", "300.twolf")
+
+
+def _comm_with_profile(workload, which):
+    function = normalize(workload.build())
+    train = workload.make_inputs("train")
+    ref = workload.make_inputs("ref")
+    config = technique_config("dswp")
+    # The partition itself always uses the train profile (so only COCO's
+    # cost source varies).
+    train_profile = run_function(function, train.args,
+                                 train.memory).profile
+    pdg = build_pdg(function)
+    partition = DSWPPartitioner(config).partition(function, pdg,
+                                                  train_profile, 2)
+    if which == "train":
+        profile = train_profile
+    elif which == "ref":
+        profile = run_function(function, ref.args, ref.memory).profile
+    else:
+        profile = static_profile(function)
+    coco = coco_optimize(function, pdg, partition, profile)
+    program = generate(function, pdg, partition,
+                       data_channels=coco.data_channels,
+                       condition_covered=coco.condition_covered)
+    result = run_mt_program(program, ref.args, ref.memory,
+                            queue_capacity=config.sa_queue_size)
+    return result.communication_instructions
+
+
+def _baseline_comm(workload):
+    function = normalize(workload.build())
+    train = workload.make_inputs("train")
+    ref = workload.make_inputs("ref")
+    config = technique_config("dswp")
+    profile = run_function(function, train.args, train.memory).profile
+    pdg = build_pdg(function)
+    partition = DSWPPartitioner(config).partition(function, pdg,
+                                                  profile, 2)
+    program = generate(function, pdg, partition)
+    result = run_mt_program(program, ref.args, ref.memory,
+                            queue_capacity=config.sa_queue_size)
+    return result.communication_instructions
+
+
+def _sweep():
+    rows = []
+    for name in BENCHES:
+        workload = get_workload(name)
+        base = _baseline_comm(workload)
+        train = _comm_with_profile(workload, "train")
+        ref = _comm_with_profile(workload, "ref")
+        static = _comm_with_profile(workload, "static")
+        rows.append((name, base, train, ref, static))
+    return rows
+
+
+def test_profile_sensitivity(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print(table(["benchmark", "MTCG", "COCO(train)", "COCO(ref)",
+                 "COCO(static)"],
+                [(n, b, t, r, s) for n, b, t, r, s in rows],
+                title="EXT-E7: dynamic communication by COCO cost source "
+                      "(DSWP, ref inputs)"))
+    for name, base, train, ref, static in rows:
+        # Profiled placements never exceed baseline (the guarantee).
+        assert train <= base and ref <= base, name
+        # The oracle (ref) profile is never worse than the train profile.
+        assert ref <= train * 1.02, name
+        # The static estimator captures most of the benefit (the paper's
+        # Wu-Larus argument): within 25% of the train-profile placement,
+        # and never a regression vs baseline beyond noise.
+        assert static <= base * 1.05, name
+    total_train = sum(r[2] for r in rows)
+    total_static = sum(r[4] for r in rows)
+    assert total_static <= total_train * 1.25

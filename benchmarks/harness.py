@@ -1,0 +1,49 @@
+"""Shared machinery for the experiment benchmarks.
+
+Evaluations are expensive (profile + partition + COCO + two timed
+simulations), so they are memoized per-process: every bench that needs
+(workload, technique, coco) data reuses one evaluation.  Each bench module
+regenerates one table/figure of the papers (see DESIGN.md's experiment
+index) and prints it, so running ``pytest benchmarks/ --benchmark-only -s``
+reproduces the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro import evaluate_workload, get_workload
+from repro.pipeline import Evaluation
+
+_CACHE: Dict[Tuple, Evaluation] = {}
+
+# Benchmark display order (the papers' figure order).
+BENCH_ORDER = ["adpcmdec", "adpcmenc", "ks", "mpeg2enc", "177.mesa",
+               "181.mcf", "183.equake", "188.ammp", "300.twolf",
+               "435.gromacs", "458.sjeng"]
+
+
+def evaluation(name: str, technique: str, coco: bool = False,
+               n_threads: int = 2, scale: str = "ref") -> Evaluation:
+    key = (name, technique, coco, n_threads, scale)
+    if key not in _CACHE:
+        _CACHE[key] = evaluate_workload(
+            get_workload(name), technique=technique, coco=coco,
+            n_threads=n_threads, scale=scale)
+    return _CACHE[key]
+
+
+def relative_communication(name: str, technique: str,
+                           n_threads: int = 2) -> float:
+    base = evaluation(name, technique, coco=False, n_threads=n_threads)
+    opt = evaluation(name, technique, coco=True, n_threads=n_threads)
+    if base.communication_instructions == 0:
+        return 100.0
+    return (100.0 * opt.communication_instructions
+            / base.communication_instructions)
+
+
+def run_once(benchmark, fn):
+    """Register ``fn`` with pytest-benchmark without re-running it dozens
+    of times (these are whole-pipeline experiments, not microbenchmarks)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+"""The full back end, pass by pass.
+
+Takes one kernel through the complete toolchain the papers describe:
+classical optimizations -> GMT scheduling (DSWP) -> COCO -> local
+instruction scheduling -> register allocation -> timed simulation,
+printing what each stage did.
+
+Run:  python examples/backend_passes.py
+"""
+
+from repro.analysis import build_pdg
+from repro.coco import optimize as coco_optimize
+from repro.interp import run_function
+from repro.machine import simulate_program, simulate_single
+from repro.mtcg import generate
+from repro.opt import (CommPriority, allocate_registers, optimize_function,
+                       schedule_function, schedule_program)
+from repro.pipeline import make_partitioner, normalize, technique_config
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("435.gromacs")
+    function = workload.build()
+    train = workload.make_inputs("train")
+    ref = workload.make_inputs("ref")
+    config = technique_config("dswp")
+
+    print("== 1. classical optimizations")
+    stats = optimize_function(function)
+    print("   %s" % stats)
+
+    normalize(function, optimize=False)
+    profile = run_function(function, train.args, train.memory).profile
+    pdg = build_pdg(function)
+    print("== 2. PDG: %d nodes, %d arcs" % (len(pdg.nodes), len(pdg.arcs)))
+
+    partition = make_partitioner("dswp", config).partition(
+        function, pdg, profile, 2)
+    print("== 3. DSWP partition: %s" % partition.counts())
+
+    coco = coco_optimize(function, pdg, partition, profile)
+    print("== 4. COCO: %d channels, static cost %.0f -> %.0f "
+          "(%d iterations)" % (len(coco.data_channels), coco.default_cost,
+                               coco.optimized_cost, coco.iterations))
+
+    program = generate(function, pdg, partition,
+                       data_channels=coco.data_channels,
+                       condition_covered=coco.condition_covered,
+                       queue_allocation="shared")
+    print("== 5. MTCG: %d channels over %d physical queues"
+          % (len(program.channels),
+             len({c.queue for c in program.channels})))
+
+    moved = schedule_program(program, config, CommPriority.LATE)
+    moved += schedule_function(function, config, CommPriority.LATE)
+    print("== 6. local scheduling: %d instructions moved" % moved)
+
+    for index, thread in enumerate(program.threads):
+        result = allocate_registers(thread, n_physical=32)
+        print("== 7. regalloc thread %d: pressure %d -> 32 physical, "
+              "%d spilled (%d loads, %d stores)"
+              % (index, result.max_pressure_before, result.spill_count,
+                 result.spill_loads, result.spill_stores))
+
+    st = simulate_single(function, ref.args, ref.memory, config=config)
+    mt = simulate_program(program, ref.args, ref.memory, config=config)
+    assert mt.live_outs == st.live_outs
+    print("== 8. timed simulation: ST %.0f cycles, MT %.0f cycles "
+          "(speedup %.3fx)" % (st.cycles, mt.cycles,
+                               st.cycles / mt.cycles))
+    print("   comm stalls: %s" % mt.comm_stats)
+
+
+if __name__ == "__main__":
+    main()

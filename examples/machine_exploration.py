@@ -1,0 +1,55 @@
+"""Exploring the machine model: how the operand network shapes GMT wins.
+
+Sweeps the synchronization-array latency and the core count for a
+DSWP-parallelized kernel and prints the resulting speedups — the kind of
+design-space question the hardware side of the papers (synchronization
+array, scalar operand networks) is about.
+
+Run:  python examples/machine_exploration.py
+"""
+
+import dataclasses
+
+from repro.analysis import build_pdg
+from repro.interp import run_function
+from repro.machine import DEFAULT_CONFIG, simulate_program, simulate_single
+from repro.mtcg import generate
+from repro.partition.dswp import DSWPPartitioner
+from repro.pipeline import normalize
+from repro.report import table
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("181.mcf")
+    ref = workload.make_inputs("ref")
+    train = workload.make_inputs("train")
+
+    rows = []
+    for n_threads in (2, 3, 4):
+        function = normalize(workload.build())
+        profile = run_function(function, train.args, train.memory).profile
+        pdg = build_pdg(function)
+        config = DEFAULT_CONFIG.for_dswp().with_threads(n_threads)
+        partition = DSWPPartitioner(config).partition(function, pdg,
+                                                      profile, n_threads)
+        program = generate(function, pdg, partition)
+        st = simulate_single(function, ref.args, ref.memory, config=config)
+        for latency in (1, 4, 16):
+            swept = dataclasses.replace(config, sa_access_latency=latency)
+            mt = simulate_program(program, ref.args, ref.memory,
+                                  config=swept)
+            assert mt.live_outs == st.live_outs
+            rows.append((n_threads, latency, "%.0f" % mt.cycles,
+                         "%.3fx" % (st.cycles / mt.cycles)))
+    print(table(["threads", "SA latency", "MT cycles", "speedup"], rows,
+                title="181.mcf refresh_potential under DSWP: operand "
+                      "network design space"))
+    print()
+    print("Reading: low-latency scalar communication is what makes "
+          "fine-grained")
+    print("decoupled pipelining profitable — exactly the papers' premise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro: a reproduction of *Global Multi-Threaded Instruction Scheduling*
+(GREMIO, MICRO 2007) — the full GMT-scheduling stack: mini-IR, PDG, the
+GREMIO and DSWP partitioners, MTCG code generation, the COCO communication
+optimizer (companion ASPLOS 2008 extension), and a dual-core CMP timing
+model with a synchronization-array operand network.
+
+Quickstart::
+
+    from repro import evaluate_workload, get_workload
+    ev = evaluate_workload(get_workload("ks"), technique="gremio",
+                           n_threads=2, coco=True)
+    print(ev.speedup, ev.communication_fraction)
+
+See DESIGN.md for the paper-provenance note and the system inventory.
+"""
+
+from .pipeline import (Evaluation, Parallelization, TECHNIQUES,
+                       evaluate_workload, make_partitioner, normalize,
+                       parallelize, technique_config)
+from .workloads import all_workloads, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Evaluation", "Parallelization", "TECHNIQUES", "evaluate_workload",
+    "make_partitioner", "normalize", "parallelize", "technique_config",
+    "all_workloads", "get_workload", "workload_names", "__version__",
+]

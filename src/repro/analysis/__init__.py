@@ -1,0 +1,23 @@
+"""Program analyses: dominance, control dependence, dataflow, alias, PDG."""
+
+from .alias import AliasAnalysis
+from .control_dependence import (ControlDependenceGraph,
+                                 control_dependence_graph)
+from .dominators import (VIRTUAL_EXIT, DominatorTree, dominator_tree,
+                         postdominator_tree)
+from .liveness import LivenessResult, liveness
+from .loops import (Loop, LoopNestForest, loop_nest_forest,
+                    loop_trip_count_estimate)
+from .memdep import memory_dependences
+from .pdg import PDG, DependenceArc, DepKind, build_pdg
+from .reaching_defs import (PARAM_DEF, ReachingDefsResult,
+                            reaching_definitions, register_dependences)
+
+__all__ = [
+    "AliasAnalysis", "ControlDependenceGraph", "control_dependence_graph",
+    "VIRTUAL_EXIT", "DominatorTree", "dominator_tree", "postdominator_tree",
+    "LivenessResult", "liveness", "Loop", "LoopNestForest",
+    "loop_nest_forest", "loop_trip_count_estimate", "memory_dependences",
+    "PDG", "DependenceArc", "DepKind", "build_pdg", "PARAM_DEF",
+    "ReachingDefsResult", "reaching_definitions", "register_dependences",
+]

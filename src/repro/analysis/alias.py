@@ -1,0 +1,139 @@
+"""Pointer-provenance alias analysis.
+
+This stands in for the context-sensitive points-to analysis (Nystrom et al.)
+the papers' compiler uses.  The mini-IR makes provenance explicit at the
+roots: pointer parameters are declared to point into named memory objects.
+The analysis then propagates, flow-insensitively, the set of memory objects
+each register's value may point into:
+
+* copies and add/sub/min/max propagate the union of their operands'
+  provenance (pointer arithmetic stays within an object, as in C);
+* constants and other ALU results carry no provenance;
+* a value loaded from memory gets *unknown* provenance (bottom), because
+  memory cells are untyped — unless every store into the aliasing region has
+  a known provenance... which we do not track; unknown it is.
+
+A memory access whose address register has provenance ``{o1, o2}`` may
+touch only those objects; an access with unknown provenance may touch
+anything.  Instructions may also carry an explicit ``region`` annotation,
+which overrides the analysis (used by kernels to assert disjointness the
+simple analysis cannot see, standing in for shape/array analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from ..ir.cfg import Function
+from ..ir.instructions import Instruction, Opcode
+
+# Opcodes through which pointer provenance flows (first/either operand).
+_PROPAGATING = {Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.MIN, Opcode.MAX}
+
+UNKNOWN = None  # provenance lattice bottom: may point anywhere
+
+
+ALIAS_MODES = ("annotated", "provenance", "none")
+
+
+class AliasAnalysis:
+    """Flow-insensitive provenance sets per register, and per-access
+    may-touch object sets.
+
+    ``mode`` selects the disambiguation power (the papers discuss this
+    axis explicitly — their points-to analysis [14] leaves DSWP with
+    bidirectional in-loop memory dependences, and they note stronger
+    loop-aware disambiguation would change the picture):
+
+    * ``"annotated"`` (default): kernel ``region`` annotations override
+      the provenance analysis — models shape/array-section analysis;
+    * ``"provenance"``: allocation-site points-to only (annotations
+      ignored) — models the papers' pointer analysis;
+    * ``"none"``: no disambiguation; every pair of accesses may alias.
+    """
+
+    def __init__(self, function: Function, mode: str = "annotated"):
+        if mode not in ALIAS_MODES:
+            raise ValueError("unknown alias mode %r (use one of %s)"
+                             % (mode, ALIAS_MODES))
+        self.function = function
+        self.mode = mode
+        self._provenance = _solve_provenance(function)
+        self._all_objects = frozenset(function.mem_objects)
+
+    def register_provenance(self, register: str) -> Optional[FrozenSet[str]]:
+        """Objects ``register`` may point into; ``None`` (UNKNOWN) if it may
+        point anywhere (or holds a non-pointer used as an address)."""
+        return self._provenance.get(register, frozenset())
+
+    def may_touch(self, instruction: Instruction) -> FrozenSet[str]:
+        """Memory objects a load/store may access."""
+        if not instruction.is_memory():
+            raise ValueError("not a memory instruction: %r" % instruction)
+        if self.mode == "none":
+            return self._all_objects or frozenset({"<anywhere>"})
+        if self.mode == "annotated" and instruction.region is not None:
+            return frozenset({instruction.region})
+        provenance = self.register_provenance(instruction.srcs[0])
+        if provenance is UNKNOWN or not provenance:
+            # Unknown or empty provenance: be conservative.
+            return self._all_objects if self._all_objects else frozenset(
+                {"<anywhere>"})
+        return provenance
+
+    def may_alias(self, a: Instruction, b: Instruction) -> bool:
+        """May two memory instructions touch a common location?
+
+        In ``annotated`` mode, distinct explicit ``region`` annotations
+        never alias, even when the regions are not declared memory
+        objects (kernels use sub-object region names to assert disjoint
+        array sections)."""
+        if self.mode == "none":
+            return True
+        if self.mode == "annotated" \
+                and a.region is not None and b.region is not None:
+            return a.region == b.region
+        return bool(self.may_touch(a) & self.may_touch(b))
+
+
+def _solve_provenance(function: Function
+                      ) -> Dict[str, Optional[FrozenSet[str]]]:
+    # Start from the declared pointer parameters.
+    provenance: Dict[str, Optional[Set[str]]] = {
+        param: {obj} for param, obj in function.pointer_params.items()}
+
+    def merge(register: str, value: Optional[Set[str]]) -> bool:
+        old = provenance.get(register, set())
+        if old is UNKNOWN:
+            return False
+        if value is UNKNOWN:
+            provenance[register] = UNKNOWN
+            return True
+        new = old | value
+        if new != old:
+            provenance[register] = new
+            return True
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for instruction in function.instructions():
+            if instruction.dest is None:
+                continue
+            op = instruction.op
+            if op is Opcode.LOAD or op is Opcode.CONSUME:
+                changed |= merge(instruction.dest, UNKNOWN)
+            elif op in _PROPAGATING:
+                combined: Optional[Set[str]] = set()
+                for source in instruction.srcs:
+                    source_prov = provenance.get(source, set())
+                    if source_prov is UNKNOWN:
+                        combined = UNKNOWN
+                        break
+                    combined |= source_prov
+                changed |= merge(instruction.dest, combined)
+            # All other defs (constants, compares, mul, float ops...) carry
+            # empty provenance: they are not addresses derived from objects.
+    return {register: (frozenset(value) if value is not UNKNOWN else UNKNOWN)
+            for register, value in provenance.items()}

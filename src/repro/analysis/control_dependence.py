@@ -1,0 +1,79 @@
+"""Control dependence (Ferrante-Ottenstein-Warren, via postdominance).
+
+Block ``X`` is control dependent on CFG edge ``(A, B)`` iff ``X``
+postdominates ``B`` but does not strictly postdominate ``A``.  We record the
+dependence as ``(A, taken)`` — the branch block and which outcome leads to
+``X`` — because MTCG duplicates the *branch instruction* of ``A`` in threads
+that need the dependence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..ir.cfg import Function
+from .dominators import DominatorTree, postdominator_tree
+
+# A control dependence: (branch block label, branch outcome index 0/1).
+ControlDep = Tuple[str, int]
+
+
+class ControlDependenceGraph:
+    def __init__(self, function: Function,
+                 deps: Dict[str, Set[ControlDep]],
+                 postdom: DominatorTree):
+        self.function = function
+        self._deps = deps
+        self.postdom = postdom
+
+    def deps_of(self, block_label: str) -> Set[ControlDep]:
+        """Control dependences of a block: set of (branch block, outcome)."""
+        return self._deps.get(block_label, set())
+
+    def controlling_branches(self, block_label: str) -> Set[str]:
+        return {branch for branch, _ in self.deps_of(block_label)}
+
+    def dependents_of_branch(self, branch_label: str) -> List[str]:
+        """Blocks control dependent on the branch in ``branch_label``."""
+        return sorted(label for label, deps in self._deps.items()
+                      if any(branch == branch_label for branch, _ in deps))
+
+    def transitive_controlling_branches(self, block_label: str) -> Set[str]:
+        """All branches that (transitively) control a block: the closure of
+        ``controlling_branches`` through the branches' own blocks."""
+        result: Set[str] = set()
+        frontier = list(self.controlling_branches(block_label))
+        while frontier:
+            branch = frontier.pop()
+            if branch in result:
+                continue
+            result.add(branch)
+            frontier.extend(self.controlling_branches(branch))
+        return result
+
+
+def control_dependence_graph(function: Function) -> ControlDependenceGraph:
+    postdom = postdominator_tree(function)
+    deps: Dict[str, Set[ControlDep]] = {block.label: set()
+                                        for block in function.blocks}
+    for block in function.blocks:
+        successors = block.successors()
+        if len(successors) < 2:
+            continue
+        for outcome, succ in enumerate(successors):
+            if not postdom.contains(succ):
+                continue
+            # Walk the postdominator tree from succ up to (exclusive) the
+            # immediate postdominator of the branch block.
+            stop = postdom.idom.get(block.label)
+            node = succ
+            while node is not None and node != stop:
+                # Note: node == block.label is allowed — a loop branch is
+                # control dependent on itself (it governs its own
+                # re-execution), which the relevance closure relies on.
+                deps.setdefault(node, set()).add((block.label, outcome))
+                parent = postdom.idom.get(node)
+                if parent == node:
+                    break
+                node = parent
+    return ControlDependenceGraph(function, deps, postdom)

@@ -1,0 +1,91 @@
+"""Shared data-flow helpers.
+
+All the bit-vector style analyses in this package (liveness, reaching
+definitions, COCO's thread-aware safety) are round-robin worklist solvers
+over block-level transfer functions, with a final in-block walk to recover
+per-instruction facts.  This module holds the pieces they share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..ir.cfg import Function
+from ..ir.instructions import Instruction, Opcode
+
+
+def instruction_uses(instruction: Instruction,
+                     function: Function) -> Tuple[str, ...]:
+    """Registers an instruction uses.  The ``exit`` terminator counts as
+    using every declared live-out register: values escaping the region are
+    consumed "after" it, and modeling that as a use at exit is what forces
+    MTCG to route final values to the exit thread."""
+    if instruction.op is Opcode.EXIT:
+        return tuple(function.live_outs)
+    return instruction.srcs
+
+
+def instruction_defs(instruction: Instruction) -> Tuple[str, ...]:
+    return instruction.defined_registers()
+
+
+def worklist_order(function: Function, forward: bool) -> List[str]:
+    """Block iteration order that converges fast: layout order for forward
+    problems, reverse layout order for backward problems (the builders emit
+    blocks roughly in reverse-postorder already)."""
+    labels = [block.label for block in function.blocks]
+    return labels if forward else list(reversed(labels))
+
+
+def solve_backward(function: Function,
+                   gen: Dict[str, Set], kill: Dict[str, Set],
+                   boundary: Dict[str, Set]) -> Dict[str, Set]:
+    """Backward may-analysis (union meet):
+    ``out[b] = U in[s] for s in succ(b)  (or boundary[b] for exits)``;
+    ``in[b] = gen[b] | (out[b] - kill[b])``.
+
+    Returns ``out`` per block; callers walk blocks backward for
+    per-instruction facts.
+    """
+    out: Dict[str, Set] = {b.label: set(boundary.get(b.label, set()))
+                           for b in function.blocks}
+    in_: Dict[str, Set] = {b.label: set() for b in function.blocks}
+    order = worklist_order(function, forward=False)
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            block = function.block(label)
+            new_out = set(boundary.get(label, set()))
+            for succ in block.successors():
+                new_out |= in_[succ]
+            new_in = gen[label] | (new_out - kill[label])
+            if new_out != out[label] or new_in != in_[label]:
+                out[label] = new_out
+                in_[label] = new_in
+                changed = True
+    return out
+
+
+def solve_forward_union(function: Function,
+                        gen: Dict[str, Set], kill: Dict[str, Set],
+                        entry_fact: Set) -> Dict[str, Set]:
+    """Forward may-analysis (union meet).  Returns ``in`` per block."""
+    in_: Dict[str, Set] = {b.label: set() for b in function.blocks}
+    out: Dict[str, Set] = {b.label: set() for b in function.blocks}
+    preds = function.predecessors_map()
+    entry = function.entry.label
+    order = worklist_order(function, forward=True)
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            new_in = set(entry_fact) if label == entry else set()
+            for pred in preds[label]:
+                new_in |= out[pred]
+            new_out = gen[label] | (new_in - kill[label])
+            if new_in != in_[label] or new_out != out[label]:
+                in_[label] = new_in
+                out[label] = new_out
+                changed = True
+    return in_

@@ -1,0 +1,143 @@
+"""Dominator and postdominator trees (Cooper-Harvey-Kennedy).
+
+Postdominance is computed on the reverse CFG against a single *virtual exit*
+node (:data:`VIRTUAL_EXIT`) whose predecessors are all ``exit`` blocks, so
+functions with several exits are handled uniformly.  MTCG's branch
+retargeting and the control-dependence graph are built on these trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..ir.cfg import Function
+
+VIRTUAL_EXIT = "<exit>"
+
+
+class DominatorTree:
+    """Immediate-dominator tree over block labels."""
+
+    def __init__(self, root: str, idom: Dict[str, str]):
+        self.root = root
+        self.idom = idom  # node -> immediate dominator; root maps to itself
+        self._children: Dict[str, List[str]] = {}
+        for node, parent in idom.items():
+            if node != parent:
+                self._children.setdefault(parent, []).append(node)
+        for children in self._children.values():
+            children.sort()
+
+    def children(self, node: str) -> List[str]:
+        return self._children.get(node, [])
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True iff ``a`` dominates ``b`` (reflexive)."""
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            parent = self.idom.get(node)
+            node = parent if parent != node else None
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def walk_up(self, node: str) -> Iterable[str]:
+        """Yield ``node`` and then each ancestor up to the root."""
+        current: Optional[str] = node
+        while current is not None:
+            yield current
+            parent = self.idom.get(current)
+            current = parent if parent != current else None
+
+    def contains(self, node: str) -> bool:
+        return node in self.idom
+
+
+def _reverse_postorder(entry: str,
+                       successors: Mapping[str, Iterable[str]]) -> List[str]:
+    visited = set()
+    order: List[str] = []
+    stack: List = [(entry, iter(successors.get(entry, ())))]
+    visited.add(entry)
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(successors.get(succ, ()))))
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+            order.append(node)
+    order.reverse()
+    return order
+
+
+def _compute_idoms(entry: str, successors: Mapping[str, Iterable[str]]
+                   ) -> Dict[str, str]:
+    """Cooper-Harvey-Kennedy iterative algorithm."""
+    order = _reverse_postorder(entry, successors)
+    index = {node: i for i, node in enumerate(order)}
+    predecessors: Dict[str, List[str]] = {node: [] for node in order}
+    for node in order:
+        for succ in successors.get(node, ()):
+            if succ in index:
+                predecessors[succ].append(node)
+
+    idom: Dict[str, str] = {entry: entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            candidates = [p for p in predecessors[node] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def dominator_tree(function: Function) -> DominatorTree:
+    successors = {block.label: list(block.successors())
+                  for block in function.blocks}
+    entry = function.entry.label
+    return DominatorTree(entry, _compute_idoms(entry, successors))
+
+
+def postdominator_tree(function: Function) -> DominatorTree:
+    """Postdominator tree rooted at :data:`VIRTUAL_EXIT`.
+
+    Blocks that cannot reach any exit (e.g. intentionally-infinite loops)
+    do not appear in the tree; callers must treat them as postdominated by
+    nothing.
+    """
+    reverse: Dict[str, List[str]] = {VIRTUAL_EXIT: []}
+    for block in function.blocks:
+        reverse.setdefault(block.label, [])
+    for block in function.blocks:
+        for succ in block.successors():
+            reverse[succ].append(block.label)
+    for exit_label in function.exit_blocks():
+        reverse[VIRTUAL_EXIT].append(exit_label)
+    idom = _compute_idoms(VIRTUAL_EXIT, reverse)
+    return DominatorTree(VIRTUAL_EXIT, idom)

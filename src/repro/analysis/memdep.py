@@ -1,0 +1,71 @@
+"""Memory dependence arcs.
+
+Two memory instructions depend on each other when they may alias, at least
+one is a store, and one can execute before the other (there is a CFG path).
+Inside a loop the path relation holds in both directions, so the arcs come
+out bidirectional — exactly the effect the companion text describes ("any
+memory dependence is essentially bi-directional, thus forcing these
+instructions to be assigned to the same thread in order to form a
+pipeline" under DSWP).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..ir.cfg import Function
+from ..ir.instructions import Opcode
+from .alias import AliasAnalysis
+
+
+def _block_reachability(function: Function) -> Dict[str, Set[str]]:
+    """reach[b] = blocks reachable from b by a path of >= 1 edge."""
+    successors = {block.label: list(block.successors())
+                  for block in function.blocks}
+    reach: Dict[str, Set[str]] = {}
+    for start in successors:
+        seen: Set[str] = set()
+        stack = list(successors[start])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(successors[node])
+        reach[start] = seen
+    return reach
+
+
+def memory_dependences(function: Function,
+                       alias: AliasAnalysis = None
+                       ) -> List[Tuple[int, int]]:
+    """All memory dependence arcs ``(from iid, to iid)``, sorted.
+
+    An arc ``I -> J`` means J must observe I's memory effect whenever a
+    dynamic instance of I precedes one of J.
+    """
+    if alias is None:
+        alias = AliasAnalysis(function)
+    memory_ops = [instruction for instruction in function.instructions()
+                  if instruction.is_memory()]
+    block_of = function.block_of()
+    position = function.position_of()
+    reach = _block_reachability(function)
+
+    arcs: List[Tuple[int, int]] = []
+    for i, first in enumerate(memory_ops):
+        for second in memory_ops[i:]:
+            if first.iid == second.iid:
+                continue
+            if first.op is Opcode.LOAD and second.op is Opcode.LOAD:
+                continue
+            if not alias.may_alias(first, second):
+                continue
+            for a, b in ((first, second), (second, first)):
+                block_a, block_b = block_of[a.iid], block_of[b.iid]
+                same_block_forward = (block_a == block_b
+                                      and position[a.iid] < position[b.iid])
+                if same_block_forward or block_b in reach[block_a]:
+                    arcs.append((a.iid, b.iid))
+    arcs.sort()
+    return arcs

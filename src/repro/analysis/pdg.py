@@ -1,0 +1,131 @@
+"""The Program Dependence Graph (Ferrante-Ottenstein-Warren).
+
+Nodes are instructions (by iid).  Arcs carry a :class:`DepKind`:
+
+* ``REGISTER`` — def-use through a virtual register (from reaching
+  definitions, including loop-carried arcs around back edges);
+* ``MEMORY`` — may-alias load/store ordering (from the alias analysis);
+* ``CONTROL`` — branch-to-controlled-instruction arcs (from the CDG).
+
+This is the substrate of GMT instruction scheduling: the partitioner
+consumes it, and MTCG inserts communication for every arc that crosses
+threads (Figure 2 of both papers).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..ir.cfg import Function
+from .alias import AliasAnalysis
+from .control_dependence import (ControlDependenceGraph,
+                                 control_dependence_graph)
+from .memdep import memory_dependences
+from .reaching_defs import register_dependences
+
+
+class DepKind(enum.Enum):
+    REGISTER = "register"
+    MEMORY = "memory"
+    CONTROL = "control"
+
+
+class DependenceArc:
+    __slots__ = ("source", "target", "kind", "register")
+
+    def __init__(self, source: int, target: int, kind: DepKind,
+                 register: Optional[str] = None):
+        self.source = source
+        self.target = target
+        self.kind = kind
+        self.register = register
+
+    def key(self) -> Tuple:
+        return (self.source, self.target, self.kind.value, self.register)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DependenceArc) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        label = self.register or self.kind.value
+        return "<%d -%s-> %d>" % (self.source, label, self.target)
+
+
+class PDG:
+    """The program dependence graph of one function."""
+
+    def __init__(self, function: Function, arcs: Iterable[DependenceArc],
+                 cdg: ControlDependenceGraph, alias: AliasAnalysis):
+        self.function = function
+        self.arcs: List[DependenceArc] = sorted(set(arcs),
+                                                key=DependenceArc.key)
+        self.cdg = cdg
+        self.alias = alias
+        self.nodes: List[int] = sorted(i.iid
+                                       for i in function.instructions())
+        self._out: Dict[int, List[DependenceArc]] = {n: []
+                                                     for n in self.nodes}
+        self._in: Dict[int, List[DependenceArc]] = {n: [] for n in self.nodes}
+        for arc in self.arcs:
+            self._out[arc.source].append(arc)
+            self._in[arc.target].append(arc)
+
+    def out_arcs(self, iid: int) -> List[DependenceArc]:
+        return self._out.get(iid, [])
+
+    def in_arcs(self, iid: int) -> List[DependenceArc]:
+        return self._in.get(iid, [])
+
+    def successors_map(self, kinds: Optional[Set[DepKind]] = None
+                       ) -> Dict[int, List[int]]:
+        """Adjacency (iid -> target iids), optionally restricted by kind."""
+        result: Dict[int, List[int]] = {n: [] for n in self.nodes}
+        for arc in self.arcs:
+            if kinds is None or arc.kind in kinds:
+                result[arc.source].append(arc.target)
+        return result
+
+    def arcs_of_kind(self, kind: DepKind) -> List[DependenceArc]:
+        return [arc for arc in self.arcs if arc.kind is kind]
+
+    def cross_thread_arcs(self, assignment: Dict[int, int]
+                          ) -> List[DependenceArc]:
+        """Arcs whose endpoints land in different threads under
+        ``assignment`` (iid -> thread id)."""
+        return [arc for arc in self.arcs
+                if assignment[arc.source] != assignment[arc.target]]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<PDG %s: %d nodes, %d arcs>" % (
+            self.function.name, len(self.nodes), len(self.arcs))
+
+
+def build_pdg(function: Function,
+              alias: Optional[AliasAnalysis] = None) -> PDG:
+    """Construct the full PDG: register, memory, and control arcs."""
+    if alias is None:
+        alias = AliasAnalysis(function)
+    arcs: List[DependenceArc] = []
+
+    for def_iid, use_iid, register in register_dependences(function):
+        arcs.append(DependenceArc(def_iid, use_iid, DepKind.REGISTER,
+                                  register))
+
+    for source, target in memory_dependences(function, alias):
+        arcs.append(DependenceArc(source, target, DepKind.MEMORY))
+
+    cdg = control_dependence_graph(function)
+    for block in function.blocks:
+        for branch_label, _outcome in cdg.deps_of(block.label):
+            branch = function.block(branch_label).terminator
+            if branch is None or not branch.is_branch():
+                continue
+            for instruction in block:
+                if instruction.iid != branch.iid:
+                    arcs.append(DependenceArc(branch.iid, instruction.iid,
+                                              DepKind.CONTROL))
+    return PDG(function, arcs, cdg, alias)

@@ -1,0 +1,90 @@
+"""Reaching definitions, per instruction.
+
+A *definition* is an instruction that writes a register; definitions are
+identified by iid.  The register data-dependence arcs of the PDG are read
+straight off this analysis: there is an arc ``D -> U`` labeled ``r`` iff
+``D`` defines ``r``, ``U`` uses ``r``, and ``D`` reaches ``U`` — including
+around loop back edges, which yields the loop-carried dependences that make
+DSWP's SCCs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..ir.cfg import Function
+from .dataflow import instruction_defs, instruction_uses, solve_forward_union
+
+# A definition fact: (iid of defining instruction, register).
+Definition = Tuple[int, str]
+
+PARAM_DEF = -1  # pseudo-iid for "defined by a function parameter"
+
+
+class ReachingDefsResult:
+    def __init__(self, reach_in: Dict[int, FrozenSet[Definition]]):
+        self.reach_in = reach_in
+
+    def definitions_reaching(self, iid: int, register: str) -> List[int]:
+        """Iids of definitions of ``register`` reaching ``iid`` (PARAM_DEF
+        for the parameter pseudo-definition), sorted."""
+        return sorted(def_iid
+                      for def_iid, def_register in self.reach_in.get(
+                          iid, frozenset())
+                      if def_register == register)
+
+
+def reaching_definitions(function: Function) -> ReachingDefsResult:
+    defs_of_register: Dict[str, Set[Definition]] = {}
+    for instruction in function.instructions():
+        for register in instruction_defs(instruction):
+            defs_of_register.setdefault(register, set()).add(
+                (instruction.iid, register))
+    for param in function.params:
+        defs_of_register.setdefault(param, set()).add((PARAM_DEF, param))
+
+    gen: Dict[str, Set] = {}
+    kill: Dict[str, Set] = {}
+    for block in function.blocks:
+        block_gen: Set[Definition] = set()
+        block_kill: Set[Definition] = set()
+        for instruction in block:
+            for register in instruction_defs(instruction):
+                everything = defs_of_register[register]
+                block_gen -= everything
+                block_kill |= everything
+                block_gen.add((instruction.iid, register))
+        gen[block.label] = block_gen
+        kill[block.label] = block_kill
+
+    entry_fact: Set[Definition] = {(PARAM_DEF, param)
+                                   for param in function.params}
+    block_in = solve_forward_union(function, gen, kill, entry_fact)
+
+    reach_in: Dict[int, FrozenSet[Definition]] = {}
+    for block in function.blocks:
+        current: Set[Definition] = set(block_in[block.label])
+        for instruction in block:
+            reach_in[instruction.iid] = frozenset(current)
+            for register in instruction_defs(instruction):
+                current -= defs_of_register[register]
+                current.add((instruction.iid, register))
+    return ReachingDefsResult(reach_in)
+
+
+def register_dependences(function: Function
+                         ) -> List[Tuple[int, int, str]]:
+    """All register dependence arcs ``(def iid, use iid, register)``.
+
+    Parameter pseudo-definitions produce no arcs (parameters are available
+    to every thread at start-up)."""
+    reaching = reaching_definitions(function)
+    arcs: List[Tuple[int, int, str]] = []
+    for instruction in function.instructions():
+        for register in set(instruction_uses(instruction, function)):
+            for def_iid in reaching.definitions_reaching(
+                    instruction.iid, register):
+                if def_iid != PARAM_DEF and def_iid != instruction.iid:
+                    arcs.append((def_iid, instruction.iid, register))
+    arcs.sort()
+    return arcs

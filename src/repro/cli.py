@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the benchmark registry (the papers' Figure 6(b));
+* ``machine`` — the machine configuration (Figure 6(a));
+* ``run`` — parallelize one workload and report speedup/communication;
+* ``dump`` — print the IR of a workload, or the generated thread CFGs;
+* ``sweep`` — run every workload under one configuration and summarize.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .ir.printer import format_function
+from .machine.config import config_table
+from .pipeline import TECHNIQUES, evaluate_workload, normalize, parallelize
+from .report import table
+from .stats import geomean
+from .workloads import all_workloads, benchmark_table, get_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GMT instruction scheduling (GREMIO/DSWP/MTCG/COCO) "
+                    "on a dual-core CMP model")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark workloads")
+    sub.add_parser("machine", help="print the machine configuration")
+
+    run = sub.add_parser("run", help="parallelize one workload")
+    _common_options(run)
+    run.add_argument("workload", help="workload name (see `list`)")
+
+    dump = sub.add_parser("dump", help="print workload IR / thread CFGs")
+    _common_options(dump)
+    dump.add_argument("workload")
+    dump.add_argument("--threads-code", action="store_true",
+                      help="print the generated per-thread CFGs")
+
+    sweep = sub.add_parser("sweep", help="evaluate every workload")
+    _common_options(sweep)
+
+    report = sub.add_parser(
+        "report", help="regenerate the EXPERIMENTS.md headline table "
+                       "(all workloads x {GREMIO, DSWP} x {MTCG, +COCO})")
+    report.add_argument("--threads", type=int, default=2)
+    report.add_argument("--scale", default="ref",
+                        choices=("train", "ref"))
+
+    dot = sub.add_parser("dot", help="emit Graphviz dot for a workload")
+    _common_options(dot)
+    dot.add_argument("workload")
+    dot.add_argument("--what", default="cfg",
+                     choices=("cfg", "pdg", "threads", "program"),
+                     help="which graph to emit")
+    return parser
+
+
+def _common_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--technique", choices=TECHNIQUES, default="gremio")
+    sub.add_argument("--threads", type=int, default=2)
+    sub.add_argument("--coco", action="store_true",
+                     help="enable the COCO communication optimizer")
+    sub.add_argument("--alias-mode", default="annotated",
+                     choices=("annotated", "provenance", "none"))
+    sub.add_argument("--scale", default="ref", choices=("train", "ref"))
+    sub.add_argument("--schedule", default=None,
+                     choices=("early", "late", "neutral"),
+                     help="run the local instruction scheduler with this "
+                          "produce/consume priority")
+
+
+def _run_one(args) -> int:
+    workload = get_workload(args.workload)
+    ev = evaluate_workload(workload, technique=args.technique,
+                           n_threads=args.threads, coco=args.coco,
+                           scale=args.scale, alias_mode=args.alias_mode,
+                           local_schedule=args.schedule)
+    rows = [
+        ("single-threaded cycles", "%.0f" % ev.st_result.cycles),
+        ("multi-threaded cycles", "%.0f" % ev.mt_result.cycles),
+        ("speedup", "%.3fx" % ev.speedup),
+        ("dynamic instructions (MT)",
+         str(ev.mt_result.dynamic_instructions)),
+        ("communication instructions",
+         str(ev.communication_instructions)),
+        ("communication share",
+         "%.1f%%" % (100 * ev.communication_fraction)),
+        ("channels", str(len(ev.parallelization.program.channels))),
+        ("verified vs single-threaded", "yes"),
+    ]
+    print(table(["metric", "value"], rows,
+                title="%s / %s%s / %d threads"
+                      % (workload.name, args.technique,
+                         "+coco" if args.coco else "", args.threads)))
+    return 0
+
+
+def _dump(args) -> int:
+    workload = get_workload(args.workload)
+    function = workload.build()
+    if not args.threads_code:
+        print(format_function(function, show_iids=True))
+        return 0
+    normalize(function)
+    train = workload.make_inputs("train")
+    result = parallelize(function, technique=args.technique,
+                         n_threads=args.threads, coco=args.coco,
+                         profile_args=train.args,
+                         profile_memory=train.memory,
+                         alias_mode=args.alias_mode, normalized=True)
+    for index, thread in enumerate(result.program.threads):
+        print("; ===== thread %d =====" % index)
+        print(format_function(thread))
+        print()
+    print("; channels:")
+    for channel in result.program.channels:
+        print(";   %r" % channel)
+    return 0
+
+
+def _sweep(args) -> int:
+    rows = []
+    speedups = []
+    for workload in all_workloads():
+        ev = evaluate_workload(workload, technique=args.technique,
+                               n_threads=args.threads, coco=args.coco,
+                               scale=args.scale,
+                               alias_mode=args.alias_mode,
+                               local_schedule=args.schedule)
+        rows.append((workload.name, "%.3f" % ev.speedup,
+                     str(ev.communication_instructions),
+                     "%.1f%%" % (100 * ev.communication_fraction)))
+        speedups.append(ev.speedup)
+    rows.append(("geomean", "%.3f" % geomean(speedups), "", ""))
+    print(table(["workload", "speedup", "comm instrs", "comm %"], rows,
+                title="%s%s / %d threads / %s inputs"
+                      % (args.technique, "+coco" if args.coco else "",
+                         args.threads, args.scale)))
+    return 0
+
+
+def _report(args) -> int:
+    """The EXPERIMENTS.md headline table, as Markdown."""
+    print("| benchmark | GREMIO | GREMIO+COCO | DSWP | DSWP+COCO "
+          "| relcomm G | relcomm D | comm% G | comm% D |")
+    print("|---|---|---|---|---|---|---|---|---|")
+    aggregates = {"g": [], "gc": [], "d": [], "dc": [],
+                  "rg": [], "rd": []}
+    for workload in all_workloads():
+        cells = {}
+        for technique, base_key, coco_key, rel_key in (
+                ("gremio", "g", "gc", "rg"), ("dswp", "d", "dc", "rd")):
+            base = evaluate_workload(workload, technique=technique,
+                                     n_threads=args.threads,
+                                     scale=args.scale)
+            optimized = evaluate_workload(workload, technique=technique,
+                                          coco=True,
+                                          n_threads=args.threads,
+                                          scale=args.scale)
+            relative = (100.0 * optimized.communication_instructions
+                        / base.communication_instructions
+                        if base.communication_instructions else 100.0)
+            cells[technique] = (base, optimized, relative)
+            aggregates[base_key].append(base.speedup)
+            aggregates[coco_key].append(optimized.speedup)
+            aggregates[rel_key].append(relative)
+        g_base, g_coco, g_rel = cells["gremio"]
+        d_base, d_coco, d_rel = cells["dswp"]
+        print("| %s | %.3f | %.3f | %.3f | %.3f | %.1f%% | %.1f%% "
+              "| %.1f%% | %.1f%% |"
+              % (workload.name, g_base.speedup, g_coco.speedup,
+                 d_base.speedup, d_coco.speedup, g_rel, d_rel,
+                 100 * g_base.communication_fraction,
+                 100 * d_base.communication_fraction))
+    print("| **geomean / avg** | **%.3f** | **%.3f** | **%.3f** "
+          "| **%.3f** | **%.1f%%** | **%.1f%%** | | |"
+          % (geomean(aggregates["g"]), geomean(aggregates["gc"]),
+             geomean(aggregates["d"]), geomean(aggregates["dc"]),
+             sum(aggregates["rg"]) / len(aggregates["rg"]),
+             sum(aggregates["rd"]) / len(aggregates["rd"])))
+    return 0
+
+
+def _dot(args) -> int:
+    from .viz import (cfg_to_dot, pdg_to_dot, program_to_dot,
+                      thread_graph_to_dot)
+    workload = get_workload(args.workload)
+    function = workload.build()
+    if args.what == "cfg":
+        print(cfg_to_dot(function))
+        return 0
+    normalize(function)
+    train = workload.make_inputs("train")
+    result = parallelize(function, technique=args.technique,
+                         n_threads=args.threads, coco=args.coco,
+                         profile_args=train.args,
+                         profile_memory=train.memory,
+                         alias_mode=args.alias_mode, normalized=True)
+    if args.what == "pdg":
+        print(pdg_to_dot(result.pdg, result.partition))
+    elif args.what == "threads":
+        print(thread_graph_to_dot(result.pdg, result.partition))
+    else:
+        print(program_to_dot(result.program))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(benchmark_table())
+        return 0
+    if args.command == "machine":
+        print(config_table())
+        return 0
+    if args.command == "run":
+        return _run_one(args)
+    if args.command == "dump":
+        return _dump(args)
+    if args.command == "sweep":
+        return _sweep(args)
+    if args.command == "dot":
+        return _dot(args)
+    if args.command == "report":
+        return _report(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

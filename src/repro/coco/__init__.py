@@ -1,0 +1,16 @@
+"""COCO: compiler communication optimization for MTCG (companion
+ASPLOS 2008 paper; an extension over the titled MICRO 2007 GREMIO paper —
+see DESIGN.md for provenance)."""
+
+from .driver import CocoResult, optimize
+from .flowgraph import (GfContext, S_NODE, T_NODE, build_memory_flow_graph,
+                        build_register_flow_graph, entry_node, instr_node)
+from .thread_aware import (RegisterRange, live_range_wrt_thread,
+                           safe_range_wrt_thread)
+
+__all__ = [
+    "CocoResult", "optimize", "GfContext", "S_NODE", "T_NODE",
+    "build_memory_flow_graph", "build_register_flow_graph", "entry_node",
+    "instr_node", "RegisterRange", "live_range_wrt_thread",
+    "safe_range_wrt_thread",
+]

@@ -1,0 +1,265 @@
+"""The COCO driver (companion paper, Algorithm 2).
+
+Iterates to a fixed point: optimize the communication placement for every
+pair of threads connected in the thread graph (each register separately by
+exact min-cut; all memory dependences together by the successive-pair
+heuristic), update the relevant-branch sets that the placements imply, and
+repeat until the dependences' insertion points converge.  The result is a
+set of data channels (with optimized points) plus the set of duplicated
+branches whose condition operand is *covered* by a register channel and
+therefore needs no separate condition communication — these plug straight
+into :func:`repro.mtcg.generate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.pdg import PDG, DepKind
+from ..graphs.mincut import (InfiniteCutError, min_cut, multi_pair_min_cut)
+from ..interp.profile import EdgeProfile
+from ..ir.cfg import Function
+from ..mtcg.channels import CommChannel, Point
+from ..mtcg.relevant import compute_relevance
+from ..partition.base import Partition
+from .flowgraph import (GfContext, S_NODE, T_NODE, build_memory_flow_graph,
+                        build_register_flow_graph, instr_node)
+
+
+class CocoResult:
+    """Optimized data channels + covered condition operands + statistics."""
+
+    def __init__(self, data_channels: List[CommChannel],
+                 condition_covered: Set[Tuple[str, int]],
+                 iterations: int,
+                 default_cost: float, optimized_cost: float):
+        self.data_channels = data_channels
+        self.condition_covered = condition_covered
+        self.iterations = iterations
+        self.default_cost = default_cost
+        self.optimized_cost = optimized_cost
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<CocoResult %d channels, cost %.1f -> %.1f>" % (
+            len(self.data_channels), self.default_cost, self.optimized_cost)
+
+
+def optimize(function: Function, pdg: PDG, partition: Partition,
+             profile: EdgeProfile, max_iterations: int = 10) -> CocoResult:
+    context = GfContext(function, profile, pdg.cdg)
+    block_of = function.block_of()
+    by_iid = function.by_iid()
+    n = partition.n_threads
+
+    # Initial relevant branches: what any placement implies regardless —
+    # branches assigned to each thread (rule 1 + closure) and branches with
+    # cross-thread control arcs (they will be duplicated no matter where
+    # data communication lands).
+    relevance = compute_relevance(function, pdg, partition, [])
+    relevant: Dict[int, Set[str]] = {
+        t: set(relevance.relevant_branches[t]) for t in range(n)}
+
+    previous_signature: Optional[Tuple] = None
+    channels: List[CommChannel] = []
+    iterations = 0
+    default_cost = _default_placement_cost(function, pdg, partition,
+                                           profile, block_of)
+
+    for iterations in range(1, max_iterations + 1):
+        channels = _place_all(function, pdg, partition, profile, context,
+                              relevant, block_of, by_iid)
+        signature = tuple(
+            (c.kind.value, c.source_thread, c.target_thread, c.register,
+             tuple(sorted(c.points))) for c in channels)
+        # Update relevant branches implied by the new points (monotone:
+        # union with the running sets).
+        relevance = compute_relevance(function, pdg, partition, channels)
+        grown = False
+        for t in range(n):
+            merged = relevant[t] | relevance.relevant_branches[t]
+            if merged != relevant[t]:
+                relevant[t] = merged
+                grown = True
+        if signature == previous_signature and not grown:
+            break
+        previous_signature = signature
+
+    covered: Set[Tuple[str, int]] = set()
+    for t in range(n):
+        for label in sorted(relevant[t]):
+            branch = function.block(label).terminator
+            if branch is not None and branch.is_branch() \
+                    and partition.thread_of(branch.iid) != t:
+                covered.add((label, t))
+
+    optimized_cost = sum(profile.block_weight(point.block)
+                         for channel in channels
+                         for point in channel.points)
+    return CocoResult(channels, covered, iterations, default_cost,
+                      optimized_cost)
+
+
+def _place_all(function: Function, pdg: PDG, partition: Partition,
+               profile: EdgeProfile, context: GfContext,
+               relevant: Dict[int, Set[str]], block_of: Dict[int, str],
+               by_iid) -> List[CommChannel]:
+    """One pass of Algorithm 2's inner loop: place every pair's channels."""
+    register_groups: Dict[Tuple[int, int, str], Dict[str, Set[int]]] = {}
+    memory_pairs: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    group_arcs: Dict[Tuple[int, int, str], List] = {}
+
+    def group_for(source_thread: int, target_thread: int, register: str):
+        key = (source_thread, target_thread, register)
+        if key not in register_groups:
+            register_groups[key] = {"defs": set(), "uses": set()}
+            group_arcs[key] = []
+        return register_groups[key]
+
+    for arc in pdg.arcs:
+        source_thread = partition.thread_of(arc.source)
+        target_thread = partition.thread_of(arc.target)
+        if source_thread == target_thread:
+            continue
+        if arc.kind is DepKind.REGISTER:
+            group = group_for(source_thread, target_thread, arc.register)
+            group["defs"].add(arc.source)
+            group["uses"].add(arc.target)
+            group_arcs[(source_thread, target_thread,
+                        arc.register)].append(arc)
+        elif arc.kind is DepKind.MEMORY:
+            memory_pairs.setdefault(
+                (source_thread, target_thread), []).append(
+                    (arc.source, arc.target))
+
+    # Pseudo-uses: a branch relevant to thread t (and assigned elsewhere)
+    # is treated as t's use of its condition register, so the operand's
+    # communication is optimized along with data communication.
+    for t, branch_blocks in relevant.items():
+        for label in sorted(branch_blocks):
+            branch = function.block(label).terminator
+            if branch is None or not branch.is_branch():
+                continue
+            if partition.thread_of(branch.iid) == t:
+                continue
+            register = branch.srcs[0]
+            for arc in pdg.in_arcs(branch.iid):
+                if arc.kind is not DepKind.REGISTER \
+                        or arc.register != register:
+                    continue
+                def_thread = partition.thread_of(arc.source)
+                if def_thread == t:
+                    continue
+                group = group_for(def_thread, t, register)
+                group["defs"].add(arc.source)
+                group["uses"].add(branch.iid)
+
+    # Process thread pairs in (quasi-)topological order of the thread
+    # graph, updating the target's relevant branches after each pair —
+    # Algorithm 2's inner loop structure, which reduces the number of
+    # fixed-point iterations when the thread graph is acyclic (DSWP).
+    pair_set = ({(s, t) for (s, t, _register) in register_groups}
+                | set(memory_pairs))
+    pair_order = _thread_pair_order(pair_set, partition.n_threads)
+
+    def note_new_relevance(target_thread: int, points) -> None:
+        for point in points:
+            for controller in context.controllers(point.block):
+                _add_branch_with_controllers(context, relevant,
+                                             target_thread, controller)
+
+    channels: List[CommChannel] = []
+    for (source_thread, target_thread) in pair_order:
+        for key in sorted(k for k in register_groups
+                          if k[0] == source_thread
+                          and k[1] == target_thread):
+            register = key[2]
+            group = register_groups[key]
+            graph = build_register_flow_graph(
+                context, partition, register, source_thread, target_thread,
+                group["defs"], group["uses"], relevant)
+            try:
+                cut = min_cut(graph, S_NODE, T_NODE)
+            except InfiniteCutError:
+                # Should not happen (the default placement is a finite
+                # cut); fall back to at-definition placement.
+                cut = None
+            if cut is None:
+                points = sorted({Point(block_of[d],
+                                       function.position_of()[d][1] + 1)
+                                 for d in group["defs"]})
+            else:
+                if not cut.cut_arcs:
+                    continue  # defs never reach uses: nothing needed
+                points = sorted({context.arc_to_point(arc)
+                                 for arc in cut.cut_arcs})
+            note_new_relevance(target_thread, points)
+            channels.append(CommChannel(
+                DepKind.REGISTER, source_thread, target_thread, register,
+                list(points), group_arcs.get(key, []),
+                source_iid=min(group["defs"])))
+
+        if (source_thread, target_thread) in memory_pairs:
+            pairs = memory_pairs[(source_thread, target_thread)]
+            graph = build_memory_flow_graph(context, partition,
+                                            source_thread, target_thread,
+                                            relevant)
+            node_pairs = [(instr_node(a), instr_node(b))
+                          for a, b in pairs]
+            result = multi_pair_min_cut(graph, node_pairs)
+            if not result.cut_arcs:
+                continue
+            points = sorted({context.arc_to_point(arc)
+                             for arc in result.cut_arcs})
+            note_new_relevance(target_thread, points)
+            channels.append(CommChannel(
+                DepKind.MEMORY, source_thread, target_thread, None,
+                list(points), [], source_iid=min(a for a, _ in pairs)))
+    return channels
+
+
+def _add_branch_with_controllers(context: GfContext,
+                                 relevant: Dict[int, Set[str]],
+                                 thread: int, branch_block: str) -> None:
+    if branch_block in relevant.setdefault(thread, set()):
+        return
+    relevant[thread].add(branch_block)
+    for controller in context.controllers(branch_block):
+        _add_branch_with_controllers(context, relevant, thread, controller)
+
+
+def _thread_pair_order(pairs: Set[Tuple[int, int]],
+                       n_threads: int) -> List[Tuple[int, int]]:
+    """Order pairs by a topological order of the thread graph when it is
+    acyclic (pipelines); otherwise fall back to sorted order."""
+    from ..graphs import CycleError, topological_sort
+    successors: Dict[int, List[int]] = {t: [] for t in range(n_threads)}
+    for source, target in sorted(pairs):
+        successors[source].append(target)
+    try:
+        order = topological_sort(range(n_threads), successors)
+        rank = {thread: index for index, thread in enumerate(order)}
+        return sorted(pairs, key=lambda pair: (rank[pair[0]],
+                                               rank[pair[1]]))
+    except CycleError:
+        return sorted(pairs)
+
+
+def _default_placement_cost(function: Function, pdg: PDG,
+                            partition: Partition, profile: EdgeProfile,
+                            block_of: Dict[int, str]) -> float:
+    """Profile-weighted cost of the baseline at-the-source placement, for
+    reporting the static improvement."""
+    seen: Set[Tuple] = set()
+    cost = 0.0
+    for arc in pdg.arcs:
+        source_thread = partition.thread_of(arc.source)
+        target_thread = partition.thread_of(arc.target)
+        if source_thread == target_thread \
+                or arc.kind is DepKind.CONTROL:
+            continue
+        key = (arc.kind.value, arc.source, arc.register, target_thread)
+        if key in seen:
+            continue
+        seen.add(key)
+        cost += profile.block_weight(block_of[arc.source])
+    return cost

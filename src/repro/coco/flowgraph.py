@@ -1,0 +1,227 @@
+"""Construction of the min-cut flow graphs ``G_f`` (Sections 3.1.1-3.1.3).
+
+Nodes are program points at instruction granularity: ``("i", iid)`` for an
+instruction, ``("e", label)`` for a basic-block entry, plus the special
+``S``/``T`` nodes for the register problem.  An arc corresponds to the
+program point just before its head; cutting it means communicating there.
+
+Arc costs are profile weights (the dynamic number of communications that
+placement would execute), plus:
+
+* **infinity** where placement would violate Safety (Property 3) or place
+  communication at a point irrelevant to the source thread (Property 2);
+* **control-flow penalties** (Section 3.1.2): the weight of every branch
+  that is currently irrelevant to the target thread but would have to be
+  replicated there if communication were placed on the arc.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..analysis.control_dependence import ControlDependenceGraph
+from ..graphs.mincut import INFINITY, FlowGraph
+from ..interp.profile import EdgeProfile
+from ..ir.cfg import Function
+from ..mtcg.channels import Point
+from ..partition.base import Partition
+from .thread_aware import live_range_wrt_thread, safe_range_wrt_thread
+
+S_NODE = "S"
+T_NODE = "T"
+
+
+def instr_node(iid: int) -> Tuple[str, int]:
+    return ("i", iid)
+
+
+def entry_node(label: str) -> Tuple[str, str]:
+    return ("e", label)
+
+
+class GfContext:
+    """Shared machinery for building flow graphs over one function."""
+
+    def __init__(self, function: Function, profile: EdgeProfile,
+                 cdg: ControlDependenceGraph):
+        self.function = function
+        self.profile = profile
+        self.cdg = cdg
+        self.block_of = function.block_of()
+        self.position = function.position_of()
+        self._controllers: Dict[str, Set[str]] = {}
+
+    def controllers(self, label: str) -> Set[str]:
+        result = self._controllers.get(label)
+        if result is None:
+            result = self.cdg.transitive_controlling_branches(label)
+            self._controllers[label] = result
+        return result
+
+    def point_relevant_to(self, label: str,
+                          branches: Set[str]) -> bool:
+        return self.controllers(label) <= branches
+
+    def control_penalty(self, label: str,
+                        target_branches: Set[str]) -> float:
+        """Weight of branches that would become relevant to the target
+        thread if communication were placed in block ``label``."""
+        penalty = 0.0
+        for branch_block in self.controllers(label):
+            if branch_block not in target_branches:
+                penalty += self.profile.block_weight(branch_block)
+        return penalty
+
+    def arc_to_point(self, arc: Tuple) -> Point:
+        """Map a cut arc to the insertion point it denotes."""
+        u, v = arc
+        if v[0] == "i":
+            iid = v[1]
+            return Point(self.block_of[iid], self.position[iid][1])
+        if v[0] == "e":
+            target_label = v[1]
+            if u[0] == "i":
+                u_label = self.block_of[u[1]]
+                successors = set(
+                    self.function.block(u_label).successors())
+                if len(successors) == 1:
+                    term_index = len(
+                        self.function.block(u_label).instructions) - 1
+                    return Point(u_label, term_index)
+            return Point(target_label, 0)
+        raise ValueError("cut arc with non-program head: %r" % (arc,))
+
+
+def build_register_flow_graph(
+        context: GfContext, partition: Partition, register: str,
+        source_thread: int, target_thread: int,
+        def_iids: Iterable[int], use_iids: Set[int],
+        relevant_branches: Dict[int, Set[str]]) -> FlowGraph:
+    """The register G_f of Section 3.1.1 with the control-flow penalties of
+    Section 3.1.2."""
+    function = context.function
+    profile = context.profile
+    live = live_range_wrt_thread(function, register, use_iids)
+    safe = safe_range_wrt_thread(
+        function, register, partition, source_thread,
+        relevant_branches.get(source_thread, set()))
+    source_branches = relevant_branches.get(source_thread, set())
+    target_branches = relevant_branches.get(target_thread, set())
+    def_set = set(def_iids)
+
+    included: Dict[int, bool] = {}
+    for instruction in function.instructions():
+        iid = instruction.iid
+        included[iid] = (live.before.get(iid, False)
+                         or live.after.get(iid, False)
+                         or iid in def_set)
+
+    graph = FlowGraph()
+    graph.add_node(S_NODE)
+    graph.add_node(T_NODE)
+
+    def cost_for(label: str, before_iid: Optional[int],
+                 safe_here: bool, base: float) -> float:
+        if not safe_here:
+            return INFINITY
+        if not context.point_relevant_to(label, source_branches):
+            return INFINITY
+        return base + context.control_penalty(label, target_branches)
+
+    last_node: Dict[str, Optional[Tuple]] = {}
+    for block in function.blocks:
+        label = block.label
+        entry_included = live.at_entry.get(label, False)
+        previous = entry_node(label) if entry_included else None
+        if entry_included:
+            graph.add_node(previous)
+        for instruction in block:
+            iid = instruction.iid
+            if not included.get(iid, False):
+                previous = None
+                continue
+            node = instr_node(iid)
+            graph.add_node(node)
+            if previous is not None:
+                graph.add_arc(previous, node,
+                              cost_for(label, iid,
+                                       safe.before.get(iid, False),
+                                       profile.block_weight(label)))
+            previous = node
+        last_node[label] = previous
+
+    # Cross-block arcs: terminator node -> successor entry node.
+    for block in function.blocks:
+        tail = last_node.get(block.label)
+        if tail is None or tail[0] != "i":
+            continue
+        terminator = block.terminator
+        if terminator is None or tail[1] != terminator.iid:
+            continue
+        for successor in block.successors():
+            if not live.at_entry.get(successor, False):
+                continue
+            head = entry_node(successor)
+            if head not in graph:
+                continue
+            # The placement block of an edge cut: the tail block when it
+            # has a unique successor, else the (unique-predecessor) head.
+            successors = set(block.successors())
+            placement = (block.label if len(successors) == 1
+                         else successor)
+            cost = cost_for(placement, None,
+                            safe.after.get(terminator.iid, False),
+                            profile.edge_weight(block.label, successor))
+            graph.add_arc(tail, head, cost)
+
+    for def_iid in sorted(def_set):
+        node = instr_node(def_iid)
+        if node in graph:
+            graph.add_arc(S_NODE, node, INFINITY)
+    for use_iid in sorted(use_iids):
+        node = instr_node(use_iid)
+        if node in graph:
+            graph.add_arc(node, T_NODE, INFINITY)
+    return graph
+
+
+def build_memory_flow_graph(
+        context: GfContext, partition: Partition, source_thread: int,
+        target_thread: int,
+        relevant_branches: Dict[int, Set[str]]) -> FlowGraph:
+    """The memory G_f of Section 3.1.3: the whole region, no safety, and
+    source/sink arcs cuttable (sources and sinks are real instructions)."""
+    function = context.function
+    profile = context.profile
+    source_branches = relevant_branches.get(source_thread, set())
+    target_branches = relevant_branches.get(target_thread, set())
+
+    def cost_for(label: str, base: float) -> float:
+        if not context.point_relevant_to(label, source_branches):
+            return INFINITY
+        return base + context.control_penalty(label, target_branches)
+
+    graph = FlowGraph()
+    last_node: Dict[str, Tuple] = {}
+    for block in function.blocks:
+        label = block.label
+        previous = entry_node(label)
+        graph.add_node(previous)
+        for instruction in block:
+            node = instr_node(instruction.iid)
+            graph.add_node(node)
+            graph.add_arc(previous, node,
+                          cost_for(label, profile.block_weight(label)))
+            previous = node
+        last_node[label] = previous
+
+    for block in function.blocks:
+        tail = last_node[block.label]
+        for successor in block.successors():
+            successors = set(block.successors())
+            placement = (block.label if len(successors) == 1
+                         else successor)
+            cost = cost_for(placement,
+                            profile.edge_weight(block.label, successor))
+            graph.add_arc(tail, entry_node(successor), cost)
+    return graph

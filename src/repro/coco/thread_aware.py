@@ -1,0 +1,144 @@
+"""Thread-aware data-flow analyses (companion paper, Section 3).
+
+Both analyses operate on the single original CFG but take the assignment of
+instructions to threads into account:
+
+* **liveness w.r.t. a target thread** — the live range of a register
+  considering only the uses that thread will contain (its own instructions
+  plus its relevant branches);
+* **safety w.r.t. a source thread** (Property 3 / equations (1)-(2)) — the
+  points where the source thread is guaranteed to hold the *latest* value
+  of a register, i.e. where communicating it cannot deliver a stale value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from ..ir.cfg import Function
+from ..partition.base import Partition
+
+
+class RegisterRange:
+    """Per-point booleans for one register: before/after each instruction
+    and at each block entry."""
+
+    def __init__(self, before: Dict[int, bool], after: Dict[int, bool],
+                 at_entry: Dict[str, bool]):
+        self.before = before
+        self.after = after
+        self.at_entry = at_entry
+
+
+def live_range_wrt_thread(function: Function, register: str,
+                          use_iids: Set[int]) -> RegisterRange:
+    """Backward single-register liveness with the given use sites only.
+    Any definition of the register (by any thread) kills it."""
+    live_out_block: Dict[str, bool] = {b.label: False
+                                       for b in function.blocks}
+    live_in_block: Dict[str, bool] = dict(live_out_block)
+
+    def block_transfer(label: str, live: bool) -> bool:
+        for instruction in reversed(function.block(label).instructions):
+            if register in instruction.defined_registers():
+                live = False
+            if instruction.iid in use_iids:
+                live = True
+        return live
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(function.blocks):
+            out = any(live_in_block[succ] for succ in block.successors())
+            in_ = block_transfer(block.label, out)
+            if (out != live_out_block[block.label]
+                    or in_ != live_in_block[block.label]):
+                live_out_block[block.label] = out
+                live_in_block[block.label] = in_
+                changed = True
+
+    before: Dict[int, bool] = {}
+    after: Dict[int, bool] = {}
+    for block in function.blocks:
+        live = live_out_block[block.label]
+        for instruction in reversed(block.instructions):
+            after[instruction.iid] = live
+            if register in instruction.defined_registers():
+                live = False
+            if instruction.iid in use_iids:
+                live = True
+            before[instruction.iid] = live
+    return RegisterRange(before, after,
+                         {label: live_in_block[label]
+                          for label in live_in_block})
+
+
+def safe_range_wrt_thread(function: Function, register: str,
+                          partition: Partition, source_thread: int,
+                          source_branches: Iterable[str]) -> RegisterRange:
+    """The SAFE analysis, equations (1)-(2) of the companion paper,
+    specialized to one register and one source thread.
+
+    ``source_branches`` are the branch blocks relevant to the source thread
+    (their branches count as the source's uses even when assigned
+    elsewhere, since the source thread replicates them).
+    """
+    branch_blocks = set(source_branches)
+    params = set(function.params)
+
+    def in_source(instruction, block_label: str) -> bool:
+        if partition.thread_of(instruction.iid) == source_thread:
+            return True
+        return instruction.is_branch() and block_label in branch_blocks
+
+    safe_in_block: Dict[str, bool] = {b.label: False
+                                      for b in function.blocks}
+    safe_out_block: Dict[str, bool] = dict(safe_in_block)
+    preds = function.predecessors_map()
+    entry = function.entry.label
+
+    def block_transfer(label: str, safe: bool) -> bool:
+        for instruction in function.block(label).instructions:
+            defines = register in instruction.defined_registers()
+            uses = register in instruction.used_registers()
+            if in_source(instruction, label) and (defines or uses):
+                safe = True
+            elif defines:
+                safe = False
+        return safe
+
+    # Parameters start out held by every thread.
+    entry_fact = register in params
+
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            if block.label == entry:
+                in_ = entry_fact
+            else:
+                pred_list = preds[block.label]
+                in_ = bool(pred_list) and all(safe_out_block[p]
+                                              for p in pred_list)
+            out = block_transfer(block.label, in_)
+            if (in_ != safe_in_block[block.label]
+                    or out != safe_out_block[block.label]):
+                safe_in_block[block.label] = in_
+                safe_out_block[block.label] = out
+                changed = True
+
+    before: Dict[int, bool] = {}
+    after: Dict[int, bool] = {}
+    for block in function.blocks:
+        safe = safe_in_block[block.label]
+        for instruction in block:
+            before[instruction.iid] = safe
+            defines = register in instruction.defined_registers()
+            uses = register in instruction.used_registers()
+            if in_source(instruction, block.label) and (defines or uses):
+                safe = True
+            elif defines:
+                safe = False
+            after[instruction.iid] = safe
+    return RegisterRange(before, after, dict(safe_in_block))

@@ -1,0 +1,145 @@
+"""Divergence debugging: locate where an MT execution departs from the
+single-threaded oracle.
+
+When a partitioner/codegen change breaks semantics, the failing symptom
+(a wrong live-out, a differing memory word) is far from the cause.  This
+module re-executes both versions and reports the *first divergent memory
+write* and the register-state mismatches around it — the tool we use on
+ourselves when a property test shrinks a counterexample.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from .interp.context import StepStatus, ThreadContext
+from .interp.state import bind_params, make_memory
+from .ir.cfg import Function
+from .ir.instructions import Opcode
+from .machine.functional import FifoQueues
+from .mtcg.program import MTProgram
+
+
+class WriteRecord:
+    __slots__ = ("address", "value", "iid", "thread")
+
+    def __init__(self, address: int, value, iid: int, thread: int):
+        self.address = address
+        self.value = value
+        self.iid = iid
+        self.thread = thread
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<write mem[%d]=%r by iid %d (thread %d)>" % (
+            self.address, self.value, self.iid, self.thread)
+
+
+def _trace_single(function: Function, args, initial_memory,
+                  max_steps: int) -> List[WriteRecord]:
+    memory = make_memory(function, initial_memory)
+    regs = bind_params(function, dict(args) if args else {})
+    context = ThreadContext(function, regs, memory, None)
+    writes: List[WriteRecord] = []
+    steps = 0
+    while not context.exited and steps < max_steps:
+        instruction = context.current_instruction()
+        result = context.step()
+        steps += 1
+        if instruction is not None and instruction.op is Opcode.STORE:
+            writes.append(WriteRecord(result.mem_address,
+                                      memory.load(result.mem_address),
+                                      instruction.iid, 0))
+    return writes
+
+
+def _trace_mt(program: MTProgram, args, initial_memory,
+              queue_capacity: int,
+              max_steps: int) -> List[WriteRecord]:
+    memory = make_memory(program.original, initial_memory)
+    queues = FifoQueues(program.n_queues, queue_capacity)
+    contexts = [ThreadContext(fn, bind_params(fn, dict(args) if args
+                                              else {}), memory, queues)
+                for fn in program.threads]
+    writes: List[WriteRecord] = []
+    live = [not c.exited for c in contexts]
+    steps = 0
+    while any(live) and steps < max_steps:
+        progressed = False
+        for index, context in enumerate(contexts):
+            if not live[index]:
+                continue
+            instruction = context.current_instruction()
+            result = context.step()
+            if result.status is StepStatus.BLOCKED:
+                continue
+            progressed = True
+            steps += 1
+            if result.status is StepStatus.EXITED:
+                live[index] = False
+            if instruction is not None \
+                    and instruction.op is Opcode.STORE:
+                writes.append(WriteRecord(result.mem_address,
+                                          memory.load(result.mem_address),
+                                          instruction.iid, index))
+        if not progressed:
+            break  # deadlock: report what we have
+    return writes
+
+
+class Divergence:
+    """The first point where the per-address write sequences differ."""
+
+    def __init__(self, address: int, index: int,
+                 expected: Optional[WriteRecord],
+                 actual: Optional[WriteRecord]):
+        self.address = address
+        self.index = index          # which write to this address (0-based)
+        self.expected = expected    # from the single-threaded oracle
+        self.actual = actual        # from the MT execution
+
+    def describe(self) -> str:
+        lines = ["first divergence at memory address %d, write #%d:"
+                 % (self.address, self.index)]
+        lines.append("  expected: %r" % (self.expected,))
+        lines.append("  actual:   %r" % (self.actual,))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Divergence @%d #%d>" % (self.address, self.index)
+
+
+def find_divergence(function: Function, program: MTProgram,
+                    args: Mapping[str, object] = (),
+                    initial_memory: Mapping[str, object] = (),
+                    queue_capacity: int = 32,
+                    max_steps: int = 5_000_000) -> Optional[Divergence]:
+    """Compare the per-address sequences of memory writes between the
+    single-threaded oracle and the MT execution; return the first
+    mismatch, or None when the write streams agree everywhere.
+
+    Writes to the same address must happen in the same order with the
+    same values (MTCG's guarantee); writes to *different* addresses may
+    legally interleave differently, so the comparison is per address.
+    """
+    st_writes = _trace_single(function, args, initial_memory, max_steps)
+    mt_writes = _trace_mt(program, args, initial_memory, queue_capacity,
+                          max_steps)
+
+    def by_address(writes: List[WriteRecord]
+                   ) -> Dict[int, List[WriteRecord]]:
+        result: Dict[int, List[WriteRecord]] = {}
+        for record in writes:
+            result.setdefault(record.address, []).append(record)
+        return result
+
+    expected = by_address(st_writes)
+    actual = by_address(mt_writes)
+    for address in sorted(set(expected) | set(actual)):
+        exp_list = expected.get(address, [])
+        act_list = actual.get(address, [])
+        for index in range(max(len(exp_list), len(act_list))):
+            exp = exp_list[index] if index < len(exp_list) else None
+            act = act_list[index] if index < len(act_list) else None
+            if exp is None or act is None or exp.value != act.value:
+                return Divergence(address, index, exp, act)
+    return None

@@ -1,0 +1,12 @@
+"""Standalone graph algorithms: SCC, topological sort, max-flow/min-cut."""
+
+from .scc import condense, strongly_connected_components
+from .topo import CycleError, topological_sort
+from .mincut import (FlowGraph, INFINITY, MinCutResult, min_cut,
+                     multi_pair_min_cut)
+
+__all__ = [
+    "condense", "strongly_connected_components", "CycleError",
+    "topological_sort", "FlowGraph", "INFINITY", "MinCutResult", "min_cut",
+    "multi_pair_min_cut",
+]

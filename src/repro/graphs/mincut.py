@@ -1,0 +1,186 @@
+"""Max-flow / min-cut on directed graphs.
+
+This is the optimization engine of the COCO extension (companion paper,
+Section 3.1): the placement of register communication is a single-source
+single-sink min cut (solved exactly with Edmonds-Karp, as in the paper), and
+the placement of memory synchronization is a multi-source-sink-pair min cut
+(NP-hard; solved with the paper's successive-pair heuristic).
+
+Arc capacities may be :data:`INFINITY` — such arcs can never participate in
+a cut (the paper uses this to encode Safety and the relevance properties).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+INFINITY = float("inf")
+
+Arc = Tuple[Hashable, Hashable]
+
+
+class FlowGraph:
+    """A directed graph with arc capacities (parallel arcs merge)."""
+
+    def __init__(self):
+        self.capacity: Dict[Hashable, Dict[Hashable, float]] = {}
+        self.nodes: Set[Hashable] = set()
+
+    def add_node(self, node: Hashable) -> None:
+        self.nodes.add(node)
+        self.capacity.setdefault(node, {})
+
+    def add_arc(self, source: Hashable, target: Hashable,
+                capacity: float) -> None:
+        if capacity < 0:
+            raise ValueError("negative capacity on arc %r->%r"
+                             % (source, target))
+        self.add_node(source)
+        self.add_node(target)
+        edges = self.capacity[source]
+        current = edges.get(target)
+        if current is None:
+            edges[target] = capacity
+        else:
+            edges[target] = current + capacity
+
+    def arc_capacity(self, source: Hashable, target: Hashable) -> float:
+        return self.capacity.get(source, {}).get(target, 0.0)
+
+    def arcs(self) -> Iterable[Tuple[Hashable, Hashable, float]]:
+        for source, edges in self.capacity.items():
+            for target, capacity in edges.items():
+                yield source, target, capacity
+
+    def successors(self, node: Hashable) -> Iterable[Hashable]:
+        return self.capacity.get(node, {}).keys()
+
+    def copy(self) -> "FlowGraph":
+        clone = FlowGraph()
+        clone.nodes = set(self.nodes)
+        clone.capacity = {node: dict(edges)
+                          for node, edges in self.capacity.items()}
+        return clone
+
+    def remove_arc(self, source: Hashable, target: Hashable) -> None:
+        self.capacity.get(source, {}).pop(target, None)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self.nodes
+
+
+class MinCutResult:
+    """A minimum cut: the arcs crossing it, its value, and the source side."""
+
+    def __init__(self, cut_arcs: List[Arc], value: float,
+                 source_side: Set[Hashable]):
+        self.cut_arcs = cut_arcs
+        self.value = value
+        self.source_side = source_side
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<MinCut value=%s arcs=%s>" % (self.value, self.cut_arcs)
+
+
+class InfiniteCutError(Exception):
+    """Every source-to-sink cut has infinite capacity."""
+
+
+def _bfs_augmenting_path(residual: Dict[Hashable, Dict[Hashable, float]],
+                         source: Hashable, sink: Hashable
+                         ) -> Optional[List[Hashable]]:
+    parent: Dict[Hashable, Hashable] = {source: source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        if node == sink:
+            break
+        for succ, capacity in residual.get(node, {}).items():
+            if capacity > 0 and succ not in parent:
+                parent[succ] = node
+                frontier.append(succ)
+    if sink not in parent:
+        return None
+    path = [sink]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def min_cut(graph: FlowGraph, source: Hashable,
+            sink: Hashable) -> MinCutResult:
+    """Edmonds-Karp max-flow; the min cut is read off the final residual.
+
+    Raises :class:`InfiniteCutError` if the max flow is unbounded (an
+    all-infinite path from source to sink).
+    """
+    if source not in graph or sink not in graph:
+        return MinCutResult([], 0.0, {source})
+    residual: Dict[Hashable, Dict[Hashable, float]] = {
+        node: {} for node in graph.nodes}
+    for u, v, capacity in graph.arcs():
+        residual[u][v] = residual[u].get(v, 0.0) + capacity
+        residual[v].setdefault(u, 0.0)
+
+    while True:
+        path = _bfs_augmenting_path(residual, source, sink)
+        if path is None:
+            break
+        bottleneck = min(residual[u][v] for u, v in zip(path, path[1:]))
+        if bottleneck == INFINITY:
+            raise InfiniteCutError(
+                "unbounded flow from %r to %r" % (source, sink))
+        for u, v in zip(path, path[1:]):
+            residual[u][v] -= bottleneck
+            residual[v][u] = residual[v].get(u, 0.0) + bottleneck
+
+    # Source side = nodes reachable in the residual graph.
+    source_side: Set[Hashable] = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for succ, capacity in residual.get(node, {}).items():
+            if capacity > 0 and succ not in source_side:
+                source_side.add(succ)
+                frontier.append(succ)
+
+    # Every arc crossing the partition is part of the cut — including
+    # zero-capacity arcs: a zero *cost* (e.g. a profile weight of zero for
+    # a never-executed path) still requires the cut action there for the
+    # disconnection to hold on all paths.
+    cut_arcs: List[Arc] = []
+    value = 0.0
+    for u, v, capacity in graph.arcs():
+        if u in source_side and v not in source_side:
+            cut_arcs.append((u, v))
+            value += capacity
+    return MinCutResult(cut_arcs, value, source_side)
+
+
+def multi_pair_min_cut(graph: FlowGraph,
+                       pairs: Sequence[Tuple[Hashable, Hashable]]
+                       ) -> MinCutResult:
+    """Heuristic multi-commodity min cut (companion paper, Section 3.1.3).
+
+    The exact problem (disconnect every (source, sink) pair) is NP-hard, so,
+    as in the paper, the optimal single-pair algorithm is applied to each
+    pair in turn; arcs cut for one pair are removed from the graph so they
+    help disconnect subsequent pairs for free.
+    """
+    working = graph.copy()
+    all_cut_arcs: List[Arc] = []
+    total = 0.0
+    for source, sink in pairs:
+        if source not in working or sink not in working:
+            continue
+        result = min_cut(working, source, sink)
+        if not result.cut_arcs:
+            # Already disconnected (possibly by a previous pair's cut).
+            continue
+        for u, v in result.cut_arcs:
+            working.remove_arc(u, v)
+        all_cut_arcs.extend(result.cut_arcs)
+        total += result.value
+    return MinCutResult(all_cut_arcs, total, set())

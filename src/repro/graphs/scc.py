@@ -1,0 +1,95 @@
+"""Strongly connected components (iterative Tarjan) and condensation.
+
+Both DSWP and GREMIO schedule the *condensation* of (parts of) the PDG:
+dependence cycles must stay together under DSWP's pipeline discipline, and
+GREMIO's list scheduler treats them as indivisible units (splitting a cycle
+across cores costs a communication round trip per iteration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Set, Tuple
+
+
+def strongly_connected_components(
+        nodes: Iterable[Hashable],
+        successors: Mapping[Hashable, Iterable[Hashable]]
+) -> List[List[Hashable]]:
+    """Tarjan's algorithm, iteratively (no recursion-limit surprises).
+
+    Returns components in *reverse* topological order of the condensation
+    (Tarjan's natural output order): every successor component of C appears
+    before C in the returned list.
+    """
+    node_list = list(nodes)
+    index_of: Dict[Hashable, int] = {}
+    lowlink: Dict[Hashable, int] = {}
+    on_stack: Set[Hashable] = set()
+    stack: List[Hashable] = []
+    components: List[List[Hashable]] = []
+    counter = [0]
+
+    for root in node_list:
+        if root in index_of:
+            continue
+        # Each work item: (node, iterator over its successors).
+        work = [(root, iter(successors.get(root, ())))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(successors.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[Hashable] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def condense(nodes: Iterable[Hashable],
+             successors: Mapping[Hashable, Iterable[Hashable]]
+             ) -> Tuple[List[List[Hashable]], Dict[Hashable, int],
+                        Dict[int, Set[int]]]:
+    """Condense a graph into its SCC DAG.
+
+    Returns ``(components, component_of, dag_successors)`` where components
+    are indexed in a valid *topological* order of the DAG (sources first).
+    """
+    components = strongly_connected_components(nodes, successors)
+    components.reverse()  # Tarjan emits reverse-topological; flip it.
+    component_of: Dict[Hashable, int] = {}
+    for index, component in enumerate(components):
+        for node in component:
+            component_of[node] = index
+    dag_successors: Dict[int, Set[int]] = {i: set()
+                                           for i in range(len(components))}
+    for node in component_of:
+        for succ in successors.get(node, ()):
+            a, b = component_of[node], component_of[succ]
+            if a != b:
+                dag_successors[a].add(b)
+    return components, component_of, dag_successors

@@ -1,0 +1,46 @@
+"""Topological sorting (Kahn's algorithm, deterministic tie-breaking)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional
+
+
+class CycleError(Exception):
+    """The graph has a cycle where a DAG was required."""
+
+
+def topological_sort(nodes: Iterable[Hashable],
+                     successors: Mapping[Hashable, Iterable[Hashable]],
+                     priority: Optional[Mapping[Hashable, object]] = None
+                     ) -> List[Hashable]:
+    """Kahn's algorithm.  Among simultaneously-ready nodes, the one with the
+    smallest ``priority`` (default: insertion order) is emitted first, so the
+    result is deterministic and callers can bias ties (e.g. program order).
+    """
+    node_list = list(nodes)
+    order_index = {node: index for index, node in enumerate(node_list)}
+    if priority is None:
+        rank = order_index
+    else:
+        rank = {node: (priority[node], order_index[node])
+                for node in node_list}
+    in_degree: Dict[Hashable, int] = {node: 0 for node in node_list}
+    for node in node_list:
+        for succ in successors.get(node, ()):
+            in_degree[succ] += 1
+    ready = [(rank[node], node) for node in node_list
+             if in_degree[node] == 0]
+    heapq.heapify(ready)
+    result: List[Hashable] = []
+    while ready:
+        _, node = heapq.heappop(ready)
+        result.append(node)
+        for succ in successors.get(node, ()):
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                heapq.heappush(ready, (rank[succ], succ))
+    if len(result) != len(node_list):
+        raise CycleError("graph has a cycle; %d of %d nodes sorted"
+                         % (len(result), len(node_list)))
+    return result

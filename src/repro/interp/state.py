@@ -1,0 +1,88 @@
+"""Run-time state: the flat word-addressed memory.
+
+Memory holds one Python number per word.  Functions declare named memory
+objects (:class:`repro.ir.MemObject`); :func:`make_memory` lays them out and
+returns a memory plus the base addresses, and :func:`bind_params` produces
+the initial register file, resolving pointer parameters to object bases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..ir.cfg import Function
+
+
+class MemoryError_(Exception):
+    """Out-of-bounds or uninitialized access (named to avoid the builtin)."""
+
+
+class Memory:
+    """Flat word-addressed memory with bounds checking."""
+
+    __slots__ = ("words", "size")
+
+    def __init__(self, size: int):
+        self.size = size
+        self.words: List = [0] * size
+
+    def load(self, address: int):
+        if not 0 <= address < self.size:
+            raise MemoryError_("load from address %r (size %d)"
+                               % (address, self.size))
+        return self.words[address]
+
+    def store(self, address: int, value) -> None:
+        if not 0 <= address < self.size:
+            raise MemoryError_("store to address %r (size %d)"
+                               % (address, self.size))
+        self.words[address] = value
+
+    def write_array(self, base: int, values: Iterable) -> None:
+        for offset, value in enumerate(values):
+            self.store(base + offset, value)
+
+    def read_array(self, base: int, length: int) -> List:
+        return [self.load(base + offset) for offset in range(length)]
+
+    def snapshot(self) -> Tuple:
+        return tuple(self.words)
+
+
+def make_memory(function: Function,
+                initial: Mapping[str, Iterable] = ()) -> Memory:
+    """Lay out the function's memory objects and initialize from ``initial``
+    (a mapping object-name -> sequence of words)."""
+    total = function.layout_memory()
+    memory = Memory(max(total, 1))
+    initial = dict(initial or {})
+    for name, values in initial.items():
+        if name not in function.mem_objects:
+            raise MemoryError_("no memory object named %r" % name)
+        obj = function.mem_objects[name]
+        values = list(values)
+        if len(values) > obj.size:
+            raise MemoryError_("initializer for %r too large (%d > %d)"
+                               % (name, len(values), obj.size))
+        memory.write_array(obj.base, values)
+    return memory
+
+
+def bind_params(function: Function, args: Mapping[str, object]) -> Dict[str, object]:
+    """Initial register file: caller-supplied scalars plus pointer params
+    bound to their objects' base addresses."""
+    regs: Dict[str, object] = {}
+    for param in function.params:
+        if param in function.pointer_params:
+            obj = function.mem_objects[function.pointer_params[param]]
+            if obj.base < 0:
+                raise MemoryError_("memory not laid out for %r" % obj.name)
+            regs[param] = obj.base
+            continue
+        if param not in args:
+            raise MemoryError_("missing argument for parameter %r" % param)
+        regs[param] = args[param]
+    extras = set(args) - set(function.params)
+    if extras:
+        raise MemoryError_("unknown arguments: %s" % sorted(extras))
+    return regs

@@ -1,0 +1,17 @@
+"""The mini-IR: instructions, basic blocks, CFGs, builder, printer, parser."""
+
+from .instructions import (Instruction, Opcode, OpKind, SIGNATURES,
+                           COMM_OPCODES, MEMORY_OPCODES, TERMINATOR_OPCODES)
+from .cfg import BasicBlock, Function, MemObject
+from .builder import BuildError, FunctionBuilder
+from .printer import format_function, format_instruction
+from .parser import ParseError, parse_function, parse_functions
+from .verify import VerificationError, verify_function
+
+__all__ = [
+    "Instruction", "Opcode", "OpKind", "SIGNATURES", "COMM_OPCODES",
+    "MEMORY_OPCODES", "TERMINATOR_OPCODES", "BasicBlock", "Function",
+    "MemObject", "BuildError", "FunctionBuilder", "format_function",
+    "format_instruction", "ParseError", "parse_function", "parse_functions",
+    "VerificationError", "verify_function",
+]

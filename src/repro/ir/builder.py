@@ -1,0 +1,296 @@
+"""Fluent construction API for IR functions.
+
+The workload kernels (``repro.workloads``) are written against this builder.
+Instructions are appended to the *current* block, opened with
+:meth:`FunctionBuilder.label`.  Binary operations accept a Python number as
+their second operand, which becomes the instruction's immediate::
+
+    b = FunctionBuilder("saxpy", params=["p_x", "p_y", "r_n", "r_a"])
+    b.mem("x", 1024, ptr="p_x")
+    b.mem("y", 1024, ptr="p_y")
+    b.label("entry")
+    b.movi("r_i", 0)
+    b.jmp("loop")
+    b.label("loop")
+    b.cmplt("r_c", "r_i", "r_n")
+    b.br("r_c", "body", "done")
+    ...
+    function = b.build()
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Optional, Sequence
+
+from .cfg import BasicBlock, Function
+from .instructions import Instruction, Opcode, SIGNATURES
+
+
+class BuildError(Exception):
+    """Raised on misuse of the builder or malformed operands."""
+
+
+class FunctionBuilder:
+    def __init__(self, name: str, params: Sequence[str] = (),
+                 live_outs: Sequence[str] = ()):
+        self._function = Function(name, params, live_outs)
+        self._current: Optional[BasicBlock] = None
+
+    # -- declarations ---------------------------------------------------------
+
+    def mem(self, name: str, size: int, ptr: Optional[str] = None) -> None:
+        """Declare a memory object; ``ptr`` names the parameter register that
+        holds its base address (and will be bound to it at run time)."""
+        self._function.add_mem_object(name, size, pointer_param=ptr)
+
+    # -- blocks ------------------------------------------------------------------
+
+    def label(self, label: str) -> None:
+        """Open a new basic block; subsequent emissions go into it."""
+        if self._current is not None and self._current.terminator is None:
+            raise BuildError("block %r is not terminated" %
+                             self._current.label)
+        self._current = self._function.add_block(label)
+
+    # -- generic emission -----------------------------------------------------
+
+    def emit(self, op: Opcode, dest: Optional[str] = None,
+             srcs: Sequence[str] = (), imm=None,
+             labels: Sequence[str] = (), queue: Optional[int] = None,
+             region: Optional[str] = None) -> Instruction:
+        if self._current is None:
+            raise BuildError("no open block (call label() first)")
+        if self._current.terminator is not None:
+            raise BuildError("block %r already terminated" %
+                             self._current.label)
+        instruction = Instruction(op, dest, srcs, imm, labels, queue,
+                                  region=region)
+        self._function.assign_iid(instruction)
+        self._current.append(instruction)
+        return instruction
+
+    def alu(self, op_name: str, dest: str, *operands, region=None):
+        """Emit any ALU/FP operation by opcode name.  The trailing operand
+        may be a number, which is emitted as the immediate."""
+        op = Opcode(op_name)
+        signature = SIGNATURES[op]
+        srcs = list(operands)
+        imm = None
+        if srcs and isinstance(srcs[-1], Number):
+            if not signature.allows_imm:
+                raise BuildError("%s does not take an immediate" % op_name)
+            imm = srcs.pop()
+        for operand in srcs:
+            if not isinstance(operand, str):
+                raise BuildError("register operand expected, got %r"
+                                 % (operand,))
+        if not (signature.min_srcs <= len(srcs) + (imm is not None)
+                and len(srcs) <= signature.max_srcs):
+            raise BuildError("bad arity for %s" % op_name)
+        return self.emit(op, dest, srcs, imm, region=region)
+
+    # -- data movement ----------------------------------------------------------
+
+    def mov(self, dest: str, src):
+        if isinstance(src, Number):
+            return self.movi(dest, src)
+        return self.emit(Opcode.MOV, dest, [src])
+
+    def movi(self, dest: str, imm):
+        return self.emit(Opcode.MOVI, dest, imm=imm)
+
+    # -- common ALU shorthands ----------------------------------------------------
+
+    def add(self, dest, a, b):
+        return self.alu("add", dest, a, b)
+
+    def sub(self, dest, a, b):
+        return self.alu("sub", dest, a, b)
+
+    def mul(self, dest, a, b):
+        return self.alu("mul", dest, a, b)
+
+    def idiv(self, dest, a, b):
+        return self.alu("idiv", dest, a, b)
+
+    def imod(self, dest, a, b):
+        return self.alu("imod", dest, a, b)
+
+    def shl(self, dest, a, b):
+        return self.alu("shl", dest, a, b)
+
+    def shr(self, dest, a, b):
+        return self.alu("shr", dest, a, b)
+
+    def and_(self, dest, a, b):
+        return self.alu("and", dest, a, b)
+
+    def or_(self, dest, a, b):
+        return self.alu("or", dest, a, b)
+
+    def xor(self, dest, a, b):
+        return self.alu("xor", dest, a, b)
+
+    def neg(self, dest, a):
+        return self.alu("neg", dest, a)
+
+    def abs(self, dest, a):
+        return self.alu("abs", dest, a)
+
+    def min(self, dest, a, b):
+        return self.alu("min", dest, a, b)
+
+    def max(self, dest, a, b):
+        return self.alu("max", dest, a, b)
+
+    def cmpeq(self, dest, a, b):
+        return self.alu("cmpeq", dest, a, b)
+
+    def cmpne(self, dest, a, b):
+        return self.alu("cmpne", dest, a, b)
+
+    def cmplt(self, dest, a, b):
+        return self.alu("cmplt", dest, a, b)
+
+    def cmple(self, dest, a, b):
+        return self.alu("cmple", dest, a, b)
+
+    def cmpgt(self, dest, a, b):
+        return self.alu("cmpgt", dest, a, b)
+
+    def cmpge(self, dest, a, b):
+        return self.alu("cmpge", dest, a, b)
+
+    def fadd(self, dest, a, b):
+        return self.alu("fadd", dest, a, b)
+
+    def fsub(self, dest, a, b):
+        return self.alu("fsub", dest, a, b)
+
+    def fmul(self, dest, a, b):
+        return self.alu("fmul", dest, a, b)
+
+    def fdiv(self, dest, a, b):
+        return self.alu("fdiv", dest, a, b)
+
+    def fsqrt(self, dest, a):
+        return self.alu("fsqrt", dest, a)
+
+    def fabs(self, dest, a):
+        return self.alu("fabs", dest, a)
+
+    def itof(self, dest, a):
+        return self.alu("itof", dest, a)
+
+    def ftoi(self, dest, a):
+        return self.alu("ftoi", dest, a)
+
+    # -- memory ------------------------------------------------------------------
+
+    def load(self, dest: str, base: str, offset: int = 0,
+             region: Optional[str] = None):
+        return self.emit(Opcode.LOAD, dest, [base], offset, region=region)
+
+    def store(self, base: str, value: str, offset: int = 0,
+              region: Optional[str] = None):
+        return self.emit(Opcode.STORE, None, [base, value], offset,
+                         region=region)
+
+    # -- control flow --------------------------------------------------------------
+
+    def br(self, cond: str, taken: str, not_taken: str):
+        return self.emit(Opcode.BR, None, [cond], labels=[taken, not_taken])
+
+    def jmp(self, target: str):
+        return self.emit(Opcode.JMP, labels=[target])
+
+    def exit(self):
+        return self.emit(Opcode.EXIT)
+
+    def nop(self):
+        return self.emit(Opcode.NOP)
+
+    # -- communication (used by MTCG and by tests, not by front-ends) ---------
+
+    def produce(self, queue: int, src: str):
+        return self.emit(Opcode.PRODUCE, srcs=[src], queue=queue)
+
+    def consume(self, dest: str, queue: int):
+        return self.emit(Opcode.CONSUME, dest, queue=queue)
+
+    def produce_sync(self, queue: int):
+        return self.emit(Opcode.PRODUCE_SYNC, queue=queue)
+
+    def consume_sync(self, queue: int):
+        return self.emit(Opcode.CONSUME_SYNC, queue=queue)
+
+    # -- structured control flow -------------------------------------------------
+
+    def _fresh_label(self, prefix: str) -> str:
+        reserved = getattr(self, "_reserved_labels", None)
+        if reserved is None:
+            reserved = set()
+            self._reserved_labels = reserved
+        index = 0
+        while (self._function.has_block("%s%d" % (prefix, index))
+               or "%s%d" % (prefix, index) in reserved):
+            index += 1
+        label = "%s%d" % (prefix, index)
+        reserved.add(label)
+        return label
+
+    def if_then(self, cond: str, then_body) -> None:
+        """Emit ``if (cond) { then_body() }``; continues in the join block.
+        ``then_body`` is a callback that emits the arm's instructions."""
+        then_label = self._fresh_label("__then")
+        join_label = self._fresh_label("__endif")
+        self.br(cond, then_label, join_label)
+        self.label(then_label)
+        then_body()
+        self.jmp(join_label)
+        self.label(join_label)
+
+    def if_then_else(self, cond: str, then_body, else_body) -> None:
+        """Emit a full hammock; continues in the join block."""
+        then_label = self._fresh_label("__then")
+        else_label = self._fresh_label("__else")
+        join_label = self._fresh_label("__endif")
+        self.br(cond, then_label, else_label)
+        self.label(then_label)
+        then_body()
+        self.jmp(join_label)
+        self.label(else_label)
+        else_body()
+        self.jmp(join_label)
+        self.label(join_label)
+
+    def for_range(self, index_reg: str, start, bound, body) -> None:
+        """Emit ``for (i = start; i < bound; i++) { body() }``; continues
+        in the loop-exit block.  ``start`` may be a register or number;
+        ``bound`` likewise."""
+        header = self._fresh_label("__for")
+        body_label = self._fresh_label("__forbody")
+        done_label = self._fresh_label("__fordone")
+        cond = "r%s_cond" % header
+        self.mov(index_reg, start)
+        self.jmp(header)
+        self.label(header)
+        self.cmplt(cond, index_reg, bound)
+        self.br(cond, body_label, done_label)
+        self.label(body_label)
+        body()
+        self.add(index_reg, index_reg, 1)
+        self.jmp(header)
+        self.label(done_label)
+
+    # -- finalization -----------------------------------------------------------------
+
+    def build(self, verify: bool = True) -> Function:
+        if self._current is not None and self._current.terminator is None:
+            raise BuildError("block %r is not terminated" %
+                             self._current.label)
+        if verify:
+            from .verify import verify_function
+            verify_function(self._function)
+        return self._function

@@ -1,0 +1,202 @@
+"""Control-flow graph: basic blocks and functions.
+
+A :class:`Function` is the unit both the papers and this reproduction
+operate on — GMT scheduling is intraprocedural, applied to one hot function
+(or loop nest) at a time.  A function owns an ordered list of basic blocks;
+edges are implied by each block's terminator.  The block order is the layout
+order and is preserved by every pass, which keeps the whole toolchain
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .instructions import Instruction, Opcode
+
+
+class BasicBlock:
+    """A maximal straight-line sequence ending in one terminator."""
+
+    __slots__ = ("label", "instructions")
+
+    def __init__(self, label: str,
+                 instructions: Optional[List[Instruction]] = None):
+        self.label = label
+        self.instructions: List[Instruction] = instructions or []
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> List[Instruction]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def successors(self) -> Tuple[str, ...]:
+        term = self.terminator
+        if term is None:
+            return ()
+        return term.labels
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<BasicBlock %s: %d instrs>" % (self.label,
+                                               len(self.instructions))
+
+
+class MemObject:
+    """A named memory object (array/struct) the function may touch.
+
+    Memory is a flat word-addressed space; each object occupies
+    ``[base, base + size)``.  Objects are the provenance roots of the alias
+    analysis: a pointer parameter annotated with an object name is known to
+    point into that object and nowhere else (this stands in for the
+    allocation-site points-to facts a real compiler gets from whole-program
+    pointer analysis).
+    """
+
+    __slots__ = ("name", "size", "base")
+
+    def __init__(self, name: str, size: int, base: int = -1):
+        self.name = name
+        self.size = size
+        self.base = base
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<MemObject %s[%d] @%d>" % (self.name, self.size, self.base)
+
+
+class Function:
+    """A function: parameters, memory objects, and a CFG of basic blocks."""
+
+    def __init__(self, name: str, params: Iterable[str] = (),
+                 live_outs: Iterable[str] = ()):
+        self.name = name
+        self.params: List[str] = list(params)
+        self.live_outs: List[str] = list(live_outs)
+        self.blocks: List[BasicBlock] = []
+        self._by_label: Dict[str, BasicBlock] = {}
+        self.mem_objects: Dict[str, MemObject] = {}
+        # Parameter register -> memory object it points to (provenance root).
+        self.pointer_params: Dict[str, str] = {}
+        self._next_iid = 0
+
+    # -- construction -------------------------------------------------------
+
+    def add_block(self, label: str, index: Optional[int] = None) -> BasicBlock:
+        if label in self._by_label:
+            raise ValueError("duplicate block label: %r" % label)
+        block = BasicBlock(label)
+        if index is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(index, block)
+        self._by_label[label] = block
+        return block
+
+    def add_mem_object(self, name: str, size: int,
+                       pointer_param: Optional[str] = None) -> MemObject:
+        if name in self.mem_objects:
+            raise ValueError("duplicate memory object: %r" % name)
+        obj = MemObject(name, size)
+        self.mem_objects[name] = obj
+        if pointer_param is not None:
+            self.pointer_params[pointer_param] = name
+        return obj
+
+    def assign_iid(self, instruction: Instruction) -> Instruction:
+        """Give ``instruction`` a fresh id unique within this function."""
+        instruction.iid = self._next_iid
+        self._next_iid = self._next_iid + 1
+        return instruction
+
+    # -- lookup ---------------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError("function %r has no blocks" % self.name)
+        return self.blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        return self._by_label[label]
+
+    def has_block(self, label: str) -> bool:
+        return label in self._by_label
+
+    def successors(self, label: str) -> Tuple[str, ...]:
+        return self.block(label).successors()
+
+    def predecessors_map(self) -> Dict[str, List[str]]:
+        preds: Dict[str, List[str]] = {b.label: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors():
+                preds[succ].append(block.label)
+        return preds
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            for instruction in block:
+                yield instruction
+
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def by_iid(self) -> Dict[int, Instruction]:
+        return {i.iid: i for i in self.instructions()}
+
+    def block_of(self) -> Dict[int, str]:
+        """Map instruction iid -> containing block label."""
+        result: Dict[int, str] = {}
+        for block in self.blocks:
+            for instruction in block:
+                result[instruction.iid] = block.label
+        return result
+
+    def position_of(self) -> Dict[int, Tuple[int, int]]:
+        """Map iid -> (block index, index within block): total program order
+        within a block, partial across blocks.  Used for deterministic
+        ordering decisions."""
+        result: Dict[int, Tuple[int, int]] = {}
+        for b_index, block in enumerate(self.blocks):
+            for i_index, instruction in enumerate(block):
+                result[instruction.iid] = (b_index, i_index)
+        return result
+
+    def exit_blocks(self) -> List[str]:
+        return [b.label for b in self.blocks
+                if b.terminator is not None and b.terminator.op is Opcode.EXIT]
+
+    # -- memory layout ----------------------------------------------------------
+
+    def layout_memory(self, start: int = 0, align: int = 16) -> int:
+        """Assign base addresses to all memory objects; returns total words.
+
+        Deterministic: objects are laid out in declaration order, aligned so
+        objects do not share cache lines gratuitously.
+        """
+        cursor = start
+        for obj in self.mem_objects.values():
+            if cursor % align:
+                cursor += align - cursor % align
+            obj.base = cursor
+            cursor += obj.size
+        return cursor
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Function %s: %d blocks, %d instrs>" % (
+            self.name, len(self.blocks), self.instruction_count())

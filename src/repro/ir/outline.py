@@ -1,0 +1,146 @@
+"""Loop outlining: extracting a loop nest into a standalone function.
+
+The papers parallelize *regions* — whole procedures (GREMIO) or loop
+nests (DSWP).  This module turns any natural loop of a function into a
+self-contained :class:`Function` that the whole pipeline (profile → PDG →
+partition → MTCG → simulate) can consume directly:
+
+* parameters = the registers live into the loop header (initial values of
+  loop-carried variables included) plus the original pointer parameters;
+* live-outs = loop-defined registers that are live at any loop exit,
+  plus — when the loop has several distinct exit targets — a synthetic
+  ``r__exit_id`` register recording which exit was taken, so a caller
+  could resume the right continuation;
+* every memory object is shared (the loop may touch any of them).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..analysis.liveness import liveness
+from ..analysis.loops import Loop, loop_nest_forest
+from .cfg import Function
+from .instructions import Instruction, Opcode
+
+EXIT_ID_REGISTER = "r__exit_id"
+
+
+class OutlineError(Exception):
+    pass
+
+
+class ExtractedLoop:
+    """An outlined loop: the standalone function plus its interface."""
+
+    def __init__(self, function: Function, header: str,
+                 live_ins: List[str], exit_targets: List[str],
+                 exit_register: Optional[str]):
+        self.function = function
+        self.header = header
+        self.live_ins = live_ins
+        self.exit_targets = exit_targets
+        self.exit_register = exit_register
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<ExtractedLoop %s: %d live-ins, %d exits>" % (
+            self.header, len(self.live_ins), len(self.exit_targets))
+
+
+def extract_loop(function: Function, header: str) -> ExtractedLoop:
+    """Outline the natural loop headed at ``header`` (with all nested
+    loops) into a new function.  The original function is not modified.
+    """
+    forest = loop_nest_forest(function)
+    loop = forest.by_header.get(header)
+    if loop is None:
+        raise OutlineError("no natural loop headed at %r" % header)
+
+    live = liveness(function)
+    loop_blocks = [block for block in function.blocks
+                   if block.label in loop.blocks]
+
+    defined_inside = {register
+                      for block in loop_blocks
+                      for instruction in block
+                      for register in instruction.defined_registers()}
+
+    # Live-ins: whatever is live at the header (loop-carried initials and
+    # invariant inputs alike).
+    live_ins = sorted(live.block_live_in[header])
+
+    # Exit edges: (source block, target outside the loop).
+    exit_edges: List[Tuple[str, str]] = []
+    for block in loop_blocks:
+        for successor in block.successors():
+            if successor not in loop.blocks:
+                exit_edges.append((block.label, successor))
+    exit_targets = sorted({target for _, target in exit_edges})
+    if not exit_targets:
+        raise OutlineError("loop %r has no exits (would not terminate)"
+                           % header)
+
+    live_outs = sorted(register
+                       for register in defined_inside
+                       if any(register in live.block_live_in[target]
+                              for target in exit_targets))
+    exit_register = EXIT_ID_REGISTER if len(exit_targets) > 1 else None
+    declared_outs = live_outs + ([exit_register] if exit_register else [])
+
+    pointer_params = [param for param in function.params
+                      if param in function.pointer_params]
+    scalar_params = [register for register in live_ins
+                     if register not in pointer_params]
+
+    outlined = Function("%s__loop_%s" % (function.name, header),
+                        params=scalar_params + pointer_params,
+                        live_outs=declared_outs)
+    outlined.mem_objects = function.mem_objects
+    outlined.pointer_params = dict(function.pointer_params)
+
+    exit_label_of = {target: "__loopexit_%s" % target
+                     for target in exit_targets}
+
+    entry = outlined.add_block("__loopentry")
+    jump = Instruction(Opcode.JMP, labels=[header])
+    outlined.assign_iid(jump)
+    entry.append(jump)
+
+    for block in loop_blocks:
+        clone = outlined.add_block(block.label)
+        for instruction in block:
+            copy = instruction.copy()
+            outlined.assign_iid(copy)
+            if copy.labels:
+                copy.labels = tuple(exit_label_of.get(label, label)
+                                    for label in copy.labels)
+            clone.append(copy)
+
+    for index, target in enumerate(exit_targets):
+        stub = outlined.add_block(exit_label_of[target])
+        if exit_register is not None:
+            set_id = Instruction(Opcode.MOVI, exit_register, imm=index)
+            outlined.assign_iid(set_id)
+            stub.append(set_id)
+        leave = Instruction(Opcode.EXIT)
+        outlined.assign_iid(leave)
+        stub.append(leave)
+
+    from .verify import verify_function
+    verify_function(outlined)
+    return ExtractedLoop(outlined, header, live_ins, exit_targets,
+                         exit_register)
+
+
+def outline_hottest_loop(function: Function, profile) -> ExtractedLoop:
+    """Convenience: outline the top-level loop with the largest
+    profile-weighted body."""
+    forest = loop_nest_forest(function)
+    if not forest.top_level:
+        raise OutlineError("function %r has no loops" % function.name)
+
+    def weight(loop: Loop) -> float:
+        return sum(profile.block_weight(label) for label in loop.blocks)
+
+    hottest = max(forest.top_level, key=weight)
+    return extract_loop(function, hottest.header)

@@ -1,0 +1,190 @@
+"""Parser for the textual IR format produced by :mod:`repro.ir.printer`.
+
+Round-trip guarantee (tested property): ``parse(print(f))`` is structurally
+identical to ``f`` (same blocks, same instructions in the same order; fresh
+iids are assigned in program order, which matches the builder's numbering
+for functions built linearly).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .builder import FunctionBuilder
+from .cfg import Function
+from .instructions import Opcode, SIGNATURES
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line_no: int, line: str):
+        super().__init__("line %d: %s: %r" % (line_no, message, line))
+        self.line_no = line_no
+
+
+_FUNC_RE = re.compile(
+    r"^func\s+(?P<name>\w+)\s*\((?P<params>[^)]*)\)"
+    r"(?:\s*liveout\((?P<liveouts>[^)]*)\))?\s*\{$")
+_MEM_RE = re.compile(
+    r"^mem\s+(?P<name>\w+)\[(?P<size>\d+)\](?:\s*ptr\((?P<ptr>\w+)\))?$")
+_LABEL_RE = re.compile(r"^(?P<label>[\w.]+):$")
+_LOAD_RE = re.compile(
+    r"^load\s+(?P<dest>\w+)\s*,\s*\[(?P<base>\w+)(?P<off>[+-]\d+)?\]"
+    r"(?P<rest>.*)$")
+_STORE_RE = re.compile(
+    r"^store\s+\[(?P<base>\w+)(?P<off>[+-]\d+)?\]\s*,\s*(?P<src>\w+)"
+    r"(?P<rest>.*)$")
+_PRODUCE_RE = re.compile(r"^produce\s+\[q(?P<q>\d+)\]\s*,\s*(?P<src>\w+)$")
+_CONSUME_RE = re.compile(r"^consume\s+(?P<dest>\w+)\s*,\s*\[q(?P<q>\d+)\]$")
+_PSYNC_RE = re.compile(r"^produce\.sync\s+\[q(?P<q>\d+)\]$")
+_CSYNC_RE = re.compile(r"^consume\.sync\s+\[q(?P<q>\d+)\]$")
+_REGION_RE = re.compile(r"!region\((?P<region>\w+)\)")
+
+
+def _parse_number(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _split_operands(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def parse_function(text: str) -> Function:
+    """Parse one function from its textual form."""
+    lines = text.splitlines()
+    builder: Optional[FunctionBuilder] = None
+    done = False
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.split(";")[0].strip()
+        if not line:
+            continue
+        if done:
+            raise ParseError("content after closing brace", line_no, raw)
+        if builder is None:
+            match = _FUNC_RE.match(line)
+            if not match:
+                raise ParseError("expected function header", line_no, raw)
+            params = _split_operands(match.group("params"))
+            live_outs = _split_operands(match.group("liveouts") or "")
+            builder = FunctionBuilder(match.group("name"), params, live_outs)
+            continue
+        if line == "}":
+            done = True
+            continue
+        match = _MEM_RE.match(line)
+        if match:
+            builder.mem(match.group("name"), int(match.group("size")),
+                        ptr=match.group("ptr"))
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            builder.label(match.group("label"))
+            continue
+        _parse_instruction(builder, line, line_no, raw)
+    if builder is None or not done:
+        raise ParseError("unterminated function", len(lines), text[-40:])
+    return builder.build()
+
+
+def _parse_instruction(builder: FunctionBuilder, line: str, line_no: int,
+                       raw: str) -> None:
+    region = None
+    region_match = _REGION_RE.search(line)
+    if region_match:
+        region = region_match.group("region")
+        line = _REGION_RE.sub("", line).strip()
+
+    match = _LOAD_RE.match(line)
+    if match:
+        offset = int(match.group("off") or 0)
+        builder.load(match.group("dest"), match.group("base"), offset,
+                     region=region)
+        return
+    match = _STORE_RE.match(line)
+    if match:
+        offset = int(match.group("off") or 0)
+        builder.store(match.group("base"), match.group("src"), offset,
+                      region=region)
+        return
+    match = _PRODUCE_RE.match(line)
+    if match:
+        builder.produce(int(match.group("q")), match.group("src"))
+        return
+    match = _CONSUME_RE.match(line)
+    if match:
+        builder.consume(match.group("dest"), int(match.group("q")))
+        return
+    match = _PSYNC_RE.match(line)
+    if match:
+        builder.produce_sync(int(match.group("q")))
+        return
+    match = _CSYNC_RE.match(line)
+    if match:
+        builder.consume_sync(int(match.group("q")))
+        return
+
+    parts = line.split(None, 1)
+    mnemonic = parts[0]
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = _split_operands(operand_text)
+    try:
+        op = Opcode(mnemonic)
+    except ValueError:
+        raise ParseError("unknown opcode %r" % mnemonic, line_no, raw)
+
+    if op is Opcode.BR:
+        if len(operands) != 3:
+            raise ParseError("br needs cond, taken, not-taken", line_no, raw)
+        builder.br(operands[0], operands[1], operands[2])
+        return
+    if op is Opcode.JMP:
+        if len(operands) != 1:
+            raise ParseError("jmp needs one target", line_no, raw)
+        builder.jmp(operands[0])
+        return
+    if op is Opcode.EXIT:
+        builder.exit()
+        return
+    if op is Opcode.NOP:
+        builder.nop()
+        return
+    if op is Opcode.MOVI:
+        if len(operands) != 2:
+            raise ParseError("movi needs dest, imm", line_no, raw)
+        builder.movi(operands[0], _parse_number(operands[1]))
+        return
+
+    # Generic ALU form: dest, srcs..., optional trailing "#imm".
+    signature = SIGNATURES[op]
+    if not signature.has_dest or not operands:
+        raise ParseError("cannot parse %r" % line, line_no, raw)
+    dest = operands[0]
+    rest = operands[1:]
+    args: List[object] = []
+    for index, operand in enumerate(rest):
+        if operand.startswith("#"):
+            if index != len(rest) - 1:
+                raise ParseError("immediate must be last operand",
+                                 line_no, raw)
+            args.append(_parse_number(operand[1:]))
+        else:
+            args.append(operand)
+    builder.alu(op.value, dest, *args)
+
+
+def parse_functions(text: str) -> List[Function]:
+    """Parse multiple functions separated by blank lines / comments."""
+    functions: List[Function] = []
+    chunk: List[str] = []
+    for line in text.splitlines():
+        chunk.append(line)
+        if line.strip() == "}":
+            functions.append(parse_function("\n".join(chunk)))
+            chunk = []
+    leftover = "\n".join(chunk).strip()
+    if leftover:
+        raise ParseError("trailing content", 0, leftover[:40])
+    return functions

@@ -1,0 +1,82 @@
+"""Textual rendering of IR functions.
+
+The format round-trips through :mod:`repro.ir.parser` and is used in test
+fixtures, debug dumps, and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cfg import Function
+from .instructions import Instruction, Opcode
+
+
+def _format_imm(imm) -> str:
+    if isinstance(imm, float):
+        return repr(imm)
+    return str(imm)
+
+
+def format_instruction(instruction: Instruction) -> str:
+    op = instruction.op
+    if op is Opcode.MOVI:
+        return "movi %s, %s" % (instruction.dest, _format_imm(instruction.imm))
+    if op is Opcode.LOAD:
+        return "load %s, [%s%+d]" % (instruction.dest, instruction.srcs[0],
+                                     instruction.imm or 0)
+    if op is Opcode.STORE:
+        return "store [%s%+d], %s" % (instruction.srcs[0],
+                                      instruction.imm or 0,
+                                      instruction.srcs[1])
+    if op is Opcode.BR:
+        return "br %s, %s, %s" % (instruction.srcs[0], instruction.labels[0],
+                                  instruction.labels[1])
+    if op is Opcode.JMP:
+        return "jmp %s" % instruction.labels[0]
+    if op is Opcode.EXIT:
+        return "exit"
+    if op is Opcode.NOP:
+        return "nop"
+    if op is Opcode.PRODUCE:
+        return "produce [q%d], %s" % (instruction.queue, instruction.srcs[0])
+    if op is Opcode.CONSUME:
+        return "consume %s, [q%d]" % (instruction.dest, instruction.queue)
+    if op is Opcode.PRODUCE_SYNC:
+        return "produce.sync [q%d]" % instruction.queue
+    if op is Opcode.CONSUME_SYNC:
+        return "consume.sync [q%d]" % instruction.queue
+    # Generic ALU/FP form: op dest, srcs..., imm?
+    operands: List[str] = []
+    if instruction.dest is not None:
+        operands.append(instruction.dest)
+    operands.extend(instruction.srcs)
+    if instruction.imm is not None:
+        operands.append("#%s" % _format_imm(instruction.imm))
+    return "%s %s" % (op.value, ", ".join(operands))
+
+
+def format_function(function: Function, show_iids: bool = False) -> str:
+    lines: List[str] = []
+    header = "func %s(%s)" % (function.name, ", ".join(function.params))
+    if function.live_outs:
+        header += " liveout(%s)" % ", ".join(function.live_outs)
+    lines.append(header + " {")
+    for obj in function.mem_objects.values():
+        pointer = ""
+        for param, target in function.pointer_params.items():
+            if target == obj.name:
+                pointer = " ptr(%s)" % param
+                break
+        lines.append("  mem %s[%d]%s" % (obj.name, obj.size, pointer))
+    for block in function.blocks:
+        lines.append("%s:" % block.label)
+        for instruction in block:
+            text = format_instruction(instruction)
+            if instruction.region is not None and instruction.is_memory():
+                text += " !region(%s)" % instruction.region
+            if show_iids:
+                text = "%-40s ; iid=%d" % (text, instruction.iid)
+            lines.append("    " + text)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""CFG normalization transforms.
+
+The GMT pipeline splits critical edges before any analysis: with no critical
+edges, every CFG edge is identified either with the end of its source block
+or the entry of its target block, so every min-cut arc chosen by COCO maps
+to a unique insertion point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .cfg import Function
+from .instructions import Instruction, Opcode
+
+
+def split_critical_edges(function: Function) -> List[str]:
+    """Split every critical edge (multi-successor source to multi-predecessor
+    target) by inserting a forwarding block.  Mutates ``function`` in place;
+    returns the labels of the inserted blocks."""
+    preds = function.predecessors_map()
+    inserted: List[str] = []
+    # Snapshot: the block list mutates while we iterate.
+    for block in list(function.blocks):
+        terminator = block.terminator
+        if terminator is None or len(terminator.labels) < 2:
+            continue
+        new_labels = list(terminator.labels)
+        for position, target in enumerate(terminator.labels):
+            if len(preds[target]) < 2:
+                continue
+            split_label = "%s__to__%s" % (block.label, target)
+            if function.has_block(split_label):  # same target twice
+                new_labels[position] = split_label
+                continue
+            # Insert the forwarding block right before its target to keep
+            # the layout roughly topological.
+            target_index = next(i for i, b in enumerate(function.blocks)
+                                if b.label == target)
+            split_block = function.add_block(split_label, index=target_index)
+            jump = Instruction(Opcode.JMP, labels=[target])
+            function.assign_iid(jump)
+            split_block.append(jump)
+            new_labels[position] = split_label
+            inserted.append(split_label)
+        terminator.labels = tuple(new_labels)
+    return inserted
+
+
+def has_critical_edges(function: Function) -> bool:
+    preds = function.predecessors_map()
+    for block in function.blocks:
+        successors = block.successors()
+        if len(successors) < 2:
+            continue
+        for target in successors:
+            if len(preds[target]) > 1:
+                return True
+    return False
+
+
+def renumber_iids(function: Function) -> Dict[int, int]:
+    """Re-assign iids in program order; returns old->new mapping.  Run after
+    transforms that insert instructions, before building the PDG, so iid
+    order again matches program order (several heuristics use iid order as
+    a deterministic tie-break)."""
+    mapping: Dict[int, int] = {}
+    function._next_iid = 0
+    for block in function.blocks:
+        for instruction in block:
+            old = instruction.iid
+            function.assign_iid(instruction)
+            mapping[old] = instruction.iid
+    return mapping

@@ -1,0 +1,15 @@
+"""The CMP machine model: functional MT simulation and the timing model."""
+
+from .cache import CacheLevel, MemoryHierarchy
+from .config import DEFAULT_CONFIG, CacheConfig, MachineConfig, config_table
+from .functional import (DeadlockError, FifoQueues, MTExecutionLimitExceeded,
+                         MTRunResult, run_mt_program)
+from .timing import (TimedResult, simulate_program, simulate_single,
+                     simulate_threads)
+
+__all__ = [
+    "CacheLevel", "MemoryHierarchy", "DEFAULT_CONFIG", "CacheConfig",
+    "MachineConfig", "config_table", "DeadlockError", "FifoQueues",
+    "MTExecutionLimitExceeded", "MTRunResult", "run_mt_program",
+    "TimedResult", "simulate_program", "simulate_single", "simulate_threads",
+]

@@ -1,0 +1,133 @@
+"""The memory hierarchy: private L1D/L2 per core, shared L3, main memory,
+with snoop-based write-invalidate sharing.
+
+The model is a latency model, not a bandwidth model: each access returns the
+cycles until the datum is usable, determined by the deepest level that had
+to be consulted, and updates LRU/valid state.  Stores complete in one cycle
+(write buffer assumption: the L1 is write-through, so the store's latency is
+hidden), but they update line state and invalidate other cores' copies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from .config import CacheConfig, MachineConfig
+
+
+class CacheLevel:
+    """One set-associative, LRU cache level (tag store only)."""
+
+    __slots__ = ("config", "n_sets", "sets", "hits", "misses")
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.n_sets = max(1, config.size_bytes
+                          // (config.line_bytes * config.associativity))
+        self.sets: Dict[int, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, line_address: int) -> Tuple[int, int]:
+        return line_address % self.n_sets, line_address // self.n_sets
+
+    def lookup(self, line_address: int) -> bool:
+        index, tag = self._locate(line_address)
+        ways = self.sets.get(index)
+        if ways is not None and tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line_address: int) -> None:
+        index, tag = self._locate(line_address)
+        ways = self.sets.setdefault(index, OrderedDict())
+        if tag in ways:
+            ways.move_to_end(tag)
+            return
+        if len(ways) >= self.config.associativity:
+            ways.popitem(last=False)  # evict LRU
+        ways[tag] = True
+
+    def invalidate(self, line_address: int) -> None:
+        index, tag = self._locate(line_address)
+        ways = self.sets.get(index)
+        if ways is not None:
+            ways.pop(tag, None)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class MemoryHierarchy:
+    """Per-core L1/L2 plus shared L3; write-invalidate between cores."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.l1 = [CacheLevel(config.l1d) for _ in range(config.n_cores)]
+        self.l2 = [CacheLevel(config.l2) for _ in range(config.n_cores)]
+        self.l3 = CacheLevel(config.l3)
+        self.coherence_invalidations = 0
+
+    def _line_addresses(self, word_address: int) -> Tuple[int, int, int]:
+        byte = word_address * self.config.word_bytes
+        return (byte // self.config.l1d.line_bytes,
+                byte // self.config.l2.line_bytes,
+                byte // self.config.l3.line_bytes)
+
+    def access(self, core: int, word_address: int, is_write: bool) -> int:
+        """Perform one access; returns the load-use latency in cycles
+        (stores return 1: write-buffered)."""
+        l1_line, l2_line, l3_line = self._line_addresses(word_address)
+
+        if is_write:
+            # Write-through L1: update L1 (write-allocate on hit only),
+            # allocate in L2/L3, and invalidate every other core's copies.
+            self.l1[core].lookup(l1_line)
+            self.l2[core].fill(l2_line)
+            self.l3.fill(l3_line)
+            for other in range(self.config.n_cores):
+                if other == core:
+                    continue
+                before = self._present(other, l1_line, l2_line)
+                self.l1[other].invalidate(l1_line)
+                self.l2[other].invalidate(l2_line)
+                if before:
+                    self.coherence_invalidations += 1
+            return 1
+
+        if self.l1[core].lookup(l1_line):
+            return self.config.l1d.hit_latency
+        if self.l2[core].lookup(l2_line):
+            self.l1[core].fill(l1_line)
+            return self.config.l2.hit_latency
+        if self.l3.lookup(l3_line):
+            self.l2[core].fill(l2_line)
+            self.l1[core].fill(l1_line)
+            return self.config.l3.hit_latency
+        self.l3.fill(l3_line)
+        self.l2[core].fill(l2_line)
+        self.l1[core].fill(l1_line)
+        return self.config.memory_latency
+
+    def _present(self, core: int, l1_line: int, l2_line: int) -> bool:
+        index, tag = self.l1[core]._locate(l1_line)
+        in_l1 = tag in self.l1[core].sets.get(index, ())
+        index2, tag2 = self.l2[core]._locate(l2_line)
+        in_l2 = tag2 in self.l2[core].sets.get(index2, ())
+        return in_l1 or in_l2
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "l1_hits": sum(c.hits for c in self.l1),
+            "l1_misses": sum(c.misses for c in self.l1),
+            "l2_hits": sum(c.hits for c in self.l2),
+            "l2_misses": sum(c.misses for c in self.l2),
+            "l3_hits": self.l3.hits,
+            "l3_misses": self.l3.misses,
+            "coherence_invalidations": self.coherence_invalidations,
+        }

@@ -1,0 +1,170 @@
+"""Functional (untimed) multi-threaded simulation.
+
+Runs an :class:`~repro.mtcg.program.MTProgram`'s threads against a shared
+memory and blocking FIFO queues, round-robin, one instruction at a time.
+This is the semantic half of the CMP model: it establishes *what* the
+multi-threaded code computes (which must equal the single-threaded run) and
+detects deadlock; the timing model layers *when* on top.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Dict, List, Mapping, Optional
+
+from ..interp.context import QueueSet, StepStatus, ThreadContext
+from ..interp.state import Memory, bind_params, make_memory
+from ..mtcg.program import MTProgram
+
+
+class DeadlockError(Exception):
+    """Every live thread is blocked on a queue operation."""
+
+
+class MTExecutionLimitExceeded(Exception):
+    pass
+
+
+class FifoQueues(QueueSet):
+    """Bounded FIFO queues (the functional view of the synchronization
+    array).  ``capacity`` bounds each queue's occupancy; the hardware uses
+    32-entry queues for DSWP and single-element queues otherwise."""
+
+    def __init__(self, n_queues: int, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self.queues: List[deque] = [deque() for _ in range(n_queues)]
+        self.total_pushes = 0
+        self.max_occupancy = 0
+        self.pushes_per_queue: List[int] = [0] * n_queues
+
+    def try_push(self, queue: int, value) -> bool:
+        q = self.queues[queue]
+        if len(q) >= self.capacity:
+            return False
+        q.append(value)
+        self.total_pushes += 1
+        self.pushes_per_queue[queue] += 1
+        self.max_occupancy = max(self.max_occupancy, len(q))
+        return True
+
+    def try_pop(self, queue: int):
+        q = self.queues[queue]
+        if not q:
+            return False, None
+        return True, q.popleft()
+
+    def all_empty(self) -> bool:
+        return all(not q for q in self.queues)
+
+
+class MTRunResult:
+    """Outcome of one functional multi-threaded execution."""
+
+    def __init__(self, program: MTProgram, memory: Memory,
+                 thread_regs: List[Dict[str, object]],
+                 per_thread_instructions: List[int],
+                 per_thread_communication: List[int],
+                 opcode_counts: Counter, queues: FifoQueues):
+        self.program = program
+        self.memory = memory
+        self.thread_regs = thread_regs
+        self.per_thread_instructions = per_thread_instructions
+        self.per_thread_communication = per_thread_communication
+        self.opcode_counts = opcode_counts
+        self.queues = queues
+        # Per-iid dynamic counts; populated when requested.
+        self.instruction_counts: Optional[Counter] = None
+
+    @property
+    def live_outs(self) -> Dict[str, object]:
+        regs = self.thread_regs[self.program.exit_thread]
+        return {register: regs.get(register)
+                for register in self.program.original.live_outs}
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return sum(self.per_thread_instructions)
+
+    @property
+    def communication_instructions(self) -> int:
+        return sum(self.per_thread_communication)
+
+    @property
+    def computation_instructions(self) -> int:
+        return self.dynamic_instructions - self.communication_instructions
+
+    def mem_object(self, name: str) -> List:
+        obj = self.program.original.mem_objects[name]
+        return self.memory.read_array(obj.base, obj.size)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<MTRunResult %s: %d instrs (%d comm)>" % (
+            self.program.original.name, self.dynamic_instructions,
+            self.communication_instructions)
+
+
+def run_mt_program(program: MTProgram, args: Mapping[str, object] = (),
+                   initial_memory: Mapping[str, object] = (),
+                   queue_capacity: int = 32,
+                   max_steps: int = 100_000_000,
+                   count_per_instruction: bool = False) -> MTRunResult:
+    """Execute all threads round-robin until every thread exits.
+
+    Raises :class:`DeadlockError` if all live threads block — which the
+    MTCG pairing invariant promises never happens for generated code.
+    With ``count_per_instruction``, the result carries a dynamic execution
+    count per static instruction (iid) for overhead attribution.
+    """
+    memory = make_memory(program.original, initial_memory)
+    queues = FifoQueues(program.n_queues, queue_capacity)
+    contexts = []
+    for thread_function in program.threads:
+        regs = bind_params(thread_function, dict(args) if args else {})
+        contexts.append(ThreadContext(thread_function, regs, memory, queues))
+
+    n = len(contexts)
+    per_thread_instructions = [0] * n
+    per_thread_communication = [0] * n
+    opcode_counts: Counter = Counter()
+    instruction_counts: Optional[Counter] = (
+        Counter() if count_per_instruction else None)
+    total_steps = 0
+
+    live = [not c.exited for c in contexts]
+    while any(live):
+        progressed = False
+        for index, context in enumerate(contexts):
+            if not live[index]:
+                continue
+            result = context.step()
+            if result.status is StepStatus.BLOCKED:
+                continue
+            progressed = True
+            total_steps += 1
+            if total_steps > max_steps:
+                raise MTExecutionLimitExceeded(
+                    "%s exceeded %d steps"
+                    % (program.original.name, max_steps))
+            if result.status is StepStatus.EXITED:
+                live[index] = False
+            instruction = result.instruction
+            if instruction is not None:
+                per_thread_instructions[index] += 1
+                opcode_counts[instruction.op] += 1
+                if instruction_counts is not None:
+                    instruction_counts[instruction.iid] += 1
+                if instruction.is_communication():
+                    per_thread_communication[index] += 1
+        if not progressed and any(live):
+            blocked = [contexts[i].current_instruction()
+                       for i in range(n) if live[i]]
+            raise DeadlockError(
+                "all live threads blocked in %s: %s"
+                % (program.original.name, blocked))
+    result = MTRunResult(program, memory, [c.regs for c in contexts],
+                         per_thread_instructions, per_thread_communication,
+                         opcode_counts, queues)
+    result.instruction_counts = instruction_counts
+    return result

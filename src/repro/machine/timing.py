@@ -1,0 +1,401 @@
+"""Event-driven timing model of the CMP.
+
+Each core is an in-order, multi-issue pipeline modeled at instruction
+granularity: an instruction issues at the earliest cycle where (a) program
+order allows, (b) an issue slot and a port of its class are free, (c) its
+source registers are ready (stall-on-use scoreboard), and (d) — for
+communication — a synchronization-array port is free and queue back-pressure
+allows.  Loads take their latency from the cache hierarchy; consumes become
+ready when the produced value arrives (produce commits one cycle after
+issue, plus the SA access latency), so a consume issued early simply makes
+its destination register ready later, exactly the stall-on-use behaviour
+the papers describe.
+
+Threads are co-simulated with the functional round-robin executor; queue
+timestamps carry availability times across cores (a Kahn network, so the
+timing result is deterministic regardless of interleaving).  The memory
+hierarchy is consulted in interleaving order — an approximation, noted in
+DESIGN.md, that preserves locality and sharing effects without a global
+event queue.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..interp.context import StepStatus, ThreadContext
+from ..interp.state import Memory, bind_params, make_memory
+from ..ir.cfg import Function
+from ..ir.instructions import OpKind, Opcode
+from ..mtcg.program import MTProgram
+from .cache import MemoryHierarchy
+from .config import DEFAULT_CONFIG, MachineConfig
+from .functional import (DeadlockError, FifoQueues, MTExecutionLimitExceeded)
+
+
+class SAPortSchedule:
+    """Global per-cycle budget of synchronization-array ports."""
+
+    def __init__(self, ports: int):
+        self.ports = ports
+        self.booked: Dict[int, int] = {}
+
+    def next_free(self, cycle: int) -> int:
+        while self.booked.get(cycle, 0) >= self.ports:
+            cycle += 1
+        return cycle
+
+    def book(self, cycle: int) -> None:
+        self.booked[cycle] = self.booked.get(cycle, 0) + 1
+
+
+class TimedQueues(FifoQueues):
+    """FIFO queues carrying value-availability timestamps.
+
+    The simulator stages the producer-side availability time before letting
+    the context execute a produce, and reads the timestamp of the popped
+    value after a consume.
+    """
+
+    def __init__(self, n_queues: int, capacity: int):
+        super().__init__(n_queues, capacity)
+        self.timestamps: List[deque] = [deque() for _ in range(n_queues)]
+        self.pop_times: List[deque] = [deque(maxlen=max(capacity, 1))
+                                       for _ in range(n_queues)]
+        self.push_counts = [0] * n_queues
+        self.pop_counts = [0] * n_queues
+        self.staged_push_time = 0.0
+        self.last_popped_time = 0.0
+
+    def try_push(self, queue: int, value) -> bool:
+        if not super().try_push(queue, value):
+            return False
+        self.timestamps[queue].append(self.staged_push_time)
+        self.push_counts[queue] += 1
+        return True
+
+    def try_pop(self, queue: int):
+        ok, value = super().try_pop(queue)
+        if ok:
+            self.last_popped_time = self.timestamps[queue].popleft()
+            self.pop_counts[queue] += 1
+        return ok, value
+
+    def slot_free_time(self, queue: int) -> float:
+        """Earliest cycle the next push has a free slot (back-pressure)."""
+        pushes = self.push_counts[queue]
+        if pushes < self.capacity:
+            return 0.0
+        # The (pushes - capacity)-th pop freed the slot; pop_times keeps the
+        # last `capacity` pop completion times.
+        index = (pushes - self.capacity) - (self.pop_counts[queue]
+                                            - len(self.pop_times[queue]))
+        return self.pop_times[queue][index]
+
+    def record_pop_completion(self, queue: int, cycle: float) -> None:
+        self.pop_times[queue].append(cycle)
+
+
+class CoreTiming:
+    """In-order issue state of one core."""
+
+    def __init__(self, core_id: int, config: MachineConfig,
+                 sa_ports: SAPortSchedule):
+        self.core_id = core_id
+        self.config = config
+        self.sa_ports = sa_ports
+        self.cycle = 0
+        self.issued_in_cycle = 0
+        self.port_use: Counter = Counter()
+        self.min_issue = 0
+        self.reg_ready: Dict[str, float] = {}
+        self.mem_fence = 0.0
+        self.last_mem_complete = 0.0
+        self.finish = 0.0
+        self.issued_total = 0
+        # Bimodal predictor state: 2-bit counter per (static branch iid).
+        self.branch_counters: Dict[int, int] = {}
+        self.mispredictions = 0
+        # Communication-stall accounting.
+        self.backpressure_cycles = 0.0   # produce waited for a free slot
+        self.operand_wait_cycles = 0.0   # consume value arrived late
+        self.sa_port_delays = 0          # comm ops displaced by port limit
+
+    def branch_redirect(self, instruction, taken: bool) -> int:
+        """Cycles of redirect penalty after this branch resolves."""
+        mode = self.config.branch_predictor
+        if mode == "perfect":
+            return 0
+        if mode == "static":
+            return self.config.taken_branch_penalty if taken else 0
+        # Bimodal 2-bit saturating counter, initialized weakly taken.
+        counter = self.branch_counters.get(instruction.iid, 2)
+        predicted_taken = counter >= 2
+        if taken:
+            self.branch_counters[instruction.iid] = min(3, counter + 1)
+        else:
+            self.branch_counters[instruction.iid] = max(0, counter - 1)
+        if predicted_taken == taken:
+            return 0
+        self.mispredictions += 1
+        return self.config.mispredict_penalty
+
+    def ready_time(self, registers: Sequence[str]) -> float:
+        ready = 0.0
+        for register in registers:
+            ready = max(ready, self.reg_ready.get(register, 0.0))
+        return ready
+
+    def find_issue_slot(self, earliest: float, port: str,
+                        uses_sa: bool) -> int:
+        t = int(max(earliest, self.min_issue))
+        if earliest > t:
+            t += 1
+        limit = self.config.port_limit(port)
+        while True:
+            if t > self.cycle:
+                self.cycle = t
+                self.issued_in_cycle = 0
+                self.port_use.clear()
+            if (self.issued_in_cycle < self.config.issue_width
+                    and self.port_use[port] < limit):
+                if uses_sa:
+                    free = self.sa_ports.next_free(t)
+                    if free != t:
+                        self.sa_port_delays += 1
+                        t = free
+                        continue
+                    self.sa_ports.book(t)
+                self.issued_in_cycle += 1
+                self.port_use[port] += 1
+                self.min_issue = t
+                self.issued_total += 1
+                self.finish = max(self.finish, float(t + 1))
+                return t
+            t += 1
+
+    def complete(self, cycle: float) -> None:
+        self.finish = max(self.finish, cycle)
+
+
+class TimedResult:
+    """Outcome of a timed multi-threaded (or single-threaded) run."""
+
+    def __init__(self, cycles: float, core_finish: List[float],
+                 per_thread_instructions: List[int],
+                 per_thread_communication: List[int],
+                 opcode_counts: Counter, live_outs: Dict[str, object],
+                 memory: Memory, cache_stats: Dict[str, int],
+                 queues: Optional[TimedQueues],
+                 comm_stats: Optional[Dict[str, float]] = None):
+        self.cycles = cycles
+        self.core_finish = core_finish
+        self.per_thread_instructions = per_thread_instructions
+        self.per_thread_communication = per_thread_communication
+        self.opcode_counts = opcode_counts
+        self.live_outs = live_outs
+        self.memory = memory
+        self.cache_stats = cache_stats
+        self.queues = queues
+        self.comm_stats = comm_stats or {}
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return sum(self.per_thread_instructions)
+
+    @property
+    def communication_instructions(self) -> int:
+        return sum(self.per_thread_communication)
+
+    @property
+    def computation_instructions(self) -> int:
+        return self.dynamic_instructions - self.communication_instructions
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<TimedResult %.0f cycles, %d instrs>" % (
+            self.cycles, self.dynamic_instructions)
+
+
+def simulate_threads(functions: Sequence[Function], exit_thread: int,
+                     memory_owner: Function,
+                     args: Mapping[str, object] = (),
+                     initial_memory: Mapping[str, object] = (),
+                     config: MachineConfig = DEFAULT_CONFIG,
+                     n_queues: int = 0,
+                     max_steps: int = 200_000_000) -> TimedResult:
+    """Co-simulate ``functions`` (one per core) functionally + in time."""
+    memory = make_memory(memory_owner, initial_memory)
+    queues = TimedQueues(n_queues, config.sa_queue_size) if n_queues else None
+    hierarchy = MemoryHierarchy(config)
+    sa_ports = SAPortSchedule(config.sa_ports)
+
+    contexts: List[ThreadContext] = []
+    cores: List[CoreTiming] = []
+    for index, function in enumerate(functions):
+        regs = bind_params(function, dict(args) if args else {})
+        contexts.append(ThreadContext(function, regs, memory, queues))
+        cores.append(CoreTiming(index, config, sa_ports))
+
+    n = len(contexts)
+    per_thread_instructions = [0] * n
+    per_thread_communication = [0] * n
+    opcode_counts: Counter = Counter()
+    live = [not c.exited for c in contexts]
+    total_steps = 0
+
+    while any(live):
+        progressed = False
+        for index, context in enumerate(contexts):
+            if not live[index]:
+                continue
+            core = cores[index]
+            # Budget: run a burst of instructions per thread per visit to
+            # amortize loop overhead while keeping queues causal.
+            for _ in range(64):
+                instruction = context.current_instruction()
+                if instruction is None:
+                    live[index] = False
+                    break
+                op = instruction.op
+                uses_sa = instruction.is_communication()
+
+                if op is Opcode.PRODUCE or op is Opcode.PRODUCE_SYNC:
+                    if len(queues.queues[instruction.queue]) \
+                            >= queues.capacity:
+                        break  # functionally full: retry after consumers run
+                    slot_free = queues.slot_free_time(instruction.queue)
+                    if op is Opcode.PRODUCE:
+                        own_ready = core.ready_time(instruction.srcs)
+                    else:
+                        own_ready = core.last_mem_complete
+                    own_ready = max(own_ready, float(core.min_issue))
+                    if slot_free > own_ready:
+                        core.backpressure_cycles += slot_free - own_ready
+                    earliest = max(slot_free, own_ready)
+                    t = core.find_issue_slot(earliest, "memory", True)
+                    queues.staged_push_time = float(t + 1)
+                    result = context.step()
+                    core.complete(t + 1)
+                elif op is Opcode.CONSUME or op is Opcode.CONSUME_SYNC:
+                    result = context.step()
+                    if result.status is StepStatus.BLOCKED:
+                        break
+                    t = core.find_issue_slot(0.0, "memory", True)
+                    data_ready = (queues.last_popped_time
+                                  + config.sa_access_latency)
+                    if data_ready > t + 1:
+                        core.operand_wait_cycles += data_ready - (t + 1)
+                    available = max(float(t + 1), data_ready)
+                    if op is Opcode.CONSUME:
+                        core.reg_ready[instruction.dest] = available
+                    else:
+                        core.mem_fence = max(core.mem_fence, available)
+                    queues.record_pop_completion(instruction.queue,
+                                                 available)
+                    core.complete(available)
+                else:
+                    result = context.step()
+                    if result.status is StepStatus.BLOCKED:  # pragma: no cover
+                        break
+                    _time_plain_instruction(core, hierarchy, config,
+                                            instruction, result)
+
+                progressed = True
+                total_steps += 1
+                if total_steps > max_steps:
+                    raise MTExecutionLimitExceeded(
+                        "%s exceeded %d steps"
+                        % (memory_owner.name, max_steps))
+                per_thread_instructions[index] += 1
+                opcode_counts[op] += 1
+                if uses_sa:
+                    per_thread_communication[index] += 1
+                if result.status is StepStatus.EXITED:
+                    live[index] = False
+                    break
+        if not progressed and any(live):
+            blocked = [contexts[i].current_instruction()
+                       for i in range(n) if live[i]]
+            raise DeadlockError("all live threads blocked: %s" % blocked)
+
+    live_outs = {register: contexts[exit_thread].regs.get(register)
+                 for register in memory_owner.live_outs}
+    core_finish = [core.finish for core in cores]
+    comm_stats = {
+        "backpressure_cycles": sum(c.backpressure_cycles for c in cores),
+        "operand_wait_cycles": sum(c.operand_wait_cycles for c in cores),
+        "sa_port_delays": sum(c.sa_port_delays for c in cores),
+        "mispredictions": sum(c.mispredictions for c in cores),
+    }
+    return TimedResult(max(core_finish) if core_finish else 0.0,
+                       core_finish, per_thread_instructions,
+                       per_thread_communication, opcode_counts, live_outs,
+                       memory, hierarchy.stats(), queues, comm_stats)
+
+
+def _time_plain_instruction(core: CoreTiming, hierarchy: MemoryHierarchy,
+                            config: MachineConfig, instruction,
+                            result) -> None:
+    kind = instruction.kind
+    if kind is OpKind.LOAD:
+        earliest = max(core.ready_time(instruction.srcs), core.mem_fence)
+        t = core.find_issue_slot(earliest, "memory", False)
+        latency = hierarchy.access(core.core_id, result.mem_address, False)
+        core.reg_ready[instruction.dest] = t + latency
+        core.last_mem_complete = max(core.last_mem_complete, t + latency)
+        core.complete(t + latency)
+    elif kind is OpKind.STORE:
+        earliest = max(core.ready_time(instruction.srcs), core.mem_fence)
+        t = core.find_issue_slot(earliest, "memory", False)
+        hierarchy.access(core.core_id, result.mem_address, True)
+        core.last_mem_complete = max(core.last_mem_complete, float(t + 1))
+        core.complete(t + 1)
+    elif kind is OpKind.BRANCH:
+        t = core.find_issue_slot(core.ready_time(instruction.srcs),
+                                 "branch", False)
+        penalty = core.branch_redirect(instruction, result.branch_taken)
+        if penalty:
+            core.min_issue = t + 1 + penalty
+        core.complete(t + 1)
+    elif kind is OpKind.JUMP:
+        t = core.find_issue_slot(0.0, "branch", False)
+        core.complete(t + 1)
+    elif kind is OpKind.EXIT:
+        t = core.find_issue_slot(core.ready_time(
+            instruction.used_registers()), "branch", False)
+        core.complete(t + 1)
+    elif kind is OpKind.NOP:
+        t = core.find_issue_slot(0.0, "alu", False)
+        core.complete(t + 1)
+    else:
+        port = "fp" if kind is OpKind.FP else "alu"
+        t = core.find_issue_slot(core.ready_time(instruction.srcs), port,
+                                 False)
+        latency = config.latency_of(instruction)
+        if instruction.dest is not None:
+            core.reg_ready[instruction.dest] = t + latency
+        core.complete(t + latency)
+
+
+def simulate_program(program: MTProgram,
+                     args: Mapping[str, object] = (),
+                     initial_memory: Mapping[str, object] = (),
+                     config: MachineConfig = DEFAULT_CONFIG,
+                     max_steps: int = 200_000_000) -> TimedResult:
+    """Timed simulation of MTCG output on ``len(threads)`` cores."""
+    config = config.with_threads(max(program.n_threads, 1))
+    return simulate_threads(program.threads, program.exit_thread,
+                            program.original, args, initial_memory, config,
+                            n_queues=program.n_queues, max_steps=max_steps)
+
+
+def simulate_single(function: Function,
+                    args: Mapping[str, object] = (),
+                    initial_memory: Mapping[str, object] = (),
+                    config: MachineConfig = DEFAULT_CONFIG,
+                    max_steps: int = 200_000_000) -> TimedResult:
+    """Timed simulation of the original single-threaded code on one core."""
+    config = config.with_threads(1)
+    return simulate_threads([function], 0, function, args, initial_memory,
+                            config, n_queues=0, max_steps=max_steps)

@@ -1,0 +1,17 @@
+"""MTCG: multi-threaded code generation for arbitrary partitions."""
+
+from .channels import (CommChannel, Point, assign_queues,
+                       build_data_channels, default_point_after,
+                       default_point_before)
+from .codegen import ENTRY_LABEL, EXIT_LABEL, CodegenError, generate
+from .program import MTProgram
+from .queues import QueueAllocation, QueueAllocationError, allocate_queues
+from .relevant import RelevanceInfo, compute_relevance, control_channels
+
+__all__ = [
+    "CommChannel", "Point", "assign_queues", "build_data_channels",
+    "default_point_after", "default_point_before", "ENTRY_LABEL",
+    "EXIT_LABEL", "CodegenError", "generate", "MTProgram",
+    "QueueAllocation", "QueueAllocationError", "allocate_queues",
+    "RelevanceInfo", "compute_relevance", "control_channels",
+]

@@ -1,0 +1,112 @@
+"""Communication channels: what MTCG inserts to satisfy cross-thread arcs.
+
+A :class:`CommChannel` is one logical stream of values (or sync tokens)
+between a pair of threads, satisfying one or more PDG arcs.  It owns a
+queue and a set of *insertion points*; at every point, the source thread
+executes a produce and the target thread the matching consume.  Because
+both threads materialize the same points under the same control conditions,
+produces and consumes pair up dynamically (the key MTCG invariant behind
+correctness and deadlock freedom).
+
+A :class:`Point` addresses a program position in the *original* CFG:
+``Point(block, index)`` is "immediately before the instruction at
+``index``"; ``index == 0`` is the block entry and ``index == len(block)-1``
+is just before the terminator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..analysis.pdg import PDG, DepKind, DependenceArc
+from ..ir.cfg import Function
+from ..partition.base import Partition
+
+
+class Point(NamedTuple):
+    block: str
+    index: int
+
+
+class CommChannel:
+    """One produce/consume stream between two threads."""
+
+    __slots__ = ("kind", "register", "source_thread", "target_thread",
+                 "queue", "points", "arcs", "branch_iid", "source_iid")
+
+    def __init__(self, kind: DepKind, source_thread: int, target_thread: int,
+                 register: Optional[str], points: List[Point],
+                 arcs: List[DependenceArc], queue: int = -1,
+                 branch_iid: Optional[int] = None,
+                 source_iid: Optional[int] = None):
+        self.kind = kind
+        self.source_thread = source_thread
+        self.target_thread = target_thread
+        self.register = register
+        self.points = points
+        self.arcs = arcs
+        self.queue = queue
+        self.branch_iid = branch_iid
+        self.source_iid = source_iid
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Channel q%d %s %r T%d->T%d at %s>" % (
+            self.queue, self.kind.value, self.register, self.source_thread,
+            self.target_thread, list(self.points))
+
+
+def default_point_after(function: Function, iid: int) -> Point:
+    """The baseline MTCG placement: right after the source instruction."""
+    block_of = function.block_of()
+    position = function.position_of()
+    return Point(block_of[iid], position[iid][1] + 1)
+
+
+def default_point_before(function: Function, iid: int) -> Point:
+    block_of = function.block_of()
+    position = function.position_of()
+    return Point(block_of[iid], position[iid][1])
+
+
+def build_data_channels(function: Function, pdg: PDG, partition: Partition
+                        ) -> List[CommChannel]:
+    """Baseline channels for cross-thread register and memory arcs.
+
+    Placement: at the source instruction, per the original MTCG algorithm.
+    An instruction that sources several dependences of the same flavor into
+    the same thread is communicated once (the paper's dedup optimization).
+    """
+    block_of = function.block_of()
+    position = function.position_of()
+    channels: Dict[Tuple, CommChannel] = {}
+    for arc in pdg.arcs:
+        source_thread = partition.thread_of(arc.source)
+        target_thread = partition.thread_of(arc.target)
+        if source_thread == target_thread:
+            continue
+        if arc.kind is DepKind.CONTROL:
+            continue  # realized via relevant branches, not data channels
+        point = Point(block_of[arc.source], position[arc.source][1] + 1)
+        if arc.kind is DepKind.REGISTER:
+            key = ("reg", arc.source, arc.register, target_thread)
+        else:
+            key = ("mem", arc.source, target_thread)
+        channel = channels.get(key)
+        if channel is None:
+            channels[key] = CommChannel(arc.kind, source_thread,
+                                        target_thread, arc.register,
+                                        [point], [arc],
+                                        source_iid=arc.source)
+        else:
+            channel.arcs.append(arc)
+    ordered = [channels[key] for key in sorted(channels,
+                                               key=lambda k: (k[0],) + tuple(
+                                                   str(x) for x in k[1:]))]
+    return ordered
+
+
+def assign_queues(channels: List[CommChannel], start: int = 0) -> int:
+    """Give each channel a dense queue id; returns the number used."""
+    for offset, channel in enumerate(channels):
+        channel.queue = start + offset
+    return len(channels)

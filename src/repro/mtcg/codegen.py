@@ -1,0 +1,214 @@
+"""Multi-Threaded Code Generation (MTCG), after Ottoni et al. (MICRO 2005).
+
+Given any partition of a function's instructions into threads, produce one
+CFG per thread plus the produce/consume communication that satisfies every
+cross-thread PDG dependence:
+
+1. each thread's CFG contains its *relevant blocks* (blocks holding its
+   instructions, communication insertion points, and relevant branches);
+2. instructions keep their original relative order;
+3. register dependences communicate the register, memory dependences a
+   sync token, and control dependences replicate the branch (consuming its
+   condition register);
+4. branch and jump targets are remapped to each thread's nearest relevant
+   postdominator, with a synthesized entry/exit pair closing the CFG.
+
+The generator also accepts externally chosen channel placements, which is
+how the COCO extension plugs in optimized communication points.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.dominators import VIRTUAL_EXIT
+from ..analysis.pdg import PDG, DepKind
+from ..ir.cfg import Function
+from ..ir.instructions import Instruction, Opcode
+from ..ir.verify import verify_function
+from ..partition.base import Partition
+from .channels import CommChannel, Point, assign_queues, build_data_channels
+from .program import MTProgram
+from .relevant import RelevanceInfo, compute_relevance, control_channels
+
+ENTRY_LABEL = "__mtcg_entry"
+EXIT_LABEL = "__mtcg_exit"
+
+
+class CodegenError(Exception):
+    pass
+
+
+def generate(function: Function, pdg: PDG, partition: Partition,
+             data_channels: Optional[List[CommChannel]] = None,
+             condition_covered=frozenset(),
+             verify: bool = True,
+             queue_allocation: str = "dense") -> MTProgram:
+    """Run MTCG.  ``data_channels`` overrides the baseline at-the-source
+    placement of register/memory communication (COCO passes optimized
+    channels); control channels are always derived from the relevance
+    computation.  ``condition_covered`` suppresses condition channels for
+    duplicated branches whose operand a register channel already delivers.
+    ``queue_allocation`` chooses between one physical queue per channel
+    ("dense") and the sharing allocator ("shared", see
+    :mod:`repro.mtcg.queues`).
+    """
+    exit_thread = _exit_thread(function, partition)
+    if data_channels is None:
+        data_channels = build_data_channels(function, pdg, partition)
+    relevance = compute_relevance(function, pdg, partition, data_channels)
+    ctl_channels = control_channels(function, partition, relevance,
+                                    condition_covered)
+    channels = list(data_channels) + ctl_channels
+    if queue_allocation == "shared":
+        from .queues import allocate_queues
+        allocate_queues(channels, function)
+    elif queue_allocation == "dense":
+        assign_queues(channels)
+    else:
+        raise CodegenError("unknown queue_allocation %r"
+                           % (queue_allocation,))
+
+    threads = [
+        _generate_thread(function, partition, relevance, channels, thread,
+                         exit_thread)
+        for thread in range(partition.n_threads)
+    ]
+    if verify:
+        for thread_function in threads:
+            verify_function(thread_function, allow_comm=True)
+    return MTProgram(function, partition, threads, channels, exit_thread)
+
+
+def _exit_thread(function: Function, partition: Partition) -> int:
+    exit_threads = {partition.thread_of(instruction.iid)
+                    for instruction in function.instructions()
+                    if instruction.op is Opcode.EXIT}
+    if len(exit_threads) != 1:
+        raise CodegenError(
+            "all exit instructions must live on one thread, got %s"
+            % sorted(exit_threads))
+    return exit_threads.pop()
+
+
+def _generate_thread(function: Function, partition: Partition,
+                     relevance: RelevanceInfo,
+                     channels: List[CommChannel], thread: int,
+                     exit_thread: int) -> Function:
+    relevant_blocks = relevance.relevant_blocks[thread]
+    relevant_branches = relevance.relevant_branches[thread]
+    postdom = relevance.cdg.postdom
+
+    result = Function("%s__t%d" % (function.name, thread),
+                      params=function.params,
+                      live_outs=(function.live_outs
+                                 if thread == exit_thread else []))
+    # Share memory objects (and their layout) with the original function.
+    result.mem_objects = function.mem_objects
+    result.pointer_params = dict(function.pointer_params)
+    result._next_iid = function._next_iid
+
+    # Communication operations per insertion point, in queue order (the
+    # same on both sides of every channel — the pairing invariant).
+    point_ops: Dict[Point, List[Tuple[str, CommChannel]]] = defaultdict(list)
+    for channel in channels:
+        for point in channel.points:
+            if channel.source_thread == thread:
+                point_ops[point].append(("produce", channel))
+            if channel.target_thread == thread:
+                point_ops[point].append(("consume", channel))
+
+    def next_relevant(label: str) -> str:
+        """Nearest (inclusive) relevant postdominator, or the exit stub."""
+        if not postdom.contains(label):
+            return EXIT_LABEL
+        for node in postdom.walk_up(label):
+            if node == VIRTUAL_EXIT:
+                return EXIT_LABEL
+            if node in relevant_blocks:
+                return node
+        return EXIT_LABEL
+
+    def fresh(instruction: Instruction) -> Instruction:
+        result.assign_iid(instruction)
+        return instruction
+
+    def emit_comm(block, kind: str, channel: CommChannel) -> None:
+        if kind == "produce":
+            if channel.kind is DepKind.MEMORY:
+                op = Instruction(Opcode.PRODUCE_SYNC, queue=channel.queue)
+            else:
+                op = Instruction(Opcode.PRODUCE, srcs=[channel.register],
+                                 queue=channel.queue)
+        else:
+            if channel.kind is DepKind.MEMORY:
+                op = Instruction(Opcode.CONSUME_SYNC, queue=channel.queue)
+            else:
+                op = Instruction(Opcode.CONSUME, dest=channel.register,
+                                 queue=channel.queue)
+        op.origin = channel.source_iid
+        block.append(fresh(op))
+
+    # Synthesized entry: jump to the first relevant point of the region.
+    entry_block = result.add_block(ENTRY_LABEL)
+    entry_block.append(fresh(Instruction(
+        Opcode.JMP, labels=[next_relevant(function.entry.label)])))
+
+    for block in function.blocks:
+        if block.label not in relevant_blocks:
+            continue
+        new_block = result.add_block(block.label)
+        terminator = block.terminator
+        for index, instruction in enumerate(block.instructions):
+            for kind, channel in point_ops.get(Point(block.label, index), ()):
+                emit_comm(new_block, kind, channel)
+            if instruction is terminator:
+                break
+            if partition.thread_of(instruction.iid) == thread:
+                new_block.append(instruction.copy())
+
+        # Terminator: keep, duplicate, or degrade to a jump.
+        if terminator.op is Opcode.EXIT:
+            if partition.thread_of(terminator.iid) == thread:
+                new_block.append(terminator.copy())
+            else:
+                stub = Instruction(Opcode.EXIT)
+                stub.origin = terminator.iid
+                new_block.append(fresh(stub))
+        elif terminator.op is Opcode.JMP:
+            new_block.append(fresh(Instruction(
+                Opcode.JMP, labels=[next_relevant(terminator.labels[0])])))
+        else:  # a conditional branch
+            if block.label in relevant_branches:
+                labels = [next_relevant(label)
+                          for label in terminator.labels]
+                if labels[0] == labels[1]:
+                    # Both arms converge within this thread; no branch
+                    # needed even though it is "relevant" (can happen when
+                    # relevance came from closure rules only).
+                    new_block.append(fresh(Instruction(Opcode.JMP,
+                                                       labels=[labels[0]])))
+                elif partition.thread_of(terminator.iid) == thread:
+                    branch = terminator.copy()
+                    branch.labels = tuple(labels)
+                    new_block.append(branch)
+                else:
+                    duplicate = Instruction(Opcode.BR,
+                                            srcs=terminator.srcs,
+                                            labels=labels)
+                    duplicate.origin = terminator.iid
+                    new_block.append(fresh(duplicate))
+            else:
+                # Irrelevant branch: both arms reach the same next relevant
+                # block, namely the nearest relevant *strict* postdominator.
+                if postdom.contains(block.label):
+                    target = next_relevant(postdom.idom[block.label])
+                else:
+                    target = EXIT_LABEL
+                new_block.append(fresh(Instruction(Opcode.JMP,
+                                                   labels=[target])))
+
+    exit_block = result.add_block(EXIT_LABEL)
+    exit_block.append(fresh(Instruction(Opcode.EXIT)))
+    return result

@@ -1,0 +1,61 @@
+"""The result of MTCG: a multi-threaded program."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.cfg import Function
+from ..partition.base import Partition
+from .channels import CommChannel
+
+
+class MTProgram:
+    """Per-thread CFGs plus the communication channels connecting them.
+
+    ``threads[i]`` is a complete :class:`Function` for thread ``i``; all
+    thread functions share the original function's memory objects (same
+    :class:`MemObject` instances, hence the same layout) and parameter
+    list.  Live-outs are declared only on ``exit_thread``, the thread that
+    owns the original ``exit`` instruction and therefore receives every
+    live-out value.
+    """
+
+    def __init__(self, original: Function, partition: Partition,
+                 threads: List[Function], channels: List[CommChannel],
+                 exit_thread: int):
+        self.original = original
+        self.partition = partition
+        self.threads = threads
+        self.channels = channels
+        self.exit_thread = exit_thread
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def n_queues(self) -> int:
+        return len(self.channels)
+
+    def channel_by_queue(self, queue: int) -> Optional[CommChannel]:
+        for channel in self.channels:
+            if channel.queue == queue:
+                return channel
+        return None
+
+    def static_instruction_counts(self) -> Dict[str, int]:
+        """Static computation vs communication instruction counts across
+        all threads (jumps/synthesized glue count as computation)."""
+        computation = 0
+        communication = 0
+        for thread in self.threads:
+            for instruction in thread.instructions():
+                if instruction.is_communication():
+                    communication += 1
+                else:
+                    computation += 1
+        return {"computation": computation, "communication": communication}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<MTProgram %s: %d threads, %d channels>" % (
+            self.original.name, self.n_threads, len(self.channels))

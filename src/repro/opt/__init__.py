@@ -1,0 +1,14 @@
+"""Classical scalar optimizations run before GMT scheduling."""
+
+from .passes import (eliminate_dead_code, fold_constants, optimize_function,
+                     propagate_copies, remove_unreachable_blocks,
+                     thread_jumps)
+from .regalloc import RegAllocError, RegAllocResult, allocate_registers
+from .scheduler import CommPriority, schedule_function, schedule_program
+
+__all__ = [
+    "eliminate_dead_code", "fold_constants", "optimize_function",
+    "propagate_copies", "remove_unreachable_blocks", "thread_jumps",
+    "RegAllocError", "RegAllocResult", "allocate_registers",
+    "CommPriority", "schedule_function", "schedule_program",
+]

@@ -1,0 +1,250 @@
+"""Register allocation (linear scan with spilling).
+
+The papers' toolchain runs register allocation after MT scheduling (each
+generated thread is allocated independently, like any function).  This
+pass reproduces that stage for the mini-IR: a classic Poletto-Sarkar
+linear-scan allocator over conservative live intervals, with spill code
+against a dedicated per-function spill area in memory.
+
+Design notes:
+
+* virtual registers that receive a physical home keep their names (the
+  physical id lives in the returned assignment — the IR is name-based,
+  and downstream consumers key on names); what changes the code is
+  *spilling*: spilled registers are rewritten to loads/stores against the
+  spill area through reserved scratch registers;
+* the spill area is a new memory object plus a pointer parameter; pointer
+  parameters bind automatically at run time, so callers need no changes;
+* three scratch registers are reserved out of the physical file for spill
+  reload/store sequences (an instruction touches at most two spilled
+  sources and one spilled destination).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.liveness import liveness
+from ..ir.cfg import Function
+from ..ir.instructions import Instruction, Opcode
+
+SCRATCH = ("r__s0", "r__s1", "r__s2")
+
+
+class RegAllocError(Exception):
+    pass
+
+
+class Interval:
+    __slots__ = ("register", "start", "end")
+
+    def __init__(self, register: str, start: int, end: int):
+        self.register = register
+        self.start = start
+        self.end = end
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<%s [%d,%d]>" % (self.register, self.start, self.end)
+
+
+class RegAllocResult:
+    """Outcome: physical assignment, spill set, and pressure statistics."""
+
+    def __init__(self, assignment: Dict[str, int], spilled: Dict[str, int],
+                 n_physical: int, max_pressure_before: int,
+                 spill_loads: int, spill_stores: int):
+        self.assignment = assignment      # register -> physical id
+        self.spilled = spilled            # register -> spill slot
+        self.n_physical = n_physical
+        self.max_pressure_before = max_pressure_before
+        self.spill_loads = spill_loads
+        self.spill_stores = spill_stores
+
+    @property
+    def spill_count(self) -> int:
+        return len(self.spilled)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<RegAlloc %d regs -> %d physical, %d spilled>" % (
+            len(self.assignment) + len(self.spilled), self.n_physical,
+            len(self.spilled))
+
+
+def _intervals(function: Function) -> Tuple[List[Interval], int]:
+    """Conservative live intervals over the layout order, plus the peak
+    simultaneous liveness (max pressure)."""
+    live = liveness(function)
+    first: Dict[str, int] = {}
+    last: Dict[str, int] = {}
+    position = 0
+    max_pressure = 0
+    for param in function.params:
+        first[param] = 0
+        last[param] = 0
+    for block in function.blocks:
+        for instruction in block:
+            for register in live.live_in.get(instruction.iid, ()):
+                first.setdefault(register, position)
+                last[register] = max(last.get(register, position), position)
+            out_set = live.live_out.get(instruction.iid, frozenset())
+            for register in out_set:
+                first.setdefault(register, position)
+                last[register] = max(last.get(register, position),
+                                     position + 1)
+            for register in instruction.defined_registers():
+                first.setdefault(register, position)
+                last[register] = max(last.get(register, position),
+                                     position + 1)
+            for register in instruction.used_registers():
+                first.setdefault(register, position)
+                last[register] = max(last.get(register, position), position)
+            max_pressure = max(
+                max_pressure,
+                len(live.live_in.get(instruction.iid, frozenset())))
+            position += 2
+    intervals = [Interval(register, first[register], last[register])
+                 for register in sorted(first)]
+    intervals.sort(key=lambda interval: (interval.start, interval.end,
+                                         interval.register))
+    return intervals, max_pressure
+
+
+def _linear_scan(intervals: List[Interval], n_available: int,
+                 pinned: Set[str]) -> Tuple[Dict[str, int], List[str]]:
+    """Poletto-Sarkar linear scan.  ``pinned`` registers (parameters —
+    they arrive in registers) are never spilled."""
+    assignment: Dict[str, int] = {}
+    active: List[Interval] = []
+    free = list(range(n_available))
+    spilled: List[str] = []
+
+    for interval in intervals:
+        active = [a for a in active if a.end > interval.start
+                  or _release(a, assignment, free)]
+        if free:
+            assignment[interval.register] = free.pop(0)
+            active.append(interval)
+            active.sort(key=lambda a: a.end)
+            continue
+        # Spill the interval that ends furthest in the future.
+        candidates = [a for a in active if a.register not in pinned]
+        victim = None
+        if candidates and interval.register not in pinned:
+            victim = max(candidates + [interval], key=lambda a: a.end)
+        elif candidates:
+            victim = max(candidates, key=lambda a: a.end)
+        elif interval.register not in pinned:
+            victim = interval
+        if victim is None:
+            raise RegAllocError("cannot allocate: every live register "
+                                "is pinned")
+        if victim is interval:
+            spilled.append(interval.register)
+            continue
+        assignment[interval.register] = assignment.pop(victim.register)
+        spilled.append(victim.register)
+        active.remove(victim)
+        active.append(interval)
+        active.sort(key=lambda a: a.end)
+    return assignment, spilled
+
+
+def _release(interval: Interval, assignment: Dict[str, int],
+             free: List[int]) -> bool:
+    free.append(assignment[interval.register])
+    free.sort()
+    return False
+
+
+def allocate_registers(function: Function, n_physical: int = 128,
+                       spill_object: Optional[str] = None
+                       ) -> RegAllocResult:
+    """Allocate ``function``'s virtual registers to ``n_physical`` homes,
+    inserting spill code as needed (mutates the function)."""
+    if n_physical <= len(SCRATCH) + 1:
+        raise RegAllocError("need more than %d physical registers"
+                            % (len(SCRATCH) + 1))
+    intervals, max_pressure = _intervals(function)
+    # Parameters are spillable too: they arrive in registers and are
+    # stored to their slot at entry (below).  Nothing is pinned.
+    assignment, spill_list = _linear_scan(
+        intervals, n_physical - len(SCRATCH), pinned=set())
+
+    spilled: Dict[str, int] = {register: slot
+                               for slot, register in enumerate(spill_list)}
+    loads = stores = 0
+    if spilled:
+        if spill_object is None:
+            spill_object = "__spill_%s" % function.name
+        pointer = "p%s" % spill_object
+        function.add_mem_object(spill_object, max(len(spilled), 1),
+                                pointer_param=pointer)
+        function.params.append(pointer)
+        loads, stores = _rewrite_spills(function, spilled, pointer,
+                                        spill_object)
+    return RegAllocResult(assignment, spilled, n_physical, max_pressure,
+                          loads, stores)
+
+
+def _rewrite_spills(function: Function, spilled: Dict[str, int],
+                    pointer: str, region: str) -> Tuple[int, int]:
+    loads = stores = 0
+    # Spilled parameters: their incoming value is parked in the spill
+    # area on entry (the only point where the register surely holds it).
+    entry_stores: List[Instruction] = []
+    for register in function.params:
+        if register in spilled:
+            store = Instruction(Opcode.STORE, None, [pointer, register],
+                                spilled[register], region=region)
+            function.assign_iid(store)
+            entry_stores.append(store)
+            stores += 1
+    # (Prepended after the rewrite pass below, so they are not themselves
+    # rewritten: they read the parameter register directly, which is only
+    # guaranteed live at the very top of the function.)
+    for block in function.blocks:
+        rewritten: List[Instruction] = []
+        for instruction in block:
+            scratch_map: Dict[str, str] = {}
+            if instruction.op is Opcode.EXIT:
+                # Live-out values escape through their original register
+                # names: reload any spilled live-out before leaving.
+                for register in function.live_outs:
+                    if register in spilled:
+                        reload = Instruction(Opcode.LOAD, register,
+                                             [pointer], spilled[register],
+                                             region=region)
+                        function.assign_iid(reload)
+                        rewritten.append(reload)
+                        loads += 1
+            # Reload spilled sources into scratch registers.
+            for register in dict.fromkeys(instruction.srcs):
+                if register in spilled and register not in scratch_map:
+                    scratch = SCRATCH[len(scratch_map)]
+                    scratch_map[register] = scratch
+                    reload = Instruction(Opcode.LOAD, scratch, [pointer],
+                                         spilled[register], region=region)
+                    function.assign_iid(reload)
+                    rewritten.append(reload)
+                    loads += 1
+            if scratch_map:
+                instruction.srcs = tuple(scratch_map.get(r, r)
+                                         for r in instruction.srcs)
+            dest = instruction.dest
+            if dest is not None and dest in spilled:
+                instruction.dest = SCRATCH[-1]
+                rewritten.append(instruction)
+                store = Instruction(Opcode.STORE, None,
+                                    [pointer, SCRATCH[-1]],
+                                    spilled[dest], region=region)
+                function.assign_iid(store)
+                rewritten.append(store)
+                stores += 1
+            else:
+                rewritten.append(instruction)
+        block.instructions = rewritten
+    if entry_stores:
+        entry_block = function.entry
+        entry_block.instructions = (entry_stores
+                                    + entry_block.instructions)
+    return loads, stores

@@ -1,0 +1,146 @@
+"""Local (block-level) instruction scheduling.
+
+The papers' toolchain runs a single-threaded instruction scheduler after
+MT code generation, and the companion text reports that COCO's placements
+can interact badly with it — proposing to tune the *priority of produce
+and consume instructions* in that scheduler.  This pass reproduces that
+stage: a latency-weighted list scheduler that reorders instructions within
+each basic block on an in-order machine, with a configurable bias for
+communication operations.
+
+Dependences respected within a block:
+
+* register true/anti/output dependences;
+* the relative order of all memory operations (no memory disambiguation
+  at this level — conservative, like a late machine-level scheduler);
+* the relative order of all communication operations (their cross-thread
+  pairing relies on consistent per-point ordering, and produce/consume
+  share the bounded synchronization array);
+* memory and communication operations do not move across each other
+  (produce.sync/consume.sync carry release/acquire semantics);
+* the terminator stays last.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.cfg import BasicBlock, Function
+from ..ir.instructions import Instruction
+from ..machine.config import DEFAULT_CONFIG, MachineConfig
+
+
+class CommPriority:
+    """How eagerly to schedule produce/consume operations."""
+
+    EARLY = "early"    # hoist communication as early as dependences allow
+    LATE = "late"      # sink communication as late as possible
+    NEUTRAL = "neutral"
+
+
+def schedule_function(function: Function,
+                      config: MachineConfig = DEFAULT_CONFIG,
+                      comm_priority: str = CommPriority.EARLY) -> int:
+    """Schedule every block; returns how many instructions moved."""
+    moved = 0
+    for block in function.blocks:
+        moved += _schedule_block(block, config, comm_priority)
+    return moved
+
+
+def _schedule_block(block: BasicBlock, config: MachineConfig,
+                    comm_priority: str) -> int:
+    body = block.body
+    terminator = block.terminator
+    if len(body) < 2:
+        return 0
+
+    predecessors = _dependence_edges(body, terminator)
+
+    # Priority: longest latency path to the end of the block (critical
+    # path), with the communication bias layered on top.
+    n = len(body)
+    successors: Dict[int, List[int]] = {i: [] for i in range(n)}
+    for target, sources in predecessors.items():
+        for source in sources:
+            successors[source].append(target)
+    height: List[float] = [0.0] * n
+    for index in reversed(range(n)):
+        follow = max((height[s] for s in successors[index]), default=0.0)
+        height[index] = config.latency_of(body[index]) + follow
+
+    bias: List[float] = [0.0] * n
+    for index, instruction in enumerate(body):
+        if instruction.is_communication():
+            if comm_priority == CommPriority.EARLY:
+                bias[index] = 1e6
+            elif comm_priority == CommPriority.LATE:
+                bias[index] = -1e6
+
+    in_degree = [0] * n
+    for target, sources in predecessors.items():
+        in_degree[target] = len(sources)
+    ready = [i for i in range(n) if in_degree[i] == 0]
+    order: List[int] = []
+    while ready:
+        # Highest priority first; program order breaks ties (stable).
+        ready.sort(key=lambda i: (-(height[i] + bias[i]), i))
+        chosen = ready.pop(0)
+        order.append(chosen)
+        for succ in successors[chosen]:
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                ready.append(succ)
+    assert len(order) == n, "scheduling dropped instructions"
+
+    new_body = [body[i] for i in order]
+    moved = sum(1 for i, instruction in enumerate(new_body)
+                if instruction is not body[i])
+    block.instructions = new_body + ([terminator] if terminator else [])
+    return moved
+
+
+def _dependence_edges(body: Sequence[Instruction],
+                      terminator: Optional[Instruction]
+                      ) -> Dict[int, List[int]]:
+    """Intra-block scheduling dependences: target index -> source indices.
+    """
+    predecessors: Dict[int, List[int]] = {i: [] for i in range(len(body))}
+    last_def: Dict[str, int] = {}
+    last_uses: Dict[str, List[int]] = {}
+    last_side_effect: Optional[int] = None  # memory or communication op
+
+    for index, instruction in enumerate(body):
+        sources = set()
+        for register in instruction.used_registers():
+            if register in last_def:
+                sources.add(last_def[register])          # true dependence
+        dest = instruction.dest
+        if dest is not None:
+            if dest in last_def:
+                sources.add(last_def[dest])              # output dependence
+            for user in last_uses.get(dest, ()):
+                if user != index:
+                    sources.add(user)                    # anti dependence
+        if instruction.is_memory() or instruction.is_communication():
+            if last_side_effect is not None:
+                sources.add(last_side_effect)            # ordered class
+            last_side_effect = index
+        predecessors[index] = sorted(sources)
+
+        for register in instruction.used_registers():
+            last_uses.setdefault(register, []).append(index)
+        if dest is not None:
+            last_def[dest] = index
+            last_uses[dest] = []
+    return predecessors
+
+
+def schedule_program(program, config: MachineConfig = DEFAULT_CONFIG,
+                     comm_priority: str = CommPriority.EARLY) -> int:
+    """Schedule every thread of an :class:`~repro.mtcg.program.MTProgram`.
+    """
+    moved = 0
+    for thread_function in program.threads:
+        moved += schedule_function(thread_function, config, comm_priority)
+    return moved

@@ -1,0 +1,9 @@
+"""Thread partitioners: the pluggable front half of GMT scheduling."""
+
+from .base import (Partition, PartitionError, Partitioner,
+                   partition_from_threads, single_thread_partition)
+
+__all__ = [
+    "Partition", "PartitionError", "Partitioner", "partition_from_threads",
+    "single_thread_partition",
+]

@@ -1,0 +1,221 @@
+"""The end-to-end GMT scheduling pipeline.
+
+One call takes a workload (or any IR function) through the whole stack:
+
+    normalize CFG -> profile (train inputs) -> PDG -> partition (GREMIO or
+    DSWP) -> [COCO] -> MTCG -> timed simulation on the CMP model (ref
+    inputs) -> metrics
+
+This is the API the examples and every benchmark harness use.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from .analysis.pdg import PDG, build_pdg
+from .coco.driver import CocoResult, optimize as coco_optimize
+from .interp.interpreter import run_function
+from .interp.profile import EdgeProfile, static_profile
+from .ir.cfg import Function
+from .ir.transforms import renumber_iids, split_critical_edges
+from .machine.config import DEFAULT_CONFIG, MachineConfig
+from .machine.timing import (TimedResult, simulate_program, simulate_single)
+from .mtcg.codegen import generate
+from .mtcg.program import MTProgram
+from .partition.base import Partition, Partitioner
+from .partition.dswp import DSWPPartitioner
+from .partition.gremio import GremioPartitioner
+from .workloads.common import Workload
+
+TECHNIQUES = ("gremio", "gremio-flat", "dswp")
+
+
+def make_partitioner(technique: str,
+                     config: MachineConfig) -> Partitioner:
+    if technique == "gremio":
+        return GremioPartitioner(config)
+    if technique == "gremio-flat":
+        return GremioPartitioner(config, hierarchical=False)
+    if technique == "dswp":
+        return DSWPPartitioner(config)
+    raise ValueError("unknown technique %r (use one of %s)"
+                     % (technique, TECHNIQUES))
+
+
+def technique_config(technique: str,
+                     base: MachineConfig = DEFAULT_CONFIG) -> MachineConfig:
+    """DSWP uses the 32-entry queue configuration; others single-entry."""
+    return base.for_dswp() if technique == "dswp" else base
+
+
+class Parallelization:
+    """A parallelized function plus everything used to build it."""
+
+    def __init__(self, function: Function, profile: EdgeProfile, pdg: PDG,
+                 partition: Partition, program: MTProgram,
+                 coco_result: Optional[CocoResult],
+                 config: MachineConfig):
+        self.function = function
+        self.profile = profile
+        self.pdg = pdg
+        self.partition = partition
+        self.program = program
+        self.coco_result = coco_result
+        self.config = config
+
+
+def normalize(function: Function, optimize: bool = False) -> Function:
+    """Prepare a freshly built function for the pipeline (in place):
+    optionally run the classical scalar optimizer, then split critical
+    edges and renumber instructions in program order."""
+    if optimize:
+        from .opt import optimize_function
+        optimize_function(function)
+    split_critical_edges(function)
+    renumber_iids(function)
+    return function
+
+
+def parallelize(function: Function,
+                technique: str = "gremio",
+                n_threads: int = 2,
+                profile: Optional[EdgeProfile] = None,
+                profile_args: Mapping[str, object] = (),
+                profile_memory: Mapping[str, object] = (),
+                coco: bool = False,
+                config: Optional[MachineConfig] = None,
+                normalized: bool = False,
+                alias_mode: str = "annotated") -> Parallelization:
+    """Parallelize ``function`` into ``n_threads`` threads.
+
+    ``profile`` may be supplied directly; otherwise the function is
+    profiled by interpretation on ``profile_args``/``profile_memory``, or
+    with the static estimator when no inputs are given either.
+    ``alias_mode`` selects the memory-disambiguation power (see
+    :class:`repro.analysis.AliasAnalysis`).
+    """
+    if not normalized:
+        normalize(function)
+    if config is None:
+        config = technique_config(technique)
+    config = config.with_threads(n_threads)
+    if profile is None:
+        if profile_args or profile_memory:
+            profile = run_function(function, profile_args,
+                                   profile_memory).profile
+        else:
+            profile = static_profile(function)
+    from .analysis.alias import AliasAnalysis
+    pdg = build_pdg(function, AliasAnalysis(function, alias_mode))
+    partitioner = make_partitioner(technique, config)
+    partition = partitioner.partition(function, pdg, profile, n_threads)
+
+    coco_result = None
+    data_channels = None
+    condition_covered = frozenset()
+    if coco:
+        coco_result = coco_optimize(function, pdg, partition, profile)
+        data_channels = coco_result.data_channels
+        condition_covered = coco_result.condition_covered
+    program = generate(function, pdg, partition,
+                       data_channels=data_channels,
+                       condition_covered=condition_covered)
+    return Parallelization(function, profile, pdg, partition, program,
+                           coco_result, config)
+
+
+class Evaluation:
+    """Measured results of one (workload, technique, coco) configuration."""
+
+    def __init__(self, workload: Workload, technique: str, coco: bool,
+                 n_threads: int, parallelization: Parallelization,
+                 st_result: TimedResult, mt_result: TimedResult):
+        self.workload = workload
+        self.technique = technique
+        self.coco = coco
+        self.n_threads = n_threads
+        self.parallelization = parallelization
+        self.st_result = st_result
+        self.mt_result = mt_result
+
+    @property
+    def speedup(self) -> float:
+        if self.mt_result.cycles == 0:
+            return 1.0
+        return self.st_result.cycles / self.mt_result.cycles
+
+    @property
+    def communication_instructions(self) -> int:
+        return self.mt_result.communication_instructions
+
+    @property
+    def computation_instructions(self) -> int:
+        return self.mt_result.computation_instructions
+
+    @property
+    def communication_fraction(self) -> float:
+        total = self.mt_result.dynamic_instructions
+        if total == 0:
+            return 0.0
+        return self.mt_result.communication_instructions / total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Evaluation %s/%s%s: speedup %.2fx, comm %.1f%%>" % (
+            self.workload.name, self.technique,
+            "+coco" if self.coco else "", self.speedup,
+            100 * self.communication_fraction)
+
+
+def evaluate_workload(workload: Workload, technique: str = "gremio",
+                      n_threads: int = 2, coco: bool = False,
+                      scale: str = "ref",
+                      config: Optional[MachineConfig] = None,
+                      check: bool = True,
+                      alias_mode: str = "annotated",
+                      local_schedule: Optional[str] = None) -> Evaluation:
+    """Run the full methodology for one workload: profile on `train`,
+    measure on ``scale`` (default `ref`), and verify the multi-threaded
+    run produced the single-threaded results.
+
+    ``local_schedule`` optionally runs the downstream local instruction
+    scheduler over both the single-threaded baseline and every generated
+    thread, with the given produce/consume priority ("early"/"late"/
+    "neutral") — the papers' post-MT scheduling stage.
+    """
+    function = normalize(workload.build())
+    train = workload.make_inputs("train")
+    measure = workload.make_inputs(scale)
+    if config is None:
+        config = technique_config(technique)
+    result = parallelize(
+        function, technique=technique, n_threads=n_threads,
+        profile_args=train.args, profile_memory=train.memory,
+        coco=coco, config=config, normalized=True,
+        alias_mode=alias_mode)
+
+    if local_schedule is not None:
+        from .opt.scheduler import schedule_function, schedule_program
+        schedule_program(result.program, config, local_schedule)
+        schedule_function(function, config, local_schedule)
+
+    st_result = simulate_single(function, measure.args, measure.memory,
+                                config=config)
+    mt_result = simulate_program(result.program, measure.args,
+                                 measure.memory, config=config)
+    if check:
+        _check_results(workload, function, st_result, mt_result)
+    return Evaluation(workload, technique, coco, n_threads, result,
+                      st_result, mt_result)
+
+
+def _check_results(workload: Workload, function: Function,
+                   st_result: TimedResult,
+                   mt_result: TimedResult) -> None:
+    if mt_result.live_outs != st_result.live_outs:
+        raise AssertionError(
+            "%s: MT live-outs %r != ST %r"
+            % (workload.name, mt_result.live_outs, st_result.live_outs))
+    if mt_result.memory.snapshot() != st_result.memory.snapshot():
+        raise AssertionError("%s: MT memory differs from ST"
+                             % workload.name)

@@ -1,0 +1,68 @@
+"""ASCII tables and bar charts for the experiment harnesses.
+
+Every benchmark prints its table/figure through these helpers so the
+regenerated experiments look uniform (and diff cleanly run-to-run).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+          title: str = "") -> str:
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def bar_chart(rows: Iterable[Tuple[str, float]], title: str = "",
+              width: int = 46, unit: str = "",
+              reference: float = None) -> str:
+    """Horizontal bar chart.  Bars scale to the maximum value (or to
+    ``reference`` when given, e.g. 100 for percentages)."""
+    rows = list(rows)
+    if not rows:
+        return title
+    peak = reference if reference else max(value for _, value in rows)
+    peak = max(peak, 1e-12)
+    label_width = max(len(label) for label, _ in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        filled = int(round(width * min(value, peak) / peak))
+        bar = "#" * filled
+        lines.append("%-*s | %-*s %8.2f%s"
+                     % (label_width, label, width, bar, value, unit))
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(rows: Iterable[Tuple[str, Sequence[float]]],
+                      series: Sequence[str], title: str = "",
+                      width: int = 40, unit: str = "") -> str:
+    """One bar per (row, series) pair, grouped by row label."""
+    rows = list(rows)
+    flattened: List[Tuple[str, float]] = []
+    for label, values in rows:
+        for name, value in zip(series, values):
+            flattened.append(("%s [%s]" % (label, name), value))
+    return bar_chart(flattened, title=title, width=width, unit=unit)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return "%.2f" % cell
+    return str(cell)

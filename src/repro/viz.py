@@ -1,0 +1,129 @@
+"""Graphviz (dot) export of the toolchain's graphs.
+
+Produces plain-text ``.dot`` sources for CFGs, PDGs, thread graphs, and
+multi-threaded programs — handy for inspecting what the partitioners and
+MTCG actually built (render with ``dot -Tsvg``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .analysis.pdg import PDG, DepKind
+from .ir.cfg import Function
+from .ir.printer import format_instruction
+from .mtcg.program import MTProgram
+from .partition.base import Partition
+
+_KIND_STYLE = {
+    DepKind.REGISTER: 'color="black"',
+    DepKind.MEMORY: 'color="red", style=dashed',
+    DepKind.CONTROL: 'color="blue", style=dotted',
+}
+
+_THREAD_COLORS = ["lightblue", "lightyellow", "lightgreen", "lightpink",
+                  "lavender", "mistyrose", "honeydew", "aliceblue"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(function: Function, profile=None) -> str:
+    """One node per basic block (instructions as the label), edges from
+    terminators; profile weights annotate edges when supplied."""
+    lines = ["digraph \"%s\" {" % _escape(function.name),
+             '  node [shape=box, fontname="monospace", fontsize=9];']
+    for block in function.blocks:
+        body = "\\l".join(_escape(format_instruction(i)) for i in block)
+        lines.append('  "%s" [label="%s:\\l%s\\l"];'
+                     % (block.label, _escape(block.label), body))
+    for block in function.blocks:
+        for successor in block.successors():
+            attributes = ""
+            if profile is not None:
+                weight = profile.edge_weight(block.label, successor)
+                attributes = ' [label="%.0f"]' % weight
+            lines.append('  "%s" -> "%s"%s;'
+                         % (block.label, successor, attributes))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pdg_to_dot(pdg: PDG, partition: Optional[Partition] = None) -> str:
+    """One node per instruction, arcs styled by dependence kind; nodes are
+    colored by thread when a partition is supplied."""
+    function = pdg.function
+    by_iid = function.by_iid()
+    lines = ["digraph \"pdg_%s\" {" % _escape(function.name),
+             '  node [shape=ellipse, fontname="monospace", fontsize=9];']
+    for iid in pdg.nodes:
+        label = "%d: %s" % (iid, _escape(format_instruction(by_iid[iid])))
+        color = ""
+        if partition is not None:
+            thread = partition.thread_of(iid)
+            color = (', style=filled, fillcolor="%s"'
+                     % _THREAD_COLORS[thread % len(_THREAD_COLORS)])
+        lines.append('  n%d [label="%s"%s];' % (iid, label, color))
+    for arc in pdg.arcs:
+        style = _KIND_STYLE[arc.kind]
+        label = arc.register or ""
+        lines.append('  n%d -> n%d [%s, label="%s"];'
+                     % (arc.source, arc.target, style, _escape(label)))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def thread_graph_to_dot(pdg: PDG, partition: Partition) -> str:
+    """The COCO thread graph: one node per thread, one arc per direction
+    with communication present, labeled by arc counts per kind."""
+    counts: Dict[tuple, Dict[DepKind, int]] = {}
+    for arc in pdg.arcs:
+        source = partition.thread_of(arc.source)
+        target = partition.thread_of(arc.target)
+        if source == target:
+            continue
+        per_kind = counts.setdefault((source, target), {})
+        per_kind[arc.kind] = per_kind.get(arc.kind, 0) + 1
+    lines = ["digraph thread_graph {", "  node [shape=circle];"]
+    for thread in range(partition.n_threads):
+        lines.append('  t%d [label="T%d"];' % (thread, thread))
+    for (source, target), per_kind in sorted(counts.items()):
+        label = ", ".join("%s:%d" % (kind.value[:3], count)
+                          for kind, count in sorted(
+                              per_kind.items(), key=lambda kv: kv[0].value))
+        lines.append('  t%d -> t%d [label="%s"];'
+                     % (source, target, label))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def program_to_dot(program: MTProgram) -> str:
+    """Every thread's CFG in one graph, clustered per thread, with the
+    communication channels drawn between the producing and consuming
+    blocks."""
+    lines = ["digraph \"mt_%s\" {" % _escape(program.original.name),
+             '  node [shape=box, fontname="monospace", fontsize=8];',
+             "  compound=true;"]
+    for index, thread in enumerate(program.threads):
+        color = _THREAD_COLORS[index % len(_THREAD_COLORS)]
+        lines.append("  subgraph cluster_t%d {" % index)
+        lines.append('    label="thread %d"; style=filled; color="%s";'
+                     % (index, color))
+        for block in thread.blocks:
+            body = "\\l".join(_escape(format_instruction(i)) for i in block)
+            lines.append('    "t%d_%s" [label="%s:\\l%s\\l"];'
+                         % (index, block.label, _escape(block.label), body))
+        for block in thread.blocks:
+            for successor in block.successors():
+                lines.append('    "t%d_%s" -> "t%d_%s";'
+                             % (index, block.label, index, successor))
+        lines.append("  }")
+    for channel in program.channels:
+        for point in channel.points:
+            source = "t%d_%s" % (channel.source_thread, point.block)
+            target = "t%d_%s" % (channel.target_thread, point.block)
+            lines.append('  "%s" -> "%s" [color="purple", style=bold, '
+                         'label="q%d"];' % (source, target, channel.queue))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""The benchmark suite: the papers' evaluated functions as IR kernels."""
+
+from .common import (Workload, WorkloadInputs, all_workloads,
+                     benchmark_table, get_workload, register,
+                     workload_names)
+
+__all__ = [
+    "Workload", "WorkloadInputs", "all_workloads", "benchmark_table",
+    "get_workload", "register", "workload_names",
+]

@@ -1,0 +1,305 @@
+"""MediaBench adpcm: ``adpcm_decoder`` and ``adpcm_coder`` (100% of
+benchmark execution each).
+
+The classic Intel/DVI IMA-ADPCM codec: a serial predictor
+(``valpred``/``index``/``step`` recurrences) with data-dependent branches on
+the delta bits — the archetypal irregular, hard-to-parallelize MediaBench
+kernel of the papers' evaluation.  One nibble/sample per memory word.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.builder import FunctionBuilder
+from ..ir.cfg import Function
+from .common import (Workload, WorkloadInputs, register, rng_for,
+                     scale_size)
+
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+MAX_N = 2048
+
+
+def build_decoder() -> Function:
+    b = FunctionBuilder("adpcm_decoder",
+                        params=["p_in", "p_out", "p_step", "p_idx", "r_n"],
+                        live_outs=["r_valpred", "r_index"])
+    b.mem("indata", MAX_N, ptr="p_in")
+    b.mem("outdata", MAX_N, ptr="p_out")
+    b.mem("step_table", len(STEP_TABLE), ptr="p_step")
+    b.mem("index_table", len(INDEX_TABLE), ptr="p_idx")
+
+    b.label("entry")
+    b.movi("r_valpred", 0)
+    b.movi("r_index", 0)
+    b.load("r_step", "p_step", 0, region="step_table")
+    b.movi("r_i", 0)
+    b.jmp("loop")
+
+    b.label("loop")
+    b.cmplt("r_c", "r_i", "r_n")
+    b.br("r_c", "body", "done")
+
+    b.label("body")
+    b.add("r_pa", "p_in", "r_i")
+    b.load("r_delta", "r_pa", 0, region="indata")
+    b.and_("r_delta", "r_delta", 15)
+    # index += indexTable[delta]; clamp to [0, 88]
+    b.add("r_pt", "p_idx", "r_delta")
+    b.load("r_ix", "r_pt", 0, region="index_table")
+    b.add("r_index", "r_index", "r_ix")
+    b.max("r_index", "r_index", 0)
+    b.min("r_index", "r_index", 88)
+    # sign / magnitude split
+    b.and_("r_sign", "r_delta", 8)
+    b.and_("r_mag", "r_delta", 7)
+    # vpdiff = step>>3 (+ step if bit2) (+ step>>1 if bit1) (+ step>>2 if b0)
+    b.shr("r_vpdiff", "r_step", 3)
+    b.and_("r_b4", "r_mag", 4)
+    b.br("r_b4", "bit4", "after4")
+    b.label("bit4")
+    b.add("r_vpdiff", "r_vpdiff", "r_step")
+    b.jmp("after4")
+    b.label("after4")
+    b.and_("r_b2", "r_mag", 2)
+    b.br("r_b2", "bit2", "after2")
+    b.label("bit2")
+    b.shr("r_h", "r_step", 1)
+    b.add("r_vpdiff", "r_vpdiff", "r_h")
+    b.jmp("after2")
+    b.label("after2")
+    b.and_("r_b1", "r_mag", 1)
+    b.br("r_b1", "bit1", "after1")
+    b.label("bit1")
+    b.shr("r_q", "r_step", 2)
+    b.add("r_vpdiff", "r_vpdiff", "r_q")
+    b.jmp("after1")
+    b.label("after1")
+    b.br("r_sign", "negate", "accum")
+    b.label("negate")
+    b.sub("r_valpred", "r_valpred", "r_vpdiff")
+    b.jmp("clamp")
+    b.label("accum")
+    b.add("r_valpred", "r_valpred", "r_vpdiff")
+    b.jmp("clamp")
+    b.label("clamp")
+    b.max("r_valpred", "r_valpred", -32768)
+    b.min("r_valpred", "r_valpred", 32767)
+    # step = stepsizeTable[index]; out[i] = valpred
+    b.add("r_ps", "p_step", "r_index")
+    b.load("r_step", "r_ps", 0, region="step_table")
+    b.add("r_po", "p_out", "r_i")
+    b.store("r_po", "r_valpred", 0, region="outdata")
+    b.add("r_i", "r_i", 1)
+    b.jmp("loop")
+
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+def build_coder() -> Function:
+    b = FunctionBuilder("adpcm_coder",
+                        params=["p_in", "p_out", "p_step", "p_idx", "r_n"],
+                        live_outs=["r_valpred", "r_index"])
+    b.mem("indata", MAX_N, ptr="p_in")
+    b.mem("outdata", MAX_N, ptr="p_out")
+    b.mem("step_table", len(STEP_TABLE), ptr="p_step")
+    b.mem("index_table", len(INDEX_TABLE), ptr="p_idx")
+
+    b.label("entry")
+    b.movi("r_valpred", 0)
+    b.movi("r_index", 0)
+    b.load("r_step", "p_step", 0, region="step_table")
+    b.movi("r_i", 0)
+    b.jmp("loop")
+
+    b.label("loop")
+    b.cmplt("r_c", "r_i", "r_n")
+    b.br("r_c", "body", "done")
+
+    b.label("body")
+    b.add("r_pa", "p_in", "r_i")
+    b.load("r_val", "r_pa", 0, region="indata")
+    b.sub("r_diff", "r_val", "r_valpred")
+    b.cmplt("r_neg", "r_diff", 0)
+    b.br("r_neg", "negdiff", "posdiff")
+    b.label("negdiff")
+    b.movi("r_sign", 8)
+    b.neg("r_diff", "r_diff")
+    b.jmp("quant")
+    b.label("posdiff")
+    b.movi("r_sign", 0)
+    b.jmp("quant")
+
+    b.label("quant")
+    b.movi("r_delta", 0)
+    b.shr("r_vpdiff", "r_step", 3)
+    b.mov("r_tstep", "r_step")
+    b.cmpge("r_c4", "r_diff", "r_tstep")
+    b.br("r_c4", "q4", "q4done")
+    b.label("q4")
+    b.or_("r_delta", "r_delta", 4)
+    b.sub("r_diff", "r_diff", "r_tstep")
+    b.add("r_vpdiff", "r_vpdiff", "r_tstep")
+    b.jmp("q4done")
+    b.label("q4done")
+    b.shr("r_tstep", "r_tstep", 1)
+    b.cmpge("r_c2", "r_diff", "r_tstep")
+    b.br("r_c2", "q2", "q2done")
+    b.label("q2")
+    b.or_("r_delta", "r_delta", 2)
+    b.sub("r_diff", "r_diff", "r_tstep")
+    b.add("r_vpdiff", "r_vpdiff", "r_tstep")
+    b.jmp("q2done")
+    b.label("q2done")
+    b.shr("r_tstep", "r_tstep", 1)
+    b.cmpge("r_c1", "r_diff", "r_tstep")
+    b.br("r_c1", "q1", "q1done")
+    b.label("q1")
+    b.or_("r_delta", "r_delta", 1)
+    b.add("r_vpdiff", "r_vpdiff", "r_tstep")
+    b.jmp("q1done")
+    b.label("q1done")
+    b.br("r_sign", "vneg", "vpos")
+    b.label("vneg")
+    b.sub("r_valpred", "r_valpred", "r_vpdiff")
+    b.jmp("vclamp")
+    b.label("vpos")
+    b.add("r_valpred", "r_valpred", "r_vpdiff")
+    b.jmp("vclamp")
+    b.label("vclamp")
+    b.max("r_valpred", "r_valpred", -32768)
+    b.min("r_valpred", "r_valpred", 32767)
+    b.or_("r_delta", "r_delta", "r_sign")
+    b.add("r_pt", "p_idx", "r_delta")
+    b.load("r_ix", "r_pt", 0, region="index_table")
+    b.add("r_index", "r_index", "r_ix")
+    b.max("r_index", "r_index", 0)
+    b.min("r_index", "r_index", 88)
+    b.add("r_ps", "p_step", "r_index")
+    b.load("r_step", "r_ps", 0, region="step_table")
+    b.add("r_po", "p_out", "r_i")
+    b.store("r_po", "r_delta", 0, region="outdata")
+    b.add("r_i", "r_i", 1)
+    b.jmp("loop")
+
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+# -- reference implementations -----------------------------------------------
+
+
+def reference_decoder(inputs: WorkloadInputs) -> Dict[str, object]:
+    data = inputs.memory["indata"]
+    n = inputs.args["r_n"]
+    valpred, index = 0, 0
+    step = STEP_TABLE[0]
+    out = []
+    for i in range(n):
+        delta = data[i] & 15
+        index = max(0, min(88, index + INDEX_TABLE[delta]))
+        sign = delta & 8
+        mag = delta & 7
+        vpdiff = step >> 3
+        if mag & 4:
+            vpdiff += step
+        if mag & 2:
+            vpdiff += step >> 1
+        if mag & 1:
+            vpdiff += step >> 2
+        valpred = valpred - vpdiff if sign else valpred + vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        step = STEP_TABLE[index]
+        out.append(valpred)
+    return {"r_valpred": valpred, "r_index": index, "outdata": out}
+
+
+def reference_coder(inputs: WorkloadInputs) -> Dict[str, object]:
+    data = inputs.memory["indata"]
+    n = inputs.args["r_n"]
+    valpred, index = 0, 0
+    step = STEP_TABLE[0]
+    out = []
+    for i in range(n):
+        diff = data[i] - valpred
+        sign = 8 if diff < 0 else 0
+        if sign:
+            diff = -diff
+        delta = 0
+        vpdiff = step >> 3
+        tstep = step
+        if diff >= tstep:
+            delta |= 4
+            diff -= tstep
+            vpdiff += tstep
+        tstep >>= 1
+        if diff >= tstep:
+            delta |= 2
+            diff -= tstep
+            vpdiff += tstep
+        tstep >>= 1
+        if diff >= tstep:
+            delta |= 1
+            vpdiff += tstep
+        valpred = valpred - vpdiff if sign else valpred + vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        delta |= sign
+        index = max(0, min(88, index + INDEX_TABLE[delta]))
+        step = STEP_TABLE[index]
+        out.append(delta)
+    return {"r_valpred": valpred, "r_index": index, "outdata": out}
+
+
+# -- inputs ----------------------------------------------------------------------
+
+
+def _decoder_inputs(scale: str) -> WorkloadInputs:
+    n = scale_size(scale, train=64, ref=1100)
+    rng = rng_for("adpcmdec", scale)
+    data = [rng.randrange(0, 16) for _ in range(n)]
+    return WorkloadInputs(
+        args={"r_n": n},
+        memory={"indata": data, "step_table": STEP_TABLE,
+                "index_table": INDEX_TABLE})
+
+
+def _coder_inputs(scale: str) -> WorkloadInputs:
+    n = scale_size(scale, train=64, ref=1100)
+    rng = rng_for("adpcmenc", scale)
+    # A wandering waveform, like speech samples.
+    data, value = [], 0
+    for _ in range(n):
+        value = max(-32768, min(32767, value + rng.randrange(-900, 901)))
+        data.append(value)
+    return WorkloadInputs(
+        args={"r_n": n},
+        memory={"indata": data, "step_table": STEP_TABLE,
+                "index_table": INDEX_TABLE})
+
+
+register(Workload(
+    name="adpcmdec", benchmark="adpcmdec", function_name="adpcm_decoder",
+    exec_percent=100, suite="MediaBench", build=build_decoder,
+    make_inputs=_decoder_inputs, reference=reference_decoder,
+    output_objects=("outdata",),
+    description="IMA ADPCM decode: serial predictor recurrence"))
+
+register(Workload(
+    name="adpcmenc", benchmark="adpcmenc", function_name="adpcm_coder",
+    exec_percent=100, suite="MediaBench", build=build_coder,
+    make_inputs=_coder_inputs, reference=reference_coder,
+    output_objects=("outdata",),
+    description="IMA ADPCM encode: quantizer with data-dependent branches"))

@@ -1,0 +1,194 @@
+"""SPEC ``188.ammp``: ``mm_fv_update_nonbon`` (79% of execution).
+
+The molecular-dynamics non-bonded force/potential update over a neighbor
+pair list: per pair, a distance computation, a cutoff test, and (inside the
+cutoff) a Lennard-Jones-style term with reciprocal square root — heavily
+floating-point with a data-dependent branch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.builder import FunctionBuilder
+from ..ir.cfg import Function
+from .common import (Workload, WorkloadInputs, register, rng_for,
+                     scale_size)
+
+MAX_ATOMS = 256
+MAX_PAIRS = 2048
+
+
+def build() -> Function:
+    b = FunctionBuilder(
+        "mm_fv_update_nonbon",
+        params=["p_pi", "p_pj", "p_x", "p_y", "p_z", "p_q",
+                "p_fx", "p_fy", "p_fz", "r_npairs", "r_cutoff"],
+        live_outs=["r_energy"])
+    b.mem("pair_i", MAX_PAIRS, ptr="p_pi")
+    b.mem("pair_j", MAX_PAIRS, ptr="p_pj")
+    b.mem("ax", MAX_ATOMS, ptr="p_x")
+    b.mem("ay", MAX_ATOMS, ptr="p_y")
+    b.mem("az", MAX_ATOMS, ptr="p_z")
+    b.mem("aq", MAX_ATOMS, ptr="p_q")
+    b.mem("fx", MAX_ATOMS, ptr="p_fx")
+    b.mem("fy", MAX_ATOMS, ptr="p_fy")
+    b.mem("fz", MAX_ATOMS, ptr="p_fz")
+
+    b.label("entry")
+    b.movi("r_energy", 0.0)
+    b.movi("r_one", 1.0)
+    b.movi("r_p", 0)
+    b.jmp("pairs")
+
+    b.label("pairs")
+    b.cmplt("r_c", "r_p", "r_npairs")
+    b.br("r_c", "pair", "done")
+
+    b.label("pair")
+    b.add("r_ppi", "p_pi", "r_p")
+    b.load("r_i", "r_ppi", 0, region="pair_i")
+    b.add("r_ppj", "p_pj", "r_p")
+    b.load("r_j", "r_ppj", 0, region="pair_j")
+    b.add("r_pxi", "p_x", "r_i")
+    b.load("r_xi", "r_pxi", 0, region="ax")
+    b.add("r_pxj", "p_x", "r_j")
+    b.load("r_xj", "r_pxj", 0, region="ax")
+    b.fsub("r_dx", "r_xi", "r_xj")
+    b.add("r_pyi", "p_y", "r_i")
+    b.load("r_yi", "r_pyi", 0, region="ay")
+    b.add("r_pyj", "p_y", "r_j")
+    b.load("r_yj", "r_pyj", 0, region="ay")
+    b.fsub("r_dy", "r_yi", "r_yj")
+    b.add("r_pzi", "p_z", "r_i")
+    b.load("r_zi", "r_pzi", 0, region="az")
+    b.add("r_pzj", "p_z", "r_j")
+    b.load("r_zj", "r_pzj", 0, region="az")
+    b.fsub("r_dz", "r_zi", "r_zj")
+    b.fmul("r_r2", "r_dx", "r_dx")
+    b.fmul("r_t1", "r_dy", "r_dy")
+    b.fadd("r_r2", "r_r2", "r_t1")
+    b.fmul("r_t2", "r_dz", "r_dz")
+    b.fadd("r_r2", "r_r2", "r_t2")
+    b.cmplt("r_in", "r_r2", "r_cutoff")
+    b.br("r_in", "interact", "next")
+
+    b.label("interact")
+    b.fsqrt("r_r", "r_r2")
+    b.fdiv("r_rinv", "r_one", "r_r")
+    b.fmul("r_r2inv", "r_rinv", "r_rinv")
+    b.fmul("r_r6inv", "r_r2inv", "r_r2inv")
+    b.fmul("r_r6inv", "r_r6inv", "r_r2inv")
+    # Charges and the LJ-style energy: qq*rinv + (r6 - 1)*r6
+    b.add("r_pqi", "p_q", "r_i")
+    b.load("r_qi", "r_pqi", 0, region="aq")
+    b.add("r_pqj", "p_q", "r_j")
+    b.load("r_qj", "r_pqj", 0, region="aq")
+    b.fmul("r_qq", "r_qi", "r_qj")
+    b.fmul("r_vcoul", "r_qq", "r_rinv")
+    b.fsub("r_ljt", "r_r6inv", 1.0)
+    b.fmul("r_vlj", "r_ljt", "r_r6inv")
+    b.fadd("r_vtot", "r_vcoul", "r_vlj")
+    b.fadd("r_energy", "r_energy", "r_vtot")
+    # Force magnitude along each axis: f = vtot * r2inv
+    b.fmul("r_f", "r_vtot", "r_r2inv")
+    b.fmul("r_fxv", "r_f", "r_dx")
+    b.add("r_pfi", "p_fx", "r_i")
+    b.load("r_fxi", "r_pfi", 0, region="fx")
+    b.fadd("r_fxi", "r_fxi", "r_fxv")
+    b.store("r_pfi", "r_fxi", 0, region="fx")
+    b.add("r_pfj", "p_fx", "r_j")
+    b.load("r_fxj", "r_pfj", 0, region="fx")
+    b.fsub("r_fxj", "r_fxj", "r_fxv")
+    b.store("r_pfj", "r_fxj", 0, region="fx")
+    b.fmul("r_fyv", "r_f", "r_dy")
+    b.add("r_pfyi", "p_fy", "r_i")
+    b.load("r_fyi", "r_pfyi", 0, region="fy")
+    b.fadd("r_fyi", "r_fyi", "r_fyv")
+    b.store("r_pfyi", "r_fyi", 0, region="fy")
+    b.add("r_pfyj", "p_fy", "r_j")
+    b.load("r_fyj", "r_pfyj", 0, region="fy")
+    b.fsub("r_fyj", "r_fyj", "r_fyv")
+    b.store("r_pfyj", "r_fyj", 0, region="fy")
+    b.fmul("r_fzv", "r_f", "r_dz")
+    b.add("r_pfzi", "p_fz", "r_i")
+    b.load("r_fzi", "r_pfzi", 0, region="fz")
+    b.fadd("r_fzi", "r_fzi", "r_fzv")
+    b.store("r_pfzi", "r_fzi", 0, region="fz")
+    b.add("r_pfzj", "p_fz", "r_j")
+    b.load("r_fzj", "r_pfzj", 0, region="fz")
+    b.fsub("r_fzj", "r_fzj", "r_fzv")
+    b.store("r_pfzj", "r_fzj", 0, region="fz")
+    b.jmp("next")
+
+    b.label("next")
+    b.add("r_p", "r_p", 1)
+    b.jmp("pairs")
+
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+def reference(inputs: WorkloadInputs) -> Dict[str, object]:
+    mem = inputs.memory
+    npairs = inputs.args["r_npairs"]
+    cutoff = inputs.args["r_cutoff"]
+    fx = list(mem["fx"])
+    fy = list(mem["fy"])
+    fz = list(mem["fz"])
+    energy = 0.0
+    for p in range(npairs):
+        i, j = mem["pair_i"][p], mem["pair_j"][p]
+        dx = mem["ax"][i] - mem["ax"][j]
+        dy = mem["ay"][i] - mem["ay"][j]
+        dz = mem["az"][i] - mem["az"][j]
+        r2 = dx * dx + dy * dy + dz * dz
+        if r2 < cutoff:
+            import math
+            rinv = 1.0 / math.sqrt(r2)
+            r2inv = rinv * rinv
+            r6inv = r2inv * r2inv * r2inv
+            qq = mem["aq"][i] * mem["aq"][j]
+            vtot = qq * rinv + (r6inv - 1.0) * r6inv
+            energy += vtot
+            f = vtot * r2inv
+            fx[i] += f * dx
+            fx[j] -= f * dx
+            fy[i] += f * dy
+            fy[j] -= f * dy
+            fz[i] += f * dz
+            fz[j] -= f * dz
+    return {"r_energy": energy, "fx": fx, "fy": fy, "fz": fz}
+
+
+def _inputs(scale: str) -> WorkloadInputs:
+    n_atoms = scale_size(scale, train=30, ref=150)
+    n_pairs = scale_size(scale, train=70, ref=900)
+    rng = rng_for("ammp", scale)
+    coords = lambda: [rng.uniform(0.0, 6.0) for _ in range(n_atoms)] + \
+        [0.0] * (MAX_ATOMS - n_atoms)
+    pair_i, pair_j = [], []
+    for _ in range(n_pairs):
+        i = rng.randrange(0, n_atoms)
+        j = rng.randrange(0, n_atoms)
+        if i == j:
+            j = (j + 1) % n_atoms
+        pair_i.append(i)
+        pair_j.append(j)
+    return WorkloadInputs(
+        args={"r_npairs": n_pairs, "r_cutoff": 9.0},
+        memory={"pair_i": pair_i, "pair_j": pair_j,
+                "ax": coords(), "ay": coords(), "az": coords(),
+                "aq": [rng.uniform(-0.8, 0.8) for _ in range(n_atoms)],
+                "fx": [0.0] * MAX_ATOMS, "fy": [0.0] * MAX_ATOMS,
+                "fz": [0.0] * MAX_ATOMS})
+
+
+register(Workload(
+    name="188.ammp", benchmark="188.ammp",
+    function_name="mm_fv_update_nonbon",
+    exec_percent=79, suite="SPEC-CPU", build=build,
+    make_inputs=_inputs, reference=reference,
+    output_objects=("fx", "fy", "fz"),
+    description="non-bonded force update over a neighbor list"))

@@ -1,0 +1,119 @@
+"""Workload infrastructure: the benchmark-function registry.
+
+Each workload reproduces one of the evaluated functions of the papers'
+Figure 6(b) — the hot function of a MediaBench / SPEC-CPU /
+Pointer-Intensive benchmark — as a mini-IR kernel with the same loop,
+branch, and dependence structure, plus a seeded input generator and a pure
+Python reference implementation (the oracle the IR version is tested
+against).
+
+Inputs come in two scales, mirroring the papers' methodology: ``train``
+(used to collect the edge profile) and ``ref`` (used for measurements) —
+different seeds and sizes, so profile-guided decisions face realistic
+mismatch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from ..ir.cfg import Function
+
+
+class WorkloadInputs:
+    """Concrete inputs for one run: scalar args + memory initializers."""
+
+    def __init__(self, args: Dict[str, object],
+                 memory: Dict[str, List]):
+        self.args = args
+        self.memory = memory
+
+
+class Workload:
+    """One benchmark function: IR builder + inputs + reference oracle."""
+
+    def __init__(self, name: str, benchmark: str, function_name: str,
+                 exec_percent: int, suite: str,
+                 build: Callable[[], Function],
+                 make_inputs: Callable[[str], WorkloadInputs],
+                 reference: Callable[[WorkloadInputs], Dict[str, object]],
+                 output_objects: Tuple[str, ...] = (),
+                 description: str = ""):
+        self.name = name
+        self.benchmark = benchmark
+        self.function_name = function_name
+        self.exec_percent = exec_percent
+        self.suite = suite
+        self.build = build
+        self.make_inputs = make_inputs
+        self.reference = reference
+        # Memory objects whose final contents are workload outputs (checked
+        # against the oracle in addition to live-out registers).
+        self.output_objects = output_objects
+        self.description = description
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Workload %s (%s:%s)>" % (self.name, self.benchmark,
+                                          self.function_name)
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError("duplicate workload %r" % workload.name)
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def all_workloads() -> List[Workload]:
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def workload_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    # Import kernel modules for their registration side effects.
+    from . import (adpcm, ks, mpeg2, mesa, mcf, equake, ammp, twolf,
+                   gromacs, sjeng)  # noqa: F401
+
+
+def rng_for(name: str, scale: str) -> random.Random:
+    """Deterministic per-workload, per-scale random source."""
+    return random.Random("%s/%s" % (name, scale))
+
+
+def scale_size(scale: str, train: int, ref: int) -> int:
+    if scale == "train":
+        return train
+    if scale == "ref":
+        return ref
+    raise ValueError("unknown scale %r (use 'train' or 'ref')" % scale)
+
+
+def benchmark_table() -> str:
+    """Render the papers' Figure 6(b): benchmark, function, exec %."""
+    _ensure_loaded()
+    rows = [("Benchmark", "Function", "Exec. %", "Suite")]
+    for workload in all_workloads():
+        rows.append((workload.benchmark, workload.function_name,
+                     str(workload.exec_percent), workload.suite))
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("-" * (sum(widths) + 6))
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""SPEC ``183.equake``: ``smvp`` (63% of execution).
+
+Sparse matrix-vector product in the earthquake simulator: CSR traversal
+with indirect loads, floating-point multiply-accumulate, and the
+symmetric scatter update ``w[col] += A[k] * v[i]`` that creates
+loop-carried memory dependences through ``w``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.builder import FunctionBuilder
+from ..ir.cfg import Function
+from .common import (Workload, WorkloadInputs, register, rng_for,
+                     scale_size)
+
+MAX_NODES = 256
+MAX_NNZ = 2048
+
+
+def build() -> Function:
+    b = FunctionBuilder(
+        "smvp",
+        params=["p_aindex", "p_acol", "p_aval", "p_v", "p_w", "r_nodes"],
+        live_outs=[])
+    b.mem("aindex", MAX_NODES + 1, ptr="p_aindex")
+    b.mem("acol", MAX_NNZ, ptr="p_acol")
+    b.mem("aval", MAX_NNZ, ptr="p_aval")
+    b.mem("vvec", MAX_NODES, ptr="p_v")
+    b.mem("wvec", MAX_NODES, ptr="p_w")
+
+    b.label("entry")
+    b.movi("r_i", 0)
+    b.jmp("rows")
+
+    b.label("rows")
+    b.cmplt("r_c", "r_i", "r_nodes")
+    b.br("r_c", "row", "done")
+
+    b.label("row")
+    b.add("r_pi", "p_aindex", "r_i")
+    b.load("r_anext", "r_pi", 0, region="aindex")
+    b.load("r_alast", "r_pi", 1, region="aindex")
+    b.add("r_pv", "p_v", "r_i")
+    b.load("r_vi", "r_pv", 0, region="vvec")
+    # sum = A[anext] * v[i]   (diagonal element first)
+    b.add("r_pa", "p_aval", "r_anext")
+    b.load("r_adiag", "r_pa", 0, region="aval")
+    b.fmul("r_sum", "r_adiag", "r_vi")
+    b.add("r_k", "r_anext", 1)
+    b.jmp("cols")
+
+    b.label("cols")
+    b.cmplt("r_ck", "r_k", "r_alast")
+    b.br("r_ck", "col", "row_done")
+
+    b.label("col")
+    b.add("r_pc", "p_acol", "r_k")
+    b.load("r_col", "r_pc", 0, region="acol")
+    b.add("r_pak", "p_aval", "r_k")
+    b.load("r_a", "r_pak", 0, region="aval")
+    b.add("r_pvc", "p_v", "r_col")
+    b.load("r_vcol", "r_pvc", 0, region="vvec")
+    b.fmul("r_t", "r_a", "r_vcol")
+    b.fadd("r_sum", "r_sum", "r_t")
+    # Symmetric update: w[col] += A[k] * v[i]
+    b.fmul("r_u", "r_a", "r_vi")
+    b.add("r_pwc", "p_w", "r_col")
+    b.load("r_wcol", "r_pwc", 0, region="wvec")
+    b.fadd("r_wcol", "r_wcol", "r_u")
+    b.store("r_pwc", "r_wcol", 0, region="wvec")
+    b.add("r_k", "r_k", 1)
+    b.jmp("cols")
+
+    b.label("row_done")
+    b.add("r_pw", "p_w", "r_i")
+    b.load("r_wi", "r_pw", 0, region="wvec")
+    b.fadd("r_wi", "r_wi", "r_sum")
+    b.store("r_pw", "r_wi", 0, region="wvec")
+    b.add("r_i", "r_i", 1)
+    b.jmp("rows")
+
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+def reference(inputs: WorkloadInputs) -> Dict[str, object]:
+    aindex = inputs.memory["aindex"]
+    acol = inputs.memory["acol"]
+    aval = inputs.memory["aval"]
+    v = inputs.memory["vvec"]
+    w = list(inputs.memory["wvec"])
+    nodes = inputs.args["r_nodes"]
+    for i in range(nodes):
+        anext, alast = aindex[i], aindex[i + 1]
+        total = aval[anext] * v[i]
+        for k in range(anext + 1, alast):
+            col = acol[k]
+            total += aval[k] * v[col]
+            w[col] += aval[k] * v[i]
+        w[i] += total
+    return {"wvec": w}
+
+
+def _inputs(scale: str) -> WorkloadInputs:
+    nodes = scale_size(scale, train=20, ref=150)
+    per_row = scale_size(scale, train=4, ref=8)
+    rng = rng_for("equake", scale)
+    aindex: List[int] = [0] * (MAX_NODES + 1)
+    acol: List[int] = [0] * MAX_NNZ
+    aval: List[float] = [0.0] * MAX_NNZ
+    k = 0
+    for i in range(nodes):
+        aindex[i] = k
+        # Diagonal entry first, then strictly-upper random columns.
+        acol[k] = i
+        aval[k] = rng.uniform(1.0, 4.0)
+        k += 1
+        n_off = rng.randrange(1, per_row + 1)
+        columns = sorted({rng.randrange(i + 1, nodes)
+                          for _ in range(n_off)} - {i}) if i + 1 < nodes \
+            else []
+        for col in columns:
+            acol[k] = col
+            aval[k] = rng.uniform(-1.0, 1.0)
+            k += 1
+    aindex[nodes] = k
+    v = [rng.uniform(-2.0, 2.0) for _ in range(nodes)]
+    v += [0.0] * (MAX_NODES - nodes)
+    return WorkloadInputs(
+        args={"r_nodes": nodes},
+        memory={"aindex": aindex, "acol": acol, "aval": aval,
+                "vvec": v, "wvec": [0.0] * MAX_NODES})
+
+
+register(Workload(
+    name="183.equake", benchmark="183.equake", function_name="smvp",
+    exec_percent=63, suite="SPEC-CPU", build=build,
+    make_inputs=_inputs, reference=reference,
+    output_objects=("wvec",),
+    description="symmetric sparse matrix-vector product (CSR)"))

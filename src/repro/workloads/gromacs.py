@@ -1,0 +1,182 @@
+"""SPEC ``435.gromacs``: ``inl1130`` (75% of execution).
+
+The water-water non-bonded inner loop: for each j-neighbor, compute the
+oxygen-oxygen interaction (Lennard-Jones + Coulomb) and the two
+oxygen-hydrogen Coulomb interactions, each needing a reciprocal square
+root, and accumulate forces on both molecules.  (The original unrolls all
+nine site pairs; three capture the structure — dense dependent FP chains
+with reciprocal square roots — at a third of the code size.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..ir.builder import FunctionBuilder
+from ..ir.cfg import Function
+from .common import (Workload, WorkloadInputs, register, rng_for,
+                     scale_size)
+
+MAX_SITES = 512
+
+
+def _site_interaction(b: FunctionBuilder, tag: int, qq_reg: str,
+                      with_lj: bool, ix: str, iy: str, iz: str,
+                      offset: int) -> None:
+    """Emit one site-site interaction against j-site ``j3+offset``."""
+    s = "_%d" % tag
+    b.add("r_pjx" + s, "p_x", "r_j3")
+    b.load("r_jx" + s, "r_pjx" + s, offset, region="sx")
+    b.add("r_pjy" + s, "p_y", "r_j3")
+    b.load("r_jy" + s, "r_pjy" + s, offset, region="sy")
+    b.add("r_pjz" + s, "p_z", "r_j3")
+    b.load("r_jz" + s, "r_pjz" + s, offset, region="sz")
+    b.fsub("r_dx" + s, ix, "r_jx" + s)
+    b.fsub("r_dy" + s, iy, "r_jy" + s)
+    b.fsub("r_dz" + s, iz, "r_jz" + s)
+    b.fmul("r_r2" + s, "r_dx" + s, "r_dx" + s)
+    b.fmul("r_t" + s, "r_dy" + s, "r_dy" + s)
+    b.fadd("r_r2" + s, "r_r2" + s, "r_t" + s)
+    b.fmul("r_u" + s, "r_dz" + s, "r_dz" + s)
+    b.fadd("r_r2" + s, "r_r2" + s, "r_u" + s)
+    b.fsqrt("r_r" + s, "r_r2" + s)
+    b.fdiv("r_rinv" + s, "r_one", "r_r" + s)
+    b.fmul("r_rinvsq" + s, "r_rinv" + s, "r_rinv" + s)
+    b.fmul("r_vcoul" + s, qq_reg, "r_rinv" + s)
+    if with_lj:
+        b.fmul("r_r6" + s, "r_rinvsq" + s, "r_rinvsq" + s)
+        b.fmul("r_r6" + s, "r_r6" + s, "r_rinvsq" + s)
+        b.fmul("r_vlj" + s, "r_r6" + s, "r_r6" + s)
+        b.fsub("r_vlj" + s, "r_vlj" + s, "r_r6" + s)
+        b.fadd("r_vtot" + s, "r_vcoul" + s, "r_vlj" + s)
+    else:
+        b.mov("r_vtot" + s, "r_vcoul" + s)
+    b.fadd("r_vnbtot", "r_vnbtot", "r_vtot" + s)
+    b.fmul("r_fs" + s, "r_vtot" + s, "r_rinvsq" + s)
+    # Accumulate the i-side force; scatter the j-side reaction force.
+    b.fmul("r_fxv" + s, "r_fs" + s, "r_dx" + s)
+    b.fadd("r_fix", "r_fix", "r_fxv" + s)
+    b.add("r_pfx" + s, "p_fx", "r_j3")
+    b.load("r_ofx" + s, "r_pfx" + s, offset, region="sfx")
+    b.fsub("r_ofx" + s, "r_ofx" + s, "r_fxv" + s)
+    b.store("r_pfx" + s, "r_ofx" + s, offset, region="sfx")
+    b.fmul("r_fyv" + s, "r_fs" + s, "r_dy" + s)
+    b.fadd("r_fiy", "r_fiy", "r_fyv" + s)
+    b.add("r_pfy" + s, "p_fy", "r_j3")
+    b.load("r_ofy" + s, "r_pfy" + s, offset, region="sfy")
+    b.fsub("r_ofy" + s, "r_ofy" + s, "r_fyv" + s)
+    b.store("r_pfy" + s, "r_ofy" + s, offset, region="sfy")
+    b.fmul("r_fzv" + s, "r_fs" + s, "r_dz" + s)
+    b.fadd("r_fiz", "r_fiz", "r_fzv" + s)
+    b.add("r_pfz" + s, "p_fz", "r_j3")
+    b.load("r_ofz" + s, "r_pfz" + s, offset, region="sfz")
+    b.fsub("r_ofz" + s, "r_ofz" + s, "r_fzv" + s)
+    b.store("r_pfz" + s, "r_ofz" + s, offset, region="sfz")
+
+
+def build() -> Function:
+    b = FunctionBuilder(
+        "inl1130",
+        params=["p_jjnr", "p_x", "p_y", "p_z", "p_fx", "p_fy", "p_fz",
+                "r_nj", "r_ix", "r_iy", "r_iz", "r_qqOO", "r_qqOH"],
+        live_outs=["r_vnbtot", "r_fix", "r_fiy", "r_fiz"])
+    b.mem("jjnr", MAX_SITES, ptr="p_jjnr")
+    b.mem("sx", MAX_SITES * 3, ptr="p_x")
+    b.mem("sy", MAX_SITES * 3, ptr="p_y")
+    b.mem("sz", MAX_SITES * 3, ptr="p_z")
+    b.mem("sfx", MAX_SITES * 3, ptr="p_fx")
+    b.mem("sfy", MAX_SITES * 3, ptr="p_fy")
+    b.mem("sfz", MAX_SITES * 3, ptr="p_fz")
+
+    b.label("entry")
+    b.movi("r_vnbtot", 0.0)
+    b.movi("r_one", 1.0)
+    b.movi("r_fix", 0.0)
+    b.movi("r_fiy", 0.0)
+    b.movi("r_fiz", 0.0)
+    b.movi("r_k", 0)
+    b.jmp("jloop")
+
+    b.label("jloop")
+    b.cmplt("r_c", "r_k", "r_nj")
+    b.br("r_c", "jbody", "done")
+
+    b.label("jbody")
+    b.add("r_pj", "p_jjnr", "r_k")
+    b.load("r_jnr", "r_pj", 0, region="jjnr")
+    b.mul("r_j3", "r_jnr", 3)
+    # O-O (LJ + Coulomb), O-H1, O-H2 (Coulomb only).
+    _site_interaction(b, 0, "r_qqOO", True, "r_ix", "r_iy", "r_iz", 0)
+    _site_interaction(b, 1, "r_qqOH", False, "r_ix", "r_iy", "r_iz", 1)
+    _site_interaction(b, 2, "r_qqOH", False, "r_ix", "r_iy", "r_iz", 2)
+    b.add("r_k", "r_k", 1)
+    b.jmp("jloop")
+
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+def reference(inputs: WorkloadInputs) -> Dict[str, object]:
+    mem = inputs.memory
+    args = inputs.args
+    fx = list(mem["sfx"])
+    fy = list(mem["sfy"])
+    fz = list(mem["sfz"])
+    vnbtot = 0.0
+    fix = fiy = fiz = 0.0
+    for k in range(args["r_nj"]):
+        j3 = mem["jjnr"][k] * 3
+        for site, (qq, with_lj) in enumerate(
+                [(args["r_qqOO"], True), (args["r_qqOH"], False),
+                 (args["r_qqOH"], False)]):
+            dx = args["r_ix"] - mem["sx"][j3 + site]
+            dy = args["r_iy"] - mem["sy"][j3 + site]
+            dz = args["r_iz"] - mem["sz"][j3 + site]
+            r2 = dx * dx + dy * dy
+            r2 = r2 + dz * dz
+            rinv = 1.0 / math.sqrt(r2)
+            rinvsq = rinv * rinv
+            vcoul = qq * rinv
+            if with_lj:
+                r6 = rinvsq * rinvsq * rinvsq
+                vtot = vcoul + (r6 * r6 - r6)
+            else:
+                vtot = vcoul
+            vnbtot += vtot
+            fs = vtot * rinvsq
+            fxv, fyv, fzv = fs * dx, fs * dy, fs * dz
+            fix += fxv
+            fiy += fyv
+            fiz += fzv
+            fx[j3 + site] -= fxv
+            fy[j3 + site] -= fyv
+            fz[j3 + site] -= fzv
+    return {"r_vnbtot": vnbtot, "r_fix": fix, "r_fiy": fiy, "r_fiz": fiz,
+            "sfx": fx, "sfy": fy, "sfz": fz}
+
+
+def _inputs(scale: str) -> WorkloadInputs:
+    nj = scale_size(scale, train=20, ref=240)
+    n_mols = nj + 4
+    rng = rng_for("gromacs", scale)
+    jjnr = [rng.randrange(0, n_mols) for _ in range(nj)]
+    jjnr += [0] * (MAX_SITES - nj)
+    coords = lambda: [rng.uniform(1.0, 9.0) for _ in range(n_mols * 3)] + \
+        [0.0] * (MAX_SITES * 3 - n_mols * 3)
+    return WorkloadInputs(
+        args={"r_nj": nj, "r_ix": 5.0, "r_iy": 5.0, "r_iz": 5.0,
+              "r_qqOO": 0.7, "r_qqOH": -0.35},
+        memory={"jjnr": jjnr, "sx": coords(), "sy": coords(),
+                "sz": coords(), "sfx": [0.0] * MAX_SITES * 3,
+                "sfy": [0.0] * MAX_SITES * 3,
+                "sfz": [0.0] * MAX_SITES * 3})
+
+
+register(Workload(
+    name="435.gromacs", benchmark="435.gromacs", function_name="inl1130",
+    exec_percent=75, suite="SPEC-CPU", build=build,
+    make_inputs=_inputs, reference=reference,
+    output_objects=("sfx", "sfy", "sfz"),
+    description="water-water non-bonded inner loop (3 site pairs)"))

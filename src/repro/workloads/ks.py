@@ -1,0 +1,152 @@
+"""Pointer-Intensive ``ks``: ``FindMaxGpAndSwap`` (100% of execution).
+
+The Kernighan-Schweikert graph-partitioner's hot function: a doubly nested
+scan over the two partitions computing the gain of every candidate swap,
+tracking the maximum — the inner loop's only cross-iteration products are
+the running maximum and its argmax, i.e. *live-outs*.  This is the kernel
+where the companion text reports COCO's largest win with GREMIO (73.7%
+fewer dynamic communication instructions: the inner loop that merely
+consumed a live-out disappears from one thread).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.builder import FunctionBuilder
+from ..ir.cfg import Function
+from .common import (Workload, WorkloadInputs, register, rng_for,
+                     scale_size)
+
+MAX_N = 64
+
+
+def build() -> Function:
+    b = FunctionBuilder(
+        "FindMaxGpAndSwap",
+        params=["p_d1", "p_d2", "p_cost", "r_n"],
+        live_outs=["r_maxgain", "r_besti", "r_bestj"])
+    b.mem("d1", MAX_N, ptr="p_d1")
+    b.mem("d2", MAX_N, ptr="p_d2")
+    b.mem("cost", MAX_N * MAX_N, ptr="p_cost")
+
+    b.label("entry")
+    b.movi("r_maxgain", -1000000000)
+    b.movi("r_besti", -1)
+    b.movi("r_bestj", -1)
+    b.movi("r_i", 0)
+    b.jmp("outer")
+
+    b.label("outer")
+    b.cmplt("r_ci", "r_i", "r_n")
+    b.br("r_ci", "outer_body", "swap")
+
+    b.label("outer_body")
+    b.add("r_pd1", "p_d1", "r_i")
+    b.load("r_di", "r_pd1", 0, region="d1")
+    b.mul("r_rowbase", "r_i", "r_n")
+    b.movi("r_j", 0)
+    b.jmp("inner")
+
+    b.label("inner")
+    b.cmplt("r_cj", "r_j", "r_n")
+    b.br("r_cj", "inner_body", "outer_latch")
+
+    b.label("inner_body")
+    b.add("r_pd2", "p_d2", "r_j")
+    b.load("r_dj", "r_pd2", 0, region="d2")
+    b.add("r_off", "r_rowbase", "r_j")
+    b.add("r_pc", "p_cost", "r_off")
+    b.load("r_cw", "r_pc", 0, region="cost")
+    b.add("r_gain", "r_di", "r_dj")
+    b.shl("r_cw2", "r_cw", 1)
+    b.sub("r_gain", "r_gain", "r_cw2")
+    b.cmpgt("r_better", "r_gain", "r_maxgain")
+    b.br("r_better", "update", "inner_latch")
+    b.label("update")
+    b.mov("r_maxgain", "r_gain")
+    b.mov("r_besti", "r_i")
+    b.mov("r_bestj", "r_j")
+    b.jmp("inner_latch")
+    b.label("inner_latch")
+    b.add("r_j", "r_j", 1)
+    b.jmp("inner")
+
+    b.label("outer_latch")
+    b.add("r_i", "r_i", 1)
+    b.jmp("outer")
+
+    # The "AndSwap" part: update the D values for the chosen pair.
+    b.label("swap")
+    b.cmplt("r_valid", "r_besti", 0)
+    b.br("r_valid", "done", "do_swap")
+    b.label("do_swap")
+    b.mul("r_brow", "r_besti", "r_n")
+    b.movi("r_k", 0)
+    b.jmp("swap_loop")
+    b.label("swap_loop")
+    b.cmplt("r_ck", "r_k", "r_n")
+    b.br("r_ck", "swap_body", "done")
+    b.label("swap_body")
+    b.add("r_pci", "p_cost", "r_brow")
+    b.add("r_pci", "r_pci", "r_k")
+    b.load("r_cik", "r_pci", 0, region="cost")
+    b.shl("r_cik2", "r_cik", 1)
+    b.add("r_pd1k", "p_d1", "r_k")
+    b.load("r_d1k", "r_pd1k", 0, region="d1")
+    b.add("r_d1k", "r_d1k", "r_cik2")
+    b.store("r_pd1k", "r_d1k", 0, region="d1")
+    b.mul("r_krow", "r_k", "r_n")
+    b.add("r_pcj", "p_cost", "r_krow")
+    b.add("r_pcj", "r_pcj", "r_bestj")
+    b.load("r_ckj", "r_pcj", 0, region="cost")
+    b.shl("r_ckj2", "r_ckj", 1)
+    b.add("r_pd2k", "p_d2", "r_k")
+    b.load("r_d2k", "r_pd2k", 0, region="d2")
+    b.sub("r_d2k", "r_d2k", "r_ckj2")
+    b.store("r_pd2k", "r_d2k", 0, region="d2")
+    b.add("r_k", "r_k", 1)
+    b.jmp("swap_loop")
+
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+def reference(inputs: WorkloadInputs) -> Dict[str, object]:
+    n = inputs.args["r_n"]
+    d1 = list(inputs.memory["d1"])
+    d2 = list(inputs.memory["d2"])
+    cost = inputs.memory["cost"]
+    maxgain, besti, bestj = -1000000000, -1, -1
+    for i in range(n):
+        for j in range(n):
+            gain = d1[i] + d2[j] - 2 * cost[i * n + j]
+            if gain > maxgain:
+                maxgain, besti, bestj = gain, i, j
+    if besti >= 0:
+        for k in range(n):
+            d1[k] += 2 * cost[besti * n + k]
+            d2[k] -= 2 * cost[k * n + bestj]
+    return {"r_maxgain": maxgain, "r_besti": besti, "r_bestj": bestj,
+            "d1": d1, "d2": d2}
+
+
+def _inputs(scale: str) -> WorkloadInputs:
+    n = scale_size(scale, train=8, ref=26)
+    rng = rng_for("ks", scale)
+    return WorkloadInputs(
+        args={"r_n": n},
+        memory={
+            "d1": [rng.randrange(-40, 41) for _ in range(n)],
+            "d2": [rng.randrange(-40, 41) for _ in range(n)],
+            "cost": [rng.randrange(0, 10) for _ in range(n * n)],
+        })
+
+
+register(Workload(
+    name="ks", benchmark="ks", function_name="FindMaxGpAndSwap",
+    exec_percent=100, suite="Pointer-Intensive", build=build,
+    make_inputs=_inputs, reference=reference,
+    output_objects=("d1", "d2"),
+    description="KS partitioner max-gain swap search"))

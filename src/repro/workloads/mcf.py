@@ -1,0 +1,165 @@
+"""SPEC ``181.mcf``: ``refresh_potential`` (32% of execution).
+
+The network-simplex potential refresh: a preorder walk over the spanning
+tree stored as ``pred``/``child``/``sibling`` index links, updating each
+node's potential from its parent's — a pointer-chasing recurrence feeding
+dependent arithmetic, the canonical DSWP-style workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.builder import FunctionBuilder
+from ..ir.cfg import Function
+from .common import (Workload, WorkloadInputs, register, rng_for,
+                     scale_size)
+
+MAX_NODES = 1024
+UP = 1
+
+
+def build() -> Function:
+    b = FunctionBuilder(
+        "refresh_potential",
+        params=["p_pred", "p_child", "p_sib", "p_orient", "p_cost",
+                "p_pot", "r_root"],
+        live_outs=["r_checksum"])
+    b.mem("pred", MAX_NODES, ptr="p_pred")
+    b.mem("child", MAX_NODES, ptr="p_child")
+    b.mem("sibling", MAX_NODES, ptr="p_sib")
+    b.mem("orientation", MAX_NODES, ptr="p_orient")
+    b.mem("cost", MAX_NODES, ptr="p_cost")
+    b.mem("potential", MAX_NODES, ptr="p_pot")
+
+    b.label("entry")
+    b.movi("r_checksum", 0)
+    # node = child[root]
+    b.add("r_pc", "p_child", "r_root")
+    b.load("r_node", "r_pc", 0, region="child")
+    b.jmp("visit")
+
+    b.label("visit")
+    b.cmpeq("r_end", "r_node", 0)
+    b.br("r_end", "done", "compute")
+
+    b.label("compute")
+    b.add("r_po", "p_orient", "r_node")
+    b.load("r_orient", "r_po", 0, region="orientation")
+    b.add("r_pp", "p_pred", "r_node")
+    b.load("r_predn", "r_pp", 0, region="pred")
+    b.add("r_ppp", "p_pot", "r_predn")
+    b.load("r_ppot", "r_ppp", 0, region="potential")
+    b.add("r_pcs", "p_cost", "r_node")
+    b.load("r_cost", "r_pcs", 0, region="cost")
+    b.cmpeq("r_isup", "r_orient", UP)
+    b.br("r_isup", "orient_up", "orient_down")
+
+    b.label("orient_up")
+    b.add("r_newpot", "r_ppot", "r_cost")
+    b.jmp("store_pot")
+    b.label("orient_down")
+    b.sub("r_newpot", "r_ppot", "r_cost")
+    b.add("r_checksum", "r_checksum", 1)
+    b.jmp("store_pot")
+
+    b.label("store_pot")
+    b.add("r_ppn", "p_pot", "r_node")
+    b.store("r_ppn", "r_newpot", 0, region="potential")
+    # Advance: descend to child if any, else climb to the next sibling.
+    b.add("r_pcn", "p_child", "r_node")
+    b.load("r_kid", "r_pcn", 0, region="child")
+    b.cmpne("r_haskid", "r_kid", 0)
+    b.br("r_haskid", "descend", "climb")
+
+    b.label("descend")
+    b.mov("r_node", "r_kid")
+    b.jmp("visit")
+
+    b.label("climb")
+    b.cmpeq("r_atroot", "r_node", "r_root")
+    b.br("r_atroot", "done", "try_sibling")
+    b.label("try_sibling")
+    b.add("r_ps", "p_sib", "r_node")
+    b.load("r_sib", "r_ps", 0, region="sibling")
+    b.cmpne("r_hassib", "r_sib", 0)
+    b.br("r_hassib", "to_sibling", "to_pred")
+    b.label("to_sibling")
+    b.mov("r_node", "r_sib")
+    b.jmp("visit")
+    b.label("to_pred")
+    b.add("r_pp2", "p_pred", "r_node")
+    b.load("r_node", "r_pp2", 0, region="pred")
+    b.jmp("climb")
+
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+def reference(inputs: WorkloadInputs) -> Dict[str, object]:
+    pred = inputs.memory["pred"]
+    child = inputs.memory["child"]
+    sibling = inputs.memory["sibling"]
+    orientation = inputs.memory["orientation"]
+    cost = inputs.memory["cost"]
+    potential = list(inputs.memory["potential"])
+    root = inputs.args["r_root"]
+    checksum = 0
+    node = child[root]
+    while node != 0:
+        if orientation[node] == UP:
+            potential[node] = potential[pred[node]] + cost[node]
+        else:
+            potential[node] = potential[pred[node]] - cost[node]
+            checksum += 1
+        if child[node] != 0:
+            node = child[node]
+            continue
+        while True:
+            if node == root:
+                node = 0
+                break
+            if sibling[node] != 0:
+                node = sibling[node]
+                break
+            node = pred[node]
+    return {"r_checksum": checksum, "potential": potential}
+
+
+def _random_tree(n: int, rng) -> Dict[str, List[int]]:
+    """A random rooted tree over nodes 1..n-1 with node 0 as root, encoded
+    as pred/child/sibling index arrays (0 = none)."""
+    pred = [0] * MAX_NODES
+    child = [0] * MAX_NODES
+    sibling = [0] * MAX_NODES
+    for node in range(1, n):
+        parent = rng.randrange(0, node)
+        pred[node] = parent
+        # Push-front into the parent's child list.
+        sibling[node] = child[parent]
+        child[parent] = node
+    return {"pred": pred, "child": child, "sibling": sibling}
+
+
+def _inputs(scale: str) -> WorkloadInputs:
+    n = scale_size(scale, train=60, ref=1000)
+    rng = rng_for("mcf", scale)
+    tree = _random_tree(n, rng)
+    orientation = [rng.randrange(0, 2) for _ in range(MAX_NODES)]
+    cost = [rng.randrange(1, 100) for _ in range(MAX_NODES)]
+    potential = [0] * MAX_NODES
+    potential[0] = 1000  # the root's potential is set by the caller
+    return WorkloadInputs(
+        args={"r_root": 0},
+        memory={"pred": tree["pred"], "child": tree["child"],
+                "sibling": tree["sibling"], "orientation": orientation,
+                "cost": cost, "potential": potential})
+
+
+register(Workload(
+    name="181.mcf", benchmark="181.mcf", function_name="refresh_potential",
+    exec_percent=32, suite="SPEC-CPU", build=build,
+    make_inputs=_inputs, reference=reference,
+    output_objects=("potential",),
+    description="network-simplex tree potential refresh (pointer chase)"))

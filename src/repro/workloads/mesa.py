@@ -1,0 +1,128 @@
+"""SPEC ``177.mesa``: ``general_textured_triangle`` (32% of execution).
+
+The rasterizer's textured-span inner loop: fixed-point interpolation of the
+texture coordinates and depth across a scanline, a texel fetch through
+computed indices, and a per-pixel depth test guarding the framebuffer and
+z-buffer writes.  (Fixed-point integer arithmetic stands in for Mesa's
+float interpolants; the loop/branch/memory structure is preserved.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.builder import FunctionBuilder
+from ..ir.cfg import Function
+from .common import (Workload, WorkloadInputs, register, rng_for,
+                     scale_size)
+
+TEX_W = 16
+TEX_H = 16
+MAX_SPAN = 1024
+FIX = 8  # fixed-point fraction bits
+
+
+def build() -> Function:
+    b = FunctionBuilder(
+        "general_textured_triangle",
+        params=["p_tex", "p_fb", "p_zb", "r_len", "r_s0", "r_ds", "r_t0",
+                "r_dt", "r_z0", "r_dz", "r_intensity"],
+        live_outs=["r_written"])
+    b.mem("texture", TEX_W * TEX_H, ptr="p_tex")
+    b.mem("framebuffer", MAX_SPAN, ptr="p_fb")
+    b.mem("zbuffer", MAX_SPAN, ptr="p_zb")
+
+    b.label("entry")
+    b.movi("r_written", 0)
+    b.mov("r_s", "r_s0")
+    b.mov("r_t", "r_t0")
+    b.mov("r_z", "r_z0")
+    b.movi("r_i", 0)
+    b.jmp("span")
+
+    b.label("span")
+    b.cmplt("r_c", "r_i", "r_len")
+    b.br("r_c", "pixel", "done")
+
+    b.label("pixel")
+    # Texel index from fixed-point s/t, wrapped to the texture size.
+    b.shr("r_si", "r_s", FIX)
+    b.and_("r_si", "r_si", TEX_W - 1)
+    b.shr("r_ti", "r_t", FIX)
+    b.and_("r_ti", "r_ti", TEX_H - 1)
+    b.mul("r_trow", "r_ti", TEX_W)
+    b.add("r_tidx", "r_trow", "r_si")
+    b.add("r_pt", "p_tex", "r_tidx")
+    b.load("r_texel", "r_pt", 0, region="texture")
+    # Depth test.
+    b.add("r_pz", "p_zb", "r_i")
+    b.load("r_zold", "r_pz", 0, region="zbuffer")
+    b.cmplt("r_pass", "r_z", "r_zold")
+    b.br("r_pass", "write", "advance")
+
+    b.label("write")
+    b.store("r_pz", "r_z", 0, region="zbuffer")
+    b.mul("r_color", "r_texel", "r_intensity")
+    b.shr("r_color", "r_color", FIX)
+    b.add("r_pf", "p_fb", "r_i")
+    b.store("r_pf", "r_color", 0, region="framebuffer")
+    b.add("r_written", "r_written", 1)
+    b.jmp("advance")
+
+    b.label("advance")
+    b.add("r_s", "r_s", "r_ds")
+    b.add("r_t", "r_t", "r_dt")
+    b.add("r_z", "r_z", "r_dz")
+    b.add("r_i", "r_i", 1)
+    b.jmp("span")
+
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+def reference(inputs: WorkloadInputs) -> Dict[str, object]:
+    args = inputs.args
+    tex = inputs.memory["texture"]
+    fb = list(inputs.memory["framebuffer"])
+    zb = list(inputs.memory["zbuffer"])
+    s, t, z = args["r_s0"], args["r_t0"], args["r_z0"]
+    written = 0
+    for i in range(args["r_len"]):
+        si = (s >> FIX) & (TEX_W - 1)
+        ti = (t >> FIX) & (TEX_H - 1)
+        texel = tex[ti * TEX_W + si]
+        if z < zb[i]:
+            zb[i] = z
+            fb[i] = (texel * args["r_intensity"]) >> FIX
+            written += 1
+        s += args["r_ds"]
+        t += args["r_dt"]
+        z += args["r_dz"]
+    return {"r_written": written, "framebuffer": fb, "zbuffer": zb}
+
+
+def _inputs(scale: str) -> WorkloadInputs:
+    length = scale_size(scale, train=80, ref=1000)
+    rng = rng_for("mesa", scale)
+    texture = [rng.randrange(0, 256) for _ in range(TEX_W * TEX_H)]
+    zbuffer = [rng.randrange(100, 1000) for _ in range(MAX_SPAN)]
+    return WorkloadInputs(
+        args={"r_len": length, "r_s0": rng.randrange(0, 1 << FIX),
+              "r_ds": rng.randrange(20, 90),
+              "r_t0": rng.randrange(0, 1 << FIX),
+              "r_dt": rng.randrange(20, 90),
+              "r_z0": 90, "r_dz": 2,
+              "r_intensity": rng.randrange(128, 256)},
+        memory={"texture": texture,
+                "framebuffer": [0] * MAX_SPAN,
+                "zbuffer": zbuffer})
+
+
+register(Workload(
+    name="177.mesa", benchmark="177.mesa",
+    function_name="general_textured_triangle",
+    exec_percent=32, suite="SPEC-CPU", build=build,
+    make_inputs=_inputs, reference=reference,
+    output_objects=("framebuffer", "zbuffer"),
+    description="textured span rasterization with depth test"))

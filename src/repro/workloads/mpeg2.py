@@ -1,0 +1,112 @@
+"""MediaBench ``mpeg2enc``: ``dist1`` (58% of execution).
+
+Sum-of-absolute-differences between a candidate and a reference 16-wide
+block, with the original's early-exit test against ``distlim`` after each
+row — a data-dependent loop exit that makes the control flow irregular.
+(The half-pel interpolation variants of the original are not modeled; the
+common integer-pel path dominates.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.builder import FunctionBuilder
+from ..ir.cfg import Function
+from .common import (Workload, WorkloadInputs, register, rng_for,
+                     scale_size)
+
+WIDTH = 16
+MAX_PIX = 16 * 64
+
+
+def build() -> Function:
+    b = FunctionBuilder(
+        "dist1",
+        params=["p_blk1", "p_blk2", "r_lx", "r_h", "r_distlim"],
+        live_outs=["r_s"])
+    b.mem("blk1", MAX_PIX, ptr="p_blk1")
+    b.mem("blk2", MAX_PIX, ptr="p_blk2")
+
+    b.label("entry")
+    b.movi("r_s", 0)
+    b.movi("r_j", 0)
+    b.mov("r_row1", "p_blk1")
+    b.mov("r_row2", "p_blk2")
+    b.jmp("rows")
+
+    b.label("rows")
+    b.cmplt("r_cj", "r_j", "r_h")
+    b.br("r_cj", "row_body", "done")
+
+    b.label("row_body")
+    b.movi("r_i", 0)
+    b.jmp("cols")
+
+    b.label("cols")
+    b.cmplt("r_ci", "r_i", WIDTH)
+    b.br("r_ci", "col_body", "row_latch")
+
+    b.label("col_body")
+    b.add("r_p1", "r_row1", "r_i")
+    b.load("r_v1", "r_p1", 0, region="blk1")
+    b.add("r_p2", "r_row2", "r_i")
+    b.load("r_v2", "r_p2", 0, region="blk2")
+    b.sub("r_v", "r_v1", "r_v2")
+    b.abs("r_v", "r_v")
+    b.add("r_s", "r_s", "r_v")
+    b.add("r_i", "r_i", 1)
+    b.jmp("cols")
+
+    b.label("row_latch")
+    # Early exit: if s > distlim, stop scanning rows.
+    b.cmpgt("r_over", "r_s", "r_distlim")
+    b.br("r_over", "done", "next_row")
+    b.label("next_row")
+    b.add("r_row1", "r_row1", "r_lx")
+    b.add("r_row2", "r_row2", "r_lx")
+    b.add("r_j", "r_j", 1)
+    b.jmp("rows")
+
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+def reference(inputs: WorkloadInputs) -> Dict[str, object]:
+    blk1 = inputs.memory["blk1"]
+    blk2 = inputs.memory["blk2"]
+    lx = inputs.args["r_lx"]
+    h = inputs.args["r_h"]
+    distlim = inputs.args["r_distlim"]
+    s = 0
+    for j in range(h):
+        for i in range(WIDTH):
+            s += abs(blk1[j * lx + i] - blk2[j * lx + i])
+        if s > distlim:
+            break
+    return {"r_s": s}
+
+
+def _inputs(scale: str) -> WorkloadInputs:
+    h = scale_size(scale, train=8, ref=16)
+    repeats = scale_size(scale, train=2, ref=4)
+    del repeats  # single call; the driver may loop externally
+    rng = rng_for("mpeg2enc", scale)
+    lx = WIDTH
+    pixels = lx * h
+    blk1 = [rng.randrange(0, 256) for _ in range(pixels)]
+    # blk2 is a noisy copy so the SAD is small and the early exit is rare
+    # but reachable (as in real motion estimation).
+    blk2 = [max(0, min(255, value + rng.randrange(-12, 13)))
+            for value in blk1]
+    return WorkloadInputs(
+        args={"r_lx": lx, "r_h": h, "r_distlim": 32 * h * 4},
+        memory={"blk1": blk1, "blk2": blk2})
+
+
+register(Workload(
+    name="mpeg2enc", benchmark="mpeg2enc", function_name="dist1",
+    exec_percent=58, suite="MediaBench", build=build,
+    make_inputs=_inputs, reference=reference,
+    description="16-wide SAD with early exit (motion estimation)"))

@@ -1,0 +1,226 @@
+"""SPEC ``458.sjeng``: ``std_eval`` (26% of execution).
+
+The chess static evaluator's board scan: for each of the 64 squares,
+branch on the piece type, add the piece-square-table bonus and material
+value, and apply simple pawn-structure checks (doubled/isolated pawns via
+neighboring-file lookups) — a long data-dependent branch chain per
+iteration, the most control-heavy kernel in the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.builder import FunctionBuilder
+from ..ir.cfg import Function
+from .common import (Workload, WorkloadInputs, register, rng_for,
+                     scale_size)
+
+BOARD = 64
+EMPTY, WPAWN, WKNIGHT, WBISHOP, WROOK, WQUEEN, WKING = range(7)
+BPAWN, BKNIGHT, BBISHOP, BROOK, BQUEEN, BKING = range(7, 13)
+MATERIAL = {WPAWN: 100, WKNIGHT: 310, WBISHOP: 325, WROOK: 500,
+            WQUEEN: 900, WKING: 0}
+
+
+def build() -> Function:
+    b = FunctionBuilder(
+        "std_eval",
+        params=["p_board", "p_pst", "p_pawnfile", "r_rounds"],
+        live_outs=["r_score"])
+    b.mem("board", BOARD, ptr="p_board")
+    # One piece-square table per piece kind (13 x 64).
+    b.mem("pst", 13 * BOARD, ptr="p_pst")
+    b.mem("pawnfile", 16, ptr="p_pawnfile")
+
+    b.label("entry")
+    b.movi("r_score", 0)
+    b.movi("r_round", 0)
+    b.jmp("rounds")
+
+    # The original is called once per node; r_rounds models repeated calls
+    # on perturbed boards within the measured region.
+    b.label("rounds")
+    b.cmplt("r_cr", "r_round", "r_rounds")
+    b.br("r_cr", "scan_init", "done")
+
+    b.label("scan_init")
+    b.movi("r_sq", 0)
+    b.jmp("scan")
+
+    b.label("scan")
+    b.cmplt("r_c", "r_sq", BOARD)
+    b.br("r_c", "square", "round_latch")
+
+    b.label("square")
+    b.add("r_pb", "p_board", "r_sq")
+    b.load("r_piece", "r_pb", 0, region="board")
+    b.cmpeq("r_isempty", "r_piece", EMPTY)
+    b.br("r_isempty", "next_sq", "classify")
+
+    b.label("classify")
+    # score += sign * (material[piece] + pst[piece*64 + sq])
+    b.mul("r_prow", "r_piece", BOARD)
+    b.add("r_pidx", "r_prow", "r_sq")
+    b.add("r_ppst", "p_pst", "r_pidx")
+    b.load("r_bonus", "r_ppst", 0, region="pst")
+    b.cmple("r_iswhite", "r_piece", WKING)
+    b.br("r_iswhite", "white_piece", "black_piece")
+
+    b.label("white_piece")
+    b.add("r_score", "r_score", "r_bonus")
+    b.cmpeq("r_iswp", "r_piece", WPAWN)
+    b.br("r_iswp", "white_pawn", "white_major")
+    b.label("white_pawn")
+    # Doubled/isolated pawn checks via file counters.
+    b.and_("r_file", "r_sq", 7)
+    b.add("r_ppf", "p_pawnfile", "r_file")
+    b.load("r_fcount", "r_ppf", 0, region="pawnfile")
+    b.cmpgt("r_doubled", "r_fcount", 0)
+    b.br("r_doubled", "penalize_doubled", "count_pawn")
+    b.label("penalize_doubled")
+    b.sub("r_score", "r_score", 12)
+    b.jmp("count_pawn")
+    b.label("count_pawn")
+    b.add("r_fcount", "r_fcount", 1)
+    b.store("r_ppf", "r_fcount", 0, region="pawnfile")
+    b.add("r_score", "r_score", 100)
+    b.jmp("next_sq")
+    b.label("white_major")
+    b.cmpeq("r_iswn", "r_piece", WKNIGHT)
+    b.br("r_iswn", "white_knight", "white_rest")
+    b.label("white_knight")
+    b.add("r_score", "r_score", 310)
+    b.jmp("next_sq")
+    b.label("white_rest")
+    b.cmpeq("r_iswb", "r_piece", WBISHOP)
+    b.br("r_iswb", "white_bishop", "white_rook_q")
+    b.label("white_bishop")
+    b.add("r_score", "r_score", 325)
+    b.jmp("next_sq")
+    b.label("white_rook_q")
+    b.cmpeq("r_iswr", "r_piece", WROOK)
+    b.br("r_iswr", "white_rook", "white_queen_k")
+    b.label("white_rook")
+    b.add("r_score", "r_score", 500)
+    b.jmp("next_sq")
+    b.label("white_queen_k")
+    b.cmpeq("r_iswq", "r_piece", WQUEEN)
+    b.br("r_iswq", "white_queen", "next_sq")
+    b.label("white_queen")
+    b.add("r_score", "r_score", 900)
+    b.jmp("next_sq")
+
+    b.label("black_piece")
+    b.sub("r_score", "r_score", "r_bonus")
+    b.sub("r_kind", "r_piece", 6)  # map to white piece kind
+    b.cmpeq("r_isbp", "r_kind", WPAWN)
+    b.br("r_isbp", "black_pawn", "black_major")
+    b.label("black_pawn")
+    b.sub("r_score", "r_score", 100)
+    b.jmp("next_sq")
+    b.label("black_major")
+    b.cmpeq("r_isbn", "r_kind", WKNIGHT)
+    b.br("r_isbn", "black_knight", "black_rest")
+    b.label("black_knight")
+    b.sub("r_score", "r_score", 310)
+    b.jmp("next_sq")
+    b.label("black_rest")
+    b.cmpeq("r_isbb", "r_kind", WBISHOP)
+    b.br("r_isbb", "black_bishop", "black_rook_q")
+    b.label("black_bishop")
+    b.sub("r_score", "r_score", 325)
+    b.jmp("next_sq")
+    b.label("black_rook_q")
+    b.cmpeq("r_isbr", "r_kind", WROOK)
+    b.br("r_isbr", "black_rook", "black_queen_k")
+    b.label("black_rook")
+    b.sub("r_score", "r_score", 500)
+    b.jmp("next_sq")
+    b.label("black_queen_k")
+    b.cmpeq("r_isbq", "r_kind", WQUEEN)
+    b.br("r_isbq", "black_queen", "next_sq")
+    b.label("black_queen")
+    b.sub("r_score", "r_score", 900)
+    b.jmp("next_sq")
+
+    b.label("next_sq")
+    b.add("r_sq", "r_sq", 1)
+    b.jmp("scan")
+
+    b.label("round_latch")
+    b.add("r_round", "r_round", 1)
+    b.jmp("rounds")
+
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+def reference(inputs: WorkloadInputs) -> Dict[str, object]:
+    board = inputs.memory["board"]
+    pst = inputs.memory["pst"]
+    pawnfile = list(inputs.memory["pawnfile"])
+    rounds = inputs.args["r_rounds"]
+    score = 0
+    for _ in range(rounds):
+        for sq in range(BOARD):
+            piece = board[sq]
+            if piece == EMPTY:
+                continue
+            bonus = pst[piece * BOARD + sq]
+            if piece <= WKING:
+                score += bonus
+                if piece == WPAWN:
+                    file_ = sq & 7
+                    if pawnfile[file_] > 0:
+                        score -= 12
+                    pawnfile[file_] += 1
+                    score += 100
+                elif piece == WKNIGHT:
+                    score += 310
+                elif piece == WBISHOP:
+                    score += 325
+                elif piece == WROOK:
+                    score += 500
+                elif piece == WQUEEN:
+                    score += 900
+            else:
+                score -= bonus
+                kind = piece - 6
+                if kind == WPAWN:
+                    score -= 100
+                elif kind == WKNIGHT:
+                    score -= 310
+                elif kind == WBISHOP:
+                    score -= 325
+                elif kind == WROOK:
+                    score -= 500
+                elif kind == WQUEEN:
+                    score -= 900
+    return {"r_score": score, "pawnfile": pawnfile}
+
+
+def _inputs(scale: str) -> WorkloadInputs:
+    rounds = scale_size(scale, train=2, ref=24)
+    rng = rng_for("sjeng", scale)
+    pieces = ([WPAWN] * 8 + [BPAWN] * 8
+              + [WKNIGHT, WBISHOP, WROOK, WQUEEN, WKING]
+              + [BKNIGHT, BBISHOP, BROOK, BQUEEN, BKING])
+    board: List[int] = [EMPTY] * BOARD
+    squares = list(range(BOARD))
+    rng.shuffle(squares)
+    for piece, square in zip(pieces, squares):
+        board[square] = piece
+    pst = [rng.randrange(-20, 21) for _ in range(13 * BOARD)]
+    return WorkloadInputs(
+        args={"r_rounds": rounds},
+        memory={"board": board, "pst": pst, "pawnfile": [0] * 16})
+
+
+register(Workload(
+    name="458.sjeng", benchmark="458.sjeng", function_name="std_eval",
+    exec_percent=26, suite="SPEC-CPU", build=build,
+    make_inputs=_inputs, reference=reference,
+    output_objects=("pawnfile",),
+    description="chess static evaluation board scan"))

@@ -1,0 +1,156 @@
+"""SPEC ``300.twolf``: ``new_dbox_a`` (30% of execution).
+
+The placer's net bounding-box cost recomputation: for each net attached to
+a moved cell, rescan the net's terminals, rebuild the bounding box with
+running min/max updates (data-dependent branches in the original), and
+accumulate the half-perimeter wire-length delta against the old cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.builder import FunctionBuilder
+from ..ir.cfg import Function
+from .common import (Workload, WorkloadInputs, register, rng_for,
+                     scale_size)
+
+MAX_NETS = 64
+MAX_TERMS = 1024
+
+
+def build() -> Function:
+    b = FunctionBuilder(
+        "new_dbox_a",
+        params=["p_netptr", "p_termx", "p_termy", "p_oldcost", "r_nnets"],
+        live_outs=["r_delta"])
+    b.mem("netptr", MAX_NETS + 1, ptr="p_netptr")
+    b.mem("termx", MAX_TERMS, ptr="p_termx")
+    b.mem("termy", MAX_TERMS, ptr="p_termy")
+    b.mem("oldcost", MAX_NETS, ptr="p_oldcost")
+
+    b.label("entry")
+    b.movi("r_delta", 0)
+    b.movi("r_net", 0)
+    b.jmp("nets")
+
+    b.label("nets")
+    b.cmplt("r_c", "r_net", "r_nnets")
+    b.br("r_c", "net", "done")
+
+    b.label("net")
+    b.add("r_pn", "p_netptr", "r_net")
+    b.load("r_t", "r_pn", 0, region="netptr")
+    b.load("r_tend", "r_pn", 1, region="netptr")
+    b.movi("r_xmin", 1000000)
+    b.movi("r_xmax", -1000000)
+    b.movi("r_ymin", 1000000)
+    b.movi("r_ymax", -1000000)
+    b.jmp("terms")
+
+    b.label("terms")
+    b.cmplt("r_ct", "r_t", "r_tend")
+    b.br("r_ct", "term", "net_done")
+
+    b.label("term")
+    b.add("r_px", "p_termx", "r_t")
+    b.load("r_x", "r_px", 0, region="termx")
+    b.add("r_py", "p_termy", "r_t")
+    b.load("r_y", "r_py", 0, region="termy")
+    # Running bounding-box updates (branches, as in the original).
+    b.cmplt("r_bx1", "r_x", "r_xmin")
+    b.br("r_bx1", "xmin_upd", "xmin_ok")
+    b.label("xmin_upd")
+    b.mov("r_xmin", "r_x")
+    b.jmp("xmin_ok")
+    b.label("xmin_ok")
+    b.cmpgt("r_bx2", "r_x", "r_xmax")
+    b.br("r_bx2", "xmax_upd", "xmax_ok")
+    b.label("xmax_upd")
+    b.mov("r_xmax", "r_x")
+    b.jmp("xmax_ok")
+    b.label("xmax_ok")
+    b.cmplt("r_by1", "r_y", "r_ymin")
+    b.br("r_by1", "ymin_upd", "ymin_ok")
+    b.label("ymin_upd")
+    b.mov("r_ymin", "r_y")
+    b.jmp("ymin_ok")
+    b.label("ymin_ok")
+    b.cmpgt("r_by2", "r_y", "r_ymax")
+    b.br("r_by2", "ymax_upd", "ymax_ok")
+    b.label("ymax_upd")
+    b.mov("r_ymax", "r_y")
+    b.jmp("ymax_ok")
+    b.label("ymax_ok")
+    b.add("r_t", "r_t", 1)
+    b.jmp("terms")
+
+    b.label("net_done")
+    b.sub("r_w", "r_xmax", "r_xmin")
+    b.sub("r_h", "r_ymax", "r_ymin")
+    b.add("r_newcost", "r_w", "r_h")
+    b.add("r_poc", "p_oldcost", "r_net")
+    b.load("r_old", "r_poc", 0, region="oldcost")
+    b.sub("r_d", "r_newcost", "r_old")
+    b.add("r_delta", "r_delta", "r_d")
+    b.store("r_poc", "r_newcost", 0, region="oldcost")
+    b.add("r_net", "r_net", 1)
+    b.jmp("nets")
+
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+def reference(inputs: WorkloadInputs) -> Dict[str, object]:
+    netptr = inputs.memory["netptr"]
+    termx = inputs.memory["termx"]
+    termy = inputs.memory["termy"]
+    oldcost = list(inputs.memory["oldcost"])
+    nnets = inputs.args["r_nnets"]
+    delta = 0
+    for net in range(nnets):
+        xs = termx[netptr[net]:netptr[net + 1]]
+        ys = termy[netptr[net]:netptr[net + 1]]
+        xmin, xmax = 1000000, -1000000
+        ymin, ymax = 1000000, -1000000
+        for x, y in zip(xs, ys):
+            xmin, xmax = min(xmin, x), max(xmax, x)
+            ymin, ymax = min(ymin, y), max(ymax, y)
+        newcost = (xmax - xmin) + (ymax - ymin)
+        delta += newcost - oldcost[net]
+        oldcost[net] = newcost
+    return {"r_delta": delta, "oldcost": oldcost}
+
+
+def _inputs(scale: str) -> WorkloadInputs:
+    nnets = scale_size(scale, train=8, ref=55)
+    terms_per_net = scale_size(scale, train=5, ref=16)
+    rng = rng_for("twolf", scale)
+    netptr: List[int] = [0] * (MAX_NETS + 1)
+    termx: List[int] = []
+    termy: List[int] = []
+    cursor = 0
+    for net in range(nnets):
+        netptr[net] = cursor
+        count = rng.randrange(2, terms_per_net + 1)
+        for _ in range(count):
+            termx.append(rng.randrange(0, 2000))
+            termy.append(rng.randrange(0, 2000))
+        cursor += count
+    netptr[nnets] = cursor
+    termx += [0] * (MAX_TERMS - len(termx))
+    termy += [0] * (MAX_TERMS - len(termy))
+    return WorkloadInputs(
+        args={"r_nnets": nnets},
+        memory={"netptr": netptr, "termx": termx, "termy": termy,
+                "oldcost": [rng.randrange(100, 3000)
+                            for _ in range(MAX_NETS)]})
+
+
+register(Workload(
+    name="300.twolf", benchmark="300.twolf", function_name="new_dbox_a",
+    exec_percent=30, suite="SPEC-CPU", build=build,
+    make_inputs=_inputs, reference=reference,
+    output_objects=("oldcost",),
+    description="net bounding-box wire-length recomputation"))

@@ -1,0 +1,32 @@
+"""A pipeline-friendly loop: a multiply recurrence feeding an independent
+body chain.  Splitting recurrence from body overlaps their serial latency
+chains — the classic DSWP win on in-order cores."""
+
+from repro.ir import Function, FunctionBuilder
+
+
+def build_pipeline_loop() -> Function:
+    b = FunctionBuilder("pipeline_loop", params=["r_n"], live_outs=["r_s"])
+    b.label("entry")
+    b.movi("r_x", 7)
+    b.movi("r_s", 0)
+    b.movi("r_i", 0)
+    b.jmp("header")
+    b.label("header")
+    b.cmplt("r_c", "r_i", "r_n")
+    b.br("r_c", "body", "done")
+    b.label("body")
+    # Stage-0 material: the x recurrence (3-cycle multiply chain).
+    b.mul("r_x", "r_x", 3)
+    b.and_("r_x", "r_x", 1023)
+    b.add("r_x", "r_x", 1)
+    # Stage-1 material: a dependent work chain on x.
+    b.mul("r_t1", "r_x", "r_x")
+    b.mul("r_t2", "r_t1", "r_x")
+    b.add("r_t3", "r_t2", "r_t1")
+    b.add("r_s", "r_s", "r_t3")
+    b.add("r_i", "r_i", 1)
+    b.jmp("header")
+    b.label("done")
+    b.exit()
+    return b.build()

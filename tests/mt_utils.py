@@ -1,0 +1,72 @@
+"""Shared machinery for multi-threaded correctness tests.
+
+``assert_equivalent`` is the central oracle of this repository: for a given
+function, inputs, and partition, MTCG's output simulated on the functional
+machine must produce exactly the single-threaded interpreter's live-out
+values and memory state, without deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.analysis import build_pdg
+from repro.interp import run_function
+from repro.ir import Function
+from repro.machine import run_mt_program
+from repro.mtcg import generate
+from repro.partition import Partition
+
+
+def make_mt(function: Function, partition: Partition,
+            data_channels=None):
+    pdg = build_pdg(function)
+    return generate(function, pdg, partition, data_channels=data_channels)
+
+
+def assert_equivalent(function: Function, partition: Partition,
+                      args: Mapping[str, object] = (),
+                      initial_memory: Mapping[str, object] = (),
+                      queue_capacity: int = 32,
+                      mt_program=None):
+    """Run single-threaded and multi-threaded; compare results."""
+    if mt_program is None:
+        mt_program = make_mt(function, partition)
+    st = run_function(function, args, initial_memory)
+    mt = run_mt_program(mt_program, args, initial_memory,
+                        queue_capacity=queue_capacity)
+    assert mt.live_outs == st.live_outs, (
+        "live-outs differ: MT=%r ST=%r" % (mt.live_outs, st.live_outs))
+    assert mt.memory.snapshot() == st.memory.snapshot(), "memory differs"
+    assert mt.queues.all_empty(), "values left in queues"
+    return st, mt
+
+
+def round_robin_partition(function: Function, n_threads: int,
+                          stride: int = 1) -> Partition:
+    """A deliberately adversarial partition: instructions dealt round-robin
+    across threads (terminators pinned with the exit on thread 0)."""
+    from repro.ir import Opcode
+    assignment = {}
+    counter = 0
+    for instruction in function.instructions():
+        if instruction.op is Opcode.EXIT:
+            assignment[instruction.iid] = 0
+        else:
+            assignment[instruction.iid] = (counter // stride) % n_threads
+            counter += 1
+    return Partition(function, n_threads, assignment)
+
+
+def block_level_partition(function: Function, n_threads: int) -> Partition:
+    """Whole blocks dealt round-robin (exits pinned to thread 0)."""
+    from repro.ir import Opcode
+    assignment = {}
+    for index, block in enumerate(function.blocks):
+        thread = index % n_threads
+        for instruction in block:
+            if instruction.op is Opcode.EXIT:
+                assignment[instruction.iid] = 0
+            else:
+                assignment[instruction.iid] = thread
+    return Partition(function, n_threads, assignment)

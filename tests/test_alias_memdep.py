@@ -1,0 +1,153 @@
+"""Tests for the alias analysis (all modes) and memory dependence arcs."""
+
+import pytest
+
+from repro.analysis import AliasAnalysis, build_pdg, memory_dependences
+from repro.analysis.pdg import DepKind
+from repro.ir import FunctionBuilder, Opcode
+
+from .helpers import build_memory_loop
+
+
+def _two_array_kernel():
+    """Load from a, store to b, both addressed off distinct pointers."""
+    b = FunctionBuilder("two_arrays", params=["p_a", "p_b", "r_n"])
+    b.mem("arr_a", 16, ptr="p_a")
+    b.mem("arr_b", 16, ptr="p_b")
+    b.label("entry")
+    b.movi("r_i", 0)
+    b.jmp("loop")
+    b.label("loop")
+    b.cmplt("r_c", "r_i", "r_n")
+    b.br("r_c", "body", "done")
+    b.label("body")
+    b.add("r_pa", "p_a", "r_i")
+    b.load("r_v", "r_pa")
+    b.add("r_pb", "p_b", "r_i")
+    b.store("r_pb", "r_v")
+    b.add("r_i", "r_i", 1)
+    b.jmp("loop")
+    b.label("done")
+    b.exit()
+    return b.build()
+
+
+class TestProvenance:
+    def test_pointer_params_tracked(self):
+        f = _two_array_kernel()
+        alias = AliasAnalysis(f)
+        assert alias.register_provenance("p_a") == frozenset({"arr_a"})
+        assert alias.register_provenance("r_pa") == frozenset({"arr_a"})
+        assert alias.register_provenance("r_pb") == frozenset({"arr_b"})
+
+    def test_non_pointer_has_empty_provenance(self):
+        f = _two_array_kernel()
+        alias = AliasAnalysis(f)
+        assert alias.register_provenance("r_i") == frozenset()
+        assert alias.register_provenance("r_c") == frozenset()
+
+    def test_loaded_value_is_unknown(self):
+        f = _two_array_kernel()
+        alias = AliasAnalysis(f)
+        assert alias.register_provenance("r_v") is None  # UNKNOWN
+
+    def test_disjoint_objects_do_not_alias(self):
+        f = _two_array_kernel()
+        alias = AliasAnalysis(f, mode="provenance")
+        load = next(i for i in f.instructions() if i.op is Opcode.LOAD)
+        store = next(i for i in f.instructions() if i.op is Opcode.STORE)
+        assert not alias.may_alias(load, store)
+
+    def test_merge_through_select_like_flow(self):
+        b = FunctionBuilder("merge", params=["p_a", "p_b", "r_c"])
+        b.mem("oa", 8, ptr="p_a")
+        b.mem("ob", 8, ptr="p_b")
+        b.label("entry")
+        b.br("r_c", "use_a", "use_b")
+        b.label("use_a")
+        b.mov("r_p", "p_a")
+        b.jmp("go")
+        b.label("use_b")
+        b.mov("r_p", "p_b")
+        b.jmp("go")
+        b.label("go")
+        b.load("r_v", "r_p")
+        b.exit()
+        f = b.build()
+        alias = AliasAnalysis(f)
+        assert alias.register_provenance("r_p") == frozenset({"oa", "ob"})
+
+
+class TestAliasModes:
+    def test_mode_none_everything_aliases(self):
+        f = _two_array_kernel()
+        alias = AliasAnalysis(f, mode="none")
+        load = next(i for i in f.instructions() if i.op is Opcode.LOAD)
+        store = next(i for i in f.instructions() if i.op is Opcode.STORE)
+        assert alias.may_alias(load, store)
+
+    def test_annotations_only_respected_in_annotated_mode(self):
+        b = FunctionBuilder("ann", params=["p_a"])
+        b.mem("obj", 8, ptr="p_a")
+        b.label("entry")
+        b.load("r_x", "p_a", 0, region="half1")
+        b.store("p_a", "r_x", 4, region="half2")
+        b.exit()
+        f = b.build()
+        load = f.entry.instructions[0]
+        store = f.entry.instructions[1]
+        assert not AliasAnalysis(f, "annotated").may_alias(load, store)
+        # Provenance alone cannot distinguish the halves.
+        assert AliasAnalysis(f, "provenance").may_alias(load, store)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            AliasAnalysis(_two_array_kernel(), mode="magic")
+
+
+class TestMemoryDependences:
+    def test_disjoint_arrays_no_arcs(self):
+        f = _two_array_kernel()
+        assert memory_dependences(f) == []
+
+    def test_same_array_bidirectional_in_loop(self):
+        f = build_memory_loop()
+        # Force everything into one may-alias region.
+        for instruction in f.instructions():
+            if instruction.is_memory():
+                instruction.region = "everything"
+        arcs = memory_dependences(f)
+        load = next(i for i in f.instructions() if i.op is Opcode.LOAD)
+        store = next(i for i in f.instructions() if i.op is Opcode.STORE)
+        assert (load.iid, store.iid) in arcs
+        assert (store.iid, load.iid) in arcs  # loop-carried: bidirectional
+
+    def test_straightline_is_unidirectional(self):
+        b = FunctionBuilder("seq", params=["p_a"])
+        b.mem("obj", 8, ptr="p_a")
+        b.label("entry")
+        b.movi("r_x", 1)
+        b.store("p_a", "r_x")
+        b.load("r_y", "p_a")
+        b.exit()
+        f = b.build()
+        arcs = memory_dependences(f)
+        store = f.entry.instructions[1]
+        load = f.entry.instructions[2]
+        assert arcs == [(store.iid, load.iid)]
+
+    def test_load_load_never_depends(self):
+        b = FunctionBuilder("ll", params=["p_a"])
+        b.mem("obj", 8, ptr="p_a")
+        b.label("entry")
+        b.load("r_x", "p_a")
+        b.load("r_y", "p_a")
+        b.exit()
+        assert memory_dependences(b.build()) == []
+
+    def test_pdg_uses_supplied_alias_analysis(self):
+        f = _two_array_kernel()
+        precise = build_pdg(f, AliasAnalysis(f, "provenance"))
+        coarse = build_pdg(f, AliasAnalysis(f, "none"))
+        assert not precise.arcs_of_kind(DepKind.MEMORY)
+        assert coarse.arcs_of_kind(DepKind.MEMORY)

@@ -1,0 +1,197 @@
+"""Unit tests for dominance, control dependence, loops, liveness, and
+reaching definitions."""
+
+from repro.analysis import (VIRTUAL_EXIT, control_dependence_graph,
+                            dominator_tree, liveness, loop_nest_forest,
+                            loop_trip_count_estimate, postdominator_tree,
+                            reaching_definitions, register_dependences)
+from repro.analysis.reaching_defs import PARAM_DEF
+from repro.interp import run_function
+from repro.ir import FunctionBuilder, Opcode
+
+from .helpers import (build_counted_loop, build_diamond, build_memory_loop,
+                      build_nested_loops, build_paper_figure3,
+                      build_paper_figure4)
+
+
+class TestDominators:
+    def test_diamond_dominators(self):
+        f = build_diamond()
+        dom = dominator_tree(f)
+        assert dom.idom["then"] == "entry"
+        assert dom.idom["else_"] == "entry"
+        assert dom.idom["join"] == "entry"
+        assert dom.dominates("entry", "join")
+        assert not dom.dominates("then", "join")
+
+    def test_loop_dominators(self):
+        f = build_counted_loop()
+        dom = dominator_tree(f)
+        assert dom.idom["body"] == "header"
+        assert dom.idom["done"] == "header"
+        assert dom.dominates("header", "body")
+
+    def test_postdominators_diamond(self):
+        f = build_diamond()
+        pdom = postdominator_tree(f)
+        assert pdom.idom["then"] == "join"
+        assert pdom.idom["else_"] == "join"
+        assert pdom.idom["entry"] == "join"
+        assert pdom.idom["join"] == VIRTUAL_EXIT
+
+    def test_postdominators_loop(self):
+        f = build_counted_loop()
+        pdom = postdominator_tree(f)
+        assert pdom.idom["body"] == "header"
+        assert pdom.idom["header"] == "done"
+
+    def test_walk_up_reaches_root(self):
+        f = build_diamond()
+        dom = dominator_tree(f)
+        assert list(dom.walk_up("then")) == ["then", "entry"]
+
+
+class TestControlDependence:
+    def test_diamond_cdg(self):
+        f = build_diamond()
+        cdg = control_dependence_graph(f)
+        assert cdg.deps_of("then") == {("entry", 0)}
+        assert cdg.deps_of("else_") == {("entry", 1)}
+        assert cdg.deps_of("join") == set()
+
+    def test_loop_header_self_dependence(self):
+        f = build_counted_loop()
+        cdg = control_dependence_graph(f)
+        # body depends on the header branch; the header re-executes under
+        # its own control (loop-carried control dependence).
+        assert ("header", 0) in cdg.deps_of("body")
+        assert ("header", 0) in cdg.deps_of("header")
+        assert cdg.deps_of("done") == set()
+
+    def test_nested_loop_transitive_branches(self):
+        f = build_nested_loops()
+        cdg = control_dependence_graph(f)
+        transitive = cdg.transitive_controlling_branches("inner_body")
+        assert "inner" in transitive
+        assert "outer" in transitive
+
+    def test_dependents_of_branch(self):
+        f = build_diamond()
+        cdg = control_dependence_graph(f)
+        assert cdg.dependents_of_branch("entry") == ["else_", "then"]
+
+
+class TestLoops:
+    def test_single_loop(self):
+        f = build_counted_loop()
+        forest = loop_nest_forest(f)
+        assert len(forest.top_level) == 1
+        loop = forest.top_level[0]
+        assert loop.header == "header"
+        assert loop.blocks == {"header", "body"}
+        assert loop.back_edge_sources == {"body"}
+
+    def test_nested_loops_forest(self):
+        f = build_nested_loops()
+        forest = loop_nest_forest(f)
+        assert len(forest.top_level) == 1
+        outer = forest.top_level[0]
+        assert outer.header == "outer"
+        assert len(outer.children) == 1
+        inner = outer.children[0]
+        assert inner.header == "inner"
+        assert inner.depth == 2
+        assert inner.blocks <= outer.blocks
+        assert "inner_body" in inner.blocks
+
+    def test_depth_by_block(self):
+        f = build_nested_loops()
+        depth = loop_nest_forest(f).depth_by_block()
+        assert depth["entry"] == 0
+        assert depth["outer_body"] == 1
+        assert depth["inner_body"] == 2
+
+    def test_no_loops_in_diamond(self):
+        forest = loop_nest_forest(build_diamond())
+        assert forest.top_level == []
+
+    def test_trip_count_estimate_from_profile(self):
+        f = build_counted_loop()
+        result = run_function(f, {"r_n": 12})
+        forest = loop_nest_forest(f)
+        estimate = loop_trip_count_estimate(forest.top_level[0],
+                                            result.profile)
+        assert estimate == 13  # 12 body iterations + 1 exit test
+
+    def test_figure4_two_sibling_loops(self):
+        f = build_paper_figure4()
+        forest = loop_nest_forest(f)
+        headers = sorted(loop.header for loop in forest.top_level)
+        assert headers == ["B2", "B4"]
+
+
+class TestLiveness:
+    def test_liveout_registers_live_at_exit(self):
+        f = build_counted_loop()
+        live = liveness(f)
+        exit_ins = f.block("done").terminator
+        assert "r_s" in live.live_in[exit_ins.iid]
+
+    def test_dead_after_last_use(self):
+        f = build_diamond()
+        live = liveness(f)
+        branch = f.block("entry").terminator
+        assert "r_c" in live.live_in[branch.iid]
+        assert "r_c" not in live.live_out[branch.iid]
+
+    def test_loop_variable_live_around_backedge(self):
+        f = build_counted_loop()
+        live = liveness(f)
+        assert "r_i" in live.block_live_in["header"]
+        assert "r_s" in live.block_live_in["header"]
+
+    def test_param_live_in_loop(self):
+        f = build_counted_loop()
+        live = liveness(f)
+        assert "r_n" in live.block_live_in["header"]
+
+
+class TestReachingDefs:
+    def test_param_reaches_use(self):
+        f = build_counted_loop()
+        reaching = reaching_definitions(f)
+        cmp_ins = f.block("header").instructions[0]
+        assert PARAM_DEF in reaching.definitions_reaching(cmp_ins.iid, "r_n")
+
+    def test_loop_carried_def_reaches_header(self):
+        f = build_counted_loop()
+        reaching = reaching_definitions(f)
+        cmp_ins = f.block("header").instructions[0]
+        add_i = f.block("body").instructions[1]
+        assert add_i.dest == "r_i"
+        assert add_i.iid in reaching.definitions_reaching(cmp_ins.iid, "r_i")
+
+    def test_register_dependences_figure4(self):
+        f = build_paper_figure4()
+        arcs = register_dependences(f)
+        # The r1 accumulation in B2 must reach the use in B4 (arc B->E of
+        # the companion paper's Figure 4).
+        add_r1 = f.block("B2").instructions[0]
+        use_r1 = f.block("B4").instructions[0]
+        assert (add_r1.iid, use_r1.iid, "r1") in arcs
+
+    def test_both_diamond_defs_reach_join(self):
+        f = build_diamond()
+        arcs = register_dependences(f)
+        join_add = f.block("join").instructions[0]
+        sources = {src for src, dst, reg in arcs
+                   if dst == join_add.iid and reg == "r_x"}
+        then_def = f.block("then").instructions[0]
+        else_def = f.block("else_").instructions[0]
+        assert {then_def.iid, else_def.iid} <= sources
+
+    def test_no_self_arcs(self):
+        for factory in (build_counted_loop, build_nested_loops,
+                        build_paper_figure3):
+            for src, dst, _ in register_dependences(factory()):
+                assert src != dst

@@ -1,0 +1,186 @@
+"""Property tests pinning the data-flow analyses to their *definitions*,
+checked by brute force on randomly generated programs:
+
+* d dominates b  <=>  removing d disconnects b from the entry;
+* d postdominates b  <=>  removing d disconnects b from every exit;
+* r is live before I  <=>  some def-free path from I reaches a use of r;
+* def D reaches I  <=>  some path from D to I has no other def of the
+  register.
+"""
+
+from typing import Dict, List, Set, Tuple
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import (dominator_tree, liveness, postdominator_tree,
+                            reaching_definitions)
+from repro.analysis.dataflow import instruction_uses
+from repro.analysis.dominators import VIRTUAL_EXIT
+from repro.ir import Function, Opcode
+
+from .random_programs import program_sketches, render_program
+
+_SETTINGS = settings(max_examples=40, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _reachable(function: Function, start: str,
+               removed: str = None) -> Set[str]:
+    seen: Set[str] = set()
+    stack = [start] if start != removed else []
+    while stack:
+        label = stack.pop()
+        if label in seen or label == removed:
+            continue
+        seen.add(label)
+        stack.extend(function.block(label).successors())
+    return seen
+
+
+@given(sketch=program_sketches)
+@_SETTINGS
+def test_dominators_match_definition(sketch):
+    function = render_program(sketch)
+    dom = dominator_tree(function)
+    entry = function.entry.label
+    for d in function.blocks:
+        without_d = _reachable(function, entry, removed=d.label)
+        for b in function.blocks:
+            if b.label == d.label or b.label == entry:
+                continue
+            should_dominate = b.label not in without_d
+            assert dom.dominates(d.label, b.label) == should_dominate, \
+                (d.label, b.label)
+
+
+@given(sketch=program_sketches)
+@_SETTINGS
+def test_postdominators_match_definition(sketch):
+    function = render_program(sketch)
+    pdom = postdominator_tree(function)
+    exits = set(function.exit_blocks())
+
+    def reaches_exit(start: str, removed: str) -> bool:
+        seen: Set[str] = set()
+        stack = [start]
+        while stack:
+            label = stack.pop()
+            if label == removed or label in seen:
+                continue
+            seen.add(label)
+            if label in exits:
+                return True
+            stack.extend(function.block(label).successors())
+        return start != removed and start in exits
+
+    for d in function.blocks:
+        for b in function.blocks:
+            if b.label == d.label or d.label in exits:
+                continue
+            should_postdominate = not reaches_exit(b.label, d.label)
+            got = (pdom.contains(b.label)
+                   and pdom.dominates(d.label, b.label))
+            assert got == should_postdominate, (d.label, b.label)
+
+
+def _instruction_graph(function: Function):
+    """Instruction-level successor graph: (block, idx) positions."""
+    successors: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
+    for block in function.blocks:
+        n = len(block.instructions)
+        for index in range(n):
+            if index + 1 < n:
+                successors[(block.label, index)] = [(block.label,
+                                                     index + 1)]
+            else:
+                successors[(block.label, index)] = [
+                    (target, 0) for target in block.successors()]
+    return successors
+
+
+@given(sketch=program_sketches)
+@_SETTINGS
+def test_liveness_matches_definition(sketch):
+    function = render_program(sketch)
+    live = liveness(function)
+    successors = _instruction_graph(function)
+    position_of = {}
+    instruction_at = {}
+    for block in function.blocks:
+        for index, instruction in enumerate(block.instructions):
+            position_of[instruction.iid] = (block.label, index)
+            instruction_at[(block.label, index)] = instruction
+
+    registers = {register for instruction in function.instructions()
+                 for register in (instruction.defined_registers()
+                                  + tuple(instruction_uses(instruction,
+                                                           function)))}
+
+    def brute_force_live_before(position, register) -> bool:
+        # BFS over positions: live iff we hit a use before any def.
+        seen = set()
+        stack = [position]
+        while stack:
+            where = stack.pop()
+            if where in seen:
+                continue
+            seen.add(where)
+            instruction = instruction_at[where]
+            if register in instruction_uses(instruction, function):
+                return True
+            if register in instruction.defined_registers():
+                continue
+            stack.extend(successors[where])
+        return False
+
+    # Spot-check a deterministic subset (full cross product is O(n^2)).
+    sample = sorted(position_of)[::3]
+    sample_registers = sorted(registers)[:6]
+    for iid in sample:
+        for register in sample_registers:
+            expected = brute_force_live_before(position_of[iid], register)
+            got = register in live.live_in.get(iid, frozenset())
+            assert got == expected, (iid, register)
+
+
+@given(sketch=program_sketches)
+@_SETTINGS
+def test_reaching_defs_match_definition(sketch):
+    function = render_program(sketch)
+    reaching = reaching_definitions(function)
+    successors = _instruction_graph(function)
+    instruction_at = {}
+    position_of = {}
+    for block in function.blocks:
+        for index, instruction in enumerate(block.instructions):
+            position_of[instruction.iid] = (block.label, index)
+            instruction_at[(block.label, index)] = instruction
+
+    def brute_force_reaches(def_iid: int, register: str,
+                            target_iid: int) -> bool:
+        # Path from just-after def to just-before target with no redefine.
+        start = position_of[def_iid]
+        goal = position_of[target_iid]
+        seen = set()
+        stack = list(successors[start])
+        while stack:
+            where = stack.pop()
+            if where == goal:
+                return True
+            if where in seen:
+                continue
+            seen.add(where)
+            if register in instruction_at[where].defined_registers():
+                continue
+            stack.extend(successors[where])
+        return False
+
+    defs = [(i.iid, register) for i in function.instructions()
+            for register in i.defined_registers()]
+    targets = sorted(position_of)[::4]
+    for def_iid, register in defs[::3]:
+        for target_iid in targets[:5]:
+            expected = brute_force_reaches(def_iid, register, target_iid)
+            got = def_iid in reaching.definitions_reaching(target_iid,
+                                                           register)
+            assert got == expected, (def_iid, register, target_iid)

@@ -1,0 +1,74 @@
+"""Integration: the complete toolchain composed end to end —
+
+    scalar opts -> partition -> COCO -> MTCG (shared queues) ->
+    local scheduling -> per-thread register allocation -> timed simulation
+
+— preserves the reference semantics on real workloads, for both
+partitioners.  This is the composition the papers' compiler actually runs;
+each stage is unit-tested elsewhere, this pins their interaction.
+"""
+
+import pytest
+
+from repro.analysis import build_pdg
+from repro.coco.driver import optimize as coco_optimize
+from repro.interp import run_function
+from repro.machine import simulate_program, simulate_single
+from repro.mtcg import generate
+from repro.opt import (CommPriority, allocate_registers, optimize_function,
+                       schedule_function, schedule_program)
+from repro.pipeline import make_partitioner, normalize, technique_config
+from repro.workloads import get_workload
+
+
+def _full_chain(name, technique, n_physical=24):
+    workload = get_workload(name)
+    function = workload.build()
+    optimize_function(function)
+    normalize(function, optimize=False)
+    train = workload.make_inputs("train")
+    measure = workload.make_inputs("train")  # keep the test fast
+    config = technique_config(technique)
+
+    profile = run_function(function, train.args, train.memory).profile
+    pdg = build_pdg(function)
+    partition = make_partitioner(technique, config).partition(
+        function, pdg, profile, 2)
+    coco = coco_optimize(function, pdg, partition, profile)
+    program = generate(function, pdg, partition,
+                       data_channels=coco.data_channels,
+                       condition_covered=coco.condition_covered,
+                       queue_allocation="shared")
+    schedule_program(program, config, CommPriority.LATE)
+    schedule_function(function, config, CommPriority.LATE)
+    for thread in program.threads:
+        allocate_registers(thread, n_physical=n_physical)
+
+    st = simulate_single(function, measure.args, measure.memory,
+                         config=config)
+    mt = simulate_program(program, measure.args, measure.memory,
+                          config=config)
+    return workload, function, st, mt
+
+
+@pytest.mark.parametrize("name", ["ks", "181.mcf", "435.gromacs",
+                                  "adpcmdec"])
+@pytest.mark.parametrize("technique", ["dswp", "gremio"])
+def test_full_backend_chain_preserves_semantics(name, technique):
+    workload, function, st, mt = _full_chain(name, technique)
+    assert mt.live_outs == st.live_outs, (name, technique)
+    # Output memory objects also match (the spill areas are per-function
+    # private objects, so compare only the workload's declared outputs).
+    for object_name in workload.output_objects:
+        obj = function.mem_objects[object_name]
+        assert (mt.memory.read_array(obj.base, obj.size)
+                == st.memory.read_array(obj.base, obj.size)), \
+            (name, technique, object_name)
+
+
+def test_chain_under_register_pressure():
+    """A brutally small register file forces spills in every thread; the
+    composition still computes the right answer."""
+    workload, function, st, mt = _full_chain("435.gromacs", "dswp",
+                                             n_physical=10)
+    assert mt.live_outs == st.live_outs

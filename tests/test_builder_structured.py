@@ -1,0 +1,114 @@
+"""Tests for the builder's structured control-flow helpers."""
+
+import pytest
+
+from repro.interp import run_function
+from repro.ir import FunctionBuilder, verify_function
+from repro.machine import run_mt_program
+from repro.pipeline import parallelize
+
+
+class TestIfHelpers:
+    def test_if_then(self):
+        b = FunctionBuilder("f", params=["r_a"], live_outs=["r_x"])
+        b.label("entry")
+        b.movi("r_x", 1)
+        b.cmpgt("r_c", "r_a", 0)
+        b.if_then("r_c", lambda: b.movi("r_x", 2))
+        b.exit()
+        f = b.build()
+        assert run_function(f, {"r_a": 5}).live_outs == {"r_x": 2}
+        assert run_function(f, {"r_a": -5}).live_outs == {"r_x": 1}
+
+    def test_if_then_else(self):
+        b = FunctionBuilder("f", params=["r_a"], live_outs=["r_x"])
+        b.label("entry")
+        b.cmpgt("r_c", "r_a", 0)
+        b.if_then_else("r_c",
+                       lambda: b.mov("r_x", "r_a"),
+                       lambda: b.neg("r_x", "r_a"))
+        b.add("r_x", "r_x", 100)
+        b.exit()
+        f = b.build()
+        assert run_function(f, {"r_a": 5}).live_outs == {"r_x": 105}
+        assert run_function(f, {"r_a": -5}).live_outs == {"r_x": 105}
+
+    def test_nested_hammocks_unique_labels(self):
+        b = FunctionBuilder("f", params=["r_a"], live_outs=["r_x"])
+        b.label("entry")
+        b.movi("r_x", 0)
+        b.cmpgt("r_c1", "r_a", 0)
+
+        def outer_then():
+            b.cmpgt("r_c2", "r_a", 10)
+            b.if_then("r_c2", lambda: b.add("r_x", "r_x", 100))
+            b.add("r_x", "r_x", 10)
+
+        b.if_then("r_c1", outer_then)
+        b.add("r_x", "r_x", 1)
+        b.exit()
+        f = b.build()
+        verify_function(f)
+        assert run_function(f, {"r_a": 20}).live_outs == {"r_x": 111}
+        assert run_function(f, {"r_a": 5}).live_outs == {"r_x": 11}
+        assert run_function(f, {"r_a": -5}).live_outs == {"r_x": 1}
+
+
+class TestForRange:
+    def test_simple_sum(self):
+        b = FunctionBuilder("f", params=["r_n"], live_outs=["r_s"])
+        b.label("entry")
+        b.movi("r_s", 0)
+        b.for_range("r_i", 0, "r_n",
+                    lambda: b.add("r_s", "r_s", "r_i"))
+        b.exit()
+        f = b.build()
+        assert run_function(f, {"r_n": 10}).live_outs == \
+            {"r_s": sum(range(10))}
+
+    def test_nested_loops(self):
+        b = FunctionBuilder("f", params=["r_n"], live_outs=["r_s"])
+        b.label("entry")
+        b.movi("r_s", 0)
+
+        def outer_body():
+            def inner_body():
+                b.mul("r_t", "r_i", "r_j")
+                b.add("r_s", "r_s", "r_t")
+            b.for_range("r_j", 0, "r_n", inner_body)
+
+        b.for_range("r_i", 0, "r_n", outer_body)
+        b.exit()
+        f = b.build()
+        expected = sum(i * j for i in range(4) for j in range(4))
+        assert run_function(f, {"r_n": 4}).live_outs == {"r_s": expected}
+
+    def test_register_bound_start(self):
+        b = FunctionBuilder("f", params=["r_lo", "r_hi"],
+                            live_outs=["r_s"])
+        b.label("entry")
+        b.movi("r_s", 0)
+        b.for_range("r_i", "r_lo", "r_hi",
+                    lambda: b.add("r_s", "r_s", 1))
+        b.exit()
+        f = b.build()
+        assert run_function(f, {"r_lo": 3, "r_hi": 9}).live_outs == \
+            {"r_s": 6}
+
+    def test_structured_function_parallelizes(self):
+        b = FunctionBuilder("f", params=["r_n"], live_outs=["r_s"])
+        b.label("entry")
+        b.movi("r_s", 0)
+
+        def body():
+            b.mul("r_sq", "r_i", "r_i")
+            b.add("r_s", "r_s", "r_sq")
+
+        b.for_range("r_i", 0, "r_n", body)
+        b.exit()
+        f = b.build()
+        reference = run_function(f, {"r_n": 20}).live_outs
+        result = parallelize(f, technique="dswp",
+                             profile_args={"r_n": 20})
+        mt = run_mt_program(result.program, {"r_n": 20})
+        assert mt.live_outs == reference

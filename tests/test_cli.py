@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "ks"])
+        assert args.technique == "gremio"
+        assert args.threads == 2
+        assert not args.coco
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "FindMaxGpAndSwap" in out
+        assert "adpcm_decoder" in out
+
+    def test_machine(self, capsys):
+        assert main(["machine"]) == 0
+        out = capsys.readouterr().out
+        assert "L1D" in out
+        assert "141" in out
+
+    def test_run_train_scale(self, capsys):
+        assert main(["run", "ks", "--technique", "dswp", "--coco",
+                     "--scale", "train"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "verified vs single-threaded" in out
+
+    def test_dump_ir(self, capsys):
+        assert main(["dump", "mpeg2enc"]) == 0
+        out = capsys.readouterr().out
+        assert "func dist1(" in out
+
+    def test_dump_threads(self, capsys):
+        assert main(["dump", "ks", "--technique", "dswp",
+                     "--threads-code"]) == 0
+        out = capsys.readouterr().out
+        assert "; ===== thread 0 =====" in out
+        assert "; ===== thread 1 =====" in out
+        assert "produce" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "not-a-workload", "--scale", "train"])
+
+    def test_dot_cfg(self, capsys):
+        assert main(["dot", "mpeg2enc"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_dot_threads(self, capsys):
+        assert main(["dot", "ks", "--what", "threads",
+                     "--technique", "dswp"]) == 0
+        out = capsys.readouterr().out
+        assert "t0 -> t1" in out
+
+    def test_report_markdown_shape(self, capsys):
+        assert main(["report", "--scale", "train"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| benchmark |")
+        assert "geomean" in out
+        # One row per workload plus header/rule/geomean.
+        from repro.workloads import workload_names
+        assert out.count("\n") == len(workload_names()) + 3
+
+    def test_run_with_local_schedule(self, capsys):
+        assert main(["run", "ks", "--technique", "dswp", "--coco",
+                     "--scale", "train", "--schedule", "late"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out

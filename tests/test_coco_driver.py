@@ -1,0 +1,78 @@
+"""Tests for the COCO driver itself: convergence, idempotence, and the
+thread-graph ordering."""
+
+from repro.analysis import build_pdg
+from repro.coco import optimize
+from repro.coco.driver import _thread_pair_order
+from repro.interp import run_function
+from repro.ir.transforms import renumber_iids, split_critical_edges
+from repro.partition import partition_from_threads
+
+from .helpers import build_paper_figure4
+from .mt_utils import round_robin_partition
+from .random_programs import render_program, _ProgramSketch
+
+
+def _prepared(factory, args, mem=()):
+    f = factory()
+    split_critical_edges(f)
+    renumber_iids(f)
+    profile = run_function(f, args, mem).profile
+    pdg = build_pdg(f)
+    return f, profile, pdg
+
+
+class TestConvergence:
+    def test_fixed_point_is_idempotent(self):
+        f, profile, pdg = _prepared(build_paper_figure4,
+                                    {"r_n": 10, "r_m": 4})
+        partition = round_robin_partition(f, 2)
+        first = optimize(f, pdg, partition, profile)
+        second = optimize(f, pdg, partition, profile)
+
+        def signature(result):
+            return sorted((c.kind.value, c.source_thread, c.target_thread,
+                           c.register, tuple(sorted(c.points)))
+                          for c in result.data_channels)
+        assert signature(first) == signature(second)
+        assert first.condition_covered == second.condition_covered
+
+    def test_terminates_within_bound(self):
+        f, profile, pdg = _prepared(build_paper_figure4,
+                                    {"r_n": 10, "r_m": 4})
+        partition = round_robin_partition(f, 3)
+        result = optimize(f, pdg, partition, profile, max_iterations=10)
+        assert 1 <= result.iterations <= 10
+
+    def test_multi_iteration_case(self):
+        """A three-thread chain where thread 2's relevant branches depend
+        on where thread 1's input communication lands: the fixed point
+        takes more than one iteration."""
+        sketch = _ProgramSketch([
+            ("loop", 4, [
+                ("if", 0, [("alu", "add", 1, 1, 0)],
+                 [("alu", "sub", 1, 1, 0)]),
+                ("alu", "add", 2, 2, 1),
+            ]),
+        ])
+        f = render_program(sketch)
+        split_critical_edges(f)
+        renumber_iids(f)
+        profile = run_function(f, {"r_in0": 5, "r_in1": 2}).profile
+        pdg = build_pdg(f)
+        partition = round_robin_partition(f, 3)
+        result = optimize(f, pdg, partition, profile)
+        assert result.iterations >= 2
+
+
+class TestThreadPairOrder:
+    def test_pipeline_order(self):
+        order = _thread_pair_order({(0, 1), (1, 2), (0, 2)}, 3)
+        assert order.index((0, 1)) < order.index((1, 2))
+
+    def test_cyclic_falls_back_to_sorted(self):
+        order = _thread_pair_order({(0, 1), (1, 0)}, 2)
+        assert order == [(0, 1), (1, 0)]
+
+    def test_empty(self):
+        assert _thread_pair_order(set(), 2) == []

@@ -1,0 +1,50 @@
+"""End-to-end determinism: the whole toolchain — profiling, partitioning,
+COCO, MTCG, and both simulators — produces bit-identical results across
+repeated in-process runs (cross-process determinism is exercised by the
+hash-seed-independence design choices; see docs/extending.md)."""
+
+from repro import evaluate_workload, get_workload
+from repro.ir import format_function
+
+
+def _snapshot(evaluation):
+    program = evaluation.parallelization.program
+    return (
+        evaluation.st_result.cycles,
+        evaluation.mt_result.cycles,
+        evaluation.mt_result.dynamic_instructions,
+        evaluation.communication_instructions,
+        tuple(sorted(evaluation.parallelization.partition
+                     .assignment.items())),
+        tuple(format_function(thread) for thread in program.threads),
+        tuple((c.queue, c.kind.value, c.register, tuple(sorted(c.points)))
+              for c in program.channels),
+    )
+
+
+class TestDeterminism:
+    def test_gremio_coco_pipeline_is_deterministic(self):
+        first = evaluate_workload(get_workload("ks"), technique="gremio",
+                                  coco=True, scale="train")
+        second = evaluate_workload(get_workload("ks"), technique="gremio",
+                                   coco=True, scale="train")
+        assert _snapshot(first) == _snapshot(second)
+
+    def test_dswp_pipeline_is_deterministic(self):
+        first = evaluate_workload(get_workload("300.twolf"),
+                                  technique="dswp", coco=True,
+                                  scale="train")
+        second = evaluate_workload(get_workload("300.twolf"),
+                                   technique="dswp", coco=True,
+                                   scale="train")
+        assert _snapshot(first) == _snapshot(second)
+
+    def test_workload_inputs_are_seeded(self):
+        workload = get_workload("183.equake")
+        a = workload.make_inputs("ref")
+        b = workload.make_inputs("ref")
+        assert a.args == b.args
+        assert a.memory == b.memory
+        # ...and train differs from ref (different seed and size).
+        train = workload.make_inputs("train")
+        assert train.memory != a.memory

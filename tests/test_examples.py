@@ -1,0 +1,33 @@
+"""Smoke tests: the shipped examples run to completion.
+
+Each example is executed in-process (via runpy) with argv pinned to a fast
+configuration; the assertions inside the examples (correctness checks) do
+the real validation.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", ["quickstart.py", "ks"]),
+    ("examples/coco_walkthrough.py", ["coco_walkthrough.py"]),
+    ("examples/custom_partitioner.py", ["custom_partitioner.py"]),
+]
+
+
+@pytest.mark.parametrize("path,argv", EXAMPLES)
+def test_example_runs(path, argv, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", argv)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "example produced no output"
+
+
+def test_quickstart_reports_all_configurations(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py", "mpeg2enc"])
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    for label in ("gremio", "gremio+coco", "dswp", "dswp+coco"):
+        assert label in out

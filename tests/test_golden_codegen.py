@@ -1,0 +1,67 @@
+"""Golden snapshots of MTCG output on the papers' running examples.
+
+These pin the exact generated code (thread CFGs + channel placements) for
+Figure 3 and Figure 4 of the companion text.  If a deliberate codegen
+change alters the output, regenerate with:
+
+    UPDATE_GOLDEN=1 pytest tests/test_golden_codegen.py
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.ir import Opcode, format_function
+from repro.partition import partition_from_threads
+
+from .helpers import build_paper_figure3, build_paper_figure4
+from .mt_utils import make_mt
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _render(mt) -> str:
+    chunks = []
+    for index, thread in enumerate(mt.threads):
+        chunks.append("; thread %d" % index)
+        chunks.append(format_function(thread))
+    chunks.append("; channels")
+    for channel in mt.channels:
+        chunks.append(";   q%d %s %r T%d->T%d %s" % (
+            channel.queue, channel.kind.value, channel.register,
+            channel.source_thread, channel.target_thread,
+            sorted(channel.points)))
+    return "\n".join(chunks) + "\n"
+
+
+def _figure3_program():
+    f = build_paper_figure3()
+    store = next(i for i in f.instructions() if i.op is Opcode.STORE)
+    others = [i.iid for i in f.instructions() if i.iid != store.iid]
+    return make_mt(f, partition_from_threads(f, 2, [others, [store.iid]]))
+
+
+def _figure4_program():
+    f = build_paper_figure4()
+    block_of = f.block_of()
+    t0 = [i.iid for i in f.instructions()
+          if block_of[i.iid] in ("B1", "B2")]
+    t1 = [i.iid for i in f.instructions() if i.iid not in t0]
+    return make_mt(f, partition_from_threads(f, 2, [t0, t1]))
+
+
+@pytest.mark.parametrize("name,factory", [
+    ("figure3", _figure3_program),
+    ("figure4", _figure4_program),
+])
+def test_codegen_matches_golden(name, factory):
+    rendered = _render(factory())
+    golden_path = GOLDEN_DIR / ("%s_mtcg.txt" % name)
+    if os.environ.get("UPDATE_GOLDEN"):
+        golden_path.write_text(rendered)
+        pytest.skip("golden file regenerated")
+    expected = golden_path.read_text()
+    assert rendered == expected, (
+        "MTCG output changed for %s; if intentional, regenerate with "
+        "UPDATE_GOLDEN=1" % name)

@@ -1,0 +1,183 @@
+"""Unit tests for the graph algorithm package."""
+
+import pytest
+
+from repro.graphs import (CycleError, FlowGraph, INFINITY, condense, min_cut,
+                          multi_pair_min_cut, strongly_connected_components,
+                          topological_sort)
+from repro.graphs.mincut import InfiniteCutError
+
+
+class TestScc:
+    def test_dag_is_singletons(self):
+        succ = {"a": ["b"], "b": ["c"], "c": []}
+        comps = strongly_connected_components(["a", "b", "c"], succ)
+        assert sorted(map(sorted, comps)) == [["a"], ["b"], ["c"]]
+
+    def test_simple_cycle(self):
+        succ = {"a": ["b"], "b": ["c"], "c": ["a"]}
+        comps = strongly_connected_components(["a", "b", "c"], succ)
+        assert len(comps) == 1
+        assert sorted(comps[0]) == ["a", "b", "c"]
+
+    def test_two_cycles_and_bridge(self):
+        succ = {1: [2], 2: [1, 3], 3: [4], 4: [3]}
+        comps, comp_of, dag = condense([1, 2, 3, 4], succ)
+        assert len(comps) == 2
+        assert comp_of[1] == comp_of[2]
+        assert comp_of[3] == comp_of[4]
+        # Condensation is topologically ordered: {1,2} before {3,4}.
+        assert comp_of[1] < comp_of[3]
+        assert dag[comp_of[1]] == {comp_of[3]}
+
+    def test_self_loop(self):
+        succ = {"x": ["x"]}
+        comps = strongly_connected_components(["x"], succ)
+        assert comps == [["x"]]
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 20_000
+        succ = {i: [i + 1] for i in range(n)}
+        succ[n] = []
+        comps = strongly_connected_components(range(n + 1), succ)
+        assert len(comps) == n + 1
+
+    def test_condensation_topological_property(self):
+        succ = {0: [1], 1: [2, 0], 2: [3], 3: [2], 4: [0]}
+        comps, comp_of, dag = condense(range(5), succ)
+        for source, targets in dag.items():
+            for target in targets:
+                assert source < target
+
+
+class TestTopo:
+    def test_orders_respect_edges(self):
+        succ = {"a": ["c"], "b": ["c"], "c": ["d"], "d": []}
+        order = topological_sort(["a", "b", "c", "d"], succ)
+        assert order.index("a") < order.index("c")
+        assert order.index("b") < order.index("c")
+        assert order.index("c") < order.index("d")
+
+    def test_cycle_raises(self):
+        with pytest.raises(CycleError):
+            topological_sort([1, 2], {1: [2], 2: [1]})
+
+    def test_priority_breaks_ties(self):
+        succ = {"a": [], "b": [], "c": []}
+        order = topological_sort(["a", "b", "c"], succ,
+                                 priority={"a": 3, "b": 1, "c": 2})
+        assert order == ["b", "c", "a"]
+
+    def test_deterministic_without_priority(self):
+        succ = {2: [], 1: [], 3: []}
+        assert topological_sort([2, 1, 3], succ) == [2, 1, 3]
+
+
+def _classic_flow_graph():
+    # CLRS-style example with max flow 23.
+    g = FlowGraph()
+    g.add_arc("s", "v1", 16)
+    g.add_arc("s", "v2", 13)
+    g.add_arc("v1", "v3", 12)
+    g.add_arc("v2", "v1", 4)
+    g.add_arc("v2", "v4", 14)
+    g.add_arc("v3", "v2", 9)
+    g.add_arc("v3", "t", 20)
+    g.add_arc("v4", "v3", 7)
+    g.add_arc("v4", "t", 4)
+    return g
+
+
+class TestMinCut:
+    def test_classic_example_value(self):
+        result = min_cut(_classic_flow_graph(), "s", "t")
+        assert result.value == 23
+
+    def test_cut_disconnects(self):
+        g = _classic_flow_graph()
+        result = min_cut(g, "s", "t")
+        for u, v in result.cut_arcs:
+            g.remove_arc(u, v)
+        assert min_cut(g, "s", "t").value == 0
+
+    def test_single_edge(self):
+        g = FlowGraph()
+        g.add_arc("s", "t", 5)
+        result = min_cut(g, "s", "t")
+        assert result.value == 5
+        assert result.cut_arcs == [("s", "t")]
+
+    def test_disconnected_is_zero(self):
+        g = FlowGraph()
+        g.add_arc("s", "a", 5)
+        g.add_node("t")
+        result = min_cut(g, "s", "t")
+        assert result.value == 0
+        assert result.cut_arcs == []
+
+    def test_infinite_arcs_never_cut(self):
+        g = FlowGraph()
+        g.add_arc("s", "a", INFINITY)
+        g.add_arc("a", "b", 3)
+        g.add_arc("b", "t", INFINITY)
+        result = min_cut(g, "s", "t")
+        assert result.cut_arcs == [("a", "b")]
+        assert result.value == 3
+
+    def test_all_infinite_raises(self):
+        g = FlowGraph()
+        g.add_arc("s", "t", INFINITY)
+        with pytest.raises(InfiniteCutError):
+            min_cut(g, "s", "t")
+
+    def test_parallel_arcs_merge(self):
+        g = FlowGraph()
+        g.add_arc("s", "t", 2)
+        g.add_arc("s", "t", 3)
+        assert min_cut(g, "s", "t").value == 5
+
+    def test_min_cut_prefers_cheap_side(self):
+        g = FlowGraph()
+        g.add_arc("s", "a", 10)
+        g.add_arc("a", "b", 1)
+        g.add_arc("b", "t", 10)
+        result = min_cut(g, "s", "t")
+        assert result.cut_arcs == [("a", "b")]
+        assert result.source_side == {"s", "a"}
+
+
+class TestMultiPairMinCut:
+    def test_shared_arc_cut_once(self):
+        # Two pairs whose only connection is a shared middle arc: the
+        # heuristic should cut it once and pay once.
+        g = FlowGraph()
+        g.add_arc("s1", "m", 10)
+        g.add_arc("s2", "m", 10)
+        g.add_arc("m", "n", 1)
+        g.add_arc("n", "t1", 10)
+        g.add_arc("n", "t2", 10)
+        result = multi_pair_min_cut(g, [("s1", "t1"), ("s2", "t2")])
+        assert result.cut_arcs == [("m", "n")]
+        assert result.value == 1
+
+    def test_independent_pairs(self):
+        g = FlowGraph()
+        g.add_arc("s1", "t1", 2)
+        g.add_arc("s2", "t2", 3)
+        result = multi_pair_min_cut(g, [("s1", "t1"), ("s2", "t2")])
+        assert sorted(result.cut_arcs) == [("s1", "t1"), ("s2", "t2")]
+        assert result.value == 5
+
+    def test_pair_not_connected_costs_nothing(self):
+        g = FlowGraph()
+        g.add_arc("s1", "t1", 2)
+        g.add_node("s2")
+        g.add_node("t2")
+        result = multi_pair_min_cut(g, [("s2", "t2"), ("s1", "t1")])
+        assert result.cut_arcs == [("s1", "t1")]
+
+    def test_missing_nodes_ignored(self):
+        g = FlowGraph()
+        g.add_arc("s", "t", 1)
+        result = multi_pair_min_cut(g, [("nope", "t"), ("s", "t")])
+        assert result.cut_arcs == [("s", "t")]

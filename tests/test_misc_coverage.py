@@ -1,0 +1,108 @@
+"""Gap-filling unit tests: run-time state errors, MTProgram helpers,
+printer options, memory layout, and config helpers."""
+
+import pytest
+
+from repro.interp import Memory, MemoryError_, bind_params, make_memory
+from repro.ir import FunctionBuilder, format_function
+from repro.machine import DEFAULT_CONFIG
+
+from .helpers import build_counted_loop, build_memory_loop
+from .mt_utils import make_mt, round_robin_partition
+
+
+class TestMemoryState:
+    def test_bounds_checked(self):
+        memory = Memory(4)
+        memory.store(3, 42)
+        assert memory.load(3) == 42
+        with pytest.raises(MemoryError_):
+            memory.load(4)
+        with pytest.raises(MemoryError_):
+            memory.store(-1, 0)
+
+    def test_array_helpers(self):
+        memory = Memory(8)
+        memory.write_array(2, [10, 11, 12])
+        assert memory.read_array(2, 3) == [10, 11, 12]
+        assert memory.snapshot()[:2] == (0, 0)
+
+    def test_make_memory_rejects_unknown_object(self):
+        f = build_memory_loop()
+        with pytest.raises(MemoryError_):
+            make_memory(f, {"nope": [1, 2]})
+
+    def test_make_memory_rejects_oversize_initializer(self):
+        f = build_memory_loop()
+        with pytest.raises(MemoryError_):
+            make_memory(f, {"arr_in": [0] * 1000})
+
+    def test_bind_params_missing_argument(self):
+        f = build_counted_loop()
+        with pytest.raises(MemoryError_):
+            bind_params(f, {})
+
+    def test_bind_params_unknown_argument(self):
+        f = build_counted_loop()
+        with pytest.raises(MemoryError_):
+            bind_params(f, {"r_n": 1, "r_bogus": 2})
+
+    def test_pointer_params_bound_to_bases(self):
+        f = build_memory_loop()
+        make_memory(f, {})
+        regs = bind_params(f, {"r_n": 4})
+        assert regs["p_in"] == f.mem_objects["arr_in"].base
+        assert regs["p_out"] == f.mem_objects["arr_out"].base
+
+
+class TestMTProgramHelpers:
+    def test_static_instruction_counts(self):
+        f = build_counted_loop()
+        mt = make_mt(f, round_robin_partition(f, 2))
+        counts = mt.static_instruction_counts()
+        assert counts["communication"] > 0
+        assert counts["computation"] > 0
+        total = sum(len(list(t.instructions())) for t in mt.threads)
+        assert counts["communication"] + counts["computation"] == total
+
+    def test_channel_by_queue(self):
+        f = build_counted_loop()
+        mt = make_mt(f, round_robin_partition(f, 2))
+        first = mt.channels[0]
+        assert mt.channel_by_queue(first.queue) is first
+        assert mt.channel_by_queue(10_000) is None
+
+
+class TestPrinterOptions:
+    def test_show_iids(self):
+        f = build_counted_loop()
+        text = format_function(f, show_iids=True)
+        assert "; iid=0" in text
+
+    def test_region_annotation_printed(self):
+        b = FunctionBuilder("f", params=["p_a"])
+        b.mem("obj", 4, ptr="p_a")
+        b.label("entry")
+        b.load("r_x", "p_a", 0, region="obj")
+        b.exit()
+        text = format_function(b.build())
+        assert "!region(obj)" in text
+
+
+class TestConfigHelpers:
+    def test_with_threads(self):
+        assert DEFAULT_CONFIG.with_threads(4).n_cores == 4
+        assert DEFAULT_CONFIG.n_cores == 2  # frozen original untouched
+
+    def test_latency_of_defaults(self):
+        from repro.ir import Instruction, Opcode
+        assert DEFAULT_CONFIG.latency_of(
+            Instruction(Opcode.FSQRT, "r", ["a"])) == 30
+        assert DEFAULT_CONFIG.latency_of(
+            Instruction(Opcode.ADD, "r", ["a", "b"])) == 1
+
+    def test_memory_layout_alignment(self):
+        f = build_memory_loop()
+        f.layout_memory(align=16)
+        for obj in f.mem_objects.values():
+            assert obj.base % 16 == 0

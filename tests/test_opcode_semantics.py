@@ -1,0 +1,126 @@
+"""Systematic per-opcode semantics tests: the interpreter's arithmetic is
+checked against independent Python formulations over randomized operands
+(hypothesis), including the C-semantics corners (truncating division,
+arithmetic shifts, mixed int/float comparisons)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.interp import TrapError, run_function
+from repro.ir import FunctionBuilder
+
+INTS = st.integers(-10**6, 10**6)
+SMALL_INTS = st.integers(-60, 60)
+FLOATS = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+SHIFTS = st.integers(0, 20)
+
+
+def _run_binop(op, a, b):
+    builder = FunctionBuilder("op", params=["r_a", "r_b"],
+                              live_outs=["r_z"])
+    builder.label("entry")
+    builder.alu(op, "r_z", "r_a", "r_b")
+    builder.exit()
+    return run_function(builder.build(),
+                        {"r_a": a, "r_b": b}).live_outs["r_z"]
+
+
+def _run_unop(op, a):
+    builder = FunctionBuilder("op", params=["r_a"], live_outs=["r_z"])
+    builder.label("entry")
+    builder.alu(op, "r_z", "r_a")
+    builder.exit()
+    return run_function(builder.build(), {"r_a": a}).live_outs["r_z"]
+
+
+class TestIntegerOps:
+    @given(a=INTS, b=INTS)
+    def test_add_sub_mul(self, a, b):
+        assert _run_binop("add", a, b) == a + b
+        assert _run_binop("sub", a, b) == a - b
+        assert _run_binop("mul", a, b) == a * b
+
+    @given(a=INTS, b=INTS.filter(lambda v: v != 0))
+    def test_idiv_truncates_toward_zero(self, a, b):
+        assert _run_binop("idiv", a, b) == int(a / b)
+
+    @given(a=INTS, b=INTS.filter(lambda v: v != 0))
+    def test_imod_matches_c(self, a, b):
+        got = _run_binop("imod", a, b)
+        assert got == a - int(a / b) * b
+        # C guarantees: (a/b)*b + a%b == a
+        assert _run_binop("idiv", a, b) * b + got == a
+
+    @given(a=INTS, b=SHIFTS)
+    def test_shifts(self, a, b):
+        assert _run_binop("shl", a, b) == a << b
+        assert _run_binop("shr", a, b) == a >> b  # arithmetic shift
+
+    @given(a=INTS, b=INTS)
+    def test_bitwise(self, a, b):
+        assert _run_binop("and", a, b) == (a & b)
+        assert _run_binop("or", a, b) == (a | b)
+        assert _run_binop("xor", a, b) == (a ^ b)
+
+    @given(a=INTS)
+    def test_unaries(self, a):
+        assert _run_unop("neg", a) == -a
+        assert _run_unop("abs", a) == abs(a)
+        assert _run_unop("not", a) == ~a
+
+    @given(a=INTS, b=INTS)
+    def test_min_max(self, a, b):
+        assert _run_binop("min", a, b) == min(a, b)
+        assert _run_binop("max", a, b) == max(a, b)
+
+
+class TestComparisons:
+    @given(a=SMALL_INTS, b=SMALL_INTS)
+    def test_all_six(self, a, b):
+        assert _run_binop("cmpeq", a, b) == int(a == b)
+        assert _run_binop("cmpne", a, b) == int(a != b)
+        assert _run_binop("cmplt", a, b) == int(a < b)
+        assert _run_binop("cmple", a, b) == int(a <= b)
+        assert _run_binop("cmpgt", a, b) == int(a > b)
+        assert _run_binop("cmpge", a, b) == int(a >= b)
+
+
+class TestFloatOps:
+    @given(a=FLOATS, b=FLOATS)
+    def test_fp_arith(self, a, b):
+        assert _run_binop("fadd", a, b) == a + b
+        assert _run_binop("fsub", a, b) == a - b
+        assert _run_binop("fmul", a, b) == a * b
+        assert _run_binop("fmin", a, b) == (a if a <= b else b)
+        assert _run_binop("fmax", a, b) == (a if a >= b else b)
+
+    @given(a=FLOATS, b=FLOATS.filter(lambda v: abs(v) > 1e-9))
+    def test_fdiv(self, a, b):
+        assert _run_binop("fdiv", a, b) == a / b
+
+    @given(a=FLOATS.filter(lambda v: v >= 0))
+    def test_fsqrt(self, a):
+        assert _run_unop("fsqrt", a) == math.sqrt(a)
+
+    @given(a=FLOATS)
+    def test_conversions(self, a):
+        assert _run_unop("ftoi", a) == math.trunc(a)
+
+    @given(a=INTS)
+    def test_itof(self, a):
+        assert _run_unop("itof", a) == float(a)
+
+
+class TestTraps:
+    def test_integer_zero_division(self):
+        with pytest.raises(TrapError):
+            _run_binop("idiv", 5, 0)
+        with pytest.raises(TrapError):
+            _run_binop("imod", 5, 0)
+
+    def test_float_zero_division(self):
+        with pytest.raises(TrapError):
+            _run_binop("fdiv", 5.0, 0.0)

@@ -1,0 +1,202 @@
+"""Tests for the classical scalar optimizer."""
+
+import pytest
+
+from repro.interp import run_function
+from repro.ir import FunctionBuilder, Opcode, verify_function
+from repro.opt import (eliminate_dead_code, fold_constants,
+                       optimize_function, propagate_copies,
+                       remove_unreachable_blocks, thread_jumps)
+from repro.workloads import all_workloads
+
+from .helpers import (build_counted_loop, build_diamond,
+                      build_nested_loops, build_paper_figure3)
+
+
+class TestConstantFolding:
+    def test_folds_constant_chain(self):
+        b = FunctionBuilder("f", live_outs=["r_z"])
+        b.label("entry")
+        b.movi("r_a", 6)
+        b.movi("r_b", 7)
+        b.mul("r_z", "r_a", "r_b")
+        b.exit()
+        f = b.build()
+        assert fold_constants(f) == 1
+        mul = f.entry.instructions[2]
+        assert mul.op is Opcode.MOVI and mul.imm == 42
+        assert run_function(f).live_outs == {"r_z": 42}
+
+    def test_does_not_fold_across_blocks(self):
+        f = build_diamond()  # r_x defined in two arms; entry has params
+        before = [i.op for i in f.instructions()]
+        fold_constants(f)
+        assert [i.op for i in f.instructions()] == before
+
+    def test_division_left_alone(self):
+        b = FunctionBuilder("f", live_outs=["r_z"])
+        b.label("entry")
+        b.movi("r_a", 6)
+        b.movi("r_b", 0)
+        b.idiv("r_z", "r_a", "r_b")  # would trap if executed
+        b.exit()
+        f = b.build()
+        assert fold_constants(f) == 0
+
+    def test_unary_and_immediate_forms(self):
+        b = FunctionBuilder("f", live_outs=["r_y", "r_z"])
+        b.label("entry")
+        b.movi("r_a", -5)
+        b.abs("r_y", "r_a")
+        b.add("r_z", "r_a", 12)
+        b.exit()
+        f = b.build()
+        assert fold_constants(f) == 2
+        assert run_function(f).live_outs == {"r_y": 5, "r_z": 7}
+
+
+class TestCopyPropagation:
+    def test_local_copy_forwarded(self):
+        b = FunctionBuilder("f", params=["r_a"], live_outs=["r_z"])
+        b.label("entry")
+        b.mov("r_b", "r_a")
+        b.add("r_z", "r_b", 1)
+        b.exit()
+        f = b.build()
+        assert propagate_copies(f) == 1
+        add = f.entry.instructions[1]
+        assert add.srcs == ("r_a",)
+
+    def test_copy_killed_by_redefinition(self):
+        b = FunctionBuilder("f", params=["r_a"], live_outs=["r_z"])
+        b.label("entry")
+        b.mov("r_b", "r_a")
+        b.movi("r_a", 0)       # kills the copy relation
+        b.add("r_z", "r_b", 1)
+        b.exit()
+        f = b.build()
+        reference = run_function(f, {"r_a": 9}).live_outs
+        propagate_copies(f)
+        assert run_function(f, {"r_a": 9}).live_outs == reference
+        add = f.entry.instructions[2]
+        assert add.srcs == ("r_b",)  # must NOT have been forwarded
+
+
+class TestDeadCode:
+    def test_removes_unused_computation(self):
+        b = FunctionBuilder("f", params=["r_a"], live_outs=["r_z"])
+        b.label("entry")
+        b.mul("r_dead", "r_a", 100)
+        b.add("r_z", "r_a", 1)
+        b.exit()
+        f = b.build()
+        assert eliminate_dead_code(f) == 1
+        assert f.instruction_count() == 2
+
+    def test_keeps_stores_and_liveouts(self):
+        from .helpers import build_memory_loop
+        f = build_memory_loop()
+        assert eliminate_dead_code(f) == 0
+
+    def test_keeps_loop_carried_values(self):
+        f = build_counted_loop()
+        assert eliminate_dead_code(f) == 0
+
+
+class TestCfgCleanup:
+    def test_jump_threading_skips_trampoline(self):
+        b = FunctionBuilder("f", params=["r_a"], live_outs=[])
+        b.label("entry")
+        b.cmpgt("r_c", "r_a", 0)
+        b.br("r_c", "hop", "out")
+        b.label("hop")
+        b.jmp("out")
+        b.label("out")
+        b.exit()
+        f = b.build()
+        assert thread_jumps(f) == 1
+        assert f.entry.terminator.labels == ("out", "out")
+        assert remove_unreachable_blocks(f) == 1
+        assert not f.has_block("hop")
+        verify_function(f)
+
+    def test_unreachable_diamond_arm(self):
+        b = FunctionBuilder("f", live_outs=["r_z"])
+        b.label("entry")
+        b.movi("r_z", 1)
+        b.jmp("live")
+        b.label("dead")
+        b.movi("r_z", 2)
+        b.jmp("live")
+        b.label("live")
+        b.exit()
+        f = b.build()
+        assert remove_unreachable_blocks(f) == 1
+        assert run_function(f).live_outs == {"r_z": 1}
+
+
+class TestOptimizePipeline:
+    def test_fixed_point_and_semantics(self):
+        b = FunctionBuilder("f", params=["r_a"], live_outs=["r_z"])
+        b.label("entry")
+        b.movi("r_c1", 10)
+        b.movi("r_c2", 4)
+        b.add("r_c3", "r_c1", "r_c2")   # foldable
+        b.mov("r_copy", "r_c3")         # copy
+        b.mul("r_dead", "r_copy", 3)    # dead after z computed from copy?
+        b.add("r_z", "r_copy", "r_a")
+        b.exit()
+        f = b.build()
+        reference = run_function(f, {"r_a": 5}).live_outs
+        stats = optimize_function(f)
+        verify_function(f)
+        assert run_function(f, {"r_a": 5}).live_outs == reference
+        assert stats["folded"] >= 1
+        assert stats["dce"] >= 1
+        assert f.instruction_count() < 7
+
+    @pytest.mark.parametrize("factory,args", [
+        (build_counted_loop, {"r_n": 9}),
+        (build_nested_loops, {"r_n": 3, "r_m": 4}),
+        (build_paper_figure3, {"r_n": 4}),
+    ])
+    def test_preserves_fixture_semantics(self, factory, args):
+        f = factory()
+        memory = ({"f3_in": [5, 260, 2, 9]}
+                  if f.name == "figure3" else {})
+        reference = run_function(f, args, memory)
+        optimize_function(f)
+        verify_function(f)
+        result = run_function(f, args, memory)
+        assert result.live_outs == reference.live_outs
+        assert result.memory.snapshot() == reference.memory.snapshot()
+        assert result.dynamic_instructions <= reference.dynamic_instructions
+
+    def test_all_workloads_survive_optimization(self):
+        for workload in all_workloads():
+            f = workload.build()
+            inputs = workload.make_inputs("train")
+            reference = run_function(f, inputs.args, inputs.memory)
+            optimize_function(f)
+            verify_function(f)
+            result = run_function(f, inputs.args, inputs.memory)
+            assert result.live_outs == reference.live_outs, workload.name
+            assert (result.memory.snapshot()
+                    == reference.memory.snapshot()), workload.name
+
+    def test_end_to_end_with_parallelization(self):
+        """Optimized functions flow through the whole MT pipeline."""
+        from repro.pipeline import parallelize
+        from repro.machine import run_mt_program
+        f = build_nested_loops()
+        reference = run_function(f, {"r_n": 4, "r_m": 5})
+        result = parallelize(build_nested_loops(), technique="dswp",
+                             n_threads=2,
+                             profile_args={"r_n": 3, "r_m": 3})
+        from repro.opt import optimize_function as opt
+        g = build_nested_loops()
+        opt(g)
+        result = parallelize(g, technique="dswp", n_threads=2,
+                             profile_args={"r_n": 3, "r_m": 3})
+        mt = run_mt_program(result.program, {"r_n": 4, "r_m": 5})
+        assert mt.live_outs == reference.live_outs

@@ -1,0 +1,134 @@
+"""Tests for loop outlining (region extraction)."""
+
+import pytest
+
+from repro.interp import run_function
+from repro.ir import FunctionBuilder
+from repro.ir.outline import (EXIT_ID_REGISTER, OutlineError, extract_loop,
+                              outline_hottest_loop)
+from repro.machine import run_mt_program
+from repro.pipeline import parallelize
+
+from .helpers import (build_counted_loop, build_memory_loop,
+                      build_nested_loops, build_paper_figure4)
+
+
+class TestInterface:
+    def test_counted_loop_interface(self):
+        extracted = extract_loop(build_counted_loop(), "header")
+        f = extracted.function
+        assert set(extracted.live_ins) == {"r_s", "r_i", "r_n"}
+        assert f.live_outs == ["r_s"]  # only r_s is live at 'done'
+        assert extracted.exit_register is None  # single exit target
+
+    def test_memory_loop_shares_objects(self):
+        extracted = extract_loop(build_memory_loop(), "header")
+        f = extracted.function
+        assert "arr_in" in f.mem_objects
+        assert "p_in" in f.params
+        assert "p_out" in f.params
+
+    def test_unknown_header_rejected(self):
+        with pytest.raises(OutlineError):
+            extract_loop(build_counted_loop(), "done")
+
+    def test_loopless_function_rejected(self):
+        from .helpers import build_diamond
+        f = build_diamond()
+        from repro.interp import static_profile
+        with pytest.raises(OutlineError):
+            outline_hottest_loop(f, static_profile(f))
+
+
+class TestSemantics:
+    def test_counted_loop_behaviour(self):
+        extracted = extract_loop(build_counted_loop(), "header")
+        result = run_function(extracted.function,
+                              {"r_s": 0, "r_i": 0, "r_n": 12})
+        assert result.live_outs == {"r_s": sum(range(12))}
+
+    def test_resumes_midway(self):
+        """Outlined loops take the carried state as parameters — starting
+        from i=5 computes the tail of the sum."""
+        extracted = extract_loop(build_counted_loop(), "header")
+        result = run_function(extracted.function,
+                              {"r_s": 100, "r_i": 5, "r_n": 10})
+        assert result.live_outs == {"r_s": 100 + sum(range(5, 10))}
+
+    def test_memory_loop_effect(self):
+        extracted = extract_loop(build_memory_loop(), "header")
+        data = list(range(9))
+        result = run_function(extracted.function, {"r_i": 0, "r_n": 9},
+                              initial_memory={"arr_in": data})
+        assert result.mem_object("arr_out")[:9] == [2 * v for v in data]
+
+    def test_nested_loop_outlines_whole_nest(self):
+        extracted = extract_loop(build_nested_loops(), "outer")
+        assert extracted.function.has_block("inner")
+        result = run_function(extracted.function,
+                              {"r_s": 0, "r_i": 0, "r_n": 3, "r_m": 4})
+        expected = sum(i * j for i in range(3) for j in range(4))
+        assert result.live_outs["r_s"] == expected
+
+    def test_hottest_loop_selection(self):
+        f = build_paper_figure4()
+        profile = run_function(f, {"r_n": 50, "r_m": 3}).profile
+        extracted = outline_hottest_loop(f, profile)
+        assert extracted.header == "B2"  # loop 1 runs 50 iterations
+
+
+class TestMultiExit:
+    def _two_exit_loop(self):
+        b = FunctionBuilder("twoexit", params=["r_n", "r_lim"],
+                            live_outs=["r_s", "r_i"])
+        b.label("entry")
+        b.movi("r_s", 0)
+        b.movi("r_i", 0)
+        b.jmp("head")
+        b.label("head")
+        b.cmplt("r_c", "r_i", "r_n")
+        b.br("r_c", "body", "normal_exit")
+        b.label("body")
+        b.add("r_s", "r_s", "r_i")
+        b.cmpgt("r_over", "r_s", "r_lim")
+        b.br("r_over", "early_exit", "latch")
+        b.label("latch")
+        b.add("r_i", "r_i", 1)
+        b.jmp("head")
+        b.label("normal_exit")
+        b.exit()
+        b.label("early_exit")
+        b.exit()
+        return b.build()
+
+    def test_exit_id_register(self):
+        f = self._two_exit_loop()
+        extracted = extract_loop(f, "head")
+        assert extracted.exit_register == EXIT_ID_REGISTER
+        assert len(extracted.exit_targets) == 2
+        # Early exit taken: high limit not reached vs reached.
+        normal = run_function(extracted.function,
+                              {"r_s": 0, "r_i": 0, "r_n": 5,
+                               "r_lim": 1000})
+        early = run_function(extracted.function,
+                             {"r_s": 0, "r_i": 0, "r_n": 50, "r_lim": 3})
+        assert normal.live_outs[EXIT_ID_REGISTER] != \
+            early.live_outs[EXIT_ID_REGISTER]
+
+
+class TestPipelineIntegration:
+    def test_outlined_loop_parallelizes(self):
+        """An outlined loop flows through the full MT pipeline."""
+        extracted = extract_loop(build_memory_loop(), "header")
+        f = extracted.function
+        data = list(range(16))
+        reference = run_function(
+            extracted.function, {"r_i": 0, "r_n": 16},
+            initial_memory={"arr_in": data})
+        result = parallelize(f, technique="dswp", n_threads=2,
+                             profile_args={"r_i": 0, "r_n": 16},
+                             profile_memory={"arr_in": data})
+        mt = run_mt_program(result.program, {"r_i": 0, "r_n": 16},
+                            initial_memory={"arr_in": data})
+        assert mt.live_outs == reference.live_outs
+        assert mt.memory.snapshot() == reference.memory.snapshot()

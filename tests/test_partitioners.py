@@ -1,0 +1,161 @@
+"""Tests for the DSWP and GREMIO partitioners: structural properties and
+end-to-end semantic equivalence of the partitions they produce."""
+
+import pytest
+
+from repro.analysis import DepKind, build_pdg
+from repro.graphs import topological_sort
+from repro.interp import run_function, static_profile
+from repro.ir import Opcode
+from repro.partition import Partition, single_thread_partition
+from repro.partition.dswp import DSWPPartitioner
+from repro.partition.gremio import GremioPartitioner
+
+from .helpers import (build_counted_loop, build_diamond, build_memory_loop,
+                      build_nested_loops, build_paper_figure3,
+                      build_paper_figure4, build_straightline)
+from .mt_utils import assert_equivalent
+
+FIXTURES = [
+    (build_straightline, {"r_a": 2, "r_b": 3}, {}),
+    (build_diamond, {"r_a": -4}, {}),
+    (build_counted_loop, {"r_n": 15}, {}),
+    (build_nested_loops, {"r_n": 4, "r_m": 6}, {}),
+    (build_memory_loop, {"r_n": 20}, {"arr_in": list(range(20))}),
+    (build_paper_figure3, {"r_n": 8},
+     {"f3_in": [3, 7, 250, 9, 0, 11, 42, 5]}),
+    (build_paper_figure4, {"r_n": 10, "r_m": 4}, {}),
+]
+
+
+def _profiled(factory, args, mem):
+    f = factory()
+    result = run_function(f, args, mem)
+    return f, build_pdg(f), result.profile
+
+
+class TestDSWP:
+    @pytest.mark.parametrize("factory,args,mem", FIXTURES)
+    @pytest.mark.parametrize("n_threads", [2, 3])
+    def test_pipeline_property(self, factory, args, mem, n_threads):
+        """All cross-thread dependences flow forward (lower stage to
+        higher stage) — the defining DSWP invariant."""
+        f, pdg, profile = _profiled(factory, args, mem)
+        p = DSWPPartitioner().partition(f, pdg, profile, n_threads)
+        for arc in pdg.arcs:
+            assert (p.thread_of(arc.source) <= p.thread_of(arc.target)), \
+                "backward arc %r" % arc
+
+    @pytest.mark.parametrize("factory,args,mem", FIXTURES)
+    def test_equivalence(self, factory, args, mem):
+        f, pdg, profile = _profiled(factory, args, mem)
+        p = DSWPPartitioner().partition(f, pdg, profile, 2)
+        assert_equivalent(f, p, args, initial_memory=mem)
+
+    def test_uses_multiple_threads_when_profitable(self):
+        """Figure 4's two sequential loops should pipeline into 2 stages."""
+        f, pdg, profile = _profiled(build_paper_figure4,
+                                    {"r_n": 50, "r_m": 50}, {})
+        p = DSWPPartitioner().partition(f, pdg, profile, 2)
+        assert len(set(p.assignment.values())) == 2
+
+    def test_balance_roughly_even(self):
+        f, pdg, profile = _profiled(build_paper_figure4,
+                                    {"r_n": 50, "r_m": 50}, {})
+        p = DSWPPartitioner().partition(f, pdg, profile, 2)
+        # Each of the two hot loops is its own SCC cluster; the stage
+        # weights should not be wildly lopsided.
+        block_of = f.block_of()
+        loop_threads = {
+            p.thread_of(i.iid)
+            for i in f.instructions()
+            if block_of[i.iid] in ("B2", "B4") and i.op is not Opcode.JMP}
+        assert loop_threads == {0, 1}
+
+    def test_static_profile_works_too(self):
+        f = build_nested_loops()
+        pdg = build_pdg(f)
+        p = DSWPPartitioner().partition(f, pdg, static_profile(f), 2)
+        assert_equivalent(f, p, {"r_n": 4, "r_m": 5})
+
+
+class TestGremio:
+    @pytest.mark.parametrize("factory,args,mem", FIXTURES)
+    @pytest.mark.parametrize("n_threads", [2, 3])
+    def test_equivalence(self, factory, args, mem, n_threads):
+        f, pdg, profile = _profiled(factory, args, mem)
+        p = GremioPartitioner().partition(f, pdg, profile, n_threads)
+        assert_equivalent(f, p, args, initial_memory=mem)
+
+    @pytest.mark.parametrize("factory,args,mem", FIXTURES)
+    def test_flat_ablation_equivalence(self, factory, args, mem):
+        f, pdg, profile = _profiled(factory, args, mem)
+        p = GremioPartitioner(hierarchical=False).partition(
+            f, pdg, profile, 2)
+        assert_equivalent(f, p, args, initial_memory=mem)
+
+    def test_parallelizes_independent_work(self):
+        """Two independent hot loops should land on different threads."""
+        from repro.ir import FunctionBuilder
+        b = FunctionBuilder("indep", params=["r_n"],
+                            live_outs=["r_s1", "r_s2"])
+        b.label("entry")
+        b.movi("r_s1", 0)
+        b.movi("r_s2", 0)
+        b.movi("r_i", 0)
+        b.jmp("h1")
+        b.label("h1")
+        b.cmplt("r_c1", "r_i", "r_n")
+        b.br("r_c1", "b1", "mid")
+        b.label("b1")
+        b.mul("r_t1", "r_i", "r_i")
+        b.add("r_s1", "r_s1", "r_t1")
+        b.add("r_i", "r_i", 1)
+        b.jmp("h1")
+        b.label("mid")
+        b.movi("r_j", 0)
+        b.jmp("h2")
+        b.label("h2")
+        b.cmplt("r_c2", "r_j", "r_n")
+        b.br("r_c2", "b2", "done")
+        b.label("b2")
+        b.mul("r_t2", "r_j", 3)
+        b.add("r_s2", "r_s2", "r_t2")
+        b.add("r_j", "r_j", 1)
+        b.jmp("h2")
+        b.label("done")
+        b.exit()
+        f = b.build()
+        result = run_function(f, {"r_n": 40})
+        pdg = build_pdg(f)
+        p = GremioPartitioner().partition(f, pdg, result.profile, 2)
+        block_of = f.block_of()
+        threads_loop1 = {p.thread_of(i.iid) for i in f.instructions()
+                         if block_of[i.iid] == "b1"}
+        threads_loop2 = {p.thread_of(i.iid) for i in f.instructions()
+                         if block_of[i.iid] == "b2"}
+        assert threads_loop1 != threads_loop2
+        assert_equivalent(f, p, {"r_n": 40})
+
+    def test_keeps_dependence_cycle_together(self):
+        """The accumulation cycle of a counted loop must stay on one
+        thread (SCCs are indivisible units)."""
+        f, pdg, profile = _profiled(build_counted_loop, {"r_n": 30}, {})
+        p = GremioPartitioner().partition(f, pdg, profile, 2)
+        body = f.block("body")
+        add_s, add_i = body.instructions[0], body.instructions[1]
+        header_cmp = f.block("header").instructions[0]
+        # r_i's increment and the loop test form a cycle.
+        assert p.thread_of(add_i.iid) == p.thread_of(header_cmp.iid)
+
+    def test_deterministic(self):
+        f, pdg, profile = _profiled(build_nested_loops,
+                                    {"r_n": 5, "r_m": 7}, {})
+        p1 = GremioPartitioner().partition(f, pdg, profile, 2)
+        p2 = GremioPartitioner().partition(f, pdg, profile, 2)
+        assert p1.assignment == p2.assignment
+
+    def test_single_thread_degenerates(self):
+        f, pdg, profile = _profiled(build_counted_loop, {"r_n": 5}, {})
+        p = GremioPartitioner().partition(f, pdg, profile, 1)
+        assert set(p.assignment.values()) == {0}

@@ -1,0 +1,119 @@
+"""Tests for PDG construction: arc kinds, adjacency, and the running
+examples' dependence structure."""
+
+from repro.analysis import AliasAnalysis, DepKind, build_pdg
+from repro.ir import Opcode
+from repro.partition import Partition
+
+from .helpers import (build_counted_loop, build_diamond, build_memory_loop,
+                      build_nested_loops, build_paper_figure3,
+                      build_paper_figure4, build_straightline)
+
+
+class TestRegisterArcs:
+    def test_straightline_chain(self):
+        f = build_straightline()
+        pdg = build_pdg(f)
+        add, mul, sub, _exit = list(f.instructions())
+        arcs = {(a.source, a.target) for a in
+                pdg.arcs_of_kind(DepKind.REGISTER)}
+        assert (add.iid, mul.iid) in arcs       # r_x into the multiply
+        assert (mul.iid, sub.iid) in arcs       # r_y into the subtract
+        # live-outs reach the exit
+        assert (sub.iid, _exit.iid) in arcs
+        assert (mul.iid, _exit.iid) in arcs
+
+    def test_loop_carried_register_arc(self):
+        f = build_counted_loop()
+        pdg = build_pdg(f)
+        body = f.block("body")
+        add_s = body.instructions[0]
+        arcs = {(a.source, a.target) for a in
+                pdg.arcs_of_kind(DepKind.REGISTER)}
+        # s += i depends on itself around the back edge only via the exit
+        # use; the increment's def must reach the header compare.
+        add_i = body.instructions[1]
+        header_cmp = f.block("header").instructions[0]
+        assert (add_i.iid, header_cmp.iid) in arcs
+
+    def test_figure3_has_paper_arcs(self):
+        """The companion text's Figure 3(b): register arcs (A->F), (E->F)
+        on r1 and the control structure around D."""
+        f = build_paper_figure3()
+        pdg = build_pdg(f)
+        load_a = next(i for i in f.instructions()
+                      if i.op is Opcode.LOAD and i.dest == "r1")
+        inc_e = f.block("B2b").instructions[0]
+        store_f = next(i for i in f.instructions() if i.op is Opcode.STORE)
+        register_arcs = {(a.source, a.target, a.register)
+                         for a in pdg.arcs_of_kind(DepKind.REGISTER)}
+        assert (load_a.iid, store_f.iid, "r1") in register_arcs
+        assert (inc_e.iid, store_f.iid, "r1") in register_arcs
+
+
+class TestControlArcs:
+    def test_branch_controls_arm_instructions(self):
+        f = build_diamond()
+        pdg = build_pdg(f)
+        branch = f.block("entry").terminator
+        control = {(a.source, a.target)
+                   for a in pdg.arcs_of_kind(DepKind.CONTROL)}
+        for arm in ("then", "else_"):
+            for instruction in f.block(arm):
+                assert (branch.iid, instruction.iid) in control
+
+    def test_join_not_controlled(self):
+        f = build_diamond()
+        pdg = build_pdg(f)
+        branch = f.block("entry").terminator
+        join_add = f.block("join").instructions[0]
+        control = {(a.source, a.target)
+                   for a in pdg.arcs_of_kind(DepKind.CONTROL)}
+        assert (branch.iid, join_add.iid) not in control
+
+    def test_loop_branch_controls_its_own_header(self):
+        f = build_counted_loop()
+        pdg = build_pdg(f)
+        branch = f.block("header").terminator
+        cmp_ = f.block("header").instructions[0]
+        control = {(a.source, a.target)
+                   for a in pdg.arcs_of_kind(DepKind.CONTROL)}
+        assert (branch.iid, cmp_.iid) in control  # loop-carried control
+
+
+class TestAdjacency:
+    def test_successors_map_filters_by_kind(self):
+        f = build_memory_loop()
+        pdg = build_pdg(f)
+        all_succ = pdg.successors_map()
+        reg_succ = pdg.successors_map({DepKind.REGISTER})
+        total_all = sum(len(v) for v in all_succ.values())
+        total_reg = sum(len(v) for v in reg_succ.values())
+        assert total_reg < total_all
+
+    def test_in_out_arcs_consistent(self):
+        f = build_nested_loops()
+        pdg = build_pdg(f)
+        for arc in pdg.arcs:
+            assert arc in pdg.out_arcs(arc.source)
+            assert arc in pdg.in_arcs(arc.target)
+
+    def test_cross_thread_arcs(self):
+        f = build_paper_figure4()
+        pdg = build_pdg(f)
+        assignment = {i.iid: 0 for i in f.instructions()}
+        assert pdg.cross_thread_arcs(assignment) == []
+        # Move one use to thread 1: the arcs into it become cross-thread.
+        use = f.block("B4").instructions[0]
+        assignment[use.iid] = 1
+        crossing = pdg.cross_thread_arcs(assignment)
+        assert crossing
+        assert all(a.target == use.iid or a.source == use.iid
+                   for a in crossing)
+
+    def test_arcs_deduplicated_and_sorted(self):
+        f = build_paper_figure3()
+        pdg = build_pdg(f)
+        keys = [a.key() for a in pdg.arcs]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,166 @@
+"""Tests for the queue-allocation pass (physical queue sharing)."""
+
+import pytest
+
+from repro.analysis import build_pdg
+from repro.interp import run_function
+from repro.ir import FunctionBuilder
+from repro.machine import run_mt_program
+from repro.mtcg import (QueueAllocationError, allocate_queues,
+                        build_data_channels, generate)
+from repro.mtcg.channels import CommChannel, Point
+from repro.analysis.pdg import DepKind
+from repro.partition import Partition, partition_from_threads
+
+from .helpers import build_paper_figure4
+from .mt_utils import round_robin_partition
+
+
+def _figure4_partition(f):
+    block_of = f.block_of()
+    loop1 = {l for l in block_of.values() if l in ("B1", "B2")}
+    t0 = [i.iid for i in f.instructions() if block_of[i.iid] in loop1]
+    t1 = [i.iid for i in f.instructions() if block_of[i.iid] not in loop1]
+    return partition_from_threads(f, 2, [t0, t1])
+
+
+class TestSharingRule:
+    def _channels(self, f):
+        pdg = build_pdg(f)
+        partition = _figure4_partition(f)
+        return build_data_channels(f, pdg, partition), partition
+
+    def test_sequential_same_pair_can_share(self):
+        """Two same-direction channels in strictly-ordered phases share a
+        queue: pushes are producer-program-ordered, pops consumer-ordered,
+        so the FIFO pairs them correctly."""
+        f = build_paper_figure4()
+        c1 = CommChannel(DepKind.REGISTER, 0, 1, "r1",
+                         [Point("B2", 3)], [])
+        c2 = CommChannel(DepKind.REGISTER, 0, 1, "r_i",
+                         [Point("B5", 0)], [])
+        allocation = allocate_queues([c1, c2], f)
+        assert allocation.n_physical == 1
+        assert c1.queue == c2.queue
+
+    def test_reversed_direction_cannot_share(self):
+        """T0->T1 (early) with T1->T0 (late) must NOT share: the late
+        channel's consumer (T0) can race ahead of the early channel's
+        consumer (T1) and steal its pending value from the shared FIFO —
+        an observed deadlock (see module docstring)."""
+        f = build_paper_figure4()
+        c1 = CommChannel(DepKind.REGISTER, 0, 1, "r1",
+                         [Point("B2", 3)], [])
+        c2 = CommChannel(DepKind.REGISTER, 1, 0, "r2",
+                         [Point("B5", 0)], [])
+        allocation = allocate_queues([c1, c2], f)
+        assert allocation.n_physical == 2
+
+    def test_same_loop_cannot_share(self):
+        f = build_paper_figure4()
+        c1 = CommChannel(DepKind.REGISTER, 0, 1, "r1",
+                         [Point("B2", 1)], [])
+        c2 = CommChannel(DepKind.REGISTER, 1, 0, "r_i",
+                         [Point("B2", 3)], [])
+        allocation = allocate_queues([c1, c2], f)
+        assert allocation.n_physical == 2
+
+    def test_capacity_check(self):
+        f = build_paper_figure4()
+        channels = [CommChannel(DepKind.REGISTER, 0, 1, "r1",
+                                [Point("B2", 1)], [])
+                    for _ in range(5)]
+        with pytest.raises(QueueAllocationError):
+            allocate_queues(channels, f, max_queues=3)
+
+    def test_disable_sharing_gives_dense_ids(self):
+        f = build_paper_figure4()
+        channels = [CommChannel(DepKind.REGISTER, 0, 1, "r1",
+                                [Point("B2", 1)], []),
+                    CommChannel(DepKind.REGISTER, 1, 0, "r2",
+                                [Point("B5", 0)], [])]
+        allocation = allocate_queues(channels, f, allow_sharing=False)
+        assert allocation.n_physical == 2
+        assert [c.queue for c in channels] == [0, 1]
+
+
+class TestEndToEnd:
+    def _two_phase_function(self):
+        """Phase 1 sends values T0->T1; phase 2 sends a result T1->T0 —
+        the canonical sharable pattern."""
+        b = FunctionBuilder("two_phase", params=["r_n"],
+                            live_outs=["r_out"])
+        b.label("entry")
+        b.movi("r_acc", 0)
+        b.movi("r_i", 0)
+        b.jmp("l1")
+        b.label("l1")
+        b.cmplt("r_c", "r_i", "r_n")
+        b.br("r_c", "l1b", "mid")
+        b.label("l1b")
+        b.mul("r_v", "r_i", 3)          # T0 work
+        b.add("r_acc", "r_acc", "r_v")  # T1 work (consumes r_v)
+        b.add("r_i", "r_i", 1)
+        b.jmp("l1")
+        b.label("mid")
+        b.mul("r_out", "r_acc", 2)      # T0 again (consumes r_acc)
+        b.exit()
+        return b.build()
+
+    def test_shared_allocation_preserves_semantics(self):
+        f = self._two_phase_function()
+        pdg = build_pdg(f)
+        from repro.ir import Opcode
+        t1 = [i.iid for i in f.instructions()
+              if i.dest == "r_acc" and i.op is not Opcode.MOVI]
+        t0 = [i.iid for i in f.instructions() if i.iid not in t1]
+        partition = partition_from_threads(f, 2, [t0, t1])
+
+        dense = generate(f, pdg, partition, queue_allocation="dense")
+        shared = generate(f, pdg, partition, queue_allocation="shared")
+        st = run_function(f, {"r_n": 12})
+        dense_run = run_mt_program(dense, {"r_n": 12})
+        shared_run = run_mt_program(shared, {"r_n": 12})
+        assert dense_run.live_outs == st.live_outs
+        assert shared_run.live_outs == st.live_outs
+
+    @pytest.mark.parametrize("factory_args", [
+        ({"r_n": 10, "r_m": 4}),
+    ])
+    def test_figure4_shared_queues_equivalent(self, factory_args):
+        f = build_paper_figure4()
+        pdg = build_pdg(f)
+        partition = round_robin_partition(f, 2)
+        shared = generate(f, pdg, partition, queue_allocation="shared")
+        st = run_function(f, factory_args)
+        mt = run_mt_program(shared, factory_args, queue_capacity=1)
+        assert mt.live_outs == st.live_outs
+
+    def test_workload_queue_pressure_reported(self):
+        """On a real workload the allocator reduces (or preserves) the
+        physical queue count and stays within the 256-queue machine."""
+        from repro.workloads import get_workload
+        from repro.pipeline import normalize
+        from repro.partition.dswp import DSWPPartitioner
+        from repro.machine import DEFAULT_CONFIG
+        workload = get_workload("ks")
+        f = normalize(workload.build())
+        train = workload.make_inputs("train")
+        profile = run_function(f, train.args, train.memory).profile
+        pdg = build_pdg(f)
+        partition = DSWPPartitioner(DEFAULT_CONFIG).partition(
+            f, pdg, profile, 2)
+        from repro.mtcg import (build_data_channels, compute_relevance,
+                                control_channels)
+        data = build_data_channels(f, pdg, partition)
+        relevance = compute_relevance(f, pdg, partition, data)
+        channels = data + control_channels(f, partition, relevance)
+        allocation = allocate_queues(channels, f)
+        assert allocation.n_physical <= allocation.n_channels <= 256
+        # The generated program still runs correctly with the shared ids.
+        program = generate(f, pdg, partition, queue_allocation="shared")
+        ref = workload.make_inputs("train")
+        st = run_function(f, ref.args, ref.memory)
+        mt = run_mt_program(program, ref.args, ref.memory)
+        assert mt.live_outs == st.live_outs
+        assert mt.memory.snapshot() == st.memory.snapshot()

@@ -1,0 +1,139 @@
+"""Tests for the linear-scan register allocator."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import build_pdg
+from repro.interp import run_function
+from repro.ir import FunctionBuilder, Opcode, verify_function
+from repro.machine import run_mt_program
+from repro.opt.regalloc import (RegAllocError, SCRATCH, allocate_registers)
+
+from .helpers import build_counted_loop, build_nested_loops
+from .mt_utils import make_mt, round_robin_partition
+from .random_programs import program_sketches, render_program
+
+
+def _many_live_values(n: int):
+    """n simultaneously-live values, then a sum over all of them."""
+    b = FunctionBuilder("pressure", params=["r_a"], live_outs=["r_sum"])
+    b.label("entry")
+    for i in range(n):
+        b.add("r_v%d" % i, "r_a", i)
+    b.movi("r_sum", 0)
+    for i in range(n):
+        b.add("r_sum", "r_sum", "r_v%d" % i)
+    b.exit()
+    return b.build()
+
+
+class TestAllocation:
+    def test_no_spills_with_enough_registers(self):
+        f = _many_live_values(10)
+        result = allocate_registers(f, n_physical=64)
+        assert result.spill_count == 0
+        assert result.max_pressure_before >= 10
+        # Every register got a physical home.
+        registers = {r for i in f.instructions()
+                     for r in (i.defined_registers() + i.srcs)}
+        assert registers <= set(result.assignment)
+
+    def test_assignment_respects_interference(self):
+        """Simultaneously live registers never share a physical id."""
+        f = _many_live_values(12)
+        result = allocate_registers(f, n_physical=64)
+        from repro.analysis import liveness
+        live = liveness(f)
+        for iid, live_set in live.live_in.items():
+            homes = [result.assignment[r] for r in live_set
+                     if r in result.assignment]
+            assert len(homes) == len(set(homes))
+
+    def test_spills_under_pressure(self):
+        f = _many_live_values(20)
+        reference = run_function(f, {"r_a": 3})
+        result = allocate_registers(f, n_physical=8)
+        verify_function(f)
+        assert result.spill_count > 0
+        assert result.spill_loads > 0 and result.spill_stores > 0
+        after = run_function(f, {"r_a": 3})
+        assert after.live_outs == reference.live_outs
+
+    def test_spilled_liveout_reloaded(self):
+        f = _many_live_values(20)
+        reference = run_function(f, {"r_a": 7}).live_outs
+        result = allocate_registers(f, n_physical=8)
+        if "r_sum" in result.spilled:
+            pass  # the reload path is definitely exercised
+        assert run_function(f, {"r_a": 7}).live_outs == reference
+
+    def test_spilled_params_parked_at_entry(self):
+        """Parameters may spill; their incoming value is stored to the
+        spill area at function entry, so every later reload sees it."""
+        f = _many_live_values(20)
+        reference = run_function(f, {"r_a": 13}).live_outs
+        result = allocate_registers(f, n_physical=6)
+        if "r_a" in result.spilled:
+            first = f.entry.instructions[0]
+            assert first.op is Opcode.STORE
+            assert "r_a" in first.srcs
+        assert run_function(f, {"r_a": 13}).live_outs == reference
+
+    def test_too_few_registers_rejected(self):
+        with pytest.raises(RegAllocError):
+            allocate_registers(_many_live_values(4), n_physical=3)
+
+    def test_spill_area_binds_automatically(self):
+        """The spill pointer is a pointer parameter: callers pass nothing
+        new."""
+        f = _many_live_values(20)
+        allocate_registers(f, n_physical=8)
+        assert any(p.startswith("p__spill") for p in f.params)
+        result = run_function(f, {"r_a": 1})  # no extra args needed
+        assert "r_sum" in result.live_outs
+
+
+class TestLoops:
+    def test_loop_carried_values_survive_spilling(self):
+        f = build_counted_loop()
+        reference = run_function(f, {"r_n": 17}).live_outs
+        allocate_registers(f, n_physical=5)
+        verify_function(f)
+        assert run_function(f, {"r_n": 17}).live_outs == reference
+
+    def test_nested_loops_with_tiny_file(self):
+        f = build_nested_loops()
+        reference = run_function(f, {"r_n": 4, "r_m": 5}).live_outs
+        result = allocate_registers(f, n_physical=5)
+        assert run_function(f, {"r_n": 4, "r_m": 5}).live_outs == reference
+
+
+class TestMTIntegration:
+    def test_per_thread_allocation(self):
+        """Each generated thread is allocated independently, as in the
+        papers' toolchain; results are unchanged."""
+        f = build_nested_loops()
+        partition = round_robin_partition(f, 2)
+        mt = make_mt(f, partition)
+        reference = run_mt_program(mt, {"r_n": 4, "r_m": 5})
+        for thread_function in mt.threads:
+            allocate_registers(thread_function, n_physical=8)
+            verify_function(thread_function, allow_comm=True)
+        result = run_mt_program(mt, {"r_n": 4, "r_m": 5})
+        assert result.live_outs == reference.live_outs
+
+
+class TestPropertyBased:
+    @given(sketch=program_sketches)
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_programs_with_tiny_register_file(self, sketch):
+        f = render_program(sketch)
+        args = {"r_in0": 9, "r_in1": -2}
+        reference = run_function(f, args)
+        allocate_registers(f, n_physical=6)
+        verify_function(f)
+        result = run_function(f, args)
+        assert result.live_outs == reference.live_outs
+        assert result.memory.snapshot()[:32] == \
+            reference.memory.snapshot()[:32]

@@ -1,0 +1,130 @@
+"""Tests for the local instruction scheduler (the downstream pass the
+companion paper discusses interacting with COCO)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.interp import run_function
+from repro.ir import FunctionBuilder, Opcode, verify_function
+from repro.machine import run_mt_program, simulate_single
+from repro.opt.scheduler import (CommPriority, schedule_function,
+                                 schedule_program)
+
+from .helpers import build_counted_loop, build_nested_loops
+from .mt_utils import make_mt, round_robin_partition
+from .random_programs import program_sketches, render_program
+
+
+class TestBlockScheduling:
+    def test_hoists_long_latency_ops(self):
+        """A multiply followed by independent adds: the scheduler starts
+        the multiply first so its latency overlaps the adds."""
+        b = FunctionBuilder("sched", params=["r_a", "r_b"],
+                            live_outs=["r_z"])
+        b.label("entry")
+        b.add("r_t1", "r_b", 1)
+        b.add("r_t2", "r_b", 2)
+        b.add("r_t3", "r_b", 3)
+        b.mul("r_m", "r_a", "r_a")       # long latency, independent
+        b.add("r_z", "r_m", "r_t3")
+        b.exit()
+        f = b.build()
+        baseline = simulate_single(f, {"r_a": 3, "r_b": 4})
+        moved = schedule_function(f)
+        verify_function(f)
+        scheduled = simulate_single(f, {"r_a": 3, "r_b": 4})
+        assert moved > 0
+        assert f.entry.instructions[0].op is Opcode.MUL
+        assert scheduled.cycles <= baseline.cycles
+        assert scheduled.live_outs == baseline.live_outs
+
+    def test_memory_order_preserved(self):
+        b = FunctionBuilder("mem", params=["p_a"], live_outs=["r_y"])
+        b.mem("obj", 8, ptr="p_a")
+        b.label("entry")
+        b.movi("r_x", 42)
+        b.store("p_a", "r_x")
+        b.load("r_y", "p_a")
+        b.exit()
+        f = b.build()
+        schedule_function(f)
+        ops = [i.op for i in f.entry.instructions]
+        assert ops.index(Opcode.STORE) < ops.index(Opcode.LOAD)
+        assert run_function(f).live_outs == {"r_y": 42}
+
+    def test_anti_dependence_respected(self):
+        b = FunctionBuilder("anti", params=["r_a"], live_outs=["r_z"])
+        b.label("entry")
+        b.add("r_z", "r_a", 1)    # reads r_a
+        b.movi("r_a", 0)          # then clobbers it
+        b.exit()
+        f = b.build()
+        reference = run_function(f, {"r_a": 10}).live_outs
+        schedule_function(f)
+        assert run_function(f, {"r_a": 10}).live_outs == reference
+
+    def test_terminator_stays_last(self):
+        f = build_counted_loop()
+        schedule_function(f)
+        verify_function(f)
+        for block in f.blocks:
+            assert block.instructions[-1].is_terminator()
+
+    def test_comm_priority_orders_communication(self):
+        b = FunctionBuilder("comm", params=["r_a"], live_outs=[])
+        b.label("entry")
+        b.add("r_t", "r_a", 1)
+        b.produce(0, "r_a")       # independent of r_t
+        b.exit()
+        f = b.build(verify=False)
+        early = [i.copy() for i in f.entry.instructions]
+        schedule_function(f, comm_priority=CommPriority.EARLY)
+        assert f.entry.instructions[0].op is Opcode.PRODUCE
+        schedule_function(f, comm_priority=CommPriority.LATE)
+        assert f.entry.instructions[0].op is not Opcode.PRODUCE
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("priority", [CommPriority.EARLY,
+                                          CommPriority.LATE,
+                                          CommPriority.NEUTRAL])
+    def test_mt_program_scheduling(self, priority):
+        """Scheduling every thread of generated MT code preserves results
+        and deadlock-freedom, for all communication priorities."""
+        f = build_nested_loops()
+        p = round_robin_partition(f, 2)
+        mt = make_mt(f, p)
+        reference = run_mt_program(mt, {"r_n": 4, "r_m": 5})
+        moved = schedule_program(mt, comm_priority=priority)
+        result = run_mt_program(mt, {"r_n": 4, "r_m": 5})
+        assert result.live_outs == reference.live_outs
+
+    @given(sketch=program_sketches)
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_programs_equivalent(self, sketch):
+        f = render_program(sketch)
+        args = {"r_in0": 7, "r_in1": -3}
+        reference = run_function(f, args)
+        schedule_function(f)
+        verify_function(f)
+        result = run_function(f, args)
+        assert result.live_outs == reference.live_outs
+        assert result.memory.snapshot() == reference.memory.snapshot()
+
+    @given(sketch=program_sketches)
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_scheduling_never_slows_straightline_much(self, sketch):
+        """The scheduler targets latency hiding; on the in-order model it
+        must never catastrophically regress."""
+        f = render_program(sketch)
+        args = {"r_in0": 2, "r_in1": 5}
+        before = simulate_single(f, args)
+        schedule_function(f)
+        after = simulate_single(f, args)
+        # Relative bound with absolute slack: on programs of a handful of
+        # cycles, a single port-conflict cycle is not a regression.
+        assert after.cycles <= before.cycles * 1.20 + 4
+        assert after.live_outs == before.live_outs

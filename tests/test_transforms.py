@@ -1,0 +1,68 @@
+"""Tests for CFG normalization transforms."""
+
+from repro.interp import run_function
+from repro.ir import FunctionBuilder, verify_function
+from repro.ir.transforms import (has_critical_edges, renumber_iids,
+                                 split_critical_edges)
+
+from .helpers import (build_counted_loop, build_diamond,
+                      build_nested_loops, build_paper_figure4)
+
+
+class TestCriticalEdges:
+    def test_loop_back_edge_split(self):
+        f = build_paper_figure4()  # B2->B2 and B4->B4 are critical
+        assert has_critical_edges(f)
+        inserted = split_critical_edges(f)
+        assert inserted
+        assert not has_critical_edges(f)
+        verify_function(f)
+
+    def test_semantics_preserved(self):
+        f = build_paper_figure4()
+        reference = run_function(f, {"r_n": 6, "r_m": 3}).live_outs
+        split_critical_edges(f)
+        assert run_function(f, {"r_n": 6, "r_m": 3}).live_outs == reference
+
+    def test_diamond_has_no_critical_edges(self):
+        f = build_diamond()
+        assert not has_critical_edges(f)
+        assert split_critical_edges(f) == []
+
+    def test_counted_loop_split(self):
+        f = build_counted_loop()
+        # header -> body is fine (body has 1 pred); body -> header is a
+        # jmp (single successor): no critical edges here either.
+        assert not has_critical_edges(f)
+
+    def test_same_target_twice(self):
+        b = FunctionBuilder("both", params=["r_c"], live_outs=["r_x"])
+        b.label("entry")
+        b.movi("r_x", 1)
+        b.br("r_c", "t", "t")   # both arms to the same multi-pred block
+        b.label("pre")
+        b.jmp("t")
+        b.label("t")
+        b.exit()
+        f = b.build()
+        split_critical_edges(f)
+        verify_function(f)
+        assert run_function(f, {"r_c": 1}).live_outs == {"r_x": 1}
+
+
+class TestRenumber:
+    def test_program_order_after_insertions(self):
+        f = build_paper_figure4()
+        split_critical_edges(f)
+        mapping = renumber_iids(f)
+        iids = [i.iid for i in f.instructions()]
+        assert iids == list(range(len(iids)))
+        # Mapping covers all pre-existing instructions.
+        assert len(mapping) == len(iids)
+
+    def test_mapping_tracks_old_ids(self):
+        f = build_counted_loop()
+        old = {i.iid: repr(i.op) for i in f.instructions()}
+        mapping = renumber_iids(f)
+        for old_iid, new_iid in mapping.items():
+            assert old_iid in old

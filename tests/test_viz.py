@@ -1,0 +1,71 @@
+"""Tests for the Graphviz exporters (structure of the emitted dot)."""
+
+from repro.analysis import build_pdg
+from repro.interp import run_function
+from repro.viz import (cfg_to_dot, pdg_to_dot, program_to_dot,
+                       thread_graph_to_dot)
+
+from .helpers import build_counted_loop, build_diamond
+from .mt_utils import make_mt, round_robin_partition
+
+
+class TestCfgDot:
+    def test_blocks_and_edges_present(self):
+        f = build_diamond()
+        dot = cfg_to_dot(f)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for label in ("entry", "then", "else_", "join"):
+            assert '"%s"' % label in dot
+        assert '"entry" -> "then"' in dot
+        assert '"entry" -> "else_"' in dot
+
+    def test_profile_weights_on_edges(self):
+        f = build_counted_loop()
+        profile = run_function(f, {"r_n": 7}).profile
+        dot = cfg_to_dot(f, profile)
+        assert '[label="7"]' in dot  # the back edge ran 7 times
+
+    def test_quotes_escaped(self):
+        f = build_diamond()
+        dot = cfg_to_dot(f)
+        # No naked quote inside labels (all escaped or structural).
+        for line in dot.splitlines():
+            assert line.count('"') % 2 == 0
+
+
+class TestPdgDot:
+    def test_arcs_styled_by_kind(self):
+        f = build_counted_loop()
+        pdg = build_pdg(f)
+        dot = pdg_to_dot(pdg)
+        assert 'style=dotted' in dot       # control arcs
+        assert 'color="black"' in dot      # register arcs
+
+    def test_partition_colors_nodes(self):
+        f = build_counted_loop()
+        pdg = build_pdg(f)
+        partition = round_robin_partition(f, 2)
+        dot = pdg_to_dot(pdg, partition)
+        assert 'fillcolor="lightblue"' in dot
+        assert 'fillcolor="lightyellow"' in dot
+
+
+class TestThreadAndProgramDot:
+    def test_thread_graph_arcs(self):
+        f = build_counted_loop()
+        pdg = build_pdg(f)
+        partition = round_robin_partition(f, 2)
+        dot = thread_graph_to_dot(pdg, partition)
+        assert "t0" in dot and "t1" in dot
+        assert "->" in dot
+
+    def test_program_dot_has_clusters_and_channels(self):
+        f = build_counted_loop()
+        partition = round_robin_partition(f, 2)
+        program = make_mt(f, partition)
+        dot = program_to_dot(program)
+        assert "cluster_t0" in dot
+        assert "cluster_t1" in dot
+        assert 'color="purple"' in dot  # at least one channel edge
+        assert dot.count("subgraph") == 2
