@@ -14,15 +14,19 @@ Quickstart::
 See DESIGN.md for the paper-provenance note and the system inventory.
 """
 
-from .pipeline import (Evaluation, Parallelization, TECHNIQUES,
-                       evaluate_workload, make_partitioner, normalize,
-                       parallelize, technique_config)
+from .pipeline import (ArtifactCache, Evaluation, MatrixCell,
+                       Parallelization, TECHNIQUES, Telemetry,
+                       configure_cache, evaluate_matrix, evaluate_workload,
+                       get_cache, global_telemetry, make_partitioner,
+                       normalize, parallelize, technique_config)
 from .workloads import all_workloads, get_workload, workload_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Evaluation", "Parallelization", "TECHNIQUES", "evaluate_workload",
     "make_partitioner", "normalize", "parallelize", "technique_config",
+    "ArtifactCache", "MatrixCell", "Telemetry", "configure_cache",
+    "evaluate_matrix", "get_cache", "global_telemetry",
     "all_workloads", "get_workload", "workload_names", "__version__",
 ]

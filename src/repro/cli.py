@@ -6,7 +6,14 @@ Commands:
 * ``machine`` — the machine configuration (Figure 6(a));
 * ``run`` — parallelize one workload and report speedup/communication;
 * ``dump`` — print the IR of a workload, or the generated thread CFGs;
-* ``sweep`` — run every workload under one configuration and summarize.
+* ``sweep`` — run every workload under one (or every) configuration and
+  summarize; ``--jobs N`` fans cells across a process pool, and the
+  persistent artifact cache makes repeat sweeps cheap.
+
+``python -m repro --sweep`` is shorthand for ``sweep --technique all``.
+Every evaluating command accepts ``--timings`` (per-stage wall time and
+cache hit/miss table) and ``--no-cache``; the cache directory honours
+``REPRO_CACHE_DIR`` (default ``~/.cache/repro``).
 """
 
 from __future__ import annotations
@@ -17,7 +24,10 @@ from typing import List, Optional
 
 from .ir.printer import format_function
 from .machine.config import config_table
-from .pipeline import TECHNIQUES, evaluate_workload, normalize, parallelize
+from .pipeline import (TECHNIQUES, build_cells, configure_cache,
+                       evaluate_matrix, evaluate_workload, get_cache,
+                       global_telemetry, normalize, parallelize,
+                       reset_global_telemetry)
 from .report import table
 from .stats import geomean
 from .workloads import all_workloads, benchmark_table, get_workload
@@ -45,6 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="evaluate every workload")
     _common_options(sweep)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="evaluate cells on N worker processes")
 
     report = sub.add_parser(
         "report", help="regenerate the EXPERIMENTS.md headline table "
@@ -52,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--threads", type=int, default=2)
     report.add_argument("--scale", default="ref",
                         choices=("train", "ref"))
+    report.add_argument("--timings", action="store_true",
+                        help="print the per-stage timing / cache table")
+    report.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent artifact cache")
 
     dot = sub.add_parser("dot", help="emit Graphviz dot for a workload")
     _common_options(dot)
@@ -63,7 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _common_options(sub: argparse.ArgumentParser) -> None:
-    sub.add_argument("--technique", choices=TECHNIQUES, default="gremio")
+    sub.add_argument("--technique", choices=TECHNIQUES + ("all",),
+                     default="gremio",
+                     help="partitioning technique ('all' sweeps every one)")
     sub.add_argument("--threads", type=int, default=2)
     sub.add_argument("--coco", action="store_true",
                      help="enable the COCO communication optimizer")
@@ -74,10 +92,40 @@ def _common_options(sub: argparse.ArgumentParser) -> None:
                      choices=("early", "late", "neutral"),
                      help="run the local instruction scheduler with this "
                           "produce/consume priority")
+    sub.add_argument("--timings", action="store_true",
+                     help="print the per-stage timing / cache table")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="disable the persistent artifact cache")
+
+
+def _apply_cache_options(args) -> None:
+    if getattr(args, "no_cache", False):
+        configure_cache(enabled=False)
+
+
+def _print_telemetry() -> None:
+    telemetry = global_telemetry()
+    print()
+    print(telemetry.timings_table())
+    print()
+    print(telemetry.counters_table())
+    cache = get_cache()
+    stats = cache.stats
+    # Under --jobs the loads happen in worker processes, so the local
+    # CacheStats stay at zero; the merged telemetry still carries them.
+    hits = max(stats.hits, telemetry.cache_hits)
+    misses = max(stats.misses, telemetry.cache_misses)
+    print("artifact cache: %d hits, %d misses, %d invalidations, "
+          "%d stores%s" % (
+              hits, misses, stats.invalidations, stats.stores,
+              " [disabled]" if not cache.enabled
+              else " (%s)" % cache.directory))
 
 
 def _run_one(args) -> int:
     workload = get_workload(args.workload)
+    if args.technique == "all":
+        raise SystemExit("run: pick one --technique (not 'all')")
     ev = evaluate_workload(workload, technique=args.technique,
                            n_threads=args.threads, coco=args.coco,
                            scale=args.scale, alias_mode=args.alias_mode,
@@ -99,6 +147,8 @@ def _run_one(args) -> int:
                 title="%s / %s%s / %d threads"
                       % (workload.name, args.technique,
                          "+coco" if args.coco else "", args.threads)))
+    if args.timings:
+        _print_telemetry()
     return 0
 
 
@@ -126,23 +176,31 @@ def _dump(args) -> int:
 
 
 def _sweep(args) -> int:
+    techniques = (list(TECHNIQUES) if args.technique == "all"
+                  else [args.technique])
+    cells = build_cells(workloads=all_workloads(), techniques=techniques,
+                        coco=(args.coco,), n_threads=(args.threads,),
+                        scale=args.scale, alias_mode=args.alias_mode,
+                        local_schedule=args.schedule)
+    evaluations = evaluate_matrix(cells, jobs=args.jobs)
     rows = []
-    speedups = []
-    for workload in all_workloads():
-        ev = evaluate_workload(workload, technique=args.technique,
-                               n_threads=args.threads, coco=args.coco,
-                               scale=args.scale,
-                               alias_mode=args.alias_mode,
-                               local_schedule=args.schedule)
-        rows.append((workload.name, "%.3f" % ev.speedup,
+    speedups = {technique: [] for technique in techniques}
+    for ev in evaluations:
+        rows.append((ev.workload.name, ev.technique, "%.3f" % ev.speedup,
                      str(ev.communication_instructions),
                      "%.1f%%" % (100 * ev.communication_fraction)))
-        speedups.append(ev.speedup)
-    rows.append(("geomean", "%.3f" % geomean(speedups), "", ""))
-    print(table(["workload", "speedup", "comm instrs", "comm %"], rows,
-                title="%s%s / %d threads / %s inputs"
-                      % (args.technique, "+coco" if args.coco else "",
-                         args.threads, args.scale)))
+        speedups[ev.technique].append(ev.speedup)
+    for technique in techniques:
+        rows.append(("geomean", technique,
+                     "%.3f" % geomean(speedups[technique]), "", ""))
+    print(table(["workload", "technique", "speedup", "comm instrs",
+                 "comm %"], rows,
+                title="%s%s / %d threads / %s inputs / %d job%s"
+                      % ("+".join(techniques),
+                         "+coco" if args.coco else "",
+                         args.threads, args.scale, args.jobs,
+                         "s" if args.jobs != 1 else "")))
+    _print_telemetry()
     return 0
 
 
@@ -185,6 +243,8 @@ def _report(args) -> int:
              geomean(aggregates["d"]), geomean(aggregates["dc"]),
              sum(aggregates["rg"]) / len(aggregates["rg"]),
              sum(aggregates["rd"]) / len(aggregates["rd"])))
+    if args.timings:
+        _print_telemetry()
     return 0
 
 
@@ -213,7 +273,16 @@ def _dot(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "--sweep":
+        # `python -m repro --sweep` = sweep all workloads x techniques.
+        argv[0:1] = ["sweep", "--technique", "all"]
     args = build_parser().parse_args(argv)
+    _apply_cache_options(args)
+    # Telemetry and cache stats are process-global accumulators; scope
+    # the printed report to this command.
+    reset_global_telemetry()
+    get_cache().stats.reset()
     if args.command == "list":
         print(benchmark_table())
         return 0

@@ -109,8 +109,8 @@ class Divergence:
 
 
 def find_divergence(function: Function, program: MTProgram,
-                    args: Mapping[str, object] = (),
-                    initial_memory: Mapping[str, object] = (),
+                    args: Optional[Mapping[str, object]] = None,
+                    initial_memory: Optional[Mapping[str, object]] = None,
                     queue_capacity: int = 32,
                     max_steps: int = 5_000_000) -> Optional[Divergence]:
     """Compare the per-address sequences of memory writes between the

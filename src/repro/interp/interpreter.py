@@ -51,8 +51,8 @@ class RunResult:
             self.function.name, self.dynamic_instructions)
 
 
-def run_function(function: Function, args: Mapping[str, object] = (),
-                 initial_memory: Mapping[str, object] = (),
+def run_function(function: Function, args: Optional[Mapping[str, object]] = None,
+                 initial_memory: Optional[Mapping[str, object]] = None,
                  max_steps: int = 50_000_000,
                  keep_trace: bool = False) -> RunResult:
     """Interpret ``function`` with the given scalar arguments and memory

@@ -8,7 +8,7 @@ the initial register file, resolving pointer parameters to object bases.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..ir.cfg import Function
 
@@ -50,7 +50,7 @@ class Memory:
 
 
 def make_memory(function: Function,
-                initial: Mapping[str, Iterable] = ()) -> Memory:
+                initial: Optional[Mapping[str, Iterable]] = None) -> Memory:
     """Lay out the function's memory objects and initialize from ``initial``
     (a mapping object-name -> sequence of words)."""
     total = function.layout_memory()

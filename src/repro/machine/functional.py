@@ -105,8 +105,8 @@ class MTRunResult:
             self.communication_instructions)
 
 
-def run_mt_program(program: MTProgram, args: Mapping[str, object] = (),
-                   initial_memory: Mapping[str, object] = (),
+def run_mt_program(program: MTProgram, args: Optional[Mapping[str, object]] = None,
+                   initial_memory: Optional[Mapping[str, object]] = None,
                    queue_capacity: int = 32,
                    max_steps: int = 100_000_000,
                    count_per_instruction: bool = False) -> MTRunResult:

@@ -219,8 +219,8 @@ class TimedResult:
 
 def simulate_threads(functions: Sequence[Function], exit_thread: int,
                      memory_owner: Function,
-                     args: Mapping[str, object] = (),
-                     initial_memory: Mapping[str, object] = (),
+                     args: Optional[Mapping[str, object]] = None,
+                     initial_memory: Optional[Mapping[str, object]] = None,
                      config: MachineConfig = DEFAULT_CONFIG,
                      n_queues: int = 0,
                      max_steps: int = 200_000_000) -> TimedResult:
@@ -379,8 +379,8 @@ def _time_plain_instruction(core: CoreTiming, hierarchy: MemoryHierarchy,
 
 
 def simulate_program(program: MTProgram,
-                     args: Mapping[str, object] = (),
-                     initial_memory: Mapping[str, object] = (),
+                     args: Optional[Mapping[str, object]] = None,
+                     initial_memory: Optional[Mapping[str, object]] = None,
                      config: MachineConfig = DEFAULT_CONFIG,
                      max_steps: int = 200_000_000) -> TimedResult:
     """Timed simulation of MTCG output on ``len(threads)`` cores."""
@@ -391,8 +391,8 @@ def simulate_program(program: MTProgram,
 
 
 def simulate_single(function: Function,
-                    args: Mapping[str, object] = (),
-                    initial_memory: Mapping[str, object] = (),
+                    args: Optional[Mapping[str, object]] = None,
+                    initial_memory: Optional[Mapping[str, object]] = None,
                     config: MachineConfig = DEFAULT_CONFIG,
                     max_steps: int = 200_000_000) -> TimedResult:
     """Timed simulation of the original single-threaded code on one core."""

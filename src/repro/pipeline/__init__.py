@@ -1,0 +1,55 @@
+"""The end-to-end GMT scheduling pipeline, as a staged pass manager.
+
+The public surface is unchanged from the original single-module
+implementation — ``parallelize()``/``evaluate_workload()`` and friends
+import from here exactly as before — but the pipeline now runs as an
+explicit stage graph (normalize, profile, pdg, partition, coco, mtcg,
+schedule, simulate-st, simulate-mt) with:
+
+* **content-addressed cache keys** per stage (hash of the function's
+  textual IR + machine configuration + stage options);
+* a **persistent artifact cache** (``REPRO_CACHE_DIR`` or
+  ``~/.cache/repro``) shared across processes and sweep runs;
+* **per-stage telemetry** (wall time, cache hits/misses, PDG/channel/
+  cycle counters) rendered by ``python -m repro ... --timings``;
+* a batch API, :func:`evaluate_matrix`, that fans evaluation cells
+  across a ``multiprocessing`` pool (``sweep --jobs N``).
+
+See the submodules: :mod:`.stages` (the pass manager), :mod:`.cache`,
+:mod:`.telemetry`, :mod:`.fingerprint`, :mod:`.matrix`, and :mod:`.core`
+(the legacy wrappers).
+"""
+
+from .cache import (ArtifactCache, CacheStats, configure_cache,
+                    default_cache_dir, get_cache)
+from .core import (Evaluation, Parallelization, _check_results,
+                   evaluate_workload, parallelize)
+from .fingerprint import (digest, fingerprint_config, fingerprint_function,
+                          fingerprint_inputs, fingerprint_profile)
+from .matrix import MatrixCell, build_cells, evaluate_matrix
+from .stages import (EVALUATE_STAGES, PARALLELIZE_STAGES, STAGES,
+                     PipelineContext, Stage, TECHNIQUES, execute,
+                     make_partitioner, normalize, stage_names,
+                     technique_config)
+from .telemetry import (StageRecord, Telemetry, global_telemetry,
+                        reset_global_telemetry)
+
+__all__ = [
+    # legacy API
+    "Evaluation", "Parallelization", "TECHNIQUES", "evaluate_workload",
+    "make_partitioner", "normalize", "parallelize", "technique_config",
+    # stage graph
+    "Stage", "STAGES", "PipelineContext", "execute",
+    "PARALLELIZE_STAGES", "EVALUATE_STAGES", "stage_names",
+    # caching
+    "ArtifactCache", "CacheStats", "configure_cache", "default_cache_dir",
+    "get_cache",
+    # fingerprints
+    "digest", "fingerprint_config", "fingerprint_function",
+    "fingerprint_inputs", "fingerprint_profile",
+    # telemetry
+    "StageRecord", "Telemetry", "global_telemetry",
+    "reset_global_telemetry",
+    # batch evaluation
+    "MatrixCell", "build_cells", "evaluate_matrix",
+]

@@ -1,0 +1,160 @@
+"""Persistent on-disk artifact cache for pipeline stages.
+
+Artifacts are pickle blobs keyed by (stage name, content fingerprint) —
+see :mod:`repro.pipeline.fingerprint`.  The cache directory defaults to
+``~/.cache/repro`` and is overridden by the ``REPRO_CACHE_DIR``
+environment variable; ``REPRO_CACHE=0`` (or ``off``/``no``) disables the
+cache entirely.  Writes are atomic (write-to-temp + rename), so parallel
+sweep workers can share one directory safely.
+
+The cache is best-effort by design: a missing, corrupted, or truncated
+blob is counted as an invalidation and recomputed, never raised.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from typing import Any, Dict, Optional, Tuple
+
+from .fingerprint import SCHEMA_VERSION
+
+_DISABLE_VALUES = ("0", "off", "no", "false")
+
+
+class CacheStats:
+    """Hit/miss/invalidation accounting for one cache instance."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.stores = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.invalidations = self.stores = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations, "stores": self.stores}
+
+    def summary(self) -> str:
+        return ("%d hits, %d misses, %d invalidations, %d stores"
+                % (self.hits, self.misses, self.invalidations, self.stores))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<CacheStats %s>" % self.summary()
+
+
+def default_cache_dir() -> str:
+    return (os.environ.get("REPRO_CACHE_DIR")
+            or os.path.join(os.path.expanduser("~"), ".cache", "repro"))
+
+
+class ArtifactCache:
+    """Content-addressed pickle store with per-stage subdirectories."""
+
+    def __init__(self, directory: Optional[str] = None,
+                 enabled: Optional[bool] = None):
+        if enabled is None:
+            enabled = (os.environ.get("REPRO_CACHE", "1").lower()
+                       not in _DISABLE_VALUES)
+        self.directory = directory or default_cache_dir()
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    # -- lookup ------------------------------------------------------------
+
+    def load(self, stage: str, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, payload)``.  Any I/O or unpickling failure is a
+        miss (corrupt blobs additionally count as invalidations and are
+        removed); a disabled cache always misses without accounting."""
+        if not self.enabled:
+            return False, None
+        path = self._path(stage, key)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception:
+            self._invalidate(path)
+            return False, None
+        if (not isinstance(envelope, dict)
+                or envelope.get("schema") != SCHEMA_VERSION
+                or envelope.get("stage") != stage
+                or "payload" not in envelope):
+            self._invalidate(path)
+            return False, None
+        self.stats.hits += 1
+        return True, envelope["payload"]
+
+    def store(self, stage: str, key: str, payload: Any) -> None:
+        """Atomically persist ``payload`` under (stage, key)."""
+        if not self.enabled:
+            return
+        path = self._path(stage, key)
+        envelope = {"schema": SCHEMA_VERSION, "stage": stage, "key": key,
+                    "payload": payload}
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(dir=os.path.dirname(path),
+                                             suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(envelope, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            return  # best effort: an unwritable cache never fails the run
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    # -- internals ---------------------------------------------------------
+
+    def _path(self, stage: str, key: str) -> str:
+        return os.path.join(self.directory, stage, key[:2], key + ".pkl")
+
+    def _invalidate(self, path: str) -> None:
+        self.stats.invalidations += 1
+        self.stats.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<ArtifactCache %s (%s): %s>" % (
+            self.directory, "on" if self.enabled else "off",
+            self.stats.summary())
+
+
+_ACTIVE: Optional[ArtifactCache] = None
+
+
+def get_cache() -> ArtifactCache:
+    """The process-wide cache used when a run does not pass its own."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = ArtifactCache()
+    return _ACTIVE
+
+
+def configure_cache(directory: Optional[str] = None,
+                    enabled: Optional[bool] = None) -> ArtifactCache:
+    """Replace the process-wide cache (e.g. per-test tmp directories, or
+    ``--no-cache`` from the CLI) and return the new instance."""
+    global _ACTIVE
+    _ACTIVE = ArtifactCache(directory, enabled)
+    return _ACTIVE

@@ -1,0 +1,76 @@
+"""Deterministic content-addressed fingerprints for pipeline stages.
+
+Every stage of the staged pipeline derives a cache key from *content*:
+the textual IR of the function (with iids), the machine configuration,
+the profiling inputs, and the stage options.  Two runs that would compute
+the same artifact — regardless of process, workload name, or call path —
+therefore produce the same key, which is what makes the persistent
+artifact cache (:mod:`repro.pipeline.cache`) safe to share across
+processes and sweep invocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from typing import Mapping, Optional
+
+from ..ir.cfg import Function
+from ..ir.printer import format_function
+from ..machine.config import MachineConfig
+
+#: Bump to invalidate every previously persisted artifact (e.g. when a
+#: pass changes behaviour without changing its inputs' content).
+SCHEMA_VERSION = "repro-pipeline-1"
+
+
+def digest(*parts: str) -> str:
+    """SHA-256 over the schema version plus the given string parts."""
+    h = hashlib.sha256()
+    h.update(SCHEMA_VERSION.encode("utf-8"))
+    for part in parts:
+        h.update(b"\x00")
+        h.update(part.encode("utf-8", "backslashreplace"))
+    return h.hexdigest()
+
+
+def fingerprint_function(function: Function) -> str:
+    """Content hash of a function: the full textual IR including iids,
+    memory objects, pointer parameters, and live-outs."""
+    return digest("function", format_function(function, show_iids=True))
+
+
+def fingerprint_config(config: MachineConfig) -> str:
+    """Content hash of a machine configuration (all dataclass fields,
+    with dict-valued fields ordered deterministically)."""
+    parts = []
+    for field in sorted(fields(config), key=lambda f: f.name):
+        value = getattr(config, field.name)
+        if isinstance(value, dict):
+            value = sorted((str(key), value[key]) for key in value)
+        elif is_dataclass(value):
+            value = repr(value)
+        parts.append("%s=%r" % (field.name, value))
+    return digest("config", ";".join(parts))
+
+
+def fingerprint_inputs(args: Optional[Mapping[str, object]],
+                       memory: Optional[Mapping[str, object]]) -> str:
+    """Content hash of interpreter inputs (scalar args + memory init)."""
+    return digest("inputs", _mapping_repr(args), _mapping_repr(memory))
+
+
+def fingerprint_profile(profile) -> str:
+    """Content hash of an :class:`~repro.interp.profile.EdgeProfile` —
+    used when a caller supplies a profile object directly, so downstream
+    stage keys still chain on profile *content*."""
+    blocks = sorted(profile.block_counts.items())
+    edges = sorted(profile.edge_counts.items())
+    return digest("profile", repr(blocks), repr(edges))
+
+
+def _mapping_repr(mapping: Optional[Mapping[str, object]]) -> str:
+    if not mapping:
+        return "{}"
+    return repr(sorted((str(key), repr(value))
+                       for key, value in dict(mapping).items()))

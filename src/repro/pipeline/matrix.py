@@ -1,0 +1,136 @@
+"""Batch evaluation: fan a (workload x technique x coco x threads)
+matrix across a ``multiprocessing`` pool.
+
+``evaluate_matrix()`` is the sweep engine behind ``python -m repro sweep
+--jobs N`` and the benchmark harness.  Cells are evaluated through the
+same staged, cached pipeline as single calls, so parallel workers share
+the persistent artifact cache (atomic writes make that safe) and results
+are bit-identical to serial execution.  Any failure to parallelize —
+no ``multiprocessing`` support, unpicklable state, a crashed pool —
+degrades gracefully to the serial path.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Union
+
+from ..workloads import get_workload, workload_names
+from ..workloads.common import Workload
+from .cache import configure_cache, get_cache
+from .core import Evaluation, evaluate_workload
+from .telemetry import Telemetry, global_telemetry
+
+
+class MatrixCell(NamedTuple):
+    """One point of the evaluation matrix."""
+
+    workload: str
+    technique: str = "gremio"
+    coco: bool = False
+    n_threads: int = 2
+    scale: str = "ref"
+    alias_mode: str = "annotated"
+    local_schedule: Optional[str] = None
+
+
+def build_cells(workloads: Optional[
+                    Iterable[Union[str, Workload]]] = None,
+                techniques: Sequence[str] = ("gremio",),
+                coco: Sequence[bool] = (False,),
+                n_threads: Sequence[int] = (2,),
+                scale: str = "ref",
+                alias_mode: str = "annotated",
+                local_schedule: Optional[str] = None) -> List[MatrixCell]:
+    """The cross product, in deterministic workload-major order."""
+    if workloads is None:
+        names = workload_names()
+    else:
+        names = [w.name if isinstance(w, Workload) else w
+                 for w in workloads]
+    return [MatrixCell(name, technique, use_coco, threads, scale,
+                       alias_mode, local_schedule)
+            for name in names
+            for technique in techniques
+            for use_coco in coco
+            for threads in n_threads]
+
+
+def evaluate_matrix(cells: Optional[Iterable[MatrixCell]] = None,
+                    workloads: Optional[
+                        Iterable[Union[str, Workload]]] = None,
+                    techniques: Sequence[str] = ("gremio",),
+                    coco: Sequence[bool] = (False,),
+                    n_threads: Sequence[int] = (2,),
+                    scale: str = "ref",
+                    alias_mode: str = "annotated",
+                    local_schedule: Optional[str] = None,
+                    jobs: int = 1,
+                    check: bool = True,
+                    telemetry: Optional[Telemetry] = None
+                    ) -> List[Evaluation]:
+    """Evaluate every cell and return the evaluations in cell order.
+
+    Pass explicit ``cells``, or let the (workloads x techniques x coco x
+    n_threads) product be built for you.  With ``jobs > 1`` the cells run
+    on a ``multiprocessing`` pool; workers share the persistent artifact
+    cache, and their telemetry is merged back into the parent, so the
+    results — including metrics — are identical to ``jobs=1``.
+    """
+    if cells is None:
+        cells = build_cells(workloads, techniques, coco, n_threads, scale,
+                            alias_mode, local_schedule)
+    cells = [cell if isinstance(cell, MatrixCell) else MatrixCell(*cell)
+             for cell in cells]
+
+    results: Optional[List[Evaluation]] = None
+    if jobs and jobs > 1 and len(cells) > 1:
+        results = _evaluate_pool(cells, jobs, check)
+        if results is not None:
+            accumulator = global_telemetry()
+            for evaluation in results:
+                if evaluation.telemetry is not None:
+                    accumulator.merge(evaluation.telemetry)
+                    if (telemetry is not None
+                            and telemetry is not accumulator):
+                        telemetry.merge(evaluation.telemetry)
+    if results is None:
+        results = [_run_cell(cell, check, telemetry) for cell in cells]
+    return results
+
+
+def _run_cell(cell: MatrixCell, check: bool,
+              telemetry: Optional[Telemetry]) -> Evaluation:
+    return evaluate_workload(get_workload(cell.workload),
+                             technique=cell.technique,
+                             n_threads=cell.n_threads, coco=cell.coco,
+                             scale=cell.scale, check=check,
+                             alias_mode=cell.alias_mode,
+                             local_schedule=cell.local_schedule,
+                             telemetry=telemetry)
+
+
+def _pool_worker(payload) -> Evaluation:
+    cell, check, cache_dir, cache_enabled = payload
+    # Re-point the worker's process-wide cache at the parent's directory
+    # (a no-op under fork, required under spawn).
+    configure_cache(cache_dir, cache_enabled)
+    return _run_cell(cell, check, telemetry=None)
+
+
+def _evaluate_pool(cells: List[MatrixCell], jobs: int,
+                   check: bool) -> Optional[List[Evaluation]]:
+    cache = get_cache()
+    payloads = [(cell, check, cache.directory, cache.enabled)
+                for cell in cells]
+    try:
+        import multiprocessing
+        with multiprocessing.Pool(min(jobs, len(cells))) as pool:
+            return pool.map(_pool_worker, payloads)
+    except (AssertionError, KeyboardInterrupt):
+        raise  # real evaluation failures / user interrupts propagate
+    except Exception as error:
+        warnings.warn("parallel evaluation unavailable (%s); "
+                      "falling back to serial execution" % (error,),
+                      RuntimeWarning)
+        return None

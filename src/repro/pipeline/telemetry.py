@@ -1,0 +1,134 @@
+"""Per-stage telemetry: wall time, cache traffic, and size counters.
+
+Every staged pipeline run records into a :class:`Telemetry` — the
+per-run instance attached to the returned ``Parallelization``/
+``Evaluation`` and, additionally, the process-global instance rendered by
+``python -m repro ... --timings``.  Counters capture the artifact sizes
+the papers' cost models revolve around: PDG nodes/edges, channels
+inserted, and simulated cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+from ..report import table
+
+
+class StageRecord:
+    """Accumulated statistics for one named stage."""
+
+    __slots__ = ("name", "runs", "cache_hits", "cache_misses", "seconds")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.runs = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.seconds = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<StageRecord %s: %d runs, %d hits, %.3fs>" % (
+            self.name, self.runs, self.cache_hits, self.seconds)
+
+
+class Telemetry:
+    """Stage timings + cache accounting + named size counters."""
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, StageRecord] = {}
+        self.counters: Dict[str, float] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def stage(self, name: str) -> StageRecord:
+        record = self.stages.get(name)
+        if record is None:
+            record = self.stages[name] = StageRecord(name)
+        return record
+
+    @contextmanager
+    def timing(self, name: str) -> Iterator[StageRecord]:
+        record = self.stage(name)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds += time.perf_counter() - start
+
+    def record_run(self, name: str, seconds: float,
+                   cache_miss: bool = False) -> None:
+        record = self.stage(name)
+        record.runs += 1
+        record.seconds += seconds
+        if cache_miss:
+            record.cache_misses += 1
+
+    def record_hit(self, name: str, seconds: float = 0.0) -> None:
+        record = self.stage(name)
+        record.cache_hits += 1
+        record.seconds += seconds
+
+    def count(self, name: str, amount: float) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # -- aggregation -------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cache_hits for r in self.stages.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(r.cache_misses for r in self.stages.values())
+
+    def merge(self, other: "Telemetry") -> None:
+        for name, record in other.stages.items():
+            mine = self.stage(name)
+            mine.runs += record.runs
+            mine.cache_hits += record.cache_hits
+            mine.cache_misses += record.cache_misses
+            mine.seconds += record.seconds
+        for name, amount in other.counters.items():
+            self.count(name, amount)
+
+    # -- rendering ---------------------------------------------------------
+
+    def timing_rows(self) -> List[Tuple[str, int, int, int, str]]:
+        return [(record.name, record.runs, record.cache_hits,
+                 record.cache_misses, "%.4f" % record.seconds)
+                for record in self.stages.values()]
+
+    def timings_table(self, title: str = "per-stage timings") -> str:
+        rows = self.timing_rows()
+        if not rows:
+            return title + ": (no stages recorded)"
+        return table(["stage", "runs", "hits", "misses", "seconds"],
+                     rows, title=title)
+
+    def counters_table(self, title: str = "pipeline counters") -> str:
+        rows = [(name, "%.0f" % value)
+                for name, value in sorted(self.counters.items())]
+        if not rows:
+            return title + ": (none)"
+        return table(["counter", "total"], rows, title=title)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Telemetry %d stages, %d hits, %d misses>" % (
+            len(self.stages), self.cache_hits, self.cache_misses)
+
+
+_GLOBAL = Telemetry()
+
+
+def global_telemetry() -> Telemetry:
+    """The process-wide accumulator (what ``--timings`` renders)."""
+    return _GLOBAL
+
+
+def reset_global_telemetry() -> Telemetry:
+    global _GLOBAL
+    _GLOBAL = Telemetry()
+    return _GLOBAL

@@ -6,7 +6,7 @@ regenerated experiments look uniform (and diff cleanly run-to-run).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 
 def table(headers: Sequence[str], rows: Iterable[Sequence[object]],
@@ -30,7 +30,7 @@ def table(headers: Sequence[str], rows: Iterable[Sequence[object]],
 
 def bar_chart(rows: Iterable[Tuple[str, float]], title: str = "",
               width: int = 46, unit: str = "",
-              reference: float = None) -> str:
+              reference: Optional[float] = None) -> str:
     """Horizontal bar chart.  Bars scale to the maximum value (or to
     ``reference`` when given, e.g. 100 for percentages)."""
     rows = list(rows)

@@ -79,3 +79,50 @@ class TestCommands:
                      "--scale", "train", "--schedule", "late"]) == 0
         out = capsys.readouterr().out
         assert "speedup" in out
+
+    def test_run_timings_table(self, capsys):
+        assert main(["run", "ks", "--scale", "train", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage timings" in out
+        assert "simulate-mt" in out
+        assert "artifact cache:" in out
+
+    def test_sweep_prints_summary_and_telemetry(self, capsys):
+        from repro.pipeline import configure_cache, get_cache
+        previous = get_cache()
+        try:
+            assert main(["sweep", "--scale", "train", "--no-cache"]) == 0
+        finally:
+            configure_cache(previous.directory, previous.enabled)
+        out = capsys.readouterr().out
+        assert "geomean" in out
+        assert "per-stage timings" in out
+        assert "artifact cache:" in out
+
+    def test_top_level_sweep_alias(self, capsys, tmp_path):
+        from repro.pipeline import configure_cache, get_cache
+        previous = get_cache()
+        configure_cache(str(tmp_path / "cache"))
+        try:
+            assert main(["--sweep", "--scale", "train"]) == 0
+            first = capsys.readouterr().out
+            assert main(["--sweep", "--scale", "train"]) == 0
+            second = capsys.readouterr().out
+        finally:
+            configure_cache(previous.directory, previous.enabled)
+        # All three techniques swept, warm run hits the artifact cache.
+        for technique in ("gremio", "gremio-flat", "dswp"):
+            assert technique in first
+
+        import re
+
+        def cache_counts(text):
+            match = re.search(r"artifact cache: (\d+) hits, (\d+) misses",
+                              text)
+            assert match, "no cache summary printed"
+            return int(match.group(1)), int(match.group(2))
+
+        _cold_hits, cold_misses = cache_counts(first)
+        warm_hits, warm_misses = cache_counts(second)
+        assert cold_misses > 0
+        assert warm_hits > 0 and warm_misses == 0

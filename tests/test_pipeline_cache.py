@@ -1,0 +1,156 @@
+"""Tests for the staged pipeline's persistent artifact cache:
+fingerprint stability/sensitivity, hit/miss/invalidation accounting, and
+corruption tolerance."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.machine import DEFAULT_CONFIG
+from repro.pipeline import (configure_cache, fingerprint_config,
+                            fingerprint_function, fingerprint_inputs,
+                            get_cache, parallelize)
+
+from .helpers import build_counted_loop, build_nested_loops
+
+
+@pytest.fixture
+def cache(tmp_path):
+    """A fresh artifact cache in a temp directory, restored afterwards."""
+    previous = get_cache()
+    active = configure_cache(str(tmp_path / "artifacts"))
+    yield active
+    configure_cache(previous.directory, previous.enabled)
+
+
+def _blob_paths(cache):
+    paths = []
+    for root, _dirs, files in os.walk(cache.directory):
+        paths.extend(os.path.join(root, name) for name in files)
+    return sorted(paths)
+
+
+class TestFingerprints:
+    def test_function_fingerprint_is_stable(self):
+        assert (fingerprint_function(build_counted_loop())
+                == fingerprint_function(build_counted_loop()))
+
+    def test_function_fingerprint_sees_ir_changes(self):
+        assert (fingerprint_function(build_counted_loop())
+                != fingerprint_function(build_nested_loops()))
+        # A one-instruction mutation must change the key too.
+        mutated = build_counted_loop()
+        for block in mutated.blocks:
+            for instruction in block:
+                if instruction.imm == 1:
+                    instruction.imm = 2
+        assert (fingerprint_function(mutated)
+                != fingerprint_function(build_counted_loop()))
+
+    def test_config_fingerprint_sees_field_changes(self):
+        changed = dataclasses.replace(DEFAULT_CONFIG, comm_latency=7)
+        assert (fingerprint_config(DEFAULT_CONFIG)
+                == fingerprint_config(dataclasses.replace(DEFAULT_CONFIG)))
+        assert (fingerprint_config(DEFAULT_CONFIG)
+                != fingerprint_config(changed))
+
+    def test_inputs_fingerprint_order_independent(self):
+        assert (fingerprint_inputs({"a": 1, "b": 2}, None)
+                == fingerprint_inputs({"b": 2, "a": 1}, None))
+        assert (fingerprint_inputs({"a": 1}, None)
+                != fingerprint_inputs({"a": 2}, None))
+
+
+class TestArtifactCache:
+    def test_identical_runs_hit(self, cache):
+        first = parallelize(build_counted_loop(), technique="dswp",
+                            profile_args={"r_n": 12})
+        misses = cache.stats.misses
+        assert misses > 0 and cache.stats.stores == misses
+        second = parallelize(build_counted_loop(), technique="dswp",
+                             profile_args={"r_n": 12})
+        assert cache.stats.hits == misses
+        assert first.fingerprints == second.fingerprints
+        assert (first.partition.assignment == second.partition.assignment)
+        assert len(first.program.channels) == len(second.program.channels)
+
+    def test_mutated_ir_misses(self, cache):
+        parallelize(build_counted_loop(), profile_args={"r_n": 12})
+        cache.stats.reset()
+        parallelize(build_nested_loops(), technique="gremio")
+        assert cache.stats.hits == 0
+
+    def test_changed_config_misses_partition(self, cache):
+        base = parallelize(build_counted_loop(), profile_args={"r_n": 12})
+        changed = parallelize(
+            build_counted_loop(), profile_args={"r_n": 12},
+            config=dataclasses.replace(DEFAULT_CONFIG, comm_latency=9))
+        # Profile and PDG don't depend on the machine config: shared.
+        assert base.fingerprints["profile"] == changed.fingerprints["profile"]
+        assert base.fingerprints["pdg"] == changed.fingerprints["pdg"]
+        assert (base.fingerprints["partition"]
+                != changed.fingerprints["partition"])
+
+    def test_changed_alias_mode_misses_pdg(self, cache):
+        base = parallelize(build_counted_loop(), profile_args={"r_n": 12})
+        coarse = parallelize(build_counted_loop(),
+                             profile_args={"r_n": 12}, alias_mode="none")
+        assert base.fingerprints["pdg"] != coarse.fingerprints["pdg"]
+        assert (base.fingerprints["partition"]
+                != coarse.fingerprints["partition"])
+
+    def test_corrupted_blobs_recompute_not_crash(self, cache):
+        reference = parallelize(build_counted_loop(), technique="dswp",
+                                profile_args={"r_n": 12})
+        blobs = _blob_paths(cache)
+        assert blobs
+        for path in blobs:
+            with open(path, "wb") as handle:
+                handle.write(b"\x80corrupted, not a pickle")
+        cache.stats.reset()
+        recomputed = parallelize(build_counted_loop(), technique="dswp",
+                                 profile_args={"r_n": 12})
+        assert cache.stats.hits == 0
+        assert cache.stats.invalidations == len(blobs)
+        assert recomputed.fingerprints == reference.fingerprints
+        assert (recomputed.partition.assignment
+                == reference.partition.assignment)
+
+    def test_truncated_blob_recomputes(self, cache):
+        parallelize(build_counted_loop(), profile_args={"r_n": 12})
+        for path in _blob_paths(cache):
+            with open(path, "r+b") as handle:
+                handle.truncate(3)
+        cache.stats.reset()
+        result = parallelize(build_counted_loop(), profile_args={"r_n": 12})
+        assert result.program is not None
+        assert cache.stats.invalidations > 0
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        previous = get_cache()
+        disabled = configure_cache(str(tmp_path / "off"), enabled=False)
+        try:
+            parallelize(build_counted_loop(), profile_args={"r_n": 12})
+            assert not os.path.exists(disabled.directory)
+            assert disabled.stats.as_dict() == {
+                "hits": 0, "misses": 0, "invalidations": 0, "stores": 0}
+        finally:
+            configure_cache(previous.directory, previous.enabled)
+
+    def test_wrong_stage_envelope_is_invalidated(self, cache):
+        key = "0" * 64
+        cache.store("pdg", key, {"pdg": None})
+        # Simulate a blob landing in another stage's slot: the envelope's
+        # stage tag must reject it.
+        source = cache._path("pdg", key)
+        target = cache._path("partition", key)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        os.replace(source, target)
+        hit, _payload = cache.load("partition", key)
+        assert not hit
+        assert cache.stats.invalidations == 1
+        # A well-formed blob under the right stage name loads fine.
+        cache.store("partition", key, {"partition": "x"})
+        hit, payload = cache.load("partition", key)
+        assert hit and payload == {"partition": "x"}
