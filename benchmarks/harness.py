@@ -40,11 +40,16 @@ def prewarm(names: Iterable[str] = tuple(BENCH_ORDER),
             techniques: Sequence[str] = ("gremio", "dswp"),
             coco: Sequence[bool] = (False, True),
             n_threads: Sequence[int] = (2,),
-            scale: str = "ref", jobs: int = 1) -> None:
+            scale: str = "ref", jobs: int = 1,
+            mt_check: bool = False) -> None:
     """Bulk-populate the per-process memo via ``evaluate_matrix`` —
     with ``jobs > 1`` the cells run on a process pool, so a benchmark
-    session can front-load every evaluation it will need."""
-    cells = [MatrixCell(name, technique, use_coco, threads, scale)
+    session can front-load every evaluation it will need.  ``mt_check``
+    additionally runs the static MT validators (the pipeline's ``check``
+    stage) over every generated program while prewarming — a free sweep
+    of the whole benchmark matrix through the correctness subsystem."""
+    cells = [MatrixCell(name, technique, use_coco, threads, scale,
+                        mt_check=mt_check)
              for name in names
              for technique in techniques
              for use_coco in coco

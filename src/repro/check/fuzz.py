@@ -1,0 +1,310 @@
+"""Differential fuzzing driver: ``python -m repro fuzz``.
+
+Each iteration samples a random structured program
+(:mod:`repro.check.generate`), then runs a matrix of cells over it:
+every partitioning technique (GREMIO, DSWP) plus uniformly random
+partitions, each with COCO off and on.  Every cell's MTCG output goes
+through the static validators (:mod:`repro.check.validators`) and the
+differential execution oracle (:mod:`repro.check.oracle`).
+
+A failing cell is *shrunk* by greedy statement/block deletion over the
+program sketch (re-deriving the partition deterministically for every
+candidate) and the minimized reproducer — sketch JSON, cell
+configuration, rendered IR, partition assignment, failure detail — is
+persisted into the corpus directory together with a JSON run report, so
+a later session can replay it.
+
+Everything is deterministic in ``--seed``: program sampling, partition
+draws, argument choice, and queue capacities all derive from it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.pdg import build_pdg
+from ..coco.driver import optimize as coco_optimize
+from ..interp.interpreter import run_function
+from ..ir.printer import format_function
+from ..mtcg.codegen import generate
+from ..partition.base import Partition
+from ..pipeline.stages import make_partitioner, normalize, technique_config
+from .generate import (ProgramSketch, random_args, random_partition,
+                       random_sketch, render_program, shrink_candidates,
+                       sketch_size, sketch_to_json)
+from .oracle import run_oracle
+from .validators import validate_program
+
+QUEUE_CAPACITIES = (1, 2, 32)
+
+
+class FuzzFailure:
+    """One minimized counterexample."""
+
+    def __init__(self, iteration: int, cell: str, kind: str, detail: str,
+                 sketch: ProgramSketch, n_threads: int, coco: bool,
+                 queue_capacity: int, original_size: int):
+        self.iteration = iteration
+        self.cell = cell            # "gremio" / "dswp" / "random-0" ...
+        self.kind = kind            # "validator" / oracle verdict
+        self.detail = detail
+        self.sketch = sketch
+        self.n_threads = n_threads
+        self.coco = coco
+        self.queue_capacity = queue_capacity
+        self.original_size = original_size
+
+    @property
+    def shrunk_size(self) -> int:
+        return sketch_size(self.sketch)
+
+    def to_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "cell": self.cell,
+            "kind": self.kind,
+            "detail": self.detail,
+            "n_threads": self.n_threads,
+            "coco": self.coco,
+            "queue_capacity": self.queue_capacity,
+            "sketch": json.loads(sketch_to_json(self.sketch)),
+            "original_size": self.original_size,
+            "shrunk_size": self.shrunk_size,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<FuzzFailure it%d %s %s>" % (self.iteration, self.cell,
+                                             self.kind)
+
+
+class FuzzReport:
+    """Aggregate outcome of one fuzzing run."""
+
+    def __init__(self, seed: int, iterations: int):
+        self.seed = seed
+        self.iterations = iterations
+        self.cells_run = 0
+        self.programs_generated = 0
+        self.shrink_attempts = 0
+        self.failures: List[FuzzFailure] = []
+        self.counters: Dict[str, int] = {}
+        self.elapsed = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "cells_run": self.cells_run,
+            "programs_generated": self.programs_generated,
+            "shrink_attempts": self.shrink_attempts,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "counters": dict(sorted(self.counters.items())),
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+    def summary(self) -> str:
+        return ("fuzz: seed %d, %d iterations, %d cells, %d failure(s), "
+                "%.1fs" % (self.seed, self.iterations, self.cells_run,
+                           len(self.failures), self.elapsed))
+
+
+class _Cell:
+    """One (partition source, coco, capacity) configuration, rebuildable
+    from scratch for any sketch — the unit both fuzzing and shrinking
+    evaluate."""
+
+    def __init__(self, name: str, technique: Optional[str],
+                 partition_seed: Optional[int], n_threads: int,
+                 coco: bool, queue_capacity: int, args: dict):
+        self.name = name
+        self.technique = technique          # None => random partition
+        self.partition_seed = partition_seed
+        self.n_threads = n_threads
+        self.coco = coco
+        self.queue_capacity = queue_capacity
+        self.args = args
+
+    def describe(self) -> str:
+        return "%s%s/t%d/cap%d" % (self.name,
+                                   "+coco" if self.coco else "",
+                                   self.n_threads, self.queue_capacity)
+
+
+def _evaluate_cell(sketch: ProgramSketch, cell: _Cell,
+                   report: Optional[FuzzReport] = None
+                   ) -> Optional[Dict[str, str]]:
+    """Build and check one cell from scratch; return a failure record
+    (kind + detail) or None when everything passes."""
+    function = render_program(sketch)
+    normalize(function)
+    profile_result = run_function(function, cell.args)
+    pdg = build_pdg(function)
+    if cell.technique is not None:
+        config = technique_config(cell.technique).with_threads(
+            cell.n_threads)
+        partition = make_partitioner(cell.technique, config).partition(
+            function, pdg, profile_result.profile, cell.n_threads)
+    else:
+        rng = random.Random(cell.partition_seed)
+        partition = random_partition(rng, function,
+                                     n_threads=cell.n_threads)
+    data_channels = None
+    condition_covered = frozenset()
+    if cell.coco:
+        coco = coco_optimize(function, pdg, partition,
+                             profile_result.profile)
+        data_channels = coco.data_channels
+        condition_covered = coco.condition_covered
+    program = generate(function, pdg, partition,
+                       data_channels=data_channels,
+                       condition_covered=condition_covered)
+
+    validation = validate_program(program)
+    if report is not None:
+        for name, amount in validation.counters.items():
+            report.count("validator_" + name, amount)
+        report.count("programs_validated")
+    if not validation.ok:
+        return {"kind": "validator", "detail": validation.describe()}
+
+    oracle = run_oracle(function, program, cell.args,
+                        queue_capacity=cell.queue_capacity)
+    if report is not None:
+        report.count("oracle_" + oracle.verdict)
+    if not oracle.ok:
+        return {"kind": oracle.verdict, "detail": oracle.describe()}
+    return None
+
+
+def _shrink(sketch: ProgramSketch, cell: _Cell, report: FuzzReport,
+            max_attempts: int = 150) -> ProgramSketch:
+    """Greedy deletion: keep taking the first smaller variant that still
+    fails, until none does or the attempt budget runs out."""
+    current = sketch
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in shrink_candidates(current):
+            attempts += 1
+            report.shrink_attempts += 1
+            if attempts >= max_attempts:
+                break
+            try:
+                failure = _evaluate_cell(candidate, cell)
+            except Exception:
+                # A crash during rebuild is a different bug; keep the
+                # current reproducer rather than chase it.
+                continue
+            if failure is not None:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+def _iteration_cells(rng: random.Random, seed: int, iteration: int,
+                     techniques: Sequence[str],
+                     random_partitions: int, max_threads: int,
+                     coco_modes: Sequence[bool]) -> List[_Cell]:
+    args = random_args(rng)
+    n_threads = rng.randint(2, max_threads)
+    capacity = rng.choice(QUEUE_CAPACITIES)
+    cells: List[_Cell] = []
+    for technique in techniques:
+        for coco in coco_modes:
+            cells.append(_Cell(technique, technique, None, n_threads,
+                               coco, capacity, args))
+    for index in range(random_partitions):
+        partition_seed = (seed * 1_000_003 + iteration) * 101 + index
+        for coco in coco_modes:
+            cells.append(_Cell("random-%d" % index, None, partition_seed,
+                               n_threads, coco, capacity, args))
+    return cells
+
+
+def run_fuzz(seed: int = 0, iterations: int = 100,
+             corpus_dir: Optional[str] = None,
+             techniques: Sequence[str] = ("gremio", "dswp"),
+             random_partitions: int = 2,
+             coco_modes: Sequence[bool] = (False, True),
+             max_threads: int = 3, depth: int = 2,
+             progress: Optional[Callable[[str], None]] = None
+             ) -> FuzzReport:
+    """Run the differential fuzzing loop; see the module docstring."""
+    report = FuzzReport(seed, iterations)
+    start = time.perf_counter()
+    for iteration in range(iterations):
+        rng = random.Random(seed * 1_000_003 + iteration)
+        sketch = random_sketch(rng, depth=depth)
+        report.programs_generated += 1
+        cells = _iteration_cells(rng, seed, iteration, techniques,
+                                 random_partitions, max_threads,
+                                 coco_modes)
+        for cell in cells:
+            report.cells_run += 1
+            failure = _evaluate_cell(sketch, cell, report)
+            if failure is None:
+                continue
+            original_size = sketch_size(sketch)
+            shrunk = _shrink(sketch, cell, report)
+            record = FuzzFailure(iteration, cell.name, failure["kind"],
+                                 failure["detail"], shrunk,
+                                 cell.n_threads, cell.coco,
+                                 cell.queue_capacity, original_size)
+            report.failures.append(record)
+            if corpus_dir:
+                _persist_failure(corpus_dir, record, cell)
+            if progress is not None:
+                progress("iteration %d: FAILURE in %s (%s)"
+                         % (iteration, cell.describe(), failure["kind"]))
+        if progress is not None and (iteration + 1) % 10 == 0:
+            progress("iteration %d/%d: %d cells, %d failure(s)"
+                     % (iteration + 1, iterations, report.cells_run,
+                        len(report.failures)))
+    report.elapsed = time.perf_counter() - start
+    if corpus_dir:
+        _persist_report(corpus_dir, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Corpus persistence.
+
+def _persist_failure(corpus_dir: str, failure: FuzzFailure,
+                     cell: _Cell) -> None:
+    os.makedirs(corpus_dir, exist_ok=True)
+    stem = "failure-%03d-%s%s" % (failure.iteration, failure.cell,
+                                  "-coco" if failure.coco else "")
+    payload = failure.to_dict()
+    payload["args"] = cell.args
+    with open(os.path.join(corpus_dir, stem + ".json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    # A human-readable rendering of the (normalized) reproducer.
+    try:
+        function = render_program(failure.sketch)
+        normalize(function)
+        text = format_function(function, show_iids=True)
+    except Exception as error:  # pragma: no cover
+        text = "; rendering failed: %s" % error
+    with open(os.path.join(corpus_dir, stem + ".ir.txt"), "w") as handle:
+        handle.write("; %s\n; %s\n%s\n"
+                     % (cell.describe(), failure.detail.replace("\n", " | "),
+                        text))
+
+
+def _persist_report(corpus_dir: str, report: FuzzReport) -> None:
+    os.makedirs(corpus_dir, exist_ok=True)
+    with open(os.path.join(corpus_dir, "report.json"), "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)

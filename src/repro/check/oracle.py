@@ -1,0 +1,144 @@
+"""Differential execution oracle: run one ``(program, partition,
+options)`` cell single-threaded and multi-threaded and compare every
+observable.
+
+The oracle is the dynamic half of the correctness subsystem (the static
+half is :mod:`repro.check.validators`): it executes the original
+function on the reference interpreter and the MTCG output on the
+functional MT machine (via the tracers in :mod:`repro.debug`), then
+compares
+
+* **live-out registers** (the declared results),
+* **per-address memory write sequences** (same order, same values — the
+  MTCG guarantee; cross-address interleaving is legal),
+* **total store counts** (a cheap redundancy that catches lost or
+  duplicated writes even when final values coincide),
+* **queue residue** (every produced value must be consumed).
+
+A bounded-step watchdog classifies non-terminating MT runs: all live
+threads blocked on queues is a **deadlock** (with the structured
+:class:`~repro.debug.DeadlockReport`); running past the step budget
+while still making progress is a **livelock**.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..debug import (DeadlockReport, Divergence, diff_write_traces,
+                     trace_mt, trace_single)
+from ..ir.cfg import Function
+from ..mtcg.program import MTProgram
+
+#: Possible verdicts, roughly ordered by severity.
+VERDICTS = ("deadlock", "livelock", "st-timeout", "divergence",
+            "liveout-mismatch", "store-count-mismatch", "queue-residue",
+            "ok")
+
+
+class OracleResult:
+    """Outcome of one differential comparison."""
+
+    def __init__(self, verdict: str, detail: str = "",
+                 divergence: Optional[Divergence] = None,
+                 deadlock: Optional[DeadlockReport] = None,
+                 st_stores: int = 0, mt_stores: int = 0,
+                 st_liveouts: Optional[dict] = None,
+                 mt_liveouts: Optional[dict] = None):
+        assert verdict in VERDICTS, verdict
+        self.verdict = verdict
+        self.detail = detail
+        self.divergence = divergence
+        self.deadlock = deadlock
+        self.st_stores = st_stores
+        self.mt_stores = mt_stores
+        self.st_liveouts = st_liveouts
+        self.mt_liveouts = mt_liveouts
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "ok"
+
+    def describe(self) -> str:
+        if self.ok:
+            return "oracle: equivalent (%d stores)" % self.st_stores
+        lines = ["oracle verdict: %s" % self.verdict]
+        if self.detail:
+            lines.append("  " + self.detail)
+        if self.deadlock is not None:
+            lines.append(self.deadlock.describe())
+        if self.divergence is not None:
+            lines.append(self.divergence.describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<OracleResult %s>" % self.verdict
+
+
+def run_oracle(function: Function, program: MTProgram,
+               args: Optional[Mapping[str, object]] = None,
+               initial_memory: Optional[Mapping[str, object]] = None,
+               queue_capacity: int = 32,
+               max_steps: int = 2_000_000) -> OracleResult:
+    """Differentially execute ``function`` vs ``program`` and classify."""
+    st_trace = trace_single(function, args, initial_memory, max_steps)
+    if st_trace.exhausted:
+        return OracleResult(
+            "st-timeout",
+            "single-threaded run exceeded %d steps" % max_steps,
+            st_stores=len(st_trace.writes))
+
+    mt_trace = trace_mt(program, args, initial_memory, queue_capacity,
+                        max_steps)
+    st_stores = len(st_trace.writes)
+    mt_stores = len(mt_trace.writes)
+    if mt_trace.deadlock is not None:
+        return OracleResult(
+            "deadlock",
+            "threads %s blocked on queue(s) %s"
+            % (mt_trace.deadlock.blocked_threads,
+               mt_trace.deadlock.blocking_queues),
+            deadlock=mt_trace.deadlock,
+            st_stores=st_stores, mt_stores=mt_stores)
+    if mt_trace.exhausted:
+        return OracleResult(
+            "livelock",
+            "MT run still progressing after %d steps (ST finished in %d)"
+            % (mt_trace.steps, st_trace.steps),
+            st_stores=st_stores, mt_stores=mt_stores)
+
+    divergence = diff_write_traces(st_trace.writes, mt_trace.writes)
+    if divergence is not None:
+        return OracleResult("divergence", divergence.describe(),
+                            divergence=divergence,
+                            st_stores=st_stores, mt_stores=mt_stores)
+
+    st_liveouts = {register: st_trace.regs.get(register)
+                   for register in function.live_outs}
+    exit_regs = mt_trace.thread_regs[program.exit_thread]
+    mt_liveouts = {register: exit_regs.get(register)
+                   for register in function.live_outs}
+    if st_liveouts != mt_liveouts:
+        return OracleResult(
+            "liveout-mismatch",
+            "MT live-outs %r != ST %r" % (mt_liveouts, st_liveouts),
+            st_stores=st_stores, mt_stores=mt_stores,
+            st_liveouts=st_liveouts, mt_liveouts=mt_liveouts)
+
+    if st_stores != mt_stores:
+        return OracleResult(
+            "store-count-mismatch",
+            "MT executed %d stores, ST %d" % (mt_stores, st_stores),
+            st_stores=st_stores, mt_stores=mt_stores)
+
+    if not mt_trace.queues.all_empty():
+        residue = {queue: len(pending)
+                   for queue, pending in
+                   enumerate(mt_trace.queues.queues) if pending}
+        return OracleResult(
+            "queue-residue",
+            "values left in queues at exit: %r" % (residue,),
+            st_stores=st_stores, mt_stores=mt_stores)
+
+    return OracleResult("ok", st_stores=st_stores, mt_stores=mt_stores,
+                        st_liveouts=st_liveouts, mt_liveouts=mt_liveouts)

@@ -1,0 +1,64 @@
+"""Hypothesis strategies over the :mod:`repro.check.generate` grammar.
+
+Kept separate from :mod:`repro.check.generate` so the shipped package —
+including the fuzzer — never imports ``hypothesis``; only the property
+tests pull this module in.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import strategies as st
+
+from ..ir import Function, Opcode
+from ..partition import Partition
+from .generate import SAFE_BINOPS, ProgramSketch
+
+_leaf_stmt = st.one_of(
+    st.tuples(st.just("alu"), st.sampled_from(SAFE_BINOPS),
+              st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
+    st.tuples(st.just("movi"), st.integers(0, 5), st.integers(-20, 20)),
+    st.tuples(st.just("load"), st.integers(0, 5), st.integers(0, 5)),
+    st.tuples(st.just("store"), st.integers(0, 5), st.integers(0, 5)),
+    # Early loop exit (a no-op when not inside a loop): exercises
+    # multi-exit loops through MTCG/COCO/outlining paths.
+    st.tuples(st.just("breakif"), st.integers(0, 5)),
+)
+
+
+def _stmts(depth: int):
+    if depth <= 0:
+        return st.lists(_leaf_stmt, min_size=1, max_size=4)
+    inner = _stmts(depth - 1)
+    compound = st.one_of(
+        _leaf_stmt,
+        st.tuples(st.just("if"), st.integers(0, 5), inner, inner),
+        st.tuples(st.just("loop"), st.integers(1, 4), inner),
+    )
+    return st.lists(compound, min_size=1, max_size=4)
+
+
+program_sketches = st.builds(ProgramSketch, _stmts(2))
+
+
+def random_partition_strategy(function: Function, max_threads: int = 3):
+    """Strategy of random partitions for a fixed function (exit pinned to
+    thread 0, everything else arbitrary)."""
+    iids = [instruction.iid for instruction in function.instructions()
+            if instruction.op is not Opcode.EXIT]
+    exits = [instruction.iid for instruction in function.instructions()
+             if instruction.op is Opcode.EXIT]
+
+    def build(n_threads: int, choices: List[int]) -> Partition:
+        assignment = {iid: choices[index] % n_threads
+                      for index, iid in enumerate(iids)}
+        for iid in exits:
+            assignment[iid] = 0
+        return Partition(function, n_threads, assignment)
+
+    return st.builds(
+        build,
+        st.integers(2, max_threads),
+        st.lists(st.integers(0, max_threads - 1),
+                 min_size=len(iids), max_size=len(iids)))

@@ -1,0 +1,416 @@
+"""Static MT validators: post-MTCG checks of the invariants that make a
+multi-threaded program observationally equivalent to its single-threaded
+original and deadlock-free.
+
+These are *static* checks over the generated :class:`MTProgram` — no
+execution — so they can run inside the pipeline's ``check`` stage on
+every sweep cell at negligible cost.  Four rule families:
+
+* **channel balance** — for every channel, the produces materialized in
+  the source thread and the consumes materialized in the target thread
+  sit in the *same original blocks with the same multiplicity*.  Both
+  sides of a channel are emitted at identical program points under
+  identical control conditions (the MTCG pairing invariant), so any
+  imbalance (a dropped consume, an extra produce) is a hard error that
+  would starve or wedge a queue at run time.
+* **queue-allocation conflict freedom** — channels sharing one physical
+  queue must connect the same (producer, consumer) thread pair and have
+  strictly ordered point regions (the rule in
+  :mod:`repro.mtcg.queues`); anything weaker lets one channel steal
+  another's pending value from the shared FIFO.
+* **cross-thread register isolation** — register files are private:
+  every thread function must define (param / local def / consume) every
+  register it reads on every path; live-outs may be declared only on
+  the exit thread; a channel's communicated register must be defined in
+  its source thread.
+* **deadlock freedom (wait-for graph)** — a conservative cycle check
+  over the communication flowgraph at block granularity: within each
+  original block, a comm op waits for its block-local predecessors
+  (blocking queue semantics), and a consume waits for its paired
+  produce.  Legal MTCG output orders both sides of every point
+  identically, making this graph acyclic; crossed produce/consume
+  orders show up as a cycle naming the offending channels.  (The check
+  is block-local: cross-block cycles are left to the dynamic oracle.)
+
+:func:`validate_program` runs all families and returns a
+:class:`ValidationReport` with per-rule counters for telemetry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.instructions import Opcode
+from ..ir.verify import VerificationError, verify_function
+from ..mtcg.channels import CommChannel
+from ..mtcg.program import MTProgram
+from ..mtcg.queues import _block_scc_order, _may_share
+
+PRODUCE_OPS = frozenset({Opcode.PRODUCE, Opcode.PRODUCE_SYNC})
+CONSUME_OPS = frozenset({Opcode.CONSUME, Opcode.CONSUME_SYNC})
+
+
+class Violation:
+    """One broken invariant."""
+
+    __slots__ = ("rule", "message", "queue", "channel", "thread")
+
+    def __init__(self, rule: str, message: str,
+                 queue: Optional[int] = None,
+                 channel: Optional[CommChannel] = None,
+                 thread: Optional[int] = None):
+        self.rule = rule
+        self.message = message
+        self.queue = queue
+        self.channel = channel
+        self.thread = thread
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Violation %s: %s>" % (self.rule, self.message)
+
+
+class ValidationReport:
+    """Outcome of the static validators on one MT program."""
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        self.counters: Dict[str, int] = {}
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, rule: str, message: str, **kw) -> None:
+        self.violations.append(Violation(rule, message, **kw))
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def rules_violated(self) -> List[str]:
+        return sorted({violation.rule for violation in self.violations})
+
+    def describe(self) -> str:
+        if self.ok:
+            return "all MT validators passed"
+        lines = ["%d MT validator violation(s):" % len(self.violations)]
+        for violation in self.violations:
+            lines.append("  [%s] %s" % (violation.rule, violation.message))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<ValidationReport %s>" % (
+            "ok" if self.ok else self.rules_violated())
+
+
+class MTValidationError(Exception):
+    """Raised by the pipeline's check stage on validator failure."""
+
+    def __init__(self, report: ValidationReport, context: str = ""):
+        message = report.describe()
+        if context:
+            message = "%s: %s" % (context, message)
+        super().__init__(message)
+        self.report = report
+
+
+# ---------------------------------------------------------------------------
+# Shared scans.
+
+CommOp = Tuple[str, int, object]  # (block label, position, instruction)
+
+
+def _comm_ops(program: MTProgram) -> List[List[CommOp]]:
+    """Per thread: every communication instruction with its block and
+    block-local position, in program order."""
+    result: List[List[CommOp]] = []
+    for thread_function in program.threads:
+        ops: List[CommOp] = []
+        for block in thread_function.blocks:
+            for position, instruction in enumerate(block.instructions):
+                if instruction.op in PRODUCE_OPS \
+                        or instruction.op in CONSUME_OPS:
+                    ops.append((block.label, position, instruction))
+        result.append(ops)
+    return result
+
+
+def _channels_by_queue(program: MTProgram
+                       ) -> Dict[int, List[CommChannel]]:
+    grouped: Dict[int, List[CommChannel]] = {}
+    for channel in program.channels:
+        grouped.setdefault(channel.queue, []).append(channel)
+    return grouped
+
+
+# ---------------------------------------------------------------------------
+# Rule families.
+
+def check_channel_balance(program: MTProgram, report: ValidationReport,
+                          comm_ops: Optional[List[List[CommOp]]] = None
+                          ) -> None:
+    """Every produce on a queue is matched, block-for-block, by a consume
+    in the destination thread (and ops appear only in the two endpoint
+    threads)."""
+    if comm_ops is None:
+        comm_ops = _comm_ops(program)
+    grouped = _channels_by_queue(program)
+
+    # queue -> thread -> block -> counts
+    produced: Dict[int, Dict[int, Dict[str, int]]] = {}
+    consumed: Dict[int, Dict[int, Dict[str, int]]] = {}
+    for thread, ops in enumerate(comm_ops):
+        for label, _, instruction in ops:
+            target = (produced if instruction.op in PRODUCE_OPS
+                      else consumed)
+            per_thread = target.setdefault(instruction.queue, {})
+            per_block = per_thread.setdefault(thread, {})
+            per_block[label] = per_block.get(label, 0) + 1
+
+    for queue in sorted(set(produced) | set(consumed)):
+        channels = grouped.get(queue)
+        if not channels:
+            report.add("channel-balance",
+                       "communication on queue %d which no channel owns"
+                       % queue, queue=queue)
+            continue
+        report.count("balance_queues_checked")
+        sources = {channel.source_thread for channel in channels}
+        targets = {channel.target_thread for channel in channels}
+        for thread, blocks in produced.get(queue, {}).items():
+            if thread not in sources:
+                report.add("channel-balance",
+                           "thread %d produces on queue %d it does not "
+                           "source" % (thread, queue), queue=queue,
+                           thread=thread)
+        for thread, blocks in consumed.get(queue, {}).items():
+            if thread not in targets:
+                report.add("channel-balance",
+                           "thread %d consumes from queue %d it does not "
+                           "target" % (thread, queue), queue=queue,
+                           thread=thread)
+        produce_blocks: Dict[str, int] = {}
+        for thread in sources:
+            for label, count in produced.get(queue, {}).get(
+                    thread, {}).items():
+                produce_blocks[label] = produce_blocks.get(label, 0) + count
+        consume_blocks: Dict[str, int] = {}
+        for thread in targets:
+            for label, count in consumed.get(queue, {}).get(
+                    thread, {}).items():
+                consume_blocks[label] = consume_blocks.get(label, 0) + count
+        for label in sorted(set(produce_blocks) | set(consume_blocks)):
+            n_produce = produce_blocks.get(label, 0)
+            n_consume = consume_blocks.get(label, 0)
+            report.count("balance_points_checked")
+            if n_produce != n_consume:
+                report.add(
+                    "channel-balance",
+                    "queue %d unbalanced in block %r: %d produce(s) in "
+                    "thread(s) %s vs %d consume(s) in thread(s) %s"
+                    % (queue, label, n_produce, sorted(sources),
+                       n_consume, sorted(targets)),
+                    queue=queue, channel=channels[0])
+
+    # A channel whose queue carries no communication at all is suspicious
+    # only if it declared insertion points; MTCG never emits such output.
+    for channel in program.channels:
+        if channel.points and channel.queue not in produced \
+                and channel.queue not in consumed:
+            report.add("channel-balance",
+                       "channel %r has points but no materialized "
+                       "communication" % (channel,),
+                       queue=channel.queue, channel=channel)
+
+
+def check_queue_conflicts(program: MTProgram,
+                          report: ValidationReport) -> None:
+    """Channels sharing a physical queue must be provably safe to share
+    (same endpoints, strictly ordered point regions)."""
+    grouped = _channels_by_queue(program)
+    order = None
+    for queue, channels in sorted(grouped.items()):
+        report.count("queues_checked")
+        if queue < 0:
+            report.add("queue-conflict",
+                       "channel %r was never assigned a queue"
+                       % (channels[0],), queue=queue,
+                       channel=channels[0])
+            continue
+        if len(channels) == 1:
+            continue
+        report.count("queues_shared")
+        endpoints = {(channel.source_thread, channel.target_thread)
+                     for channel in channels}
+        if len(endpoints) > 1:
+            report.add("queue-conflict",
+                       "queue %d shared by channels with different "
+                       "endpoints %s" % (queue, sorted(endpoints)),
+                       queue=queue, channel=channels[0])
+            continue
+        if order is None:
+            order = _block_scc_order(program.original)
+        for i in range(len(channels)):
+            for j in range(i + 1, len(channels)):
+                if not _may_share(channels[i], channels[j], order):
+                    report.add(
+                        "queue-conflict",
+                        "queue %d shared by channels with interleaving "
+                        "point regions: %r / %r"
+                        % (queue, channels[i], channels[j]),
+                        queue=queue, channel=channels[i])
+
+
+def check_register_isolation(program: MTProgram,
+                             report: ValidationReport) -> None:
+    """Register files are thread-private; values cross threads only
+    through consumes."""
+    for index, thread_function in enumerate(program.threads):
+        report.count("threads_verified")
+        if index != program.exit_thread and thread_function.live_outs:
+            report.add("register-isolation",
+                       "thread %d declares live-outs %r but thread %d "
+                       "owns the exit" % (index,
+                                          list(thread_function.live_outs),
+                                          program.exit_thread),
+                       thread=index)
+        try:
+            verify_function(thread_function, allow_comm=True)
+        except VerificationError as error:
+            report.add("register-isolation",
+                       "thread %d fails IR verification: %s"
+                       % (index, error), thread=index)
+
+    # The communicated register must exist in the source thread.
+    for channel in program.channels:
+        if channel.register is None:
+            continue
+        report.count("channel_registers_checked")
+        source = program.threads[channel.source_thread]
+        defined = set(source.params)
+        for instruction in source.instructions():
+            defined.update(instruction.defined_registers())
+        if channel.register not in defined:
+            report.add("register-isolation",
+                       "channel %r communicates register %r which its "
+                       "source thread %d never defines"
+                       % (channel, channel.register,
+                          channel.source_thread),
+                       queue=channel.queue, channel=channel)
+
+
+def check_deadlock_freedom(program: MTProgram, report: ValidationReport,
+                           comm_ops: Optional[List[List[CommOp]]] = None
+                           ) -> None:
+    """Conservative wait-for-graph cycle check (see module docstring)."""
+    if comm_ops is None:
+        comm_ops = _comm_ops(program)
+    grouped = _channels_by_queue(program)
+
+    # Node = (thread, block, position).  Build block-local program-order
+    # chains and produce<-consume pairing edges.
+    waits_for: Dict[Tuple[int, str, int], List[Tuple[int, str, int]]] = {}
+    node_instruction: Dict[Tuple[int, str, int], object] = {}
+    per_block_seq: Dict[Tuple[int, str], List[Tuple[int, str, int]]] = {}
+    for thread, ops in enumerate(comm_ops):
+        for label, position, instruction in ops:
+            node = (thread, label, position)
+            node_instruction[node] = instruction
+            waits_for[node] = []
+            per_block_seq.setdefault((thread, label), []).append(node)
+    for sequence in per_block_seq.values():
+        for earlier, later in zip(sequence, sequence[1:]):
+            waits_for[later].append(earlier)
+
+    # Pair the n-th produce with the n-th consume per (queue, block).
+    pending: Dict[Tuple[int, str], List[Tuple[int, str, int]]] = {}
+    for thread, ops in enumerate(comm_ops):
+        for label, position, instruction in ops:
+            if instruction.op in PRODUCE_OPS:
+                channels = grouped.get(instruction.queue, ())
+                if any(channel.source_thread == thread
+                       for channel in channels):
+                    pending.setdefault((instruction.queue, label),
+                                       []).append((thread, label,
+                                                   position))
+    for thread, ops in enumerate(comm_ops):
+        matched: Dict[Tuple[int, str], int] = {}
+        for label, position, instruction in ops:
+            if instruction.op not in CONSUME_OPS:
+                continue
+            channels = grouped.get(instruction.queue, ())
+            if not any(channel.target_thread == thread
+                       for channel in channels):
+                continue
+            key = (instruction.queue, label)
+            rank = matched.get(key, 0)
+            matched[key] = rank + 1
+            producers = pending.get(key, ())
+            if rank < len(producers):
+                waits_for[(thread, label, position)].append(
+                    producers[rank])
+
+    report.count("wfg_nodes", len(waits_for))
+    report.count("wfg_edges",
+                 sum(len(edges) for edges in waits_for.values()))
+
+    # Iterative DFS cycle detection.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in waits_for}
+    for root in sorted(waits_for):
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(waits_for[root]))]
+        color[root] = GREY
+        path = [root]
+        while stack:
+            node, edges = stack[-1]
+            advanced = False
+            for successor in edges:
+                if color[successor] == GREY:
+                    start = path.index(successor)
+                    cycle = path[start:]
+                    queues = sorted({
+                        node_instruction[n].queue for n in cycle})
+                    channels = [grouped[q][0] for q in queues
+                                if q in grouped]
+                    report.add(
+                        "deadlock",
+                        "potential deadlock cycle over queue(s) %s in "
+                        "block(s) %s: crossed produce/consume order"
+                        % (queues,
+                           sorted({n[1] for n in cycle})),
+                        queue=queues[0] if queues else None,
+                        channel=channels[0] if channels else None)
+                    continue
+                if color[successor] == WHITE:
+                    color[successor] = GREY
+                    path.append(successor)
+                    stack.append((successor,
+                                  iter(waits_for[successor])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+
+
+# ---------------------------------------------------------------------------
+# Entry point.
+
+def validate_program(program: MTProgram,
+                     context: str = "",
+                     raise_on_failure: bool = False) -> ValidationReport:
+    """Run every static validator family over ``program``."""
+    report = ValidationReport()
+    report.count("channels_checked", len(program.channels))
+    comm_ops = _comm_ops(program)
+    report.count("comm_ops_checked",
+                 sum(len(ops) for ops in comm_ops))
+    check_channel_balance(program, report, comm_ops)
+    check_queue_conflicts(program, report)
+    check_register_isolation(program, report)
+    check_deadlock_freedom(program, report, comm_ops)
+    if raise_on_failure and not report.ok:
+        raise MTValidationError(report, context)
+    return report

@@ -8,9 +8,16 @@ Commands:
 * ``dump`` — print the IR of a workload, or the generated thread CFGs;
 * ``sweep`` — run every workload under one (or every) configuration and
   summarize; ``--jobs N`` fans cells across a process pool, and the
-  persistent artifact cache makes repeat sweeps cheap.
+  persistent artifact cache makes repeat sweeps cheap;
+* ``fuzz`` — the differential fuzzing loop of :mod:`repro.check`:
+  random programs x {GREMIO, DSWP, random partitions} x {COCO on/off},
+  every cell statically validated and differentially executed, failures
+  shrunk and persisted to ``--corpus``.
 
 ``python -m repro --sweep`` is shorthand for ``sweep --technique all``.
+Evaluating commands accept ``--check`` to run the static MT validators
+(channel balance, queue conflicts, register isolation, deadlock
+freedom) over every generated program as a pipeline stage.
 Every evaluating command accepts ``--timings`` (per-stage wall time and
 cache hit/miss table) and ``--no-cache``; the cache directory honours
 ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``).
@@ -58,6 +65,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=1,
                        help="evaluate cells on N worker processes")
 
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing of the whole pipeline "
+                     "(random programs x partitioners x COCO, validated "
+                     "and differentially executed)")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--iterations", type=int, default=None,
+                      help="fuzzing iterations (default 100; 25 under "
+                           "--smoke)")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="directory for minimized reproducers and the "
+                           "JSON run report")
+    fuzz.add_argument("--smoke", action="store_true",
+                      help="small fixed-seed CI configuration "
+                           "(seed 0, 25 iterations)")
+    fuzz.add_argument("--max-threads", type=int, default=3)
+    fuzz.add_argument("--depth", type=int, default=2,
+                      help="program nesting depth of generated sketches")
+
     report = sub.add_parser(
         "report", help="regenerate the EXPERIMENTS.md headline table "
                        "(all workloads x {GREMIO, DSWP} x {MTCG, +COCO})")
@@ -92,6 +117,9 @@ def _common_options(sub: argparse.ArgumentParser) -> None:
                      choices=("early", "late", "neutral"),
                      help="run the local instruction scheduler with this "
                           "produce/consume priority")
+    sub.add_argument("--check", action="store_true",
+                     help="run the static MT validators over every "
+                          "generated program (the pipeline check stage)")
     sub.add_argument("--timings", action="store_true",
                      help="print the per-stage timing / cache table")
     sub.add_argument("--no-cache", action="store_true",
@@ -129,7 +157,8 @@ def _run_one(args) -> int:
     ev = evaluate_workload(workload, technique=args.technique,
                            n_threads=args.threads, coco=args.coco,
                            scale=args.scale, alias_mode=args.alias_mode,
-                           local_schedule=args.schedule)
+                           local_schedule=args.schedule,
+                           mt_check=args.check)
     rows = [
         ("single-threaded cycles", "%.0f" % ev.st_result.cycles),
         ("multi-threaded cycles", "%.0f" % ev.mt_result.cycles),
@@ -164,7 +193,8 @@ def _dump(args) -> int:
                          n_threads=args.threads, coco=args.coco,
                          profile_args=train.args,
                          profile_memory=train.memory,
-                         alias_mode=args.alias_mode, normalized=True)
+                         alias_mode=args.alias_mode, normalized=True,
+                         mt_check=args.check)
     for index, thread in enumerate(result.program.threads):
         print("; ===== thread %d =====" % index)
         print(format_function(thread))
@@ -181,7 +211,8 @@ def _sweep(args) -> int:
     cells = build_cells(workloads=all_workloads(), techniques=techniques,
                         coco=(args.coco,), n_threads=(args.threads,),
                         scale=args.scale, alias_mode=args.alias_mode,
-                        local_schedule=args.schedule)
+                        local_schedule=args.schedule,
+                        mt_check=args.check)
     evaluations = evaluate_matrix(cells, jobs=args.jobs)
     rows = []
     speedups = {technique: [] for technique in techniques}
@@ -248,6 +279,35 @@ def _report(args) -> int:
     return 0
 
 
+def _fuzz(args) -> int:
+    from .check import run_fuzz
+    iterations = args.iterations
+    if iterations is None:
+        iterations = 25 if args.smoke else 100
+    seed = 0 if args.smoke else args.seed
+    report = run_fuzz(seed=seed, iterations=iterations,
+                      corpus_dir=args.corpus,
+                      max_threads=args.max_threads, depth=args.depth,
+                      progress=print)
+    print(report.summary())
+    rows = [(name, str(value))
+            for name, value in sorted(report.counters.items())]
+    print(table(["counter", "total"], rows, title="fuzz counters"))
+    if report.failures:
+        print()
+        for failure in report.failures:
+            print("FAILURE iteration %d cell %s%s (%s): shrunk %d -> %d "
+                  "statements"
+                  % (failure.iteration, failure.cell,
+                     "+coco" if failure.coco else "", failure.kind,
+                     failure.original_size, failure.shrunk_size))
+            print("  " + failure.detail.replace("\n", "\n  "))
+        if args.corpus:
+            print("reproducers written to %s" % args.corpus)
+        return 1
+    return 0
+
+
 def _dot(args) -> int:
     from .viz import (cfg_to_dot, pdg_to_dot, program_to_dot,
                       thread_graph_to_dot)
@@ -262,7 +322,8 @@ def _dot(args) -> int:
                          n_threads=args.threads, coco=args.coco,
                          profile_args=train.args,
                          profile_memory=train.memory,
-                         alias_mode=args.alias_mode, normalized=True)
+                         alias_mode=args.alias_mode, normalized=True,
+                         mt_check=args.check)
     if args.what == "pdg":
         print(pdg_to_dot(result.pdg, result.partition))
     elif args.what == "threads":
@@ -295,6 +356,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _dump(args)
     if args.command == "sweep":
         return _sweep(args)
+    if args.command == "fuzz":
+        return _fuzz(args)
     if args.command == "dot":
         return _dot(args)
     if args.command == "report":

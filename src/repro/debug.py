@@ -6,6 +6,13 @@ When a partitioner/codegen change breaks semantics, the failing symptom
 module re-executes both versions and reports the *first divergent memory
 write* and the register-state mismatches around it — the tool we use on
 ourselves when a property test shrinks a counterexample.
+
+The tracers are also the execution layer of the differential oracle in
+:mod:`repro.check.oracle`: :func:`trace_single` and :func:`trace_mt`
+return full write traces plus final register state, and an MT run that
+stops making progress yields a structured :class:`DeadlockReport`
+(blocked threads, blocking queues/channels, pending queue occupancy)
+instead of silently truncating the trace.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from typing import Dict, List, Mapping, Optional
 from .interp.context import StepStatus, ThreadContext
 from .interp.state import bind_params, make_memory
 from .ir.cfg import Function
-from .ir.instructions import Opcode
+from .ir.instructions import Instruction, Opcode
 from .machine.functional import FifoQueues
 from .mtcg.program import MTProgram
 
@@ -34,8 +41,107 @@ class WriteRecord:
             self.address, self.value, self.iid, self.thread)
 
 
-def _trace_single(function: Function, args, initial_memory,
-                  max_steps: int) -> List[WriteRecord]:
+class BlockedThread:
+    """One thread stuck on a queue operation when progress stopped."""
+
+    __slots__ = ("thread", "instruction", "queue")
+
+    def __init__(self, thread: int, instruction: Optional[Instruction],
+                 queue: Optional[int]):
+        self.thread = thread
+        self.instruction = instruction
+        self.queue = queue
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<thread %d blocked on q%s at %r>" % (
+            self.thread, self.queue, self.instruction)
+
+
+class DeadlockReport:
+    """Structured account of an MT execution that stopped progressing:
+    which threads are blocked, on which queues/channels, and what is
+    still pending in every queue."""
+
+    def __init__(self, blocked: List[BlockedThread],
+                 occupancy: Dict[int, int],
+                 channels: List = ()):
+        self.blocked = blocked
+        self.occupancy = occupancy      # queue id -> pending value count
+        self.channels = list(channels)  # CommChannels of blocking queues
+
+    @property
+    def blocked_threads(self) -> List[int]:
+        return [record.thread for record in self.blocked]
+
+    @property
+    def blocking_queues(self) -> List[int]:
+        return sorted({record.queue for record in self.blocked
+                       if record.queue is not None})
+
+    def describe(self) -> str:
+        lines = ["deadlock: %d thread(s) blocked"
+                 % len(self.blocked)]
+        for record in self.blocked:
+            instruction = record.instruction
+            what = (instruction.op.value if instruction is not None
+                    else "?")
+            lines.append("  thread %d blocked on %s (queue %s), "
+                         "queue holds %d pending value(s)"
+                         % (record.thread, what, record.queue,
+                            self.occupancy.get(record.queue, 0)))
+        for channel in self.channels:
+            lines.append("  blocking channel: %r" % (channel,))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<DeadlockReport threads=%r queues=%r>" % (
+            self.blocked_threads, self.blocking_queues)
+
+
+class DeadlockDetected(Exception):
+    """Raised when an MT trace deadlocks; carries the report and the
+    writes observed before progress stopped."""
+
+    def __init__(self, report: DeadlockReport,
+                 writes: List[WriteRecord]):
+        super().__init__(report.describe())
+        self.report = report
+        self.writes = writes
+
+
+class STTrace:
+    """A single-threaded execution's observable effects."""
+
+    __slots__ = ("writes", "regs", "steps", "exhausted")
+
+    def __init__(self, writes: List[WriteRecord], regs: Dict[str, object],
+                 steps: int, exhausted: bool):
+        self.writes = writes
+        self.regs = regs
+        self.steps = steps
+        self.exhausted = exhausted
+
+
+class MTTrace:
+    """A multi-threaded execution's observable effects."""
+
+    __slots__ = ("writes", "thread_regs", "steps", "deadlock",
+                 "exhausted", "queues")
+
+    def __init__(self, writes: List[WriteRecord],
+                 thread_regs: List[Dict[str, object]], steps: int,
+                 deadlock: Optional[DeadlockReport], exhausted: bool,
+                 queues: FifoQueues):
+        self.writes = writes
+        self.thread_regs = thread_regs
+        self.steps = steps
+        self.deadlock = deadlock
+        self.exhausted = exhausted
+        self.queues = queues
+
+
+def trace_single(function: Function, args=None, initial_memory=None,
+                 max_steps: int = 5_000_000) -> STTrace:
     memory = make_memory(function, initial_memory)
     regs = bind_params(function, dict(args) if args else {})
     context = ThreadContext(function, regs, memory, None)
@@ -49,12 +155,13 @@ def _trace_single(function: Function, args, initial_memory,
             writes.append(WriteRecord(result.mem_address,
                                       memory.load(result.mem_address),
                                       instruction.iid, 0))
-    return writes
+    return STTrace(writes, context.regs, steps,
+                   exhausted=not context.exited)
 
 
-def _trace_mt(program: MTProgram, args, initial_memory,
-              queue_capacity: int,
-              max_steps: int) -> List[WriteRecord]:
+def trace_mt(program: MTProgram, args=None, initial_memory=None,
+             queue_capacity: int = 32,
+             max_steps: int = 5_000_000) -> MTTrace:
     memory = make_memory(program.original, initial_memory)
     queues = FifoQueues(program.n_queues, queue_capacity)
     contexts = [ThreadContext(fn, bind_params(fn, dict(args) if args
@@ -62,6 +169,7 @@ def _trace_mt(program: MTProgram, args, initial_memory,
                 for fn in program.threads]
     writes: List[WriteRecord] = []
     live = [not c.exited for c in contexts]
+    deadlock: Optional[DeadlockReport] = None
     steps = 0
     while any(live) and steps < max_steps:
         progressed = False
@@ -82,8 +190,30 @@ def _trace_mt(program: MTProgram, args, initial_memory,
                                           memory.load(result.mem_address),
                                           instruction.iid, index))
         if not progressed:
-            break  # deadlock: report what we have
-    return writes
+            deadlock = _deadlock_report(program, contexts, live, queues)
+            break
+    return MTTrace(writes, [c.regs for c in contexts], steps, deadlock,
+                   exhausted=(deadlock is None and any(live)), queues=queues)
+
+
+def _deadlock_report(program: MTProgram, contexts: List[ThreadContext],
+                     live: List[bool],
+                     queues: FifoQueues) -> DeadlockReport:
+    blocked: List[BlockedThread] = []
+    for index, context in enumerate(contexts):
+        if not live[index]:
+            continue
+        instruction = context.current_instruction()
+        queue = (instruction.queue if instruction is not None
+                 and instruction.is_communication() else None)
+        blocked.append(BlockedThread(index, instruction, queue))
+    occupancy = {queue: len(pending)
+                 for queue, pending in enumerate(queues.queues)
+                 if pending}
+    channels = [program.channel_by_queue(record.queue)
+                for record in blocked if record.queue is not None]
+    return DeadlockReport(blocked, occupancy,
+                          [c for c in channels if c is not None])
 
 
 class Divergence:
@@ -108,23 +238,15 @@ class Divergence:
         return "<Divergence @%d #%d>" % (self.address, self.index)
 
 
-def find_divergence(function: Function, program: MTProgram,
-                    args: Optional[Mapping[str, object]] = None,
-                    initial_memory: Optional[Mapping[str, object]] = None,
-                    queue_capacity: int = 32,
-                    max_steps: int = 5_000_000) -> Optional[Divergence]:
-    """Compare the per-address sequences of memory writes between the
-    single-threaded oracle and the MT execution; return the first
-    mismatch, or None when the write streams agree everywhere.
+def diff_write_traces(st_writes: List[WriteRecord],
+                      mt_writes: List[WriteRecord]
+                      ) -> Optional[Divergence]:
+    """Compare per-address write sequences; return the first mismatch.
 
     Writes to the same address must happen in the same order with the
     same values (MTCG's guarantee); writes to *different* addresses may
     legally interleave differently, so the comparison is per address.
     """
-    st_writes = _trace_single(function, args, initial_memory, max_steps)
-    mt_writes = _trace_mt(program, args, initial_memory, queue_capacity,
-                          max_steps)
-
     def by_address(writes: List[WriteRecord]
                    ) -> Dict[int, List[WriteRecord]]:
         result: Dict[int, List[WriteRecord]] = {}
@@ -143,3 +265,43 @@ def find_divergence(function: Function, program: MTProgram,
             if exp is None or act is None or exp.value != act.value:
                 return Divergence(address, index, exp, act)
     return None
+
+
+def find_divergence(function: Function, program: MTProgram,
+                    args: Optional[Mapping[str, object]] = None,
+                    initial_memory: Optional[Mapping[str, object]] = None,
+                    queue_capacity: int = 32,
+                    max_steps: int = 5_000_000,
+                    on_deadlock: str = "raise") -> Optional[Divergence]:
+    """Compare the per-address sequences of memory writes between the
+    single-threaded oracle and the MT execution; return the first
+    mismatch, or None when the write streams agree everywhere.
+
+    When the MT execution deadlocks, ``on_deadlock`` selects the
+    behavior: ``"raise"`` (default) raises :class:`DeadlockDetected`
+    carrying the structured :class:`DeadlockReport`; ``"truncate"``
+    keeps the historical behavior of diffing whatever writes happened
+    before progress stopped (see :func:`find_divergence_truncating`).
+    """
+    if on_deadlock not in ("raise", "truncate"):
+        raise ValueError("on_deadlock must be 'raise' or 'truncate', "
+                         "got %r" % (on_deadlock,))
+    st_trace = trace_single(function, args, initial_memory, max_steps)
+    mt_trace = trace_mt(program, args, initial_memory, queue_capacity,
+                        max_steps)
+    if mt_trace.deadlock is not None and on_deadlock == "raise":
+        raise DeadlockDetected(mt_trace.deadlock, mt_trace.writes)
+    return diff_write_traces(st_trace.writes, mt_trace.writes)
+
+
+def find_divergence_truncating(function: Function, program: MTProgram,
+                               args=None, initial_memory=None,
+                               queue_capacity: int = 32,
+                               max_steps: int = 5_000_000
+                               ) -> Optional[Divergence]:
+    """Compatibility wrapper: the pre-DeadlockReport behavior, where a
+    deadlocked MT run is diffed as-is (the missing writes then surface
+    as a divergence)."""
+    return find_divergence(function, program, args, initial_memory,
+                           queue_capacity, max_steps,
+                           on_deadlock="truncate")

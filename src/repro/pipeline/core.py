@@ -87,6 +87,7 @@ def parallelize(function: Function,
                 config: Optional[MachineConfig] = None,
                 normalized: bool = False,
                 alias_mode: str = "annotated",
+                mt_check: bool = False,
                 cache: CacheOption = None,
                 telemetry: Optional[Telemetry] = None) -> Parallelization:
     """Parallelize ``function`` into ``n_threads`` threads.
@@ -101,6 +102,10 @@ def parallelize(function: Function,
     ``False`` disables caching for this call); ``telemetry`` optionally
     collects this run's stage timings in addition to the per-result
     ``.telemetry`` attribute and the process-global accumulator.
+
+    ``mt_check`` enables the ``check`` stage: the static MT validators of
+    :mod:`repro.check.validators` run over the MTCG output and raise
+    :class:`~repro.check.validators.MTValidationError` on any violation.
     """
     if config is None:
         config = technique_config(technique)
@@ -117,6 +122,7 @@ def parallelize(function: Function,
             "profile": profile,
             "profile_args": profile_args,
             "profile_memory": profile_memory,
+            "mt_check": mt_check,
         },
         config=config,
         cache=_resolve_cache(cache),
@@ -184,6 +190,7 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
                       check: bool = True,
                       alias_mode: str = "annotated",
                       local_schedule: Optional[str] = None,
+                      mt_check: bool = False,
                       cache: CacheOption = None,
                       telemetry: Optional[Telemetry] = None) -> Evaluation:
     """Run the full methodology for one workload: profile on `train`,
@@ -193,9 +200,9 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
     ``local_schedule`` optionally runs the downstream local instruction
     scheduler over both the single-threaded baseline and every generated
     thread, with the given produce/consume priority ("early"/"late"/
-    "neutral") — the papers' post-MT scheduling stage.  ``cache`` and
-    ``telemetry`` are forwarded to the staged pipeline (see
-    :func:`parallelize`).
+    "neutral") — the papers' post-MT scheduling stage.  ``mt_check``
+    enables the static MT validator stage; ``cache`` and ``telemetry``
+    are forwarded to the staged pipeline (see :func:`parallelize`).
     """
     function = workload.build()
     train = workload.make_inputs("train")
@@ -216,6 +223,7 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
             "profile_args": train.args,
             "profile_memory": train.memory,
             "local_schedule": local_schedule,
+            "mt_check": mt_check,
             "measure_args": measure.args,
             "measure_memory": measure.memory,
         },

@@ -32,6 +32,7 @@ class MatrixCell(NamedTuple):
     scale: str = "ref"
     alias_mode: str = "annotated"
     local_schedule: Optional[str] = None
+    mt_check: bool = False
 
 
 def build_cells(workloads: Optional[
@@ -41,7 +42,8 @@ def build_cells(workloads: Optional[
                 n_threads: Sequence[int] = (2,),
                 scale: str = "ref",
                 alias_mode: str = "annotated",
-                local_schedule: Optional[str] = None) -> List[MatrixCell]:
+                local_schedule: Optional[str] = None,
+                mt_check: bool = False) -> List[MatrixCell]:
     """The cross product, in deterministic workload-major order."""
     if workloads is None:
         names = workload_names()
@@ -49,7 +51,7 @@ def build_cells(workloads: Optional[
         names = [w.name if isinstance(w, Workload) else w
                  for w in workloads]
     return [MatrixCell(name, technique, use_coco, threads, scale,
-                       alias_mode, local_schedule)
+                       alias_mode, local_schedule, mt_check)
             for name in names
             for technique in techniques
             for use_coco in coco
@@ -65,6 +67,7 @@ def evaluate_matrix(cells: Optional[Iterable[MatrixCell]] = None,
                     scale: str = "ref",
                     alias_mode: str = "annotated",
                     local_schedule: Optional[str] = None,
+                    mt_check: bool = False,
                     jobs: int = 1,
                     check: bool = True,
                     telemetry: Optional[Telemetry] = None
@@ -79,7 +82,7 @@ def evaluate_matrix(cells: Optional[Iterable[MatrixCell]] = None,
     """
     if cells is None:
         cells = build_cells(workloads, techniques, coco, n_threads, scale,
-                            alias_mode, local_schedule)
+                            alias_mode, local_schedule, mt_check)
     cells = [cell if isinstance(cell, MatrixCell) else MatrixCell(*cell)
              for cell in cells]
 
@@ -107,6 +110,7 @@ def _run_cell(cell: MatrixCell, check: bool,
                              scale=cell.scale, check=check,
                              alias_mode=cell.alias_mode,
                              local_schedule=cell.local_schedule,
+                             mt_check=cell.mt_check,
                              telemetry=telemetry)
 
 

@@ -279,6 +279,25 @@ def _count_mtcg(ctx: PipelineContext) -> None:
                         len(ctx.values["program"].channels))
 
 
+def _check_enabled(ctx: PipelineContext) -> bool:
+    return bool(ctx.options.get("mt_check"))
+
+
+def _run_check(ctx: PipelineContext) -> dict:
+    # Imported lazily: repro.check sits above the pipeline in the layer
+    # order (its fuzzer drives the pipeline), so the stage table must not
+    # import it at module load.
+    from ..check.validators import MTValidationError, validate_program
+    report = validate_program(ctx.values["program"])
+    ctx.telemetry.count("check_programs_validated", 1)
+    for name, amount in report.counters.items():
+        ctx.telemetry.count("check_" + name, amount)
+    if not report.ok:
+        ctx.telemetry.count("check_violations", len(report.violations))
+        raise MTValidationError(report, ctx.function.name)
+    return {}
+
+
 def _schedule_enabled(ctx: PipelineContext) -> bool:
     return ctx.options.get("local_schedule") is not None
 
@@ -348,6 +367,7 @@ STAGES: Dict[str, Stage] = {stage.name: stage for stage in (
     Stage("coco", _run_coco, _fp_coco, persist=True,
           counters=_count_coco, enabled=_coco_enabled),
     Stage("mtcg", _run_mtcg, _fp_mtcg, persist=True, counters=_count_mtcg),
+    Stage("check", _run_check, enabled=_check_enabled),
     Stage("schedule", _run_schedule, enabled=_schedule_enabled),
     Stage("simulate-st", _run_simulate_st, _fp_simulate_st, persist=True,
           counters=_count_simulate_st),
@@ -355,9 +375,12 @@ STAGES: Dict[str, Stage] = {stage.name: stage for stage in (
           counters=_count_simulate_mt),
 )}
 
-#: Stage lists the public wrappers execute.
+#: Stage lists the public wrappers execute.  ``check`` (the static MT
+#: validators, see :mod:`repro.check`) is present but disabled unless the
+#: run sets the ``mt_check`` option (CLI ``--check``; always on under
+#: fuzzing).
 PARALLELIZE_STAGES = ("normalize", "profile", "pdg", "partition", "coco",
-                      "mtcg")
+                      "mtcg", "check")
 EVALUATE_STAGES = PARALLELIZE_STAGES + ("schedule", "simulate-st",
                                         "simulate-mt")
 

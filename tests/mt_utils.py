@@ -42,6 +42,83 @@ def assert_equivalent(function: Function, partition: Partition,
     return st, mt
 
 
+def build_crossed_deadlock() -> "MTProgram":
+    """A hand-built two-thread program with *crossed* produce/consume
+    order: each thread consumes from the other before producing for it,
+    so both block forever on their first consume.  Channel balance and
+    queue allocation are perfectly legal — only the intra-block ordering
+    is wrong — which makes this the canonical input for the wait-for
+    graph validator and the oracle's deadlock classifier."""
+    from repro.analysis.pdg import DepKind
+    from repro.ir import FunctionBuilder
+    from repro.mtcg.channels import CommChannel, Point
+    from repro.mtcg.program import MTProgram
+
+    original_builder = FunctionBuilder("crossed", live_outs=["r0"])
+    original_builder.label("entry")
+    original_builder.movi("r0", 1)
+    original_builder.exit()
+    original = original_builder.build()
+    assignment = {i.iid: 0 for i in original.instructions()}
+    partition = Partition(original, 2, assignment)
+
+    t0 = FunctionBuilder("crossed.t0", live_outs=["r0"])
+    t0.label("entry")
+    t0.movi("r_a", 1)
+    t0.consume("r_b", 1)    # waits for thread 1's produce on q1 ...
+    t0.produce(0, "r_a")    # ... which waits for this produce on q0.
+    t0.add("r0", "r_a", "r_b")
+    t0.exit()
+
+    t1 = FunctionBuilder("crossed.t1")
+    t1.label("entry")
+    t1.movi("r_c", 2)
+    t1.consume("r_d", 0)
+    t1.produce(1, "r_c")
+    t1.exit()
+
+    channels = [
+        CommChannel(DepKind.REGISTER, 0, 1, "r_a",
+                    [Point("entry", 2)], [], queue=0),
+        CommChannel(DepKind.REGISTER, 1, 0, "r_c",
+                    [Point("entry", 2)], [], queue=1),
+    ]
+    return MTProgram(original, partition,
+                     [t0.build(verify=False), t1.build(verify=False)],
+                     channels, exit_thread=0)
+
+
+def build_livelock_program() -> "MTProgram":
+    """Two threads, no communication: thread 0 exits immediately, thread 1
+    spins forever.  The MT run keeps making progress without terminating,
+    so the oracle's watchdog must classify it as livelock, not deadlock."""
+    from repro.ir import FunctionBuilder
+    from repro.mtcg.program import MTProgram
+
+    original_builder = FunctionBuilder("spinner", live_outs=["r0"])
+    original_builder.label("entry")
+    original_builder.movi("r0", 1)
+    original_builder.exit()
+    original = original_builder.build()
+    assignment = {i.iid: 0 for i in original.instructions()}
+    partition = Partition(original, 2, assignment)
+
+    t0 = FunctionBuilder("spinner.t0", live_outs=["r0"])
+    t0.label("entry")
+    t0.movi("r0", 1)
+    t0.exit()
+
+    t1 = FunctionBuilder("spinner.t1")
+    t1.label("entry")
+    t1.jmp("spin")
+    t1.label("spin")
+    t1.jmp("spin")
+
+    return MTProgram(original, partition,
+                     [t0.build(verify=False), t1.build(verify=False)],
+                     [], exit_thread=0)
+
+
 def round_robin_partition(function: Function, n_threads: int,
                           stride: int = 1) -> Partition:
     """A deliberately adversarial partition: instructions dealt round-robin

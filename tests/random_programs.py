@@ -1,183 +1,12 @@
-"""Hypothesis strategies generating random structured IR programs.
+"""Compatibility shim: the random-program grammar now ships with the
+package as :mod:`repro.check.generate` (pure-random sampling, used by
+``python -m repro fuzz``) and :mod:`repro.check.strategies` (the
+hypothesis front end the property tests use).  Import from there."""
 
-Programs are built from nested sequences / if-else diamonds / bounded
-counted loops over a small register pool and a masked-index memory object,
-so every generated program terminates and never faults.  Used by the
-property tests to stress MTCG, COCO, and the simulators with arbitrary
-control flow and arbitrary partitions.
-"""
+from repro.check.generate import (MEM_SIZE, SAFE_BINOPS,  # noqa: F401
+                                  ProgramSketch, render_program)
+from repro.check.strategies import (program_sketches,  # noqa: F401
+                                    random_partition_strategy)
 
-from __future__ import annotations
-
-from typing import List
-
-from hypothesis import strategies as st
-
-from repro.ir import Function, FunctionBuilder, Opcode
-from repro.partition import Partition
-
-MEM_SIZE = 32
-SAFE_BINOPS = ["add", "sub", "mul", "and", "or", "xor", "min", "max",
-               "cmpeq", "cmpne", "cmplt", "cmple", "cmpgt", "cmpge"]
-
-
-class _ProgramSketch:
-    """A recursive program description that can be rendered to IR."""
-
-    def __init__(self, statements):
-        self.statements = statements
-
-
-_leaf_stmt = st.one_of(
-    st.tuples(st.just("alu"), st.sampled_from(SAFE_BINOPS),
-              st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
-    st.tuples(st.just("movi"), st.integers(0, 5), st.integers(-20, 20)),
-    st.tuples(st.just("load"), st.integers(0, 5), st.integers(0, 5)),
-    st.tuples(st.just("store"), st.integers(0, 5), st.integers(0, 5)),
-    # Early loop exit (a no-op when not inside a loop): exercises
-    # multi-exit loops through MTCG/COCO/outlining paths.
-    st.tuples(st.just("breakif"), st.integers(0, 5)),
-)
-
-
-def _stmts(depth: int):
-    if depth <= 0:
-        return st.lists(_leaf_stmt, min_size=1, max_size=4)
-    inner = _stmts(depth - 1)
-    compound = st.one_of(
-        _leaf_stmt,
-        st.tuples(st.just("if"), st.integers(0, 5), inner, inner),
-        st.tuples(st.just("loop"), st.integers(1, 4), inner),
-    )
-    return st.lists(compound, min_size=1, max_size=4)
-
-
-program_sketches = st.builds(_ProgramSketch, _stmts(2))
-
-
-def render_program(sketch: _ProgramSketch) -> Function:
-    """Render a sketch to a verified IR function."""
-    builder = FunctionBuilder(
-        "random_program", params=["r_in0", "r_in1", "p_m"],
-        live_outs=["r0", "r1", "r2"])
-    builder.mem("m", MEM_SIZE, ptr="p_m")
-    counter = [0]
-
-    def fresh(prefix: str) -> str:
-        counter[0] += 1
-        return "%s%d" % (prefix, counter[0])
-
-    builder.label("entry")
-    # Initialize the register pool from the inputs.
-    builder.mov("r0", "r_in0")
-    builder.mov("r1", "r_in1")
-    builder.add("r2", "r_in0", "r_in1")
-    builder.sub("r3", "r_in0", "r_in1")
-    builder.movi("r4", 7)
-    builder.movi("r5", -3)
-
-    def reg(index: int) -> str:
-        return "r%d" % index
-
-    def emit_statements(statements, next_label: str,
-                        break_label: str = None) -> None:
-        """Emit statements into the currently open block; finally jump to
-        ``next_label``.  Opens/closes blocks as needed for control flow.
-        ``break_label`` is the innermost loop's exit (for "breakif")."""
-        for statement in statements:
-            kind = statement[0]
-            if kind == "breakif":
-                _, cond = statement
-                if break_label is None:
-                    continue  # not inside a loop: no-op
-                cond_reg = fresh("r_bc")
-                cont_label = fresh("cont")
-                builder.cmpgt(cond_reg, reg(cond), 15)
-                builder.br(cond_reg, break_label, cont_label)
-                builder.label(cont_label)
-                continue
-            if kind == "alu":
-                _, op, dest, a, b = statement
-                builder.alu(op, reg(dest), reg(a), reg(b))
-            elif kind == "movi":
-                _, dest, value = statement
-                builder.movi(reg(dest), value)
-            elif kind == "load":
-                _, dest, addr = statement
-                index = fresh("r_ix")
-                address = fresh("r_ad")
-                builder.and_(index, reg(addr), MEM_SIZE - 1)
-                builder.abs(index, index)
-                builder.add(address, "p_m", index)
-                builder.load(reg(dest), address)
-            elif kind == "store":
-                _, value, addr = statement
-                index = fresh("r_ix")
-                address = fresh("r_ad")
-                builder.and_(index, reg(addr), MEM_SIZE - 1)
-                builder.abs(index, index)
-                builder.add(address, "p_m", index)
-                builder.store(address, reg(value))
-            elif kind == "if":
-                _, cond, then_statements, else_statements = statement
-                cond_reg = fresh("r_c")
-                then_label = fresh("then")
-                else_label = fresh("else")
-                join_label = fresh("join")
-                builder.cmpgt(cond_reg, reg(cond), 0)
-                builder.br(cond_reg, then_label, else_label)
-                builder.label(then_label)
-                emit_statements(then_statements, join_label,
-                                break_label)
-                builder.label(else_label)
-                emit_statements(else_statements, join_label,
-                                break_label)
-                builder.label(join_label)
-            elif kind == "loop":
-                _, trips, body = statement
-                i_reg = fresh("r_i")
-                cond_reg = fresh("r_c")
-                header = fresh("head")
-                body_label = fresh("body")
-                done_label = fresh("done")
-                builder.movi(i_reg, trips)
-                builder.jmp(header)
-                builder.label(header)
-                builder.cmpgt(cond_reg, i_reg, 0)
-                builder.br(cond_reg, body_label, done_label)
-                builder.label(body_label)
-                builder.sub(i_reg, i_reg, 1)
-                emit_statements(body, header,
-                                break_label=done_label)
-                builder.label(done_label)
-            else:  # pragma: no cover
-                raise AssertionError("unknown statement %r" % (statement,))
-        builder.jmp(next_label)
-
-    final = "final"
-    emit_statements(sketch.statements, final)
-    builder.label(final)
-    builder.exit()
-    return builder.build()
-
-
-def random_partition_strategy(function: Function, max_threads: int = 3):
-    """Strategy of random partitions for a fixed function (exit pinned to
-    thread 0, everything else arbitrary)."""
-    iids = [instruction.iid for instruction in function.instructions()
-            if instruction.op is not Opcode.EXIT]
-    exits = [instruction.iid for instruction in function.instructions()
-             if instruction.op is Opcode.EXIT]
-
-    def build(n_threads: int, choices: List[int]) -> Partition:
-        assignment = {iid: choices[index] % n_threads
-                      for index, iid in enumerate(iids)}
-        for iid in exits:
-            assignment[iid] = 0
-        return Partition(function, n_threads, assignment)
-
-    return st.builds(
-        build,
-        st.integers(2, max_threads),
-        st.lists(st.integers(0, max_threads - 1),
-                 min_size=len(iids), max_size=len(iids)))
+# Historical (private) name for the sketch class.
+_ProgramSketch = ProgramSketch

@@ -18,7 +18,8 @@ from repro.analysis.dataflow import instruction_uses
 from repro.analysis.dominators import VIRTUAL_EXIT
 from repro.ir import Function, Opcode
 
-from .random_programs import program_sketches, render_program
+from repro.check.generate import render_program
+from repro.check.strategies import program_sketches
 
 _SETTINGS = settings(max_examples=40, deadline=None,
                      suppress_health_check=[HealthCheck.too_slow])

@@ -1,0 +1,143 @@
+"""Tests for the differential fuzzing driver (:mod:`repro.check.fuzz`)
+and its sketch persistence / shrinking machinery."""
+
+import json
+import random
+
+import pytest
+
+import repro.check.fuzz as fuzz_mod
+from repro.check.fuzz import FuzzReport, _Cell, _shrink, run_fuzz
+from repro.check.generate import (ProgramSketch, random_sketch,
+                                  render_program, shrink_candidates,
+                                  sketch_from_json, sketch_size,
+                                  sketch_to_json)
+from repro.ir.printer import format_function
+
+
+class TestRunFuzz:
+    def test_clean_run_with_corpus(self, tmp_path):
+        report = run_fuzz(seed=0, iterations=3, corpus_dir=str(tmp_path))
+        assert report.ok, [f.detail for f in report.failures]
+        # 2 techniques x 2 coco modes + 2 random partitions x 2 coco.
+        assert report.cells_run == 3 * 8
+        assert report.programs_generated == 3
+        assert report.counters["oracle_ok"] == report.cells_run
+        assert report.counters["programs_validated"] == report.cells_run
+        data = json.loads((tmp_path / "report.json").read_text())
+        assert data["failures"] == []
+        assert data["cells_run"] == report.cells_run
+        assert data["counters"] == report.counters
+
+    def test_deterministic_in_seed(self):
+        first = run_fuzz(seed=7, iterations=2)
+        second = run_fuzz(seed=7, iterations=2)
+        assert first.counters == second.counters
+        assert first.cells_run == second.cells_run
+
+    def test_injected_failure_is_persisted_and_shrunk(self, monkeypatch,
+                                                      tmp_path):
+        """Force every cell to fail: the driver must shrink, record the
+        failure, and write both the JSON reproducer and the rendered IR
+        into the corpus."""
+        def always_fail(sketch, cell, report=None):
+            return {"kind": "synthetic", "detail": "injected"}
+
+        monkeypatch.setattr(fuzz_mod, "_evaluate_cell", always_fail)
+        report = run_fuzz(seed=0, iterations=1,
+                          corpus_dir=str(tmp_path))
+        assert not report.ok
+        assert len(report.failures) == 8
+        failure = report.failures[0]
+        assert failure.kind == "synthetic"
+        assert failure.shrunk_size <= failure.original_size
+        stems = {p.name for p in tmp_path.iterdir()}
+        assert "report.json" in stems
+        assert any(name.startswith("failure-000-") and
+                   name.endswith(".json") for name in stems)
+        assert any(name.endswith(".ir.txt") for name in stems)
+        payload = json.loads(
+            (tmp_path / sorted(n for n in stems
+                               if n.startswith("failure-000-")
+                               and n.endswith(".json"))[0]).read_text())
+        assert payload["kind"] == "synthetic"
+        assert "sketch" in payload and "args" in payload
+
+
+class TestShrinking:
+    def test_candidates_are_strictly_smaller(self):
+        rng = random.Random(3)
+        sketch = random_sketch(rng, depth=2)
+        size = sketch_size(sketch)
+        candidates = list(shrink_candidates(sketch))
+        assert candidates
+        for candidate in candidates:
+            assert sketch_size(candidate) < size
+
+    def test_greedy_shrink_reaches_minimal_reproducer(self, monkeypatch):
+        """With a synthetic predicate ('fails iff a store exists
+        anywhere'), greedy deletion must converge to the single store
+        statement."""
+        def has_store(statements):
+            for statement in statements:
+                if statement[0] == "store":
+                    return True
+                if statement[0] == "if" and (has_store(statement[2])
+                                             or has_store(statement[3])):
+                    return True
+                if statement[0] == "loop" and has_store(statement[2]):
+                    return True
+            return False
+
+        def fake_evaluate(sketch, cell, report=None):
+            if has_store(sketch.statements):
+                return {"kind": "synthetic", "detail": "store present"}
+            return None
+
+        monkeypatch.setattr(fuzz_mod, "_evaluate_cell", fake_evaluate)
+        sketch = ProgramSketch([
+            ("alu", "add", 0, 1, 2),
+            ("loop", 3, [("movi", 2, 5),
+                         ("if", 1, [("store", 0, 1)], [("movi", 3, 1)])]),
+            ("movi", 4, -2),
+        ])
+        cell = _Cell("synthetic", None, 1, 2, False, 32, {})
+        report = FuzzReport(0, 0)
+        shrunk = _shrink(sketch, cell, report)
+        assert sketch_size(shrunk) == 1
+        assert shrunk.statements[0][0] == "store"
+        assert report.shrink_attempts > 0
+
+
+class TestSketchPersistence:
+    def test_json_roundtrip_preserves_structure(self):
+        for seed in range(10):
+            sketch = random_sketch(random.Random(seed), depth=2)
+            restored = sketch_from_json(sketch_to_json(sketch))
+            assert restored.statements == sketch.statements
+
+    def test_json_roundtrip_preserves_rendering(self):
+        sketch = random_sketch(random.Random(42), depth=2)
+        restored = sketch_from_json(sketch_to_json(sketch))
+        assert (format_function(render_program(restored))
+                == format_function(render_program(sketch)))
+
+
+class TestFuzzCLI:
+    def test_fuzz_command_exit_code_and_report(self, tmp_path, capsys):
+        from repro.cli import main
+        code = main(["fuzz", "--seed", "0", "--iterations", "2",
+                     "--corpus", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fuzz: seed 0" in out
+        assert (tmp_path / "report.json").exists()
+
+    @pytest.mark.slow
+    @pytest.mark.fuzz
+    def test_smoke_profile(self, tmp_path):
+        """The CI smoke configuration (seed 0), scaled down: zero
+        failures is the acceptance bar."""
+        report = run_fuzz(seed=0, iterations=10,
+                          corpus_dir=str(tmp_path))
+        assert report.ok, [f.detail for f in report.failures]

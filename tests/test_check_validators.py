@@ -1,0 +1,237 @@
+"""Tests for the static MT validators (:mod:`repro.check.validators`).
+
+Two directions: every validator must *pass* on legal MTCG output (no
+false positives across techniques, random partitions, and COCO), and
+every validator must *fail* when its invariant is broken by a seeded
+mutation (deleted consume, deleted produce, merged queues, misplaced
+live-outs, crossed produce/consume order)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro.analysis import build_pdg
+from repro.check.generate import (random_args, random_partition,
+                                  random_sketch, render_program)
+from repro.check.strategies import (program_sketches,
+                                    random_partition_strategy)
+from repro.check.validators import (CONSUME_OPS, MTValidationError,
+                                    check_channel_balance,
+                                    validate_program)
+from repro.interp import run_function
+from repro.ir import Opcode
+from repro.mtcg import generate
+from repro.pipeline import make_partitioner, normalize, technique_config
+
+from .helpers import build_memory_loop
+from .mt_utils import build_crossed_deadlock, make_mt, round_robin_partition
+
+TECHNIQUES = ("gremio", "dswp", "gremio-flat")
+
+
+def _memory_loop_mt():
+    f = build_memory_loop()
+    return f, make_mt(f, round_robin_partition(f, 2))
+
+
+class TestValidatorsPassOnLegalOutput:
+    def test_memory_loop_round_robin(self):
+        _, mt = _memory_loop_mt()
+        report = validate_program(mt)
+        assert report.ok, report.describe()
+        assert report.counters["channels_checked"] == len(mt.channels)
+        assert report.counters["comm_ops_checked"] > 0
+
+    def test_all_partitioners_on_200_random_programs(self):
+        """The acceptance sweep: GREMIO, DSWP, GREMIO-flat, and a random
+        partition over 200 random programs — every generated MT program
+        must satisfy every static invariant."""
+        validated = 0
+        for index in range(200):
+            rng = random.Random(index)
+            function = render_program(random_sketch(rng))
+            normalize(function)
+            profile = run_function(function, random_args(rng)).profile
+            pdg = build_pdg(function)
+            n_threads = rng.randint(2, 3)
+            partitions = []
+            for technique in TECHNIQUES:
+                config = technique_config(technique).with_threads(n_threads)
+                partitions.append(make_partitioner(
+                    technique, config).partition(function, pdg, profile,
+                                                 n_threads))
+            partitions.append(random_partition(rng, function,
+                                               n_threads=n_threads))
+            for partition in partitions:
+                mt = generate(function, pdg, partition)
+                report = validate_program(mt)
+                assert report.ok, ("program %d: %s"
+                                   % (index, report.describe()))
+                validated += 1
+        assert validated == 200 * (len(TECHNIQUES) + 1)
+
+    def test_validate_program_raises_on_demand(self):
+        _, mt = _memory_loop_mt()
+        deleted = False
+        for thread in mt.threads:
+            for block in thread.blocks:
+                for index, instruction in enumerate(block.instructions):
+                    if instruction.op is Opcode.PRODUCE:
+                        del block.instructions[index]
+                        deleted = True
+                        break
+                if deleted:
+                    break
+            if deleted:
+                break
+        assert deleted
+        with pytest.raises(MTValidationError) as error:
+            validate_program(mt, context="memory_loop",
+                             raise_on_failure=True)
+        assert "memory_loop" in str(error.value)
+        assert not error.value.report.ok
+
+
+class TestSeededMutationsAreCaught:
+    def _delete_first(self, mt, opcode):
+        for thread in mt.threads:
+            for block in thread.blocks:
+                for index, instruction in enumerate(block.instructions):
+                    if instruction.op is opcode:
+                        del block.instructions[index]
+                        return True
+        return False
+
+    def test_deleted_consume_rejected(self):
+        """Removing one consume leaves a produce with no partner — the
+        channel-balance rule must fire (IR verification of the consumer
+        thread may fail too; balance is the load-bearing diagnosis)."""
+        _, mt = _memory_loop_mt()
+        assert self._delete_first(mt, Opcode.CONSUME)
+        report = validate_program(mt)
+        assert not report.ok
+        assert "channel-balance" in report.rules_violated()
+
+    def test_deleted_produce_rejected(self):
+        _, mt = _memory_loop_mt()
+        assert self._delete_first(mt, Opcode.PRODUCE)
+        report = validate_program(mt)
+        assert not report.ok
+        assert "channel-balance" in report.rules_violated()
+        violation = next(v for v in report.violations
+                         if v.rule == "channel-balance")
+        assert violation.queue is not None
+
+    def test_merged_queues_with_different_endpoints_rejected(self):
+        """Force two channels with different (source, target) pairs onto
+        one physical queue — the sharing rule must reject it."""
+        _, mt = _memory_loop_mt()
+        by_endpoints = {}
+        for channel in mt.channels:
+            by_endpoints.setdefault(
+                (channel.source_thread, channel.target_thread),
+                channel)
+        assert len(by_endpoints) >= 2, \
+            "round-robin partition should communicate both ways"
+        first, second = list(by_endpoints.values())[:2]
+        old_queue = second.queue
+        second.queue = first.queue
+        for thread in mt.threads:
+            for instruction in thread.instructions():
+                if instruction.is_communication() \
+                        and instruction.queue == old_queue:
+                    instruction.queue = first.queue
+        report = validate_program(mt)
+        assert not report.ok
+        assert "queue-conflict" in report.rules_violated()
+
+    def test_liveouts_on_non_exit_thread_rejected(self):
+        _, mt = _memory_loop_mt()
+        rogue = (mt.exit_thread + 1) % mt.n_threads
+        mt.threads[rogue].live_outs = ["r_i"]
+        report = validate_program(mt)
+        assert not report.ok
+        assert "register-isolation" in report.rules_violated()
+
+    def test_undefined_channel_register_rejected(self):
+        _, mt = _memory_loop_mt()
+        data = [c for c in mt.channels if c.register is not None]
+        assert data, "memory loop must have at least one data channel"
+        data[0].register = "r_never_defined"
+        report = validate_program(mt)
+        assert not report.ok
+        assert "register-isolation" in report.rules_violated()
+
+    def test_crossed_produce_consume_rejected_statically(self):
+        """The hand-built crossed program is balanced and conflict-free,
+        but its wait-for graph has a cycle — only the deadlock rule
+        fires, naming the crossing queues."""
+        mt = build_crossed_deadlock()
+        report = validate_program(mt)
+        assert not report.ok
+        assert report.rules_violated() == ["deadlock"]
+        violation = next(v for v in report.violations
+                         if v.rule == "deadlock")
+        assert violation.queue in (0, 1)
+        assert "crossed" in violation.message
+
+    def test_communication_on_unowned_queue_rejected(self):
+        _, mt = _memory_loop_mt()
+        for thread in mt.threads:
+            for instruction in thread.instructions():
+                if instruction.is_communication():
+                    instruction.queue = 999
+                    report = validate_program(mt)
+                    assert not report.ok
+                    assert "channel-balance" in report.rules_violated()
+                    return
+        raise AssertionError("no communication op found")
+
+
+class TestValidatorProperties:
+    """Hypothesis: over arbitrary programs and partitions, legal output
+    always passes and a deleted consume never does."""
+
+    @given(sketch=program_sketches)
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_generated_output_always_validates(self, sketch):
+        function = render_program(sketch)
+        rng = random.Random(sketch_hash(sketch))
+        partition = random_partition(rng, function)
+        mt = make_mt(function, partition)
+        report = validate_program(mt)
+        assert report.ok, report.describe()
+
+    @given(sketch=program_sketches)
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_deleted_consume_never_validates(self, sketch):
+        function = render_program(sketch)
+        rng = random.Random(sketch_hash(sketch))
+        partition = random_partition(rng, function)
+        mt = make_mt(function, partition)
+        deleted = False
+        for thread in mt.threads:
+            for block in thread.blocks:
+                for index, instruction in enumerate(block.instructions):
+                    if instruction.op in CONSUME_OPS:
+                        del block.instructions[index]
+                        deleted = True
+                        break
+                if deleted:
+                    break
+            if deleted:
+                break
+        assume(deleted)  # partitions may place everything on one thread
+        report = validate_program(mt)
+        assert not report.ok
+        assert "channel-balance" in report.rules_violated()
+
+
+def sketch_hash(sketch) -> int:
+    """Deterministic partition seed derived from the sketch shape (no
+    Python hash randomization)."""
+    import json
+    return sum(bytearray(json.dumps(sketch.statements).encode())) % 65537

@@ -1,7 +1,10 @@
 """Tests for the divergence debugger."""
 
+import pytest
+
 from repro.analysis import build_pdg
-from repro.debug import find_divergence
+from repro.debug import (DeadlockDetected, find_divergence,
+                         find_divergence_truncating)
 from repro.ir import Opcode
 from repro.mtcg import generate
 
@@ -41,7 +44,8 @@ class TestFindDivergence:
 
     def test_dropped_produce_detected_without_hanging(self):
         """Remove a produce: the MT run deadlocks; the debugger still
-        terminates and reports missing writes."""
+        terminates, and by default surfaces a structured report naming
+        the starved queue instead of silently truncating the trace."""
         f = build_memory_loop()
         mt = make_mt(f, round_robin_partition(f, 2))
         for thread in mt.threads:
@@ -54,7 +58,16 @@ class TestFindDivergence:
             else:
                 continue
             break
-        divergence = find_divergence(
-            f, mt, {"r_n": 12}, {"arr_in": list(range(12))},
-            max_steps=50_000)
+        args = {"r_n": 12}
+        memory = {"arr_in": list(range(12))}
+        with pytest.raises(DeadlockDetected) as error:
+            find_divergence(f, mt, args, memory, max_steps=50_000)
+        report = error.value.report
+        assert report.blocked_threads
+        assert report.blocking_queues
+        assert "blocked" in report.describe()
+        # The historical truncating mode still diffs whatever writes
+        # happened before the wedge and reports the missing ones.
+        divergence = find_divergence_truncating(f, mt, args, memory,
+                                                max_steps=50_000)
         assert divergence is not None

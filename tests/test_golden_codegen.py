@@ -4,7 +4,11 @@ These pin the exact generated code (thread CFGs + channel placements) for
 Figure 3 and Figure 4 of the companion text.  If a deliberate codegen
 change alters the output, regenerate with:
 
-    UPDATE_GOLDEN=1 pytest tests/test_golden_codegen.py
+    REPRO_REGEN_GOLDENS=1 pytest tests/test_golden_codegen.py
+
+Regeneration rewrites the snapshot and then *still compares against it*
+(so the test passes only when the freshly written file round-trips) —
+it never skips, which used to let a broken regeneration go green.
 """
 
 import os
@@ -58,10 +62,19 @@ def _figure4_program():
 def test_codegen_matches_golden(name, factory):
     rendered = _render(factory())
     golden_path = GOLDEN_DIR / ("%s_mtcg.txt" % name)
-    if os.environ.get("UPDATE_GOLDEN"):
+    if os.environ.get("UPDATE_GOLDEN") \
+            and not os.environ.get("REPRO_REGEN_GOLDENS"):
+        pytest.fail("UPDATE_GOLDEN is no longer honored (it used to skip "
+                    "the comparison after writing, hiding broken "
+                    "regenerations); set REPRO_REGEN_GOLDENS=1 instead")
+    if os.environ.get("REPRO_REGEN_GOLDENS"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
         golden_path.write_text(rendered)
-        pytest.skip("golden file regenerated")
+    if not golden_path.exists():
+        pytest.fail("missing golden snapshot %s; generate it with "
+                    "REPRO_REGEN_GOLDENS=1 pytest %s"
+                    % (golden_path.name, __file__))
     expected = golden_path.read_text()
     assert rendered == expected, (
         "MTCG output changed for %s; if intentional, regenerate with "
-        "UPDATE_GOLDEN=1" % name)
+        "REPRO_REGEN_GOLDENS=1" % name)

@@ -10,9 +10,11 @@ from repro.interp import run_function
 from repro.ir import verify_function
 from repro.machine import run_mt_program
 
+from repro.check.generate import render_program
+from repro.check.strategies import (program_sketches,
+                                    random_partition_strategy)
+
 from .mt_utils import make_mt
-from .random_programs import (program_sketches, random_partition_strategy,
-                              render_program)
 
 _SETTINGS = settings(max_examples=60, deadline=None,
                      suppress_health_check=[HealthCheck.too_slow,
