@@ -4,53 +4,26 @@ Compares the full scheduler against (a) flat (non-hierarchical) list
 scheduling over the whole region and (b) control-dependence-region
 grouping, isolating the value of the loop-nest hierarchy and of
 instruction-granularity scheduling.
+
+Metric extraction lives in the ``ablation_hierarchy`` spec
+(:mod:`repro.bench.specs.ablations`).
 """
 
-from harness import BENCH_ORDER, run_once
+from harness import run_once
 
-from repro.analysis import build_pdg
-from repro.interp import run_function
-from repro.machine import DEFAULT_CONFIG, simulate_program, simulate_single
-from repro.mtcg import generate
-from repro.partition.gremio import GremioPartitioner
-from repro.pipeline import normalize
+from repro.bench import FULL, get_spec
+from repro.bench.specs.ablations import HIERARCHY_BENCHES
 from repro.report import table
-from repro.stats import geomean
-from repro.workloads import get_workload
-
-ABLATION_BENCHES = ["ks", "181.mcf", "435.gromacs", "300.twolf",
-                    "183.equake", "458.sjeng"]
-
-
-def _speedup_with(workload, partitioner):
-    function = normalize(workload.build())
-    train = workload.make_inputs("train")
-    ref = workload.make_inputs("ref")
-    profile = run_function(function, train.args, train.memory).profile
-    pdg = build_pdg(function)
-    partition = partitioner.partition(function, pdg, profile, 2)
-    program = generate(function, pdg, partition)
-    st = simulate_single(function, ref.args, ref.memory)
-    mt = simulate_program(program, ref.args, ref.memory)
-    assert mt.live_outs == st.live_outs
-    return st.cycles / mt.cycles
-
-
-def _ablation():
-    rows = []
-    for name in ABLATION_BENCHES:
-        workload = get_workload(name)
-        full = _speedup_with(workload, GremioPartitioner(DEFAULT_CONFIG))
-        flat = _speedup_with(workload, GremioPartitioner(
-            DEFAULT_CONFIG, hierarchical=False))
-        grouped = _speedup_with(workload, GremioPartitioner(
-            DEFAULT_CONFIG, region_grouping=True))
-        rows.append((name, full, flat, grouped))
-    return rows
 
 
 def test_hierarchy_ablation(benchmark):
-    rows = run_once(benchmark, _ablation)
+    metrics = run_once(
+        benchmark, lambda: get_spec("ablation_hierarchy").collect(FULL))
+    rows = [(name,
+             metrics["speedup/full/%s" % name].value,
+             metrics["speedup/flat/%s" % name].value,
+             metrics["speedup/grouped/%s" % name].value)
+            for name in HIERARCHY_BENCHES]
     print()
     print(table(["benchmark", "GREMIO", "flat list sched.",
                  "CD-region grouping"],
@@ -58,9 +31,9 @@ def test_hierarchy_ablation(benchmark):
                  for n, a, b, c in rows],
                 title="GREMIO-E3: scheduling-policy ablation (speedup "
                       "over single-threaded)"))
-    full = geomean([a for _, a, _, _ in rows])
-    flat = geomean([b for _, _, b, _ in rows])
-    grouped = geomean([c for _, _, _, c in rows])
+    full = metrics["geomean/full"].value
+    flat = metrics["geomean/flat"].value
+    grouped = metrics["geomean/grouped"].value
     print("geomean: full %.3f, flat %.3f, region-grouped %.3f"
           % (full, flat, grouped))
     # The hierarchical scheduler is at least as good as the flat ablation

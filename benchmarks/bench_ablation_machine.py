@@ -5,82 +5,51 @@ checking the monotonicities the hardware papers argue for: slower operand
 networks never help, and deeper queues never hurt decoupling (they absorb
 producer/consumer rate jitter — the reason the papers give DSWP 32-entry
 queues).
-"""
 
-import dataclasses
+Metric extraction lives in the ``ablation_machine`` spec
+(:mod:`repro.bench.specs.ablations`).
+"""
 
 from harness import run_once
 
-from repro.analysis import build_pdg
-from repro.interp import run_function
-from repro.machine import DEFAULT_CONFIG, simulate_program, simulate_single
-from repro.mtcg import generate
-from repro.partition.dswp import DSWPPartitioner
-from repro.pipeline import normalize
+from repro.bench import FULL, get_spec
+from repro.bench.specs.ablations import (LATENCIES, MACHINE_SWEEP_BENCH,
+                                         QUEUE_DEPTHS)
 from repro.report import table
-from repro.workloads import get_workload
-
-SWEEP_BENCH = "181.mcf"
 
 
-def _prepare():
-    workload = get_workload(SWEEP_BENCH)
-    function = normalize(workload.build())
-    train = workload.make_inputs("train")
-    ref = workload.make_inputs("ref")
-    profile = run_function(function, train.args, train.memory).profile
-    pdg = build_pdg(function)
-    partition = DSWPPartitioner(DEFAULT_CONFIG).partition(
-        function, pdg, profile, 2)
-    program = generate(function, pdg, partition)
-    return function, program, ref
-
-
-def _latency_sweep():
-    function, program, ref = _prepare()
-    st = simulate_single(function, ref.args, ref.memory)
+def _sweep_rows(metrics, kind, points):
+    st = metrics["st_cycles"].value
     rows = []
-    for latency in (1, 2, 4, 8, 16, 32):
-        config = dataclasses.replace(DEFAULT_CONFIG,
-                                     sa_access_latency=latency,
-                                     sa_queue_size=32)
-        mt = simulate_program(program, ref.args, ref.memory, config=config)
-        assert mt.live_outs == st.live_outs
-        rows.append((latency, mt.cycles, st.cycles / mt.cycles))
-    return rows
-
-
-def _queue_sweep():
-    function, program, ref = _prepare()
-    st = simulate_single(function, ref.args, ref.memory)
-    rows = []
-    for depth in (1, 2, 4, 8, 32, 128):
-        config = dataclasses.replace(DEFAULT_CONFIG, sa_queue_size=depth)
-        mt = simulate_program(program, ref.args, ref.memory, config=config)
-        assert mt.live_outs == st.live_outs
-        rows.append((depth, mt.cycles, st.cycles / mt.cycles))
+    for point in points:
+        mt = metrics["mt_cycles/%s/%d" % (kind, point)].value
+        rows.append((point, mt, st / mt))
     return rows
 
 
 def test_comm_latency_sensitivity(benchmark):
-    rows = run_once(benchmark, _latency_sweep)
+    metrics = run_once(
+        benchmark, lambda: get_spec("ablation_machine").collect(FULL))
+    rows = _sweep_rows(metrics, "latency", LATENCIES)
     print()
     print(table(["SA latency", "MT cycles", "speedup"],
                 [(l, "%.0f" % c, "%.3f" % s) for l, c, s in rows],
                 title="EXT-E2a: operand-network latency sweep "
-                      "(%s, DSWP)" % SWEEP_BENCH))
+                      "(%s, DSWP)" % MACHINE_SWEEP_BENCH))
     cycles = [c for _, c, _ in rows]
     assert all(b >= a * 0.999 for a, b in zip(cycles, cycles[1:])), \
         "raising communication latency must not speed execution up"
 
 
 def test_queue_depth_sensitivity(benchmark):
-    rows = run_once(benchmark, _queue_sweep)
+    metrics = run_once(
+        benchmark, lambda: get_spec("ablation_machine").collect(FULL))
+    rows = _sweep_rows(metrics, "queue", QUEUE_DEPTHS)
     print()
     print(table(["queue depth", "MT cycles", "speedup"],
                 [(d, "%.0f" % c, "%.3f" % s) for d, c, s in rows],
                 title="EXT-E2b: queue-depth sweep (%s, DSWP)"
-                      % SWEEP_BENCH))
+                      % MACHINE_SWEEP_BENCH))
     cycles = [c for _, c, _ in rows]
     # Queue depth must never be a first-order slowdown: the whole sweep
     # stays within a small band of the best point (run-to-run variation

@@ -4,54 +4,30 @@ The validated Itanium 2 cores the papers simulate predict branches well;
 this ablation compares the three front-end models (static taken-penalty,
 bimodal 2-bit prediction, perfect) on the branchiest kernel (sjeng) and a
 regular loop kernel (equake), single-threaded and under DSWP.
-"""
 
-import dataclasses
+Metric extraction lives in the ``branch_prediction`` spec
+(:mod:`repro.bench.specs.ablations`).
+"""
 
 from harness import run_once
 
-from repro.analysis import build_pdg
-from repro.interp import run_function
-from repro.machine import DEFAULT_CONFIG, simulate_program, simulate_single
-from repro.mtcg import generate
-from repro.partition.dswp import DSWPPartitioner
-from repro.pipeline import normalize
+from repro.bench import FULL, get_spec
+from repro.bench.specs.ablations import BRANCH_BENCHES
 from repro.report import table
-from repro.workloads import get_workload
 
 MODES = ("static", "bimodal", "perfect")
-BENCHES = ("458.sjeng", "183.equake")
-
-
-def _sweep():
-    rows = []
-    for name in BENCHES:
-        workload = get_workload(name)
-        function = normalize(workload.build())
-        train = workload.make_inputs("train")
-        ref = workload.make_inputs("ref")
-        profile = run_function(function, train.args, train.memory).profile
-        pdg = build_pdg(function)
-        partition = DSWPPartitioner(DEFAULT_CONFIG).partition(
-            function, pdg, profile, 2)
-        program = generate(function, pdg, partition)
-        entry = [name]
-        for mode in MODES:
-            config = dataclasses.replace(DEFAULT_CONFIG.for_dswp(),
-                                         branch_predictor=mode)
-            st = simulate_single(function, ref.args, ref.memory,
-                                 config=config)
-            mt = simulate_program(program, ref.args, ref.memory,
-                                  config=config)
-            assert mt.live_outs == st.live_outs
-            entry.append(st.cycles)
-            entry.append(st.cycles / mt.cycles)
-        rows.append(entry)
-    return rows
 
 
 def test_branch_prediction_ablation(benchmark):
-    rows = run_once(benchmark, _sweep)
+    metrics = run_once(
+        benchmark, lambda: get_spec("branch_prediction").collect(FULL))
+    rows = []
+    for name in BRANCH_BENCHES:
+        entry = [name]
+        for mode in MODES:
+            entry.append(metrics["st_cycles/%s/%s" % (mode, name)].value)
+            entry.append(metrics["speedup/%s/%s" % (mode, name)].value)
+        rows.append(entry)
     print()
     print(table(["benchmark", "ST static", "x", "ST bimodal", "x",
                  "ST perfect", "x"],

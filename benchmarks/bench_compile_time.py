@@ -2,10 +2,13 @@
 passes do not significantly increase compilation time).
 
 These are true pytest-benchmark microbenchmarks (multiple rounds) over the
-compile-side passes only — no simulation.
+compile-side passes only — no simulation.  The headless counterpart is
+the ``compile_time`` spec (:mod:`repro.bench.specs.hostperf`): single-
+shot timings with wide tolerance bands for the regression gate.
 """
 
 from repro.analysis import build_pdg
+from repro.bench import SMOKE, get_spec
 from repro.coco.driver import optimize as coco_optimize
 from repro.interp import run_function
 from repro.machine import DEFAULT_CONFIG
@@ -67,3 +70,19 @@ def test_coco_optimization_time(benchmark):
     result = benchmark(
         lambda: coco_optimize(function, pdg, partition, profile))
     assert result.iterations >= 1
+
+
+def test_compile_time_spec_metrics(benchmark):
+    """The headless spec times the same passes once each and tags them
+    with the wall-time tolerance band (never an exact gate)."""
+    metrics = benchmark.pedantic(
+        lambda: get_spec("compile_time").collect(SMOKE),
+        rounds=1, iterations=1)
+    expected = {"seconds/pdg_build", "seconds/gremio_partition",
+                "seconds/dswp_partition", "seconds/mtcg_codegen",
+                "seconds/coco_optimize"}
+    assert set(metrics) == expected
+    for name, metric in metrics.items():
+        assert metric.unit == "s"
+        assert metric.tolerance and metric.tolerance > 0, name
+        assert metric.value >= 0.0

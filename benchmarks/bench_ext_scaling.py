@@ -5,30 +5,34 @@ the communication fraction (more inter-thread dependences to satisfy).
 This extension experiment measures both techniques at 2/3/4 threads and
 checks that conjecture — the communication fraction does not shrink as
 threads are added — while correctness holds throughout.
+
+Metric extraction lives in the ``ext_scaling`` spec
+(:mod:`repro.bench.specs.ablations`).
 """
 
-from harness import evaluation, run_once
+from harness import run_once
 
+from repro.bench import FULL, get_spec
+from repro.bench.specs.ablations import SCALING_BENCHES
 from repro.report import table
 
-SCALING_BENCHES = ["ks", "181.mcf", "435.gromacs", "188.ammp"]
 
-
-def _scaling(technique):
+def _rows(metrics, technique):
     rows = []
     for name in SCALING_BENCHES:
         entry = [name]
         for n_threads in (2, 3, 4):
-            ev = evaluation(name, technique, coco=False,
-                            n_threads=n_threads)
-            entry.append(ev.speedup)
-            entry.append(100.0 * ev.communication_fraction)
+            prefix = "%s/%s/%dt" % (technique, name, n_threads)
+            entry.append(metrics["speedup/" + prefix].value)
+            entry.append(metrics["comm_pct/" + prefix].value)
         rows.append(entry)
     return rows
 
 
 def test_scaling_gremio(benchmark):
-    rows = run_once(benchmark, lambda: _scaling("gremio"))
+    metrics = run_once(
+        benchmark, lambda: get_spec("ext_scaling").collect(FULL))
+    rows = _rows(metrics, "gremio")
     print()
     print(table(["benchmark", "2T x", "2T comm%", "3T x", "3T comm%",
                  "4T x", "4T comm%"],
@@ -49,29 +53,22 @@ def test_coco_at_higher_thread_counts(benchmark):
     indeed grows, but the communication COCO can actually remove shrinks
     at 4 threads for DSWP — the added traffic is per-iteration cross-stage
     values whose at-definition placement is already the min cut.  COCO
-    must still never increase communication at any thread count."""
-    def measure():
-        removed = {2: 0, 4: 0}
-        for name in SCALING_BENCHES:
-            for n_threads in (2, 4):
-                base = evaluation(name, "dswp", coco=False,
-                                  n_threads=n_threads)
-                opt = evaluation(name, "dswp", coco=True,
-                                 n_threads=n_threads)
-                delta = (base.communication_instructions
-                         - opt.communication_instructions)
-                assert delta >= 0, (name, n_threads)
-                removed[n_threads] += delta
-        return removed
-    removed = run_once(benchmark, measure)
+    must still never increase communication at any thread count (asserted
+    per-cell inside the spec's aggregation)."""
+    metrics = run_once(
+        benchmark, lambda: get_spec("ext_scaling").collect(FULL))
+    removed = {n: metrics["coco_removed/%dt" % n].value for n in (2, 4)}
     print()
     print("EXT-E1c: dynamic communication removed by COCO — "
           "2 threads: %d, 4 threads: %d" % (removed[2], removed[4]))
     assert removed[2] > 0
+    assert removed[4] >= 0
 
 
 def test_scaling_dswp(benchmark):
-    rows = run_once(benchmark, lambda: _scaling("dswp"))
+    metrics = run_once(
+        benchmark, lambda: get_spec("ext_scaling").collect(FULL))
+    rows = _rows(metrics, "dswp")
     print()
     print(table(["benchmark", "2T x", "2T comm%", "3T x", "3T comm%",
                  "4T x", "4T comm%"],

@@ -4,23 +4,26 @@ baseline MTCG.
 
 Paper shape to reproduce: communication is a significant fraction of
 dynamic instructions — up to about one fourth — motivating COCO.
+
+Metric extraction lives in the ``fig1_breakdown`` spec
+(:mod:`repro.bench.specs.paper`).
 """
 
-from harness import BENCH_ORDER, evaluation, run_once
+from harness import BENCH_ORDER, run_once
 
+from repro.bench import FULL, get_spec
 from repro.report import bar_chart
 
 
-def _breakdown(technique):
-    rows = []
-    for name in BENCH_ORDER:
-        ev = evaluation(name, technique, coco=False)
-        rows.append((name, 100.0 * ev.communication_fraction))
-    return rows
+def _rows(metrics, technique):
+    return [(name, metrics["comm_pct/%s/%s" % (technique, name)].value)
+            for name in BENCH_ORDER]
 
 
 def test_fig1a_gremio_breakdown(benchmark):
-    rows = run_once(benchmark, lambda: _breakdown("gremio"))
+    metrics = run_once(
+        benchmark, lambda: get_spec("fig1_breakdown").collect(FULL))
+    rows = _rows(metrics, "gremio")
     print()
     print(bar_chart(rows, title="Figure 1(a): dynamic communication "
                                 "instructions, GREMIO + MTCG (% of total)",
@@ -28,15 +31,17 @@ def test_fig1a_gremio_breakdown(benchmark):
     # Shape: communication is significant for parallelized benchmarks.
     parallelized = [value for _, value in rows if value > 1.0]
     assert parallelized, "GREMIO never parallelized anything"
-    assert max(value for _, value in rows) <= 50.0
+    assert metrics["comm_pct/gremio/max"].value <= 50.0
 
 
 def test_fig1b_dswp_breakdown(benchmark):
-    rows = run_once(benchmark, lambda: _breakdown("dswp"))
+    metrics = run_once(
+        benchmark, lambda: get_spec("fig1_breakdown").collect(FULL))
+    rows = _rows(metrics, "dswp")
     print()
     print(bar_chart(rows, title="Figure 1(b): dynamic communication "
                                 "instructions, DSWP + MTCG (% of total)",
                     unit="%", reference=100.0))
     parallelized = [value for _, value in rows if value > 1.0]
     assert len(parallelized) >= 8, "DSWP should parallelize most benchmarks"
-    assert max(value for _, value in rows) <= 50.0
+    assert metrics["comm_pct/dswp/max"].value <= 50.0

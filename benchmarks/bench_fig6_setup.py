@@ -1,8 +1,14 @@
 """COCO-Fig6: the experimental setup tables — (a) machine configuration,
-(b) selected benchmark functions."""
+(b) selected benchmark functions.
+
+The ``fig6_setup`` spec (:mod:`repro.bench.specs.paper`) records the
+machine-readable counts; this module renders the human tables and
+cross-checks both views.
+"""
 
 from harness import run_once
 
+from repro.bench import FULL, get_spec
 from repro.machine import DEFAULT_CONFIG, config_table
 from repro.workloads import all_workloads, benchmark_table
 
@@ -14,7 +20,11 @@ def test_fig6a_machine_configuration(benchmark):
     print(text)
     assert "6 issue" in text or "6 ALU" in text
     assert "141" in text
-    assert DEFAULT_CONFIG.sa_queues == 256
+    metrics = get_spec("fig6_setup").collect(FULL)
+    assert metrics["machine/sa_queues"].value == 256
+    assert metrics["machine/sa_queues"].value == DEFAULT_CONFIG.sa_queues
+    assert (metrics["machine/sa_access_latency"].value
+            == DEFAULT_CONFIG.sa_access_latency)
 
 
 def test_fig6b_benchmark_functions(benchmark):
@@ -29,3 +39,5 @@ def test_fig6b_benchmark_functions(benchmark):
                      "new_dbox_a", "inl1130", "std_eval"):
         assert fragment in text
     assert len(all_workloads()) == 11
+    metrics = get_spec("fig6_setup").collect(FULL)
+    assert metrics["workloads/count"].value == 11

@@ -4,26 +4,32 @@ after applying COCO (100% = unchanged from baseline MTCG).
 Paper shape to reproduce: COCO reduces communication on average (34.4% for
 GREMIO, 23.8% for DSWP in the paper), never increases it, and the largest
 reduction is ks with GREMIO (an inner loop that only consumed live-outs).
+
+Metric extraction lives in the ``fig7_comm_reduction`` spec
+(:mod:`repro.bench.specs.paper`).
 """
 
-from harness import BENCH_ORDER, evaluation, relative_communication, run_once
+from harness import BENCH_ORDER, run_once
 
+from repro.bench import FULL, get_spec
 from repro.report import bar_chart
-from repro.stats import arithmetic_mean
 
 
-def _relative(technique):
+def _rows(metrics, technique):
+    # Benchmarks the spec skipped (no communication to optimize) have no
+    # metric; keep the papers' figure order for the rest.
     rows = []
     for name in BENCH_ORDER:
-        base = evaluation(name, technique, coco=False)
-        if base.communication_instructions == 0:
-            continue  # not parallelized: no communication to optimize
-        rows.append((name, relative_communication(name, technique)))
+        metric = metrics.get("relcomm/%s/%s" % (technique, name))
+        if metric is not None:
+            rows.append((name, metric.value))
     return rows
 
 
 def test_fig7_gremio_relative_communication(benchmark):
-    rows = run_once(benchmark, lambda: _relative("gremio"))
+    metrics = run_once(
+        benchmark, lambda: get_spec("fig7_comm_reduction").collect(FULL))
+    rows = _rows(metrics, "gremio")
     print()
     print(bar_chart(rows, title="Figure 7 (GREMIO): dynamic communication "
                                 "after COCO, relative to MTCG (%)",
@@ -32,18 +38,20 @@ def test_fig7_gremio_relative_communication(benchmark):
     # COCO never increases dynamic communication.
     assert all(value <= 100.0 + 1e-9 for value in values)
     # ...and reduces it on average.
-    assert arithmetic_mean(values) < 100.0
+    assert metrics["relcomm/gremio/mean"].value < 100.0
     # ks is among the largest reductions (the paper's headline case).
     by_reduction = sorted(rows, key=lambda row: row[1])
     assert "ks" in [name for name, _ in by_reduction[:3]]
 
 
 def test_fig7_dswp_relative_communication(benchmark):
-    rows = run_once(benchmark, lambda: _relative("dswp"))
+    metrics = run_once(
+        benchmark, lambda: get_spec("fig7_comm_reduction").collect(FULL))
+    rows = _rows(metrics, "dswp")
     print()
     print(bar_chart(rows, title="Figure 7 (DSWP): dynamic communication "
                                 "after COCO, relative to MTCG (%)",
                     unit="%", reference=120.0))
     values = [value for _, value in rows]
     assert all(value <= 100.0 + 1e-9 for value in values)
-    assert arithmetic_mean(values) < 95.0
+    assert metrics["relcomm/dswp/mean"].value < 95.0

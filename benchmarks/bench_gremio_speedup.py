@@ -6,40 +6,40 @@ Shape to reproduce: GREMIO extracts non-speculative TLP from several
 general-purpose functions; where its cost model finds no profitable
 partition it falls back to (near-)single-threaded code rather than
 regressing badly.
+
+Metric extraction lives in the ``gremio_speedup`` spec
+(:mod:`repro.bench.specs.paper`).
 """
 
-from harness import BENCH_ORDER, evaluation, run_once
+from harness import BENCH_ORDER, run_once
 
+from repro.bench import FULL, get_spec
 from repro.report import bar_chart
-from repro.stats import geomean
-
-
-def _speedups():
-    return [(name, evaluation(name, "gremio", coco=False).speedup)
-            for name in BENCH_ORDER]
 
 
 def test_gremio_speedup_over_single_threaded(benchmark):
-    rows = run_once(benchmark, _speedups)
-    overall = geomean([value for _, value in rows])
+    metrics = run_once(
+        benchmark, lambda: get_spec("gremio_speedup").collect(FULL))
+    rows = [(name, metrics["speedup/%s" % name].value)
+            for name in BENCH_ORDER]
+    overall = metrics["geomean"].value
     print()
     print(bar_chart(rows + [("geomean", overall)],
                     title="GREMIO-E1: GREMIO speedup over single-threaded "
                           "(2 threads, baseline MTCG)",
                     unit="x", reference=2.0))
     # GREMIO finds real parallelism somewhere...
-    assert max(value for _, value in rows) > 1.2
+    assert metrics["max"].value > 1.2
     # ...and is not a net loss across the suite.
     assert overall > 0.95
     # No catastrophic regression on any benchmark.
-    assert min(value for _, value in rows) > 0.7
+    assert metrics["min"].value > 0.7
 
 
 def test_gremio_parallelizes_multiple_benchmarks(benchmark):
-    rows = run_once(benchmark, _speedups)
-    parallelized = [
-        name for name, _ in rows
-        if evaluation(name, "gremio").communication_instructions > 100]
+    metrics = run_once(
+        benchmark, lambda: get_spec("gremio_speedup").collect(FULL))
     print()
-    print("GREMIO produced multi-threaded code for: %s" % parallelized)
-    assert len(parallelized) >= 4
+    print("GREMIO produced multi-threaded code for %d benchmarks"
+          % int(metrics["parallelized/count"].value))
+    assert metrics["parallelized/count"].value >= 4

@@ -5,43 +5,40 @@ spots — DSWP dominates loops with a clean recurrence/work pipeline
 (e.g. the mcf pointer chase), while GREMIO's general scheduling can match
 or beat it where the dependence structure is not pipeline-shaped; both are
 built on the same PDG + MTCG substrate.
+
+Metric extraction lives in the ``gremio_vs_dswp`` spec
+(:mod:`repro.bench.specs.paper`).
 """
 
-from harness import BENCH_ORDER, evaluation, run_once
+from harness import BENCH_ORDER, run_once
 
+from repro.bench import FULL, get_spec
 from repro.report import table
-from repro.stats import geomean
-
-
-def _comparison():
-    rows = []
-    for name in BENCH_ORDER:
-        gremio = evaluation(name, "gremio", coco=False)
-        dswp = evaluation(name, "dswp", coco=False)
-        rows.append((name, gremio.speedup, dswp.speedup,
-                     100.0 * gremio.communication_fraction,
-                     100.0 * dswp.communication_fraction))
-    return rows
 
 
 def test_gremio_vs_dswp(benchmark):
-    rows = run_once(benchmark, _comparison)
+    metrics = run_once(
+        benchmark, lambda: get_spec("gremio_vs_dswp").collect(FULL))
+    rows = [(name,
+             metrics["speedup/gremio/%s" % name].value,
+             metrics["speedup/dswp/%s" % name].value)
+            for name in BENCH_ORDER]
     print()
-    print(table(["benchmark", "GREMIO x", "DSWP x",
-                 "GREMIO comm%", "DSWP comm%"],
-                [(n, "%.3f" % g, "%.3f" % d, "%.1f" % gc, "%.1f" % dc)
-                 for n, g, d, gc, dc in rows],
+    print(table(["benchmark", "GREMIO x", "DSWP x"],
+                [(n, "%.3f" % g, "%.3f" % d) for n, g, d in rows],
                 title="GREMIO-E2: GREMIO vs DSWP (2 threads, MTCG)"))
-    gremio_overall = geomean([g for _, g, d, *_ in rows])
-    dswp_overall = geomean([d for _, g, d, *_ in rows])
+    gremio_overall = metrics["geomean/gremio"].value
+    dswp_overall = metrics["geomean/dswp"].value
     print("geomean: GREMIO %.3fx, DSWP %.3fx"
           % (gremio_overall, dswp_overall))
     # Both techniques produce working parallel code with real wins.
-    assert max(g for _, g, *_ in rows) > 1.2
-    assert max(d for _, _, d, *_ in rows) > 1.2
+    assert max(g for _, g, _ in rows) > 1.2
+    assert max(d for _, _, d in rows) > 1.2
     # They are not identical partitioners: per-benchmark winners differ.
-    gremio_wins = [n for n, g, d, *_ in rows if g > d + 0.02]
-    dswp_wins = [n for n, g, d, *_ in rows if d > g + 0.02]
+    gremio_wins = [n for n, g, d in rows if g > d + 0.02]
+    dswp_wins = [n for n, g, d in rows if d > g + 0.02]
+    assert metrics["wins/dswp"].value == len(dswp_wins)
+    assert metrics["wins/gremio"].value == len(gremio_wins)
     assert dswp_wins, "DSWP should win somewhere"
     print("GREMIO ahead on: %s" % gremio_wins)
     print("DSWP ahead on:   %s" % dswp_wins)

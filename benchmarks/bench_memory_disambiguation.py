@@ -9,34 +9,27 @@ change the picture.  This experiment sweeps the alias analysis' power
 (`annotated` ~ shape/array analysis, `provenance` ~ the papers' points-to,
 `none` ~ no analysis) and measures how the extracted parallelism collapses
 as disambiguation weakens.
+
+Metric extraction lives in the ``memory_disambiguation`` spec
+(:mod:`repro.bench.specs.ablations`).
 """
 
 from harness import run_once
 
-from repro import evaluate_workload, get_workload
+from repro.bench import FULL, get_spec
+from repro.bench.specs.ablations import ALIAS_MODES, MEMDIS_BENCHES
 from repro.report import table
-
-BENCHES = ["181.mcf", "435.gromacs", "183.equake"]
-MODES = ["annotated", "provenance", "none"]
-
-
-def _sweep():
-    rows = []
-    for name in BENCHES:
-        workload = get_workload(name)
-        entry = [name]
-        for mode in MODES:
-            ev = evaluate_workload(workload, technique="dswp",
-                                   alias_mode=mode)
-            entry.append(ev.speedup)
-        rows.append(entry)
-    return rows
 
 
 def test_memory_disambiguation_sensitivity(benchmark):
-    rows = run_once(benchmark, _sweep)
+    metrics = run_once(
+        benchmark,
+        lambda: get_spec("memory_disambiguation").collect(FULL))
+    rows = [[name] + [metrics["speedup/%s/%s" % (mode, name)].value
+                      for mode in ALIAS_MODES]
+            for name in MEMDIS_BENCHES]
     print()
-    print(table(["benchmark"] + MODES,
+    print(table(["benchmark"] + list(ALIAS_MODES),
                 [(r[0],) + tuple("%.3f" % v for v in r[1:])
                  for r in rows],
                 title="EXT-E3: DSWP speedup vs memory-disambiguation "

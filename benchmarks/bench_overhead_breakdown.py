@@ -5,75 +5,49 @@ instruction of the two-thread code is attributed to computation,
 communication, replicated control (duplicated branches), or glue
 (jumps/exits).  Shows where MTCG's overhead actually goes, and how COCO
 shifts it.
+
+Metric extraction lives in the ``overhead_breakdown`` spec
+(:mod:`repro.bench.specs.ablations`).
 """
 
 from harness import run_once
 
-from repro.analysis import build_pdg
-from repro.coco.driver import optimize as coco_optimize
-from repro.interp import run_function
-from repro.machine import run_mt_program
-from repro.mtcg import generate
-from repro.pipeline import make_partitioner, normalize, technique_config
+from repro.bench import FULL, get_spec
+from repro.bench.specs.ablations import OVERHEAD_BENCHES
 from repro.report import table
-from repro.stats import overhead_breakdown
-from repro.workloads import get_workload
-
-BENCHES = ("ks", "181.mcf", "188.ammp", "300.twolf", "458.sjeng")
-
-
-def _breakdown(name, technique, coco):
-    workload = get_workload(name)
-    function = normalize(workload.build())
-    train = workload.make_inputs("train")
-    ref = workload.make_inputs("ref")
-    profile = run_function(function, train.args, train.memory).profile
-    pdg = build_pdg(function)
-    config = technique_config(technique)
-    partition = make_partitioner(technique, config).partition(
-        function, pdg, profile, 2)
-    if coco:
-        result = coco_optimize(function, pdg, partition, profile)
-        program = generate(function, pdg, partition,
-                           data_channels=result.data_channels,
-                           condition_covered=result.condition_covered)
-    else:
-        program = generate(function, pdg, partition)
-    run = run_mt_program(program, ref.args, ref.memory,
-                         queue_capacity=config.sa_queue_size,
-                         count_per_instruction=True)
-    return overhead_breakdown(program, run)
-
-
-def _sweep():
-    rows = []
-    for name in BENCHES:
-        base = _breakdown(name, "dswp", coco=False)
-        coco = _breakdown(name, "dswp", coco=True)
-        rows.append((name, base, coco))
-    return rows
 
 
 def test_overhead_breakdown(benchmark):
-    rows = run_once(benchmark, _sweep)
+    metrics = run_once(
+        benchmark, lambda: get_spec("overhead_breakdown").collect(FULL))
+
+    def base(name, klass):
+        return metrics["pct/base/%s/%s" % (klass, name)].value
+
+    def coco(name, klass):
+        return metrics["pct/coco/%s/%s" % (klass, name)].value
+
     print()
     display = []
-    for name, base, coco in rows:
+    for name in OVERHEAD_BENCHES:
         display.append((name,
-                        "%.1f" % base["computation"],
-                        "%.1f" % base["communication"],
-                        "%.1f" % base["replicated_control"],
-                        "%.1f" % base["glue"],
-                        "%.1f" % coco["communication"],
-                        "%.1f" % coco["replicated_control"]))
+                        "%.1f" % base(name, "computation"),
+                        "%.1f" % base(name, "communication"),
+                        "%.1f" % base(name, "replicated_control"),
+                        "%.1f" % base(name, "glue"),
+                        "%.1f" % coco(name, "communication"),
+                        "%.1f" % coco(name, "replicated_control")))
     print(table(["benchmark", "comp%", "comm%", "repl.ctl%", "glue%",
                  "comm% +COCO", "repl.ctl% +COCO"], display,
                 title="GREMIO-E4: dynamic overhead breakdown "
                       "(DSWP, 2 threads)"))
-    for name, base, coco in rows:
+    for name in OVERHEAD_BENCHES:
+        classes = ("computation", "communication", "replicated_control",
+                   "glue")
         # Classes account for everything.
-        assert abs(sum(base.values()) - 100.0) < 1e-6
+        assert abs(sum(base(name, k) for k in classes) - 100.0) < 1e-6
         # Computation dominates; overheads are material but not majority.
-        assert base["computation"] > 40.0, name
+        assert base(name, "computation") > 40.0, name
         # COCO never increases the communication share materially.
-        assert coco["communication"] <= base["communication"] + 1.0, name
+        assert (coco(name, "communication")
+                <= base(name, "communication") + 1.0), name

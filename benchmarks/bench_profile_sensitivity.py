@@ -6,79 +6,28 @@ which have been demonstrated to be also very accurate" (Wu & Larus).
 This experiment runs COCO three ways — train-input profile (the papers'
 methodology), reference-input profile (oracle), and the static estimator —
 and compares the dynamic communication each placement yields.
+
+Metric extraction lives in the ``profile_sensitivity`` spec
+(:mod:`repro.bench.specs.ablations`), whose ``oracle`` source profiles
+on the measurement inputs (= ref under the full mode).
 """
 
 from harness import run_once
 
-from repro.analysis import build_pdg
-from repro.coco.driver import optimize as coco_optimize
-from repro.interp import run_function, static_profile
-from repro.machine import run_mt_program
-from repro.mtcg import generate
-from repro.partition.dswp import DSWPPartitioner
-from repro.pipeline import normalize, technique_config
+from repro.bench import FULL, get_spec
+from repro.bench.specs.ablations import PROFILE_BENCHES
 from repro.report import table
-from repro.workloads import get_workload
-
-BENCHES = ("ks", "mpeg2enc", "188.ammp", "300.twolf")
-
-
-def _comm_with_profile(workload, which):
-    function = normalize(workload.build())
-    train = workload.make_inputs("train")
-    ref = workload.make_inputs("ref")
-    config = technique_config("dswp")
-    # The partition itself always uses the train profile (so only COCO's
-    # cost source varies).
-    train_profile = run_function(function, train.args,
-                                 train.memory).profile
-    pdg = build_pdg(function)
-    partition = DSWPPartitioner(config).partition(function, pdg,
-                                                  train_profile, 2)
-    if which == "train":
-        profile = train_profile
-    elif which == "ref":
-        profile = run_function(function, ref.args, ref.memory).profile
-    else:
-        profile = static_profile(function)
-    coco = coco_optimize(function, pdg, partition, profile)
-    program = generate(function, pdg, partition,
-                       data_channels=coco.data_channels,
-                       condition_covered=coco.condition_covered)
-    result = run_mt_program(program, ref.args, ref.memory,
-                            queue_capacity=config.sa_queue_size)
-    return result.communication_instructions
-
-
-def _baseline_comm(workload):
-    function = normalize(workload.build())
-    train = workload.make_inputs("train")
-    ref = workload.make_inputs("ref")
-    config = technique_config("dswp")
-    profile = run_function(function, train.args, train.memory).profile
-    pdg = build_pdg(function)
-    partition = DSWPPartitioner(config).partition(function, pdg,
-                                                  profile, 2)
-    program = generate(function, pdg, partition)
-    result = run_mt_program(program, ref.args, ref.memory,
-                            queue_capacity=config.sa_queue_size)
-    return result.communication_instructions
-
-
-def _sweep():
-    rows = []
-    for name in BENCHES:
-        workload = get_workload(name)
-        base = _baseline_comm(workload)
-        train = _comm_with_profile(workload, "train")
-        ref = _comm_with_profile(workload, "ref")
-        static = _comm_with_profile(workload, "static")
-        rows.append((name, base, train, ref, static))
-    return rows
 
 
 def test_profile_sensitivity(benchmark):
-    rows = run_once(benchmark, _sweep)
+    metrics = run_once(
+        benchmark, lambda: get_spec("profile_sensitivity").collect(FULL))
+    rows = [(name,
+             int(metrics["comm/baseline/%s" % name].value),
+             int(metrics["comm/train/%s" % name].value),
+             int(metrics["comm/oracle/%s" % name].value),
+             int(metrics["comm/static/%s" % name].value))
+            for name in PROFILE_BENCHES]
     print()
     print(table(["benchmark", "MTCG", "COCO(train)", "COCO(ref)",
                  "COCO(static)"],

@@ -4,152 +4,26 @@ GREMIO's pitch over loop-centric DSWP is scheduling *whole procedures*;
 DSWP is defined on loops.  This experiment applies DSWP both to the whole
 function and to its outlined hottest loop (via the region-extraction
 substrate) and compares what each region choice yields.
+
+The outlining/replay machinery moved into the ``region_selection`` spec
+(:mod:`repro.bench.specs.ablations`); this module renders the table and
+asserts the shape.
 """
 
 from harness import run_once
 
-from repro.analysis import build_pdg
-from repro.interp import run_function
-from repro.ir.outline import OutlineError, outline_hottest_loop
-from repro.machine import DEFAULT_CONFIG, simulate_program, simulate_single
-from repro.mtcg import generate
-from repro.partition.dswp import DSWPPartitioner
-from repro.pipeline import normalize
+from repro.bench import FULL, get_spec
+from repro.bench.specs.ablations import REGION_BENCHES
 from repro.report import table
-from repro.workloads import get_workload
-
-BENCHES = ("181.mcf", "183.equake", "adpcmdec", "mpeg2enc")
-
-
-def _whole_function_speedup(workload):
-    function = normalize(workload.build())
-    train = workload.make_inputs("train")
-    ref = workload.make_inputs("ref")
-    profile = run_function(function, train.args, train.memory).profile
-    pdg = build_pdg(function)
-    config = DEFAULT_CONFIG.for_dswp()
-    partition = DSWPPartitioner(config).partition(function, pdg, profile, 2)
-    program = generate(function, pdg, partition)
-    st = simulate_single(function, ref.args, ref.memory, config=config)
-    mt = simulate_program(program, ref.args, ref.memory, config=config)
-    assert mt.live_outs == st.live_outs
-    return st.cycles / mt.cycles
-
-
-def _outlined_loop_speedup(workload):
-    """Outline the hottest loop of the (normalized) function, then run the
-    pipeline on the outlined region alone."""
-    function = normalize(workload.build())
-    train = workload.make_inputs("train")
-    ref = workload.make_inputs("ref")
-    profile = run_function(function, train.args, train.memory).profile
-    extracted = outline_hottest_loop(function, profile)
-    loop_fn = extracted.function
-
-    # Live-in values for the loop come from executing the pre-loop code;
-    # for these kernels the prefix is loop setup, so live-ins are either
-    # parameters or constants discoverable from a (train) run's registers.
-    st_probe = run_function(function, train.args, train.memory,
-                            keep_trace=False)
-
-    def loop_args(inputs):
-        full = run_function(function, inputs.args, inputs.memory)
-        del full
-        # Re-derive initial values: interpret until the loop header is
-        # first reached.  (Simplified: the kernels initialize their
-        # loop-carried registers to constants or direct parameter copies,
-        # so executing the entry block suffices; we replay it.)
-        from repro.interp.context import ThreadContext
-        from repro.interp.state import bind_params, make_memory
-        memory = make_memory(function, inputs.memory)
-        regs = bind_params(function, dict(inputs.args))
-        context = ThreadContext(function, regs, memory, None)
-        while context.block.label != extracted.header:
-            context.step()
-        return ({name: regs.get(name, 0)
-                 for name in loop_fn.params
-                 if name not in loop_fn.pointer_params}, memory)
-
-    args, memory = loop_args(workload.make_inputs("ref"))
-    # Share the already-initialized memory image.
-    profile_args, profile_memory = loop_args(train)
-    loop_profile = None
-    from repro.interp.profile import EdgeProfile
-    # Profile the loop function directly on its own inputs.
-    config = DEFAULT_CONFIG.for_dswp()
-    pdg = build_pdg(loop_fn)
-    train_regs, train_memory = profile_args, profile_memory
-    loop_profile = _profile_with_memory(loop_fn, train_regs, train_memory)
-    partition = DSWPPartitioner(config).partition(loop_fn, pdg,
-                                                  loop_profile, 2)
-    program = generate(loop_fn, pdg, partition)
-    st = _timed_with_memory(simulate_single, loop_fn, args, memory, config)
-    mt = _timed_with_memory(simulate_program, program, args, memory,
-                            config)
-    assert mt.live_outs == st.live_outs
-    return st.cycles / mt.cycles
-
-
-def _profile_with_memory(function, args, memory):
-    """Interpret with a pre-built memory image (objects already laid out).
-    """
-    from repro.interp.context import ThreadContext
-    from repro.interp.profile import EdgeProfile
-    import copy
-    mem_copy = copy.deepcopy(memory)
-    regs = dict(args)
-    for param, obj_name in function.pointer_params.items():
-        regs[param] = function.mem_objects[obj_name].base
-    context = ThreadContext(function, regs, mem_copy, None)
-    profile = EdgeProfile(function)
-    profile.count_block(context.block.label)
-    from repro.ir import Opcode
-    while not context.exited:
-        previous = context.block.label
-        result = context.step()
-        instruction = result.instruction
-        if instruction is not None and instruction.op in (Opcode.BR,
-                                                          Opcode.JMP):
-            profile.count_edge(previous, context.block.label)
-            profile.count_block(context.block.label)
-    return profile
-
-
-def _timed_with_memory(simulator, target, args, memory, config):
-    import copy
-    mem_copy = copy.deepcopy(memory)
-    from repro.machine.timing import simulate_threads
-    if simulator is simulate_single:
-        function = target
-        regs_args = args
-        # simulate_threads lays out memory itself via make_memory; here we
-        # inject the existing image by pre-copying object contents.
-        initial = _image_to_initial(function, mem_copy)
-        return simulate_single(function, regs_args, initial, config=config)
-    initial = _image_to_initial(target.original, mem_copy)
-    return simulate_program(target, args, initial, config=config)
-
-
-def _image_to_initial(function, memory):
-    return {name: memory.read_array(obj.base, obj.size)
-            for name, obj in function.mem_objects.items()}
-
-
-def _sweep():
-    rows = []
-    for name in BENCHES:
-        workload = get_workload(name)
-        whole = _whole_function_speedup(workload)
-        try:
-            loop = _outlined_loop_speedup(workload)
-        except OutlineError:
-            loop = float("nan")
-        rows.append((name, whole, loop))
-    return rows
 
 
 def test_region_selection(benchmark):
-    rows = run_once(benchmark, _sweep)
+    metrics = run_once(
+        benchmark, lambda: get_spec("region_selection").collect(FULL))
+    rows = [(name,
+             metrics["speedup/whole/%s" % name].value,
+             metrics["speedup/outlined/%s" % name].value)
+            for name in REGION_BENCHES]
     print()
     print(table(["benchmark", "whole function", "outlined hottest loop"],
                 [(n, "%.3f" % w, "%.3f" % l) for n, w, l in rows],

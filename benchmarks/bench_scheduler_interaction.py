@@ -7,61 +7,27 @@ with the later single-threaded instruction scheduler", and proposes to
 single-threaded scheduler".  This experiment runs the reproduced local
 scheduler over COCO-optimized thread code with both priorities and
 measures the effect.
+
+Metric extraction lives in the ``scheduler_interaction`` spec
+(:mod:`repro.bench.specs.ablations`).
 """
 
 from harness import run_once
 
-from repro.analysis import build_pdg
-from repro.coco.driver import optimize as coco_optimize
-from repro.interp import run_function
-from repro.machine import simulate_program, simulate_single
-from repro.mtcg import generate
-from repro.opt.scheduler import CommPriority, schedule_program
-from repro.pipeline import make_partitioner, normalize, technique_config
+from repro.bench import FULL, get_spec
+from repro.bench.specs.ablations import SCHEDULER_BENCHES
 from repro.report import table
-from repro.workloads import get_workload
-
-BENCHES = ["181.mcf", "435.gromacs", "ks", "188.ammp"]
-
-
-def _one(name, comm_priority):
-    workload = get_workload(name)
-    function = normalize(workload.build())
-    train = workload.make_inputs("train")
-    ref = workload.make_inputs("ref")
-    profile = run_function(function, train.args, train.memory).profile
-    pdg = build_pdg(function)
-    config = technique_config("dswp")
-    partition = make_partitioner("dswp", config).partition(
-        function, pdg, profile, 2)
-    coco = coco_optimize(function, pdg, partition, profile)
-    program = generate(function, pdg, partition,
-                       data_channels=coco.data_channels,
-                       condition_covered=coco.condition_covered)
-    if comm_priority is not None:
-        schedule_program(program, config, comm_priority)
-        # Schedule the single-threaded baseline too: the comparison is
-        # between equally-optimized codes, as in the papers' toolchain.
-        from repro.opt.scheduler import schedule_function
-        schedule_function(function, config, comm_priority)
-    st = simulate_single(function, ref.args, ref.memory, config=config)
-    mt = simulate_program(program, ref.args, ref.memory, config=config)
-    assert mt.live_outs == st.live_outs
-    return st.cycles / mt.cycles
-
-
-def _sweep():
-    rows = []
-    for name in BENCHES:
-        unscheduled = _one(name, None)
-        early = _one(name, CommPriority.EARLY)
-        late = _one(name, CommPriority.LATE)
-        rows.append((name, unscheduled, early, late))
-    return rows
 
 
 def test_scheduler_interaction(benchmark):
-    rows = run_once(benchmark, _sweep)
+    metrics = run_once(
+        benchmark,
+        lambda: get_spec("scheduler_interaction").collect(FULL))
+    rows = [(name,
+             metrics["speedup/none/%s" % name].value,
+             metrics["speedup/early/%s" % name].value,
+             metrics["speedup/late/%s" % name].value)
+            for name in SCHEDULER_BENCHES]
     print()
     print(table(["benchmark", "no local sched", "comm-early",
                  "comm-late"],

@@ -1,75 +1,26 @@
 """Shared machinery for the experiment benchmarks.
 
-Evaluations are expensive (profile + partition + COCO + two timed
-simulations), so they are memoized per-process — and, because every
-evaluation now runs through the staged pipeline's persistent artifact
-cache (see ``repro.pipeline``), repeated benchmark sessions skip the
-redundant stage work across processes too.  Each bench module regenerates
-one table/figure of the papers (see DESIGN.md's experiment index) and
-prints it, so running ``pytest benchmarks/ --benchmark-only -s``
-reproduces the evaluation section.
+The evaluation memo and prewarm sweep now live in
+:mod:`repro.bench.harness` (the machine-readable benchmark subsystem);
+this module re-exports them so the bench modules keep their historical
+imports, and adds the pytest-benchmark adapter.  Every evaluation runs
+through the staged pipeline's persistent artifact cache (see
+``repro.pipeline``), so repeated benchmark sessions skip redundant
+stage work across processes, and ``python -m repro bench`` shares the
+same memo/cache when driving the same specs headlessly.
+
+Each bench module regenerates one table/figure of the papers (see
+DESIGN.md's experiment index) and prints it, so running ``pytest
+benchmarks/ --benchmark-only -s`` reproduces the evaluation section.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+from repro.bench import (BENCH_ORDER, evaluation, prewarm,
+                         relative_communication)
 
-from repro import evaluate_workload, get_workload
-from repro.pipeline import Evaluation, MatrixCell, evaluate_matrix
-from repro.stats import relative_communication as _relative_communication
-
-_CACHE: Dict[Tuple, Evaluation] = {}
-
-# Benchmark display order (the papers' figure order).
-BENCH_ORDER = ["adpcmdec", "adpcmenc", "ks", "mpeg2enc", "177.mesa",
-               "181.mcf", "183.equake", "188.ammp", "300.twolf",
-               "435.gromacs", "458.sjeng"]
-
-
-def evaluation(name: str, technique: str, coco: bool = False,
-               n_threads: int = 2, scale: str = "ref") -> Evaluation:
-    key = (name, technique, coco, n_threads, scale)
-    if key not in _CACHE:
-        _CACHE[key] = evaluate_workload(
-            get_workload(name), technique=technique, coco=coco,
-            n_threads=n_threads, scale=scale)
-    return _CACHE[key]
-
-
-def prewarm(names: Iterable[str] = tuple(BENCH_ORDER),
-            techniques: Sequence[str] = ("gremio", "dswp"),
-            coco: Sequence[bool] = (False, True),
-            n_threads: Sequence[int] = (2,),
-            scale: str = "ref", jobs: int = 1,
-            mt_check: bool = False) -> None:
-    """Bulk-populate the per-process memo via ``evaluate_matrix`` —
-    with ``jobs > 1`` the cells run on a process pool, so a benchmark
-    session can front-load every evaluation it will need.  ``mt_check``
-    additionally runs the static MT validators (the pipeline's ``check``
-    stage) over every generated program while prewarming — a free sweep
-    of the whole benchmark matrix through the correctness subsystem."""
-    cells = [MatrixCell(name, technique, use_coco, threads, scale,
-                        mt_check=mt_check)
-             for name in names
-             for technique in techniques
-             for use_coco in coco
-             for threads in n_threads]
-    todo = [cell for cell in cells
-            if (cell.workload, cell.technique, cell.coco, cell.n_threads,
-                cell.scale) not in _CACHE]
-    for cell, result in zip(todo, evaluate_matrix(todo, jobs=jobs)):
-        _CACHE[(cell.workload, cell.technique, cell.coco, cell.n_threads,
-                cell.scale)] = result
-
-
-def relative_communication(name: str, technique: str,
-                           n_threads: int = 2) -> float:
-    """COCO's dynamic communication relative to baseline MTCG, in %
-    (delegates the arithmetic to :func:`repro.stats
-    .relative_communication`)."""
-    base = evaluation(name, technique, coco=False, n_threads=n_threads)
-    opt = evaluation(name, technique, coco=True, n_threads=n_threads)
-    return _relative_communication(opt, base)
+__all__ = ["BENCH_ORDER", "evaluation", "prewarm",
+           "relative_communication", "run_once"]
 
 
 def run_once(benchmark, fn):

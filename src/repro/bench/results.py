@@ -1,0 +1,148 @@
+"""``BENCH_RESULTS.json``: the schema-versioned, machine-readable form
+of one bench run.
+
+The document captures both kinds of metrics the papers' evaluation (and
+this repo's perf trajectory) cares about:
+
+* **paper metrics** per spec — speedups, relative communication,
+  simulated cycles, PDG/channel counts — all deterministic, gated
+  exactly by the comparator;
+* **host metrics** — per-stage wall seconds and artifact-cache traffic
+  from :class:`repro.pipeline.telemetry.Telemetry`, plus total wall
+  time — recorded for trajectory, compared only within generous bands
+  (or not at all, for environment-dependent cache counts).
+
+``SCHEMA`` is bumped on any incompatible layout change; the comparator
+refuses to diff documents with mismatched schemas or modes.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..pipeline.telemetry import Telemetry
+from .spec import Metric, MetricMap
+
+SCHEMA = "repro.bench/v1"
+
+
+class SchemaError(ValueError):
+    """The document is not a compatible BENCH_RESULTS.json."""
+
+
+@dataclass
+class SpecResult:
+    """Metrics + wall time of one spec's collect() run."""
+
+    spec_id: str
+    title: str
+    seconds: float
+    metrics: MetricMap = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"title": self.title, "seconds": round(self.seconds, 4),
+                "metrics": {name: metric.as_dict()
+                            for name, metric in self.metrics.items()}}
+
+    @classmethod
+    def from_dict(cls, spec_id: str,
+                  data: Dict[str, object]) -> "SpecResult":
+        return cls(spec_id=spec_id, title=data.get("title", spec_id),
+                   seconds=float(data.get("seconds", 0.0)),
+                   metrics={name: Metric.from_dict(fields)
+                            for name, fields in
+                            data.get("metrics", {}).items()})
+
+
+@dataclass
+class BenchResults:
+    """One bench run: every spec's metrics plus the host section."""
+
+    mode: str                                   # "smoke" | "full"
+    specs: Dict[str, SpecResult] = field(default_factory=dict)
+    telemetry: Optional[Telemetry] = None       # merged pipeline stages
+    cache: Dict[str, int] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    host: Dict[str, str] = field(default_factory=dict)
+    schema: str = SCHEMA
+
+    @staticmethod
+    def host_info() -> Dict[str, str]:
+        return {"python": platform.python_version(),
+                "platform": platform.platform()}
+
+    # -- flat views --------------------------------------------------------
+
+    def metric_items(self) -> List:
+        """Flat ``(spec_id, metric_name, Metric)`` triples, sorted."""
+        triples = []
+        for spec_id in sorted(self.specs):
+            result = self.specs[spec_id]
+            for name in sorted(result.metrics):
+                triples.append((spec_id, name, result.metrics[name]))
+        return triples
+
+    # -- serialization -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "mode": self.mode,
+            "host": dict(self.host),
+            "specs": {spec_id: result.as_dict()
+                      for spec_id, result in sorted(self.specs.items())},
+            "pipeline": {
+                "telemetry": (self.telemetry.to_dict()
+                              if self.telemetry is not None else None),
+                "cache": dict(self.cache),
+                "total_seconds": round(self.total_seconds, 4),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BenchResults":
+        if not isinstance(data, dict) or "schema" not in data:
+            raise SchemaError("not a BENCH_RESULTS document "
+                              "(missing 'schema')")
+        schema = data["schema"]
+        if schema != SCHEMA:
+            raise SchemaError("schema mismatch: document has %r, this "
+                              "tool speaks %r — regenerate the baseline "
+                              "(python -m repro bench --update-baseline)"
+                              % (schema, SCHEMA))
+        pipeline = data.get("pipeline", {})
+        telemetry_data = pipeline.get("telemetry")
+        return cls(
+            mode=data.get("mode", "smoke"),
+            specs={spec_id: SpecResult.from_dict(spec_id, fields)
+                   for spec_id, fields in data.get("specs", {}).items()},
+            telemetry=(Telemetry.from_dict(telemetry_data)
+                       if telemetry_data is not None else None),
+            cache={key: int(value)
+                   for key, value in pipeline.get("cache", {}).items()},
+            total_seconds=float(pipeline.get("total_seconds", 0.0)),
+            host=dict(data.get("host", {})),
+            schema=schema)
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchResults":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SchemaError("invalid JSON: %s" % error)
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "BenchResults":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())

@@ -1,0 +1,16 @@
+"""Spec definitions, one module per experiment family.  Importing this
+package registers every spec with :mod:`repro.bench.spec`."""
+
+from . import ablations, hostperf, paper  # noqa: F401
+
+#: Every spec id, grouped the way the benchmarks/ directory is.
+FAMILIES = {
+    "paper": ["fig6_setup", "fig1_breakdown", "fig7_comm_reduction",
+              "fig8_speedup", "gremio_speedup", "gremio_vs_dswp"],
+    "ablations": ["ext_scaling", "ablation_hierarchy",
+                  "ablation_machine", "branch_prediction",
+                  "memory_disambiguation", "region_selection",
+                  "scheduler_interaction", "profile_sensitivity",
+                  "overhead_breakdown"],
+    "hostperf": ["compile_time"],
+}

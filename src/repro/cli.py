@@ -12,7 +12,14 @@ Commands:
 * ``fuzz`` — the differential fuzzing loop of :mod:`repro.check`:
   random programs x {GREMIO, DSWP, random partitions} x {COCO on/off},
   every cell statically validated and differentially executed, failures
-  shrunk and persisted to ``--corpus``.
+  shrunk and persisted to ``--corpus``;
+* ``bench`` — the machine-readable benchmark subsystem of
+  :mod:`repro.bench`: run every registered spec (``--smoke`` or
+  ``--full``), emit a schema-versioned ``BENCH_RESULTS.json``, and gate
+  against a committed baseline (``--compare``) under per-metric
+  tolerance bands; ``--update-baseline`` refreshes the baseline
+  (mirroring the ``REPRO_REGEN_GOLDENS`` convention,
+  ``REPRO_UPDATE_BASELINE=1`` works too).
 
 ``python -m repro --sweep`` is shorthand for ``sweep --technique all``.
 Evaluating commands accept ``--check`` to run the static MT validators
@@ -82,6 +89,48 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--max-threads", type=int, default=3)
     fuzz.add_argument("--depth", type=int, default=2,
                       help="program nesting depth of generated sketches")
+
+    bench = sub.add_parser(
+        "bench", help="run the machine-readable benchmark specs and "
+                      "emit/compare BENCH_RESULTS.json")
+    mode = bench.add_mutually_exclusive_group()
+    mode.add_argument("--smoke", action="store_true",
+                      help="CI configuration: train inputs, truncated "
+                           "benchmark lists (the default)")
+    mode.add_argument("--full", action="store_true",
+                      help="the papers' methodology: ref inputs, every "
+                           "benchmark")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="prewarm evaluation cells on N worker "
+                            "processes")
+    bench.add_argument("--spec", action="append", default=None,
+                       metavar="ID",
+                       help="run only this spec (repeatable; default: "
+                            "all)")
+    bench.add_argument("--out", default="BENCH_RESULTS.json",
+                       metavar="PATH",
+                       help="where to write the results JSON "
+                            "(default: %(default)s)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="diff the run against this baseline JSON; "
+                            "exit 1 on any out-of-tolerance metric")
+    bench.add_argument("--baseline",
+                       default="benchmarks/baselines/bench_baseline.json",
+                       metavar="PATH",
+                       help="baseline written by --update-baseline "
+                            "(default: %(default)s)")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="write this run's results to --baseline "
+                            "(REPRO_UPDATE_BASELINE=1 also enables)")
+    bench.add_argument("--summary", default=None, metavar="FILE",
+                       help="append the markdown regression table to "
+                            "FILE (CI: $GITHUB_STEP_SUMMARY)")
+    bench.add_argument("--list", action="store_true",
+                       help="list the registered bench specs and exit")
+    bench.add_argument("--timings", action="store_true",
+                       help="print the per-stage timing / cache table")
+    bench.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent artifact cache")
 
     report = sub.add_parser(
         "report", help="regenerate the EXPERIMENTS.md headline table "
@@ -308,6 +357,61 @@ def _fuzz(args) -> int:
     return 0
 
 
+def _bench(args) -> int:
+    import os
+
+    from .bench import (MODES, SchemaError, BenchResults, all_specs,
+                        compare, run_bench)
+
+    if args.list:
+        rows = [(spec.id, spec.title, spec.source)
+                for spec in all_specs()]
+        print(table(["id", "title", "source"], rows,
+                    title="registered bench specs"))
+        return 0
+
+    mode = MODES["full" if args.full else "smoke"]
+    results = run_bench(mode, jobs=args.jobs, spec_ids=args.spec,
+                        progress=lambda line: print("bench: " + line))
+    results.save(args.out)
+    print("bench: %d specs, %d metrics -> %s (%.1fs, mode=%s)"
+          % (len(results.specs), len(results.metric_items()), args.out,
+             results.total_seconds, results.mode))
+    if args.timings:
+        _print_telemetry()
+
+    if args.update_baseline or os.environ.get("REPRO_UPDATE_BASELINE"):
+        os.makedirs(os.path.dirname(args.baseline) or ".",
+                    exist_ok=True)
+        results.save(args.baseline)
+        print("bench: baseline updated -> %s" % args.baseline)
+        return 0
+
+    if args.compare is None:
+        return 0
+    try:
+        baseline = BenchResults.load(args.compare)
+        comparison = compare(baseline, results)
+    except FileNotFoundError:
+        print("bench: no baseline at %s — generate one with "
+              "`python -m repro bench --%s --update-baseline`"
+              % (args.compare, mode.name))
+        return 1
+    except SchemaError as error:
+        print("bench: cannot compare: %s" % error)
+        return 1
+    table_text = comparison.markdown_table()
+    print()
+    print(table_text)
+    print()
+    print(comparison.summary())
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write("## Benchmark regression gate (%s)\n\n%s\n\n%s\n"
+                         % (mode.name, table_text, comparison.summary()))
+    return 0 if comparison.ok else 1
+
+
 def _dot(args) -> int:
     from .viz import (cfg_to_dot, pdg_to_dot, program_to_dot,
                       thread_graph_to_dot)
@@ -358,6 +462,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _sweep(args)
     if args.command == "fuzz":
         return _fuzz(args)
+    if args.command == "bench":
+        return _bench(args)
     if args.command == "dot":
         return _dot(args)
     if args.command == "report":

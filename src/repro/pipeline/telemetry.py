@@ -94,6 +94,34 @@ class Telemetry:
         for name, amount in other.counters.items():
             self.count(name, amount)
 
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Dict]:
+        """JSON-serializable form (the ``BENCH_RESULTS.json`` host
+        section); inverse of :meth:`from_dict`."""
+        return {
+            "stages": {
+                record.name: {"runs": record.runs,
+                              "cache_hits": record.cache_hits,
+                              "cache_misses": record.cache_misses,
+                              "seconds": record.seconds}
+                for record in self.stages.values()},
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict]) -> "Telemetry":
+        telemetry = cls()
+        for name, fields in data.get("stages", {}).items():
+            record = telemetry.stage(name)
+            record.runs = int(fields.get("runs", 0))
+            record.cache_hits = int(fields.get("cache_hits", 0))
+            record.cache_misses = int(fields.get("cache_misses", 0))
+            record.seconds = float(fields.get("seconds", 0.0))
+        for name, amount in data.get("counters", {}).items():
+            telemetry.count(name, amount)
+        return telemetry
+
     # -- rendering ---------------------------------------------------------
 
     def timing_rows(self) -> List[Tuple[str, int, int, int, str]]:

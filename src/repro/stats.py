@@ -17,6 +17,27 @@ def arithmetic_mean(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+def relative_delta(current: float, baseline: float) -> float:
+    """Signed relative change of ``current`` vs ``baseline`` (0.1 = 10%
+    above baseline).  A zero baseline makes any nonzero current an
+    infinite change."""
+    if baseline == 0:
+        return 0.0 if current == 0 else math.inf
+    return (current - baseline) / abs(baseline)
+
+
+def within_band(current: float, baseline: float,
+                tolerance: float, one_sided: bool = False) -> bool:
+    """Whether ``current`` stays inside the relative tolerance band
+    around ``baseline``.  ``tolerance=0`` demands exact equality; with
+    ``one_sided`` only *increases* beyond the band fail (wall-time
+    metrics: getting faster is never a regression)."""
+    delta = relative_delta(current, baseline)
+    if one_sided and delta <= 0:
+        return True
+    return abs(delta) <= tolerance
+
+
 def relative_communication(coco_evaluation, base_evaluation) -> float:
     """Dynamic communication after COCO relative to baseline MTCG, in %
     (the metric of the companion paper's Figure 7; 100% = unchanged)."""

@@ -1,0 +1,133 @@
+"""Tests for the schema-versioned ``BENCH_RESULTS.json`` document
+(:mod:`repro.bench.results`) and the telemetry serialization it embeds."""
+
+import json
+
+import pytest
+
+from repro.bench import (SCHEMA, BenchResults, Metric, SchemaError,
+                         SpecResult)
+from repro.pipeline.telemetry import Telemetry
+
+
+def make_results(mode="smoke"):
+    telemetry = Telemetry()
+    telemetry.record_run("pdg", 0.25, cache_miss=True)
+    telemetry.record_hit("pdg", 0.01)
+    telemetry.record_run("simulate-mt", 1.5)
+    telemetry.count("pdg_nodes", 42)
+    results = BenchResults(mode=mode, host=BenchResults.host_info(),
+                           telemetry=telemetry,
+                           cache={"hits": 3, "misses": 9, "enabled": 1},
+                           total_seconds=2.5)
+    results.specs["fig8_speedup"] = SpecResult(
+        spec_id="fig8_speedup", title="Figure 8", seconds=1.25,
+        metrics={"speedup/gremio/ks": Metric(1.5, unit="x"),
+                 "geomean/gremio": Metric(1.21, unit="x")})
+    results.specs["compile_time"] = SpecResult(
+        spec_id="compile_time", title="Compile time", seconds=0.5,
+        metrics={"seconds/pdg_build": Metric(0.125, unit="s",
+                                             tolerance=4.0)})
+    return results
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        original = make_results()
+        restored = BenchResults.from_json(original.to_json())
+        assert restored.schema == SCHEMA
+        assert restored.mode == "smoke"
+        assert restored.host == original.host
+        assert restored.cache == {"hits": 3, "misses": 9, "enabled": 1}
+        assert restored.total_seconds == pytest.approx(2.5)
+        assert set(restored.specs) == {"fig8_speedup", "compile_time"}
+        spec = restored.specs["fig8_speedup"]
+        assert spec.title == "Figure 8"
+        assert spec.metrics["speedup/gremio/ks"] == Metric(1.5, unit="x")
+        # Tolerance policy survives the trip (None vs 0.0 vs band).
+        timed = restored.specs["compile_time"].metrics["seconds/pdg_build"]
+        assert timed.tolerance == pytest.approx(4.0)
+        assert timed.unit == "s"
+
+    def test_metric_none_tolerance_round_trips(self):
+        metric = Metric(7.0, unit="count", tolerance=None)
+        assert Metric.from_dict(metric.as_dict()) == metric
+        assert metric.as_dict()["tolerance"] is None
+
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "BENCH_RESULTS.json")
+        original = make_results()
+        original.save(path)
+        restored = BenchResults.load(path)
+        assert restored.as_dict() == original.as_dict()
+
+    def test_document_is_stable_json(self):
+        """Serialization is deterministic (sorted keys) so baseline
+        diffs stay reviewable."""
+        one = make_results().to_json()
+        two = make_results().to_json()
+        assert one == two
+        assert json.loads(one)["schema"] == SCHEMA
+
+    def test_metric_items_are_flat_and_sorted(self):
+        triples = make_results().metric_items()
+        assert [(spec, name) for spec, name, _ in triples] == [
+            ("compile_time", "seconds/pdg_build"),
+            ("fig8_speedup", "geomean/gremio"),
+            ("fig8_speedup", "speedup/gremio/ks"),
+        ]
+
+
+class TestSchemaErrors:
+    def test_missing_schema_key(self):
+        with pytest.raises(SchemaError, match="missing 'schema'"):
+            BenchResults.from_dict({"mode": "smoke"})
+
+    def test_schema_mismatch_names_both_versions(self):
+        document = make_results().as_dict()
+        document["schema"] = "repro.bench/v0"
+        with pytest.raises(SchemaError) as excinfo:
+            BenchResults.from_dict(document)
+        assert "repro.bench/v0" in str(excinfo.value)
+        assert SCHEMA in str(excinfo.value)
+        assert "--update-baseline" in str(excinfo.value)
+
+    def test_invalid_json(self):
+        with pytest.raises(SchemaError, match="invalid JSON"):
+            BenchResults.from_json("{not json")
+
+    def test_non_dict_document(self):
+        with pytest.raises(SchemaError):
+            BenchResults.from_dict([1, 2, 3])
+
+
+class TestTelemetrySerialization:
+    def test_round_trip(self):
+        telemetry = Telemetry()
+        telemetry.record_run("pdg", 0.5, cache_miss=True)
+        telemetry.record_hit("pdg")
+        telemetry.record_run("partition", 0.25)
+        telemetry.count("channels", 12)
+        restored = Telemetry.from_dict(telemetry.to_dict())
+        assert restored.to_dict() == telemetry.to_dict()
+        assert restored.cache_hits == 1
+        assert restored.cache_misses == 1
+        assert restored.stages["pdg"].runs == 1
+        assert restored.counters["channels"] == 12
+
+    def test_empty_telemetry(self):
+        restored = Telemetry.from_dict(Telemetry().to_dict())
+        assert restored.stages == {}
+        assert restored.counters == {}
+
+    def test_embedded_telemetry_round_trips(self):
+        restored = BenchResults.from_json(make_results().to_json())
+        assert restored.telemetry is not None
+        assert restored.telemetry.cache_hits == 1
+        assert restored.telemetry.stages["simulate-mt"].seconds == \
+            pytest.approx(1.5)
+
+    def test_document_without_telemetry(self):
+        results = BenchResults(mode="smoke")
+        restored = BenchResults.from_json(results.to_json())
+        assert restored.telemetry is None
