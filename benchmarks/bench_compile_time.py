@@ -15,7 +15,7 @@ from repro.machine import DEFAULT_CONFIG
 from repro.mtcg import generate
 from repro.partition.dswp import DSWPPartitioner
 from repro.partition.gremio import GremioPartitioner
-from repro.pipeline import normalize
+from repro.api import normalize
 from repro.workloads import get_workload
 
 BENCH = "435.gromacs"  # the largest kernel in the suite

@@ -16,7 +16,7 @@ from repro.ir import OpKind, Opcode, format_function
 from repro.machine import simulate_program, simulate_single
 from repro.mtcg import generate
 from repro.partition import Partition, Partitioner
-from repro.pipeline import normalize
+from repro.api import normalize
 from repro.workloads import get_workload
 
 

@@ -15,7 +15,7 @@ from repro.interp import run_function
 from repro.machine import DEFAULT_CONFIG, simulate_program, simulate_single
 from repro.mtcg import generate
 from repro.partition.dswp import DSWPPartitioner
-from repro.pipeline import normalize
+from repro.api import normalize
 from repro.report import table
 from repro.workloads import get_workload
 

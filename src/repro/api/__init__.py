@@ -1,0 +1,57 @@
+"""``repro.api`` — the stable, versioned facade over the GMT pipeline.
+
+Everything outside the pipeline package (the CLI, the benchmark
+subsystem, the ``repro serve`` daemon, and downstream users) imports
+from here.  The surface is:
+
+* **typed request/response**: :class:`EvaluateRequest` /
+  :class:`EvaluateResult` (``API_SCHEMA_VERSION``-stamped, JSON
+  round-trippable, with deterministic idempotency keys) and the
+  :func:`evaluate` / :func:`evaluate_many` entry points;
+* **the classic callables**: :func:`parallelize`,
+  :func:`evaluate_workload`, :func:`evaluate_matrix`,
+  :func:`build_cells`, and the workload registry;
+* **infrastructure handles**: the artifact cache
+  (:func:`get_cache`/:func:`configure_cache`) and telemetry
+  (:class:`Telemetry`, :func:`global_telemetry`).
+
+The facade is covenanted: additions only within one
+``API_SCHEMA_VERSION``; renames/removals bump it and leave one release
+of ``DeprecationWarning`` shims behind.
+"""
+
+from .facade import (ArtifactCache, CacheStats, Evaluation,
+                     LatencyHistogram, MatrixCell, Parallelization,
+                     TECHNIQUES, Telemetry, all_workloads, build_cells,
+                     configure_cache, default_cache_dir, digest, evaluate,
+                     evaluate_many, evaluate_matrix, evaluate_workload,
+                     fingerprint_config, fingerprint_function,
+                     fingerprint_inputs, fingerprint_profile, get_cache,
+                     get_workload, global_telemetry, make_partitioner,
+                     normalize, parallelize, pool_payload,
+                     reset_global_telemetry, run_cell_payload,
+                     technique_config, workload_names)
+from .types import (ALIAS_MODES, API_SCHEMA_VERSION, LOCAL_SCHEDULES,
+                    SCALES, EvaluateRequest, EvaluateResult,
+                    RequestValidationError)
+
+__all__ = [
+    # typed surface
+    "API_SCHEMA_VERSION", "EvaluateRequest", "EvaluateResult",
+    "RequestValidationError", "evaluate", "evaluate_many",
+    "SCALES", "ALIAS_MODES", "LOCAL_SCHEDULES",
+    # classic callables
+    "Evaluation", "Parallelization", "evaluate_workload", "parallelize",
+    "MatrixCell", "build_cells", "evaluate_matrix",
+    "pool_payload", "run_cell_payload",
+    "TECHNIQUES", "make_partitioner", "normalize", "technique_config",
+    # infrastructure
+    "ArtifactCache", "CacheStats", "configure_cache",
+    "default_cache_dir", "get_cache",
+    "digest", "fingerprint_config", "fingerprint_function",
+    "fingerprint_inputs", "fingerprint_profile",
+    "LatencyHistogram", "Telemetry", "global_telemetry",
+    "reset_global_telemetry",
+    # workload registry
+    "all_workloads", "get_workload", "workload_names",
+]

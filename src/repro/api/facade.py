@@ -1,0 +1,85 @@
+"""The callable surface of ``repro.api``.
+
+``evaluate()``/``evaluate_many()`` are the typed entry points: they take
+:class:`~repro.api.types.EvaluateRequest` objects and return
+:class:`~repro.api.types.EvaluateResult` — what the ``repro serve``
+daemon speaks over HTTP, and what in-process consumers should prefer.
+
+The module also re-exports the stable pipeline surface (``parallelize``,
+``evaluate_workload``, ``evaluate_matrix``, the cache and telemetry
+handles, the workload registry) so the CLI, the benchmark subsystem, and
+the service import **only** ``repro.api`` — never
+``repro.pipeline.core``/``repro.pipeline.matrix`` internals, whose
+layout is free to change underneath this facade.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+# Re-exported pipeline surface (the facade's stability boundary).
+from ..pipeline.cache import (ArtifactCache, CacheStats, configure_cache,
+                              default_cache_dir, get_cache)
+from ..pipeline.core import (Evaluation, Parallelization,
+                             evaluate_workload, parallelize)
+from ..pipeline.fingerprint import (digest, fingerprint_config,
+                                    fingerprint_function,
+                                    fingerprint_inputs,
+                                    fingerprint_profile)
+from ..pipeline.matrix import (MatrixCell, build_cells, evaluate_matrix,
+                               pool_payload, run_cell_payload)
+from ..pipeline.stages import (TECHNIQUES, make_partitioner, normalize,
+                               technique_config)
+from ..pipeline.telemetry import (LatencyHistogram, Telemetry,
+                                  global_telemetry,
+                                  reset_global_telemetry)
+from ..workloads import all_workloads, get_workload, workload_names
+from .types import EvaluateRequest, EvaluateResult
+
+__all__ = [
+    "evaluate", "evaluate_many",
+    "ArtifactCache", "CacheStats", "configure_cache",
+    "default_cache_dir", "get_cache",
+    "digest", "fingerprint_config", "fingerprint_function",
+    "fingerprint_inputs", "fingerprint_profile",
+    "Evaluation", "Parallelization", "evaluate_workload", "parallelize",
+    "MatrixCell", "build_cells", "evaluate_matrix",
+    "pool_payload", "run_cell_payload",
+    "TECHNIQUES", "make_partitioner", "normalize", "technique_config",
+    "LatencyHistogram", "Telemetry", "global_telemetry",
+    "reset_global_telemetry",
+    "all_workloads", "get_workload", "workload_names",
+]
+
+
+def evaluate(request: EvaluateRequest,
+             telemetry: Optional[Telemetry] = None) -> EvaluateResult:
+    """Run the full methodology for one validated request and wrap the
+    outcome as a schema-versioned :class:`EvaluateResult`."""
+    request.validate()
+    evaluation = evaluate_workload(
+        get_workload(request.workload), technique=request.technique,
+        n_threads=request.n_threads, coco=request.coco,
+        scale=request.scale, check=request.check,
+        alias_mode=request.alias_mode,
+        local_schedule=request.local_schedule,
+        mt_check=request.mt_check, telemetry=telemetry)
+    return EvaluateResult.from_evaluation(request, evaluation)
+
+
+def evaluate_many(requests: Iterable[EvaluateRequest],
+                  jobs: int = 1) -> List[EvaluateResult]:
+    """Evaluate several requests, fanning across a process pool with
+    ``jobs > 1`` (the same machinery as ``sweep --jobs N``)."""
+    requests = [request.validate() for request in requests]
+    if not requests:
+        return []
+    check = requests[0].check
+    if any(request.check != check for request in requests):
+        # evaluate_matrix applies one check policy per batch; run the
+        # rare mixed batch serially instead of silently unifying it.
+        return [evaluate(request) for request in requests]
+    evaluations = evaluate_matrix(
+        [request.cell() for request in requests], jobs=jobs, check=check)
+    return [EvaluateResult.from_evaluation(request, evaluation)
+            for request, evaluation in zip(requests, evaluations)]

@@ -1,0 +1,226 @@
+"""Versioned request/response types of the ``repro.api`` facade.
+
+:class:`EvaluateRequest` is the wire-level description of one
+evaluation-matrix cell (workload, technique, coco, threads, scale,
+alias mode, ...).  It validates itself against the live registries
+(workload names, techniques), converts to/from the pipeline's
+:class:`~repro.pipeline.matrix.MatrixCell`, and derives a deterministic
+**request key** — a content fingerprint that the ``repro serve`` daemon
+uses for idempotent response memoization and stale-artifact lookup.
+
+:class:`EvaluateResult` is the matching response: the paper metrics of
+one :class:`~repro.pipeline.core.Evaluation`, the per-stage cache
+fingerprints, the run telemetry, and the service markers (``stale``,
+``memoized``).  Both types round-trip through plain JSON-able dicts and
+carry ``schema_version`` so clients can detect incompatible servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+from ..pipeline.fingerprint import SCHEMA_VERSION as PIPELINE_SCHEMA
+from ..pipeline.fingerprint import digest
+from ..pipeline.matrix import MatrixCell
+from ..pipeline.stages import TECHNIQUES
+
+#: Bumped on any incompatible change to the request/response layout.
+API_SCHEMA_VERSION = "repro.api/v1"
+
+SCALES = ("train", "ref")
+ALIAS_MODES = ("annotated", "provenance", "none")
+LOCAL_SCHEDULES = (None, "early", "late", "neutral")
+
+
+class RequestValidationError(ValueError):
+    """The request is malformed or names unknown entities (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """One evaluation-matrix cell, as clients describe it."""
+
+    workload: str
+    technique: str = "gremio"
+    coco: bool = False
+    n_threads: int = 2
+    scale: str = "ref"
+    alias_mode: str = "annotated"
+    local_schedule: Optional[str] = None
+    mt_check: bool = False
+    check: bool = True
+    schema_version: str = API_SCHEMA_VERSION
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> "EvaluateRequest":
+        """Return self after checking every field against the live
+        registries; raise :class:`RequestValidationError` otherwise."""
+        from ..workloads import workload_names
+        if self.schema_version != API_SCHEMA_VERSION:
+            raise RequestValidationError(
+                "schema mismatch: request has %r, this facade speaks %r"
+                % (self.schema_version, API_SCHEMA_VERSION))
+        if not isinstance(self.workload, str) or not self.workload:
+            raise RequestValidationError("missing workload name")
+        if self.workload not in workload_names():
+            raise RequestValidationError(
+                "unknown workload %r (see `python -m repro list`)"
+                % (self.workload,))
+        if self.technique not in TECHNIQUES:
+            raise RequestValidationError(
+                "unknown technique %r (use one of %s)"
+                % (self.technique, ", ".join(TECHNIQUES)))
+        if not isinstance(self.n_threads, int) or isinstance(
+                self.n_threads, bool) or self.n_threads < 1:
+            raise RequestValidationError(
+                "n_threads must be a positive integer, got %r"
+                % (self.n_threads,))
+        if self.scale not in SCALES:
+            raise RequestValidationError(
+                "unknown scale %r (use one of %s)"
+                % (self.scale, ", ".join(SCALES)))
+        if self.alias_mode not in ALIAS_MODES:
+            raise RequestValidationError(
+                "unknown alias_mode %r (use one of %s)"
+                % (self.alias_mode, ", ".join(ALIAS_MODES)))
+        if self.local_schedule not in LOCAL_SCHEDULES:
+            raise RequestValidationError(
+                "unknown local_schedule %r (use early/late/neutral)"
+                % (self.local_schedule,))
+        for name in ("coco", "mt_check", "check"):
+            if not isinstance(getattr(self, name), bool):
+                raise RequestValidationError(
+                    "%s must be a boolean, got %r"
+                    % (name, getattr(self, name)))
+        return self
+
+    # -- conversions -------------------------------------------------------
+
+    def cell(self) -> MatrixCell:
+        return MatrixCell(self.workload, self.technique, self.coco,
+                          self.n_threads, self.scale, self.alias_mode,
+                          self.local_schedule, self.mt_check)
+
+    @classmethod
+    def from_cell(cls, cell: MatrixCell,
+                  check: bool = True) -> "EvaluateRequest":
+        return cls(workload=cell.workload, technique=cell.technique,
+                   coco=cell.coco, n_threads=cell.n_threads,
+                   scale=cell.scale, alias_mode=cell.alias_mode,
+                   local_schedule=cell.local_schedule,
+                   mt_check=cell.mt_check, check=check)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "EvaluateRequest":
+        """Build and validate a request from a plain (JSON) mapping.
+        Unknown keys are rejected — a typoed field silently falling back
+        to a default is worse than a 400."""
+        if not isinstance(data, Mapping):
+            raise RequestValidationError(
+                "request body must be a JSON object, got %s"
+                % type(data).__name__)
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise RequestValidationError(
+                "unknown request field(s): %s" % ", ".join(unknown))
+        try:
+            request = cls(**dict(data))
+        except TypeError as error:
+            raise RequestValidationError(str(error))
+        return request.validate()
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    # -- identity ----------------------------------------------------------
+
+    def request_key(self) -> str:
+        """Deterministic idempotency key: a digest over the pipeline
+        schema, the API schema, and every cell-identifying field.  Two
+        requests for the same work always collide; any bump of either
+        schema invalidates memoized responses."""
+        cell = self.cell()
+        return digest("api:evaluate", PIPELINE_SCHEMA, API_SCHEMA_VERSION,
+                      repr(tuple(cell)), repr(self.check))
+
+
+@dataclass
+class EvaluateResult:
+    """The response for one evaluated cell."""
+
+    request: EvaluateRequest
+    metrics: Dict[str, float] = field(default_factory=dict)
+    fingerprints: Dict[str, Optional[str]] = field(default_factory=dict)
+    telemetry: Optional[Dict[str, object]] = None
+    stale: bool = False
+    memoized: bool = False
+    stale_age_seconds: Optional[float] = None
+    schema_version: str = API_SCHEMA_VERSION
+
+    @classmethod
+    def from_evaluation(cls, request: EvaluateRequest,
+                        evaluation) -> "EvaluateResult":
+        """Wrap a finished :class:`~repro.pipeline.core.Evaluation`."""
+        return cls(
+            request=request,
+            metrics=dict(evaluation.metrics()),
+            fingerprints=dict(evaluation.fingerprints),
+            telemetry=(evaluation.telemetry.to_dict()
+                       if evaluation.telemetry is not None else None))
+
+    @property
+    def speedup(self) -> float:
+        return float(self.metrics.get("speedup", 0.0))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "request": self.request.as_dict(),
+            "metrics": dict(self.metrics),
+            "fingerprints": dict(self.fingerprints),
+            "telemetry": self.telemetry,
+            "stale": self.stale,
+            "memoized": self.memoized,
+            "stale_age_seconds": self.stale_age_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "EvaluateResult":
+        if not isinstance(data, Mapping) or "request" not in data:
+            raise RequestValidationError(
+                "not an EvaluateResult document (missing 'request')")
+        schema = data.get("schema_version", API_SCHEMA_VERSION)
+        if schema != API_SCHEMA_VERSION:
+            raise RequestValidationError(
+                "schema mismatch: document has %r, this facade speaks %r"
+                % (schema, API_SCHEMA_VERSION))
+        request = EvaluateRequest.from_dict(data["request"])
+        age = data.get("stale_age_seconds")
+        return cls(request=request,
+                   metrics={str(k): float(v)
+                            for k, v in data.get("metrics", {}).items()},
+                   fingerprints=dict(data.get("fingerprints", {})),
+                   telemetry=data.get("telemetry"),
+                   stale=bool(data.get("stale", False)),
+                   memoized=bool(data.get("memoized", False)),
+                   stale_age_seconds=(float(age) if age is not None
+                                      else None),
+                   schema_version=schema)
+
+    def marked(self, stale: Optional[bool] = None,
+               memoized: Optional[bool] = None,
+               stale_age_seconds: Optional[float] = None
+               ) -> "EvaluateResult":
+        """A copy with service markers updated (results are shared
+        between the memo and concurrent responses, so never mutated)."""
+        result = replace(self)
+        if stale is not None:
+            result.stale = stale
+        if memoized is not None:
+            result.memoized = memoized
+        if stale_age_seconds is not None:
+            result.stale_age_seconds = stale_age_seconds
+        return result

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Sequence
 
-from ..pipeline import Evaluation, MatrixCell, evaluate_matrix
+from ..api import (Evaluation, MatrixCell, evaluate_matrix,
+                   evaluate_workload, get_workload)
 from ..stats import relative_communication as _relative_communication
-from ..workloads import get_workload
 
 # Benchmark display order (the papers' figure order).
 BENCH_ORDER = ["adpcmdec", "adpcmenc", "ks", "mpeg2enc", "177.mesa",
@@ -37,7 +37,6 @@ def evaluation(name: str, technique: str, coco: bool = False,
     cell = MatrixCell(name, technique, coco, n_threads, scale,
                       alias_mode)
     if cell not in _MEMO:
-        from ..pipeline import evaluate_workload
         _MEMO[cell] = evaluate_workload(
             get_workload(name), technique=technique, coco=coco,
             n_threads=n_threads, scale=scale, alias_mode=alias_mode)

@@ -23,7 +23,7 @@ import platform
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..pipeline.telemetry import Telemetry
+from ..api import Telemetry
 from .spec import Metric, MetricMap
 
 SCHEMA = "repro.bench/v1"

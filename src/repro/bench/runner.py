@@ -14,8 +14,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable, List, Optional
 
-from ..pipeline import (MatrixCell, get_cache, global_telemetry,
-                        reset_global_telemetry)
+from ..api import (MatrixCell, get_cache, global_telemetry,
+                   reset_global_telemetry)
 from .harness import prewarm
 from .results import BenchResults, SpecResult
 from .spec import BenchMode, BenchSpec, all_specs, get_spec

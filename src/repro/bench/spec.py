@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..pipeline import MatrixCell
+from ..api import MatrixCell
 
 #: Exact comparison (deterministic simulator metrics).
 EXACT = 0.0

@@ -29,8 +29,8 @@ from ...opt.scheduler import (CommPriority, schedule_function,
                               schedule_program)
 from ...partition.dswp import DSWPPartitioner
 from ...partition.gremio import GremioPartitioner
-from ...pipeline import (MatrixCell, make_partitioner, normalize,
-                         technique_config)
+from ...api import (MatrixCell, make_partitioner, normalize,
+                    technique_config)
 from ...stats import geomean, overhead_breakdown
 from ...workloads import get_workload
 from ..harness import evaluation

@@ -19,7 +19,7 @@ from ...machine import DEFAULT_CONFIG
 from ...mtcg import generate
 from ...partition.dswp import DSWPPartitioner
 from ...partition.gremio import GremioPartitioner
-from ...pipeline import normalize
+from ...api import normalize
 from ...workloads import get_workload
 from ..spec import TIME_BAND, BenchMode, Metric, MetricMap, bench_spec
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ...machine import DEFAULT_CONFIG
-from ...pipeline import MatrixCell
+from ...api import MatrixCell
 from ...stats import arithmetic_mean, geomean
 from ...workloads import all_workloads
 from ..harness import BENCH_ORDER, evaluation, relative_communication

@@ -19,15 +19,25 @@ Commands:
   against a committed baseline (``--compare``) under per-metric
   tolerance bands; ``--update-baseline`` refreshes the baseline
   (mirroring the ``REPRO_REGEN_GOLDENS`` convention,
-  ``REPRO_UPDATE_BASELINE=1`` works too).
+  ``REPRO_UPDATE_BASELINE=1`` works too);
+* ``serve`` — the scheduling service of :mod:`repro.service`: a
+  JSON-over-HTTP daemon with a bounded multiprocess worker pool,
+  admission control (429 shedding), per-request timeouts with
+  stale-artifact degradation, and ``/healthz`` + ``/metrics``.
 
 ``python -m repro --sweep`` is shorthand for ``sweep --technique all``.
 Evaluating commands accept ``--check`` to run the static MT validators
 (channel balance, queue conflicts, register isolation, deadlock
 freedom) over every generated program as a pipeline stage.
-Every evaluating command accepts ``--timings`` (per-stage wall time and
-cache hit/miss table) and ``--no-cache``; the cache directory honours
+
+Shared flags are declared once on parent parsers so help text cannot
+drift between subcommands: ``--timings``/``--no-cache`` (every
+pipeline-driving command: run/dump/sweep/report/bench/dot/serve) and
+``--jobs`` (sweep/bench).  The cache directory honours
 ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``).
+
+Everything here consumes the pipeline through the stable
+:mod:`repro.api` facade only.
 """
 
 from __future__ import annotations
@@ -36,15 +46,35 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .api import (TECHNIQUES, build_cells, configure_cache,
+                  evaluate_matrix, evaluate_workload, get_cache,
+                  global_telemetry, normalize, parallelize,
+                  reset_global_telemetry)
 from .ir.printer import format_function
 from .machine.config import config_table
-from .pipeline import (TECHNIQUES, build_cells, configure_cache,
-                       evaluate_matrix, evaluate_workload, get_cache,
-                       global_telemetry, normalize, parallelize,
-                       reset_global_telemetry)
 from .report import table
 from .stats import geomean
 from .workloads import all_workloads, benchmark_table, get_workload
+
+
+def _cache_parent() -> argparse.ArgumentParser:
+    """``--timings``/``--no-cache``, declared once for every
+    pipeline-driving subcommand (run/dump/sweep/report/bench/dot/serve)
+    so the flags and their help text cannot drift."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--timings", action="store_true",
+                        help="print the per-stage timing / cache table")
+    parent.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent artifact cache")
+    return parent
+
+
+def _jobs_parent() -> argparse.ArgumentParser:
+    """``--jobs``, declared once for the batch commands (sweep/bench)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--jobs", type=int, default=1,
+                        help="evaluate cells on N worker processes")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,24 +83,27 @@ def build_parser() -> argparse.ArgumentParser:
         description="GMT instruction scheduling (GREMIO/DSWP/MTCG/COCO) "
                     "on a dual-core CMP model")
     sub = parser.add_subparsers(dest="command", required=True)
+    cache_parent = _cache_parent()
+    jobs_parent = _jobs_parent()
 
     sub.add_parser("list", help="list the benchmark workloads")
     sub.add_parser("machine", help="print the machine configuration")
 
-    run = sub.add_parser("run", help="parallelize one workload")
+    run = sub.add_parser("run", help="parallelize one workload",
+                         parents=[cache_parent])
     _common_options(run)
     run.add_argument("workload", help="workload name (see `list`)")
 
-    dump = sub.add_parser("dump", help="print workload IR / thread CFGs")
+    dump = sub.add_parser("dump", help="print workload IR / thread CFGs",
+                          parents=[cache_parent])
     _common_options(dump)
     dump.add_argument("workload")
     dump.add_argument("--threads-code", action="store_true",
                       help="print the generated per-thread CFGs")
 
-    sweep = sub.add_parser("sweep", help="evaluate every workload")
+    sweep = sub.add_parser("sweep", help="evaluate every workload",
+                           parents=[cache_parent, jobs_parent])
     _common_options(sweep)
-    sweep.add_argument("--jobs", type=int, default=1,
-                       help="evaluate cells on N worker processes")
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing of the whole pipeline "
@@ -92,7 +125,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="run the machine-readable benchmark specs and "
-                      "emit/compare BENCH_RESULTS.json")
+                      "emit/compare BENCH_RESULTS.json",
+        parents=[cache_parent, jobs_parent])
     mode = bench.add_mutually_exclusive_group()
     mode.add_argument("--smoke", action="store_true",
                       help="CI configuration: train inputs, truncated "
@@ -100,9 +134,6 @@ def build_parser() -> argparse.ArgumentParser:
     mode.add_argument("--full", action="store_true",
                       help="the papers' methodology: ref inputs, every "
                            "benchmark")
-    bench.add_argument("--jobs", type=int, default=1,
-                       help="prewarm evaluation cells on N worker "
-                            "processes")
     bench.add_argument("--spec", action="append", default=None,
                        metavar="ID",
                        help="run only this spec (repeatable; default: "
@@ -127,23 +158,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "FILE (CI: $GITHUB_STEP_SUMMARY)")
     bench.add_argument("--list", action="store_true",
                        help="list the registered bench specs and exit")
-    bench.add_argument("--timings", action="store_true",
-                       help="print the per-stage timing / cache table")
-    bench.add_argument("--no-cache", action="store_true",
-                       help="disable the persistent artifact cache")
 
     report = sub.add_parser(
         "report", help="regenerate the EXPERIMENTS.md headline table "
-                       "(all workloads x {GREMIO, DSWP} x {MTCG, +COCO})")
+                       "(all workloads x {GREMIO, DSWP} x {MTCG, +COCO})",
+        parents=[cache_parent])
     report.add_argument("--threads", type=int, default=2)
     report.add_argument("--scale", default="ref",
                         choices=("train", "ref"))
-    report.add_argument("--timings", action="store_true",
-                        help="print the per-stage timing / cache table")
-    report.add_argument("--no-cache", action="store_true",
-                        help="disable the persistent artifact cache")
 
-    dot = sub.add_parser("dot", help="emit Graphviz dot for a workload")
+    serve = sub.add_parser(
+        "serve", help="run the scheduling service: a JSON-over-HTTP "
+                      "daemon with a bounded worker pool, admission "
+                      "control, and /healthz + /metrics",
+        parents=[cache_parent])
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8184,
+                       help="bind port; 0 picks a free one "
+                            "(default: %(default)s)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="evaluation worker processes; 0 = inline "
+                            "threads (default: %(default)s)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="admitted-request bound before 429 "
+                            "shedding (default: %(default)s)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-request evaluation budget; on expiry "
+                            "the worker is cancelled and a stale "
+                            "cached artifact is served when available "
+                            "(default: %(default)s)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="crashed-worker retry budget per request "
+                            "(default: %(default)s)")
+
+    dot = sub.add_parser("dot", help="emit Graphviz dot for a workload",
+                         parents=[cache_parent])
     _common_options(dot)
     dot.add_argument("workload")
     dot.add_argument("--what", default="cfg",
@@ -169,10 +220,6 @@ def _common_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--check", action="store_true",
                      help="run the static MT validators over every "
                           "generated program (the pipeline check stage)")
-    sub.add_argument("--timings", action="store_true",
-                     help="print the per-stage timing / cache table")
-    sub.add_argument("--no-cache", action="store_true",
-                     help="disable the persistent artifact cache")
 
 
 def _apply_cache_options(args) -> None:
@@ -412,6 +459,28 @@ def _bench(args) -> int:
     return 0 if comparison.ok else 1
 
 
+def _serve(args) -> int:
+    from .service import ServiceConfig, ServiceDaemon
+    config = ServiceConfig(host=args.host, port=args.port,
+                           workers=args.workers,
+                           queue_limit=args.queue_limit,
+                           request_timeout=args.request_timeout,
+                           max_retries=args.max_retries)
+    daemon = ServiceDaemon(config)
+    print("repro serve: listening on %s (workers=%d, queue_limit=%d, "
+          "timeout=%.1fs)" % (daemon.address, config.workers,
+                              config.queue_limit,
+                              config.request_timeout))
+    sys.stdout.flush()
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.close()
+    if args.timings:
+        _print_telemetry()
+    return 0
+
+
 def _dot(args) -> int:
     from .viz import (cfg_to_dot, pdg_to_dot, program_to_dot,
                       thread_graph_to_dot)
@@ -464,6 +533,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _fuzz(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "dot":
         return _dot(args)
     if args.command == "report":

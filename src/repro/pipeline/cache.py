@@ -17,6 +17,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from .fingerprint import SCHEMA_VERSION
@@ -71,26 +72,36 @@ class ArtifactCache:
         """Return ``(hit, payload)``.  Any I/O or unpickling failure is a
         miss (corrupt blobs additionally count as invalidations and are
         removed); a disabled cache always misses without accounting."""
+        hit, payload, _meta = self.load_with_meta(stage, key)
+        return hit, payload
+
+    def load_with_meta(self, stage: str,
+                       key: str) -> Tuple[bool, Any, Dict[str, Any]]:
+        """Like :meth:`load`, but also return envelope metadata — today
+        just ``stored_at`` (epoch seconds; 0.0 for pre-metadata blobs).
+        The ``repro serve`` daemon uses it to report the age of stale
+        artifacts served after an evaluation timeout."""
         if not self.enabled:
-            return False, None
+            return False, None, {}
         path = self._path(stage, key)
         try:
             with open(path, "rb") as handle:
                 envelope = pickle.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
-            return False, None
+            return False, None, {}
         except Exception:
             self._invalidate(path)
-            return False, None
+            return False, None, {}
         if (not isinstance(envelope, dict)
                 or envelope.get("schema") != SCHEMA_VERSION
                 or envelope.get("stage") != stage
                 or "payload" not in envelope):
             self._invalidate(path)
-            return False, None
+            return False, None, {}
         self.stats.hits += 1
-        return True, envelope["payload"]
+        meta = {"stored_at": float(envelope.get("stored_at", 0.0))}
+        return True, envelope["payload"], meta
 
     def store(self, stage: str, key: str, payload: Any) -> None:
         """Atomically persist ``payload`` under (stage, key)."""
@@ -98,7 +109,7 @@ class ArtifactCache:
             return
         path = self._path(stage, key)
         envelope = {"schema": SCHEMA_VERSION, "stage": stage, "key": key,
-                    "payload": payload}
+                    "stored_at": time.time(), "payload": payload}
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, temp_path = tempfile.mkstemp(dir=os.path.dirname(path),

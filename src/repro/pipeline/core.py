@@ -176,6 +176,24 @@ class Evaluation:
             return 0.0
         return self.mt_result.communication_instructions / total
 
+    def metrics(self) -> Mapping[str, float]:
+        """The paper metrics as a flat JSON-able mapping — the payload
+        the :mod:`repro.api` facade and the ``repro serve`` daemon
+        return for one evaluated cell."""
+        return {
+            "speedup": self.speedup,
+            "st_cycles": float(self.st_result.cycles),
+            "mt_cycles": float(self.mt_result.cycles),
+            "dynamic_instructions":
+                float(self.mt_result.dynamic_instructions),
+            "communication_instructions":
+                float(self.communication_instructions),
+            "computation_instructions":
+                float(self.computation_instructions),
+            "communication_fraction": self.communication_fraction,
+            "channels": float(len(self.parallelization.program.channels)),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover
         return "<Evaluation %s/%s%s: speedup %.2fx, comm %.1f%%>" % (
             self.workload.name, self.technique,

@@ -114,19 +114,33 @@ def _run_cell(cell: MatrixCell, check: bool,
                              telemetry=telemetry)
 
 
-def _pool_worker(payload) -> Evaluation:
+def pool_payload(cell: MatrixCell, check: bool = True,
+                 cache=None) -> tuple:
+    """The picklable unit of work a pool worker executes: the cell plus
+    the parent's cache configuration.  Shared with the ``repro serve``
+    worker pool so both fan-outs evaluate cells identically."""
+    if cache is None:
+        cache = get_cache()
+    return (cell, check, cache.directory, cache.enabled)
+
+
+def run_cell_payload(payload) -> Evaluation:
+    """Execute one :func:`pool_payload` in the current process,
+    re-pointing the process-wide cache at the parent's directory first
+    (a no-op under fork, required under spawn)."""
     cell, check, cache_dir, cache_enabled = payload
-    # Re-point the worker's process-wide cache at the parent's directory
-    # (a no-op under fork, required under spawn).
     configure_cache(cache_dir, cache_enabled)
     return _run_cell(cell, check, telemetry=None)
 
 
+# Kept under the historical name: pickled pool entry points must stay
+# importable across versions for in-flight spawn workers.
+_pool_worker = run_cell_payload
+
+
 def _evaluate_pool(cells: List[MatrixCell], jobs: int,
                    check: bool) -> Optional[List[Evaluation]]:
-    cache = get_cache()
-    payloads = [(cell, check, cache.directory, cache.enabled)
-                for cell in cells]
+    payloads = [pool_payload(cell, check) for cell in cells]
     try:
         import multiprocessing
         with multiprocessing.Pool(min(jobs, len(cells))) as pool:

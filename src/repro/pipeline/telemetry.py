@@ -6,15 +6,93 @@ per-run instance attached to the returned ``Parallelization``/
 ``python -m repro ... --timings``.  Counters capture the artifact sizes
 the papers' cost models revolve around: PDG nodes/edges, channels
 inserted, and simulated cycles.
+
+Besides totals, every stage keeps a :class:`LatencyHistogram` of its
+per-run wall time — the distribution (not just the sum) is what the
+``repro serve`` daemon exports on ``/metrics`` for each pipeline stage
+and for whole requests.
 """
 
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..report import table
+
+#: Default latency bucket upper bounds, in seconds (an implicit +inf
+#: bucket is always appended).  Spans sub-millisecond cache hits up to
+#: multi-second full-methodology evaluations.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (Prometheus-style, cumulative
+    rendering left to consumers).  Buckets are upper bounds in seconds;
+    observations beyond the last bound land in the +inf bucket."""
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.total += seconds
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding
+        the q-th observation (the last finite bound for +inf)."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return (self.bounds[index] if index < len(self.bounds)
+                        else self.bounds[-1])
+        return self.bounds[-1]
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if other.bounds != self.bounds:  # merge by re-observing bounds
+            for bound, bucket_count in zip(
+                    tuple(other.bounds) + (other.bounds[-1],),
+                    other.counts):
+                self.counts[bisect_left(self.bounds, bound)] += bucket_count
+        else:
+            for index, bucket_count in enumerate(other.counts):
+                self.counts[index] += bucket_count
+        self.total += other.total
+        self.count += other.count
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "total": self.total, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LatencyHistogram":
+        histogram = cls(tuple(data.get("bounds", DEFAULT_BUCKETS)))
+        counts = list(data.get("counts", []))
+        if len(counts) == len(histogram.counts):
+            histogram.counts = [int(value) for value in counts]
+        histogram.total = float(data.get("total", 0.0))
+        histogram.count = int(data.get("count", 0))
+        return histogram
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<LatencyHistogram %d observations, mean %.4fs>" % (
+            self.count, self.mean)
 
 
 class StageRecord:
@@ -40,6 +118,7 @@ class Telemetry:
     def __init__(self) -> None:
         self.stages: Dict[str, StageRecord] = {}
         self.counters: Dict[str, float] = {}
+        self.histograms: Dict[str, LatencyHistogram] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -48,6 +127,16 @@ class Telemetry:
         if record is None:
             record = self.stages[name] = StageRecord(name)
         return record
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = LatencyHistogram()
+        return histogram
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency observation into ``name``'s histogram."""
+        self.histogram(name).observe(seconds)
 
     @contextmanager
     def timing(self, name: str) -> Iterator[StageRecord]:
@@ -65,11 +154,13 @@ class Telemetry:
         record.seconds += seconds
         if cache_miss:
             record.cache_misses += 1
+        self.observe(name, seconds)
 
     def record_hit(self, name: str, seconds: float = 0.0) -> None:
         record = self.stage(name)
         record.cache_hits += 1
         record.seconds += seconds
+        self.observe(name, seconds)
 
     def count(self, name: str, amount: float) -> None:
         self.counters[name] = self.counters.get(name, 0) + amount
@@ -93,6 +184,8 @@ class Telemetry:
             mine.seconds += record.seconds
         for name, amount in other.counters.items():
             self.count(name, amount)
+        for name, histogram in other.histograms.items():
+            self.histogram(name).merge(histogram)
 
     # -- serialization -----------------------------------------------------
 
@@ -107,6 +200,8 @@ class Telemetry:
                               "seconds": record.seconds}
                 for record in self.stages.values()},
             "counters": dict(self.counters),
+            "histograms": {name: histogram.to_dict()
+                           for name, histogram in self.histograms.items()},
         }
 
     @classmethod
@@ -120,6 +215,8 @@ class Telemetry:
             record.seconds = float(fields.get("seconds", 0.0))
         for name, amount in data.get("counters", {}).items():
             telemetry.count(name, amount)
+        for name, fields in data.get("histograms", {}).items():
+            telemetry.histograms[name] = LatencyHistogram.from_dict(fields)
         return telemetry
 
     # -- rendering ---------------------------------------------------------

@@ -1,0 +1,60 @@
+"""Admission control: a bounded concurrent-request gate.
+
+The daemon admits at most ``limit`` requests at a time (queued for a
+worker slot + executing).  Beyond that it *sheds*: the handler answers
+HTTP 429 immediately instead of letting a burst build an unbounded
+backlog whose entries would all time out anyway.  Memoized responses
+bypass admission entirely — they cost microseconds and never occupy a
+worker.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class QueueFullError(Exception):
+    """The admission queue is at capacity (HTTP 429)."""
+
+    def __init__(self, limit: int):
+        super().__init__("admission queue full (limit %d)" % limit)
+        self.limit = limit
+
+
+class AdmissionQueue:
+    """A counting gate with shed-on-full semantics (no blocking)."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._active = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    def enter(self) -> None:
+        """Admit the caller or raise :class:`QueueFullError` — never
+        blocks, by design: under overload, fast rejection beats a
+        convoy of doomed waiters."""
+        with self._lock:
+            if self._active >= self.limit:
+                self.shed_total += 1
+                raise QueueFullError(self.limit)
+            self._active += 1
+            self.admitted_total += 1
+
+    def leave(self) -> None:
+        with self._lock:
+            if self._active > 0:
+                self._active -= 1
+
+    def __enter__(self) -> "AdmissionQueue":
+        self.enter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.leave()

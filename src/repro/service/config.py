@@ -1,0 +1,59 @@
+"""Configuration for the ``repro serve`` daemon."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass
+class ServiceConfig:
+    """Every operational knob of the scheduling service.
+
+    ``workers > 0`` runs evaluations on that many persistent worker
+    *processes* (crash-isolated, cancellable); ``workers == 0`` selects
+    the inline thread executor — no process isolation (a timed-out
+    evaluation keeps running to completion in the background), but no
+    ``multiprocessing`` dependency either, which is also the automatic
+    fallback when process pools are unavailable.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8184
+    #: Worker processes (0 = inline thread executor).
+    workers: int = 2
+    #: Admitted-but-unfinished request bound; beyond it requests are
+    #: shed with HTTP 429 instead of queueing unboundedly.
+    queue_limit: int = 16
+    #: Per-request evaluation budget, seconds.  On expiry the worker is
+    #: cancelled and the response degrades to a cached artifact
+    #: (``stale: true``) when one exists, else HTTP 504.
+    request_timeout: float = 30.0
+    #: Crashed-worker retry budget per request (the re-dispatches after
+    #: a worker dies mid-evaluation), with linear backoff between tries.
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    #: Supervisor poll interval for deadlines / dead workers, seconds.
+    poll_interval: float = 0.02
+    #: Inline-executor threads (used when ``workers == 0``).
+    inline_threads: int = 4
+    #: Structured JSON request-log sink; ``None`` = ``sys.stderr``.
+    #: ``quiet=True`` drops request logs entirely (tests).
+    log_stream: Optional[object] = None
+    quiet: bool = False
+    #: Test seam: replaces the evaluation callable in *inline* mode
+    #: (process workers always run the real facade path).
+    evaluate_fn: Optional[Callable] = field(default=None, repr=False)
+
+    def validate(self) -> "ServiceConfig":
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.inline_threads < 1:
+            raise ValueError("inline_threads must be >= 1")
+        return self

@@ -1,0 +1,115 @@
+"""Service observability, built on the pipeline's :class:`Telemetry`.
+
+One :class:`ServiceMetrics` instance aggregates, thread-safely:
+
+* **request counters** — admitted/completed/shed/timed-out/stale/
+  memoized/errored, worker crashes and respawns;
+* **latency histograms** — end-to-end request latency plus the
+  per-stage histograms every evaluation's telemetry carries (merged
+  from worker processes via the result document);
+* **cache traffic** — artifact-cache hits/misses/invalidations/stores,
+  combining the local process stats with the merged telemetry (worker
+  processes do their cache I/O remotely).
+
+``snapshot()`` renders the whole thing as the ``/metrics`` JSON
+document.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from ..api import LatencyHistogram, Telemetry, get_cache
+
+METRICS_SCHEMA = "repro.service.metrics/v1"
+
+#: Counter names, all always present in ``/metrics`` (zero-valued until
+#: first incremented) so dashboards never key-error on a fresh daemon.
+COUNTERS = (
+    "requests_total", "responses_ok", "responses_error",
+    "validation_errors", "shed_total", "timeouts_total", "stale_served",
+    "memo_hits", "worker_crashes", "worker_respawns", "retries_total",
+    "evaluations_completed",
+)
+
+
+class ServiceMetrics:
+    """Thread-safe aggregate of everything ``/metrics`` exports."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        self.telemetry = Telemetry()
+        self.request_latency = LatencyHistogram()
+
+    # -- recording ---------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe_request(self, seconds: float) -> None:
+        with self._lock:
+            self.request_latency.observe(seconds)
+
+    def merge_telemetry(self,
+                        telemetry_dict: Optional[Dict[str, object]]
+                        ) -> None:
+        """Fold one evaluation's telemetry document (possibly produced
+        in a worker process) into the service aggregate."""
+        if not telemetry_dict:
+            return
+        merged = Telemetry.from_dict(telemetry_dict)
+        with self._lock:
+            self.telemetry.merge(merged)
+
+    # -- rendering ---------------------------------------------------------
+
+    def cache_section(self) -> Dict[str, int]:
+        stats = get_cache().stats
+        with self._lock:
+            telemetry = self.telemetry
+            return {
+                # Worker-process traffic only surfaces via telemetry;
+                # inline-mode traffic only via the local CacheStats.
+                "hits": max(stats.hits, telemetry.cache_hits),
+                "misses": max(stats.misses, telemetry.cache_misses),
+                "invalidations": stats.invalidations,
+                "stores": stats.stores,
+            }
+
+    def snapshot(self, queue_depth: int = 0, in_flight: int = 0,
+                 workers: int = 0,
+                 queue_limit: int = 0) -> Dict[str, object]:
+        """The ``/metrics`` document."""
+        cache = self.cache_section()
+        with self._lock:
+            return {
+                "schema": METRICS_SCHEMA,
+                "uptime_seconds": time.time() - self.started_at,
+                "queue": {
+                    "depth": queue_depth,
+                    "in_flight": in_flight,
+                    "limit": queue_limit,
+                    "workers": workers,
+                },
+                "counters": dict(self.counters),
+                "request_latency": self.request_latency.to_dict(),
+                "stages": {
+                    name: {
+                        "runs": record.runs,
+                        "cache_hits": record.cache_hits,
+                        "cache_misses": record.cache_misses,
+                        "seconds": record.seconds,
+                        "histogram":
+                            (self.telemetry.histograms[name].to_dict()
+                             if name in self.telemetry.histograms
+                             else None),
+                    }
+                    for name, record in self.telemetry.stages.items()},
+                "pipeline_counters": dict(self.telemetry.counters),
+                "cache": cache,
+            }

@@ -1,0 +1,177 @@
+"""The ``repro.api`` facade: typed requests, schema versioning,
+idempotency keys, deprecation shims, and the layering covenant
+(cli/bench/service import the pipeline only through the facade)."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.pipeline
+from repro.api import (API_SCHEMA_VERSION, EvaluateRequest, EvaluateResult,
+                       RequestValidationError, configure_cache, evaluate,
+                       evaluate_workload)
+from repro.workloads import get_workload
+
+
+def _request(**overrides):
+    fields = dict(workload="ks", technique="gremio", n_threads=2,
+                  scale="train")
+    fields.update(overrides)
+    return EvaluateRequest(**fields)
+
+
+class TestEvaluateRequest:
+    def test_round_trips_through_dict(self):
+        request = _request(coco=True, alias_mode="provenance")
+        again = EvaluateRequest.from_dict(request.as_dict())
+        assert again == request
+        assert again.schema_version == API_SCHEMA_VERSION
+
+    def test_cell_round_trip(self):
+        request = _request(local_schedule="late", mt_check=True)
+        assert EvaluateRequest.from_cell(request.cell()) == request
+
+    def test_from_dict_rejects_unknown_fields(self):
+        body = _request().as_dict()
+        body["threds"] = 4  # typo must 400, not silently default
+        with pytest.raises(RequestValidationError, match="threds"):
+            EvaluateRequest.from_dict(body)
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(RequestValidationError, match="JSON object"):
+            EvaluateRequest.from_dict(["ks"])
+
+    @pytest.mark.parametrize("overrides,fragment", [
+        (dict(workload="no-such-workload"), "unknown workload"),
+        (dict(technique="magic"), "unknown technique"),
+        (dict(n_threads=0), "n_threads"),
+        (dict(n_threads=True), "n_threads"),
+        (dict(scale="huge"), "unknown scale"),
+        (dict(alias_mode="psychic"), "unknown alias_mode"),
+        (dict(local_schedule="sometime"), "local_schedule"),
+        (dict(schema_version="repro.api/v999"), "schema mismatch"),
+    ])
+    def test_validate_rejects(self, overrides, fragment):
+        with pytest.raises(RequestValidationError, match=fragment):
+            _request(**overrides).validate()
+
+    def test_request_key_is_stable_and_discriminating(self):
+        base = _request()
+        assert base.request_key() == _request().request_key()
+        assert base.request_key() != _request(n_threads=4).request_key()
+        assert base.request_key() != _request(coco=True).request_key()
+        assert base.request_key() != _request(check=False).request_key()
+        assert re.fullmatch(r"[0-9a-f]{16,}", base.request_key())
+
+
+class TestEvaluateResult:
+    def test_round_trips_through_dict(self):
+        result = EvaluateResult(request=_request(),
+                                metrics={"speedup": 1.25},
+                                fingerprints={"pdg": "ab12"},
+                                stale=True, stale_age_seconds=3.5)
+        again = EvaluateResult.from_dict(result.as_dict())
+        assert again == result
+        assert again.speedup == 1.25
+
+    def test_from_dict_rejects_schema_mismatch(self):
+        document = EvaluateResult(request=_request()).as_dict()
+        document["schema_version"] = "repro.api/v0"
+        with pytest.raises(RequestValidationError, match="schema"):
+            EvaluateResult.from_dict(document)
+
+    def test_marked_copies_without_mutating(self):
+        result = EvaluateResult(request=_request())
+        marked = result.marked(stale=True, stale_age_seconds=7.0)
+        assert marked.stale and marked.stale_age_seconds == 7.0
+        assert not result.stale and result.stale_age_seconds is None
+
+
+class TestFacadeEvaluate:
+    def test_matches_evaluate_workload(self, tmp_path):
+        previous = configure_cache(str(tmp_path / "artifacts"))
+        try:
+            result = evaluate(_request())
+            direct = evaluate_workload(get_workload("ks"),
+                                       technique="gremio", n_threads=2,
+                                       scale="train")
+        finally:
+            configure_cache(previous.directory, previous.enabled)
+        assert result.schema_version == API_SCHEMA_VERSION
+        assert result.speedup == pytest.approx(direct.speedup)
+        assert result.metrics["mt_cycles"] == float(direct.mt_result.cycles)
+        assert result.fingerprints  # per-stage cache keys present
+
+    def test_rejects_invalid_before_running(self):
+        with pytest.raises(RequestValidationError):
+            evaluate(_request(workload="no-such-workload"))
+
+
+class TestDeprecationShims:
+    def test_top_level_shims_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            shimmed = repro.configure_cache
+        assert shimmed is configure_cache
+        with pytest.warns(DeprecationWarning):
+            assert repro.Telemetry is repro.api.Telemetry
+
+    def test_pipeline_shims_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            shimmed = repro.pipeline.evaluate_workload
+        assert shimmed is evaluate_workload
+        with pytest.warns(DeprecationWarning):
+            assert repro.pipeline.Evaluation is repro.api.Evaluation
+
+    def test_unknown_attributes_still_raise(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_symbol
+        with pytest.raises(AttributeError):
+            repro.pipeline.no_such_symbol
+
+    def test_stable_surface_does_not_warn(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert callable(repro.evaluate_workload)
+            assert callable(repro.pipeline.configure_cache)
+
+    def test_dir_lists_shimmed_names(self):
+        assert "configure_cache" in dir(repro)
+        assert "evaluate_workload" in dir(repro.pipeline)
+
+
+class TestLayeringCovenant:
+    """cli, bench, and service must consume the pipeline only via the
+    facade — a direct ``repro.pipeline`` import outside ``repro.api``
+    (and the pipeline itself) is a layering regression."""
+
+    FORBIDDEN = re.compile(
+        r"^\s*(from\s+(repro)?\.*pipeline[.\s]|import\s+repro\.pipeline)",
+        re.MULTILINE)
+
+    def _sources(self):
+        package = Path(repro.__file__).parent
+        yield package / "cli.py"
+        for sub in ("bench", "service"):
+            yield from sorted((package / sub).rglob("*.py"))
+
+    def test_no_direct_pipeline_imports(self):
+        offenders = []
+        for source in self._sources():
+            if self.FORBIDDEN.search(source.read_text()):
+                offenders.append(source.name)
+        assert not offenders, (
+            "direct repro.pipeline imports outside the facade: %s"
+            % ", ".join(offenders))
+
+    def test_facade_exports_the_classic_surface(self):
+        for name in ("parallelize", "evaluate_workload", "evaluate_matrix",
+                     "MatrixCell", "build_cells", "configure_cache",
+                     "get_cache", "Telemetry", "global_telemetry",
+                     "run_cell_payload", "pool_payload"):
+            assert name in repro.api.__all__, name
+            assert getattr(repro.api, name) is not None

@@ -17,7 +17,7 @@ from repro.machine import simulate_program, simulate_single
 from repro.mtcg import generate
 from repro.opt import (CommPriority, allocate_registers, optimize_function,
                        schedule_function, schedule_program)
-from repro.pipeline import make_partitioner, normalize, technique_config
+from repro.api import make_partitioner, normalize, technique_config
 from repro.workloads import get_workload
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.interp import run_function
 from repro.ir import FunctionBuilder, verify_function
 from repro.machine import run_mt_program
-from repro.pipeline import parallelize
+from repro.api import parallelize
 
 
 class TestIfHelpers:

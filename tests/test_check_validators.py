@@ -22,7 +22,7 @@ from repro.check.validators import (CONSUME_OPS, MTValidationError,
 from repro.interp import run_function
 from repro.ir import Opcode
 from repro.mtcg import generate
-from repro.pipeline import make_partitioner, normalize, technique_config
+from repro.api import make_partitioner, normalize, technique_config
 
 from .helpers import build_memory_loop
 from .mt_utils import build_crossed_deadlock, make_mt, round_robin_partition

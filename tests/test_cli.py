@@ -16,6 +16,25 @@ class TestParser:
         assert args.threads == 2
         assert not args.coco
 
+    def test_shared_flags_are_consistent_across_subcommands(self):
+        # --timings/--no-cache come from one shared parent parser.
+        for command in (["run", "ks"], ["sweep"], ["report"], ["bench"],
+                        ["serve"]):
+            args = build_parser().parse_args(
+                command + ["--timings", "--no-cache"])
+            assert args.timings and args.no_cache, command
+        # --jobs comes from another, shared by the fan-out commands.
+        for command in (["sweep"], ["bench"]):
+            args = build_parser().parse_args(command + ["--jobs", "3"])
+            assert args.jobs == 3, command
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.workers >= 0
+        assert args.queue_limit >= 1
+        assert args.request_timeout > 0
+
 
 class TestCommands:
     def test_list(self, capsys):

@@ -186,7 +186,7 @@ class TestOptimizePipeline:
 
     def test_end_to_end_with_parallelization(self):
         """Optimized functions flow through the whole MT pipeline."""
-        from repro.pipeline import parallelize
+        from repro.api import parallelize
         from repro.machine import run_mt_program
         f = build_nested_loops()
         reference = run_function(f, {"r_n": 4, "r_m": 5})

@@ -7,7 +7,7 @@ from repro.ir import FunctionBuilder
 from repro.ir.outline import (EXIT_ID_REGISTER, OutlineError, extract_loop,
                               outline_hottest_loop)
 from repro.machine import run_mt_program
-from repro.pipeline import parallelize
+from repro.api import parallelize
 
 from .helpers import (build_counted_loop, build_memory_loop,
                       build_nested_loops, build_paper_figure4)

@@ -3,7 +3,8 @@
 import pytest
 
 from repro import (TECHNIQUES, evaluate_workload, get_workload,
-                   make_partitioner, parallelize, technique_config)
+                   parallelize)
+from repro.api import make_partitioner, technique_config
 from repro.machine import DEFAULT_CONFIG, run_mt_program
 from repro.report import bar_chart, grouped_bar_chart, table
 from repro.stats import (arithmetic_mean, breakdown_rows, geomean,

@@ -8,9 +8,9 @@ import os
 import pytest
 
 from repro.machine import DEFAULT_CONFIG
-from repro.pipeline import (configure_cache, fingerprint_config,
-                            fingerprint_function, fingerprint_inputs,
-                            get_cache, parallelize)
+from repro.api import (configure_cache, fingerprint_config,
+                       fingerprint_function, fingerprint_inputs,
+                       get_cache, parallelize)
 
 from .helpers import build_counted_loop, build_nested_loops
 

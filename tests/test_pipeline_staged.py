@@ -5,8 +5,8 @@ produce bit-identical Evaluation metrics to plain serial execution."""
 import pytest
 
 from repro import evaluate_workload, get_workload
-from repro.pipeline import (MatrixCell, Telemetry, build_cells,
-                            configure_cache, evaluate_matrix, get_cache)
+from repro.api import (MatrixCell, Telemetry, build_cells,
+                       configure_cache, evaluate_matrix, get_cache)
 
 WORKLOADS = ["ks", "adpcmdec", "mpeg2enc"]
 TECHNIQUES = ["gremio", "dswp"]

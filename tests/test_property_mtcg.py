@@ -104,7 +104,7 @@ def test_partitioners_equivalent_on_random_programs(sketch, args,
     from repro.analysis import build_pdg
     from repro.interp import run_function as run_f
     from repro.ir.transforms import renumber_iids, split_critical_edges
-    from repro.pipeline import make_partitioner, technique_config
+    from repro.api import make_partitioner, technique_config
 
     function = render_program(sketch)
     split_critical_edges(function)

@@ -140,7 +140,7 @@ class TestEndToEnd:
         """On a real workload the allocator reduces (or preserves) the
         physical queue count and stays within the 256-queue machine."""
         from repro.workloads import get_workload
-        from repro.pipeline import normalize
+        from repro.api import normalize
         from repro.partition.dswp import DSWPPartitioner
         from repro.machine import DEFAULT_CONFIG
         workload = get_workload("ks")

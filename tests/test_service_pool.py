@@ -1,0 +1,300 @@
+"""Service behaviour: admission shedding, timeout degradation to stale
+cached artifacts, idempotent memoization, and crashed-worker recovery
+in the multiprocess pool."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.api import (EvaluateRequest, EvaluateResult, configure_cache,
+                       get_cache)
+from repro.service import (AdmissionQueue, InlineWorkerPool,
+                           ProcessWorkerPool, QueueFullError, RESULT_STAGE,
+                           SchedulerService, ServiceConfig, ServiceMetrics,
+                           make_pool)
+import repro.service.workers as workers_module
+
+
+@pytest.fixture
+def isolated_cache(tmp_path):
+    previous = configure_cache(str(tmp_path / "artifacts"))
+    try:
+        yield get_cache()
+    finally:
+        configure_cache(previous.directory, previous.enabled)
+
+
+def _body(**overrides):
+    fields = dict(workload="ks", technique="gremio", n_threads=2,
+                  scale="train")
+    fields.update(overrides)
+    return fields
+
+
+def _fake_result(request: EvaluateRequest,
+                 speedup: float = 1.0) -> EvaluateResult:
+    return EvaluateResult(request=request, metrics={"speedup": speedup})
+
+
+class TestAdmissionQueue:
+    def test_sheds_beyond_limit_and_frees_on_leave(self):
+        queue = AdmissionQueue(2)
+        queue.enter()
+        queue.enter()
+        with pytest.raises(QueueFullError):
+            queue.enter()
+        assert queue.shed_total == 1
+        queue.leave()
+        queue.enter()  # freed slot is reusable
+        assert queue.active == 2
+        assert queue.admitted_total == 3
+
+
+class TestShedding:
+    def test_full_queue_sheds_429_instead_of_hanging(self, isolated_cache):
+        release = threading.Event()
+
+        def blocking_evaluate(request):
+            release.wait(10.0)
+            return _fake_result(request)
+
+        service = SchedulerService(ServiceConfig(
+            workers=0, inline_threads=4, queue_limit=2,
+            request_timeout=10.0, quiet=True,
+            evaluate_fn=blocking_evaluate))
+        try:
+            outcomes = {}
+
+            def post(n_threads):
+                status, document, outcome = service.handle_evaluate(
+                    _body(n_threads=n_threads))
+                outcomes[n_threads] = (status, document, outcome)
+
+            threads = [threading.Thread(target=post, args=(n,))
+                       for n in (2, 4)]
+            for thread in threads:
+                thread.start()
+            deadline = time.time() + 5.0
+            while service.admission.active < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            assert service.admission.active == 2
+
+            started = time.time()
+            status, document, outcome = service.handle_evaluate(
+                _body(n_threads=8))
+            assert time.time() - started < 2.0  # shed, not queued
+            assert (status, outcome) == (429, "shed")
+            assert document["kind"] == "shed"
+            assert document["queue_limit"] == 2
+
+            release.set()
+            for thread in threads:
+                thread.join(5.0)
+            assert {s for s, _, _ in outcomes.values()} == {200}
+
+            counters = service.metrics.counters
+            assert counters["shed_total"] == 1
+            assert counters["requests_total"] == 3
+            assert counters["responses_ok"] == 2
+        finally:
+            release.set()
+            service.close()
+
+
+class TestTimeoutDegradation:
+    def test_timeout_serves_stale_cached_artifact(self, isolated_cache):
+        body = _body()
+        request = EvaluateRequest.from_dict(body)
+        key = request.request_key()
+        isolated_cache.store(RESULT_STAGE, key,
+                             _fake_result(request, speedup=2.0).as_dict())
+
+        def slow_evaluate(req):
+            time.sleep(1.0)
+            return _fake_result(req)
+
+        service = SchedulerService(ServiceConfig(
+            workers=0, request_timeout=0.05, quiet=True,
+            evaluate_fn=slow_evaluate))
+        try:
+            status, document, outcome = service.handle_evaluate(body)
+            assert (status, outcome) == (200, "stale")
+            assert document["stale"] is True
+            assert document["stale_age_seconds"] >= 0.0
+            assert document["metrics"]["speedup"] == 2.0
+            counters = service.metrics.counters
+            assert counters["timeouts_total"] == 1
+            assert counters["stale_served"] == 1
+        finally:
+            service.close()
+
+    def test_timeout_without_cached_artifact_is_504(self, isolated_cache):
+        def slow_evaluate(req):
+            time.sleep(1.0)
+            return _fake_result(req)
+
+        service = SchedulerService(ServiceConfig(
+            workers=0, request_timeout=0.05, quiet=True,
+            evaluate_fn=slow_evaluate))
+        try:
+            status, document, outcome = service.handle_evaluate(_body())
+            assert (status, outcome) == (504, "timeout")
+            assert document["kind"] == "timeout"
+        finally:
+            service.close()
+
+
+class TestMemoization:
+    def test_repeat_request_is_memoized_not_reevaluated(self,
+                                                        isolated_cache):
+        calls = []
+
+        def counting_evaluate(request):
+            calls.append(request.request_key())
+            return _fake_result(request, speedup=1.5)
+
+        service = SchedulerService(ServiceConfig(
+            workers=0, quiet=True, evaluate_fn=counting_evaluate))
+        try:
+            first = service.handle_evaluate(_body())
+            second = service.handle_evaluate(_body())
+            assert first[0] == second[0] == 200
+            assert first[2] == "ok" and second[2] == "memo"
+            assert second[1]["memoized"] is True
+            assert second[1]["metrics"] == first[1]["metrics"]
+            assert len(calls) == 1  # idempotent: evaluated once
+            assert service.metrics.counters["memo_hits"] == 1
+
+            # A different cell is new work, not a memo hit.
+            third = service.handle_evaluate(_body(n_threads=4))
+            assert third[2] == "ok"
+            assert len(calls) == 2
+        finally:
+            service.close()
+
+    def test_validation_failure_is_400(self, isolated_cache):
+        service = SchedulerService(ServiceConfig(workers=0, quiet=True))
+        try:
+            status, document, outcome = service.handle_evaluate(
+                _body(workload="no-such-workload"))
+            assert (status, outcome) == (400, "invalid")
+            assert document["kind"] == "validation"
+            assert service.metrics.counters["validation_errors"] == 1
+        finally:
+            service.close()
+
+
+def _sleepy_evaluate(request_dict, cache_dir, cache_enabled):
+    """Fork-inherited stand-in for the real evaluation (slow enough to
+    kill a worker mid-flight, fast enough to keep the test snappy)."""
+    time.sleep(0.6)
+    return {"workload": request_dict["workload"],
+            "n_threads": request_dict["n_threads"], "telemetry": None}
+
+
+def _requires_fork():
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+
+
+class TestProcessPoolRecovery:
+    def test_killed_worker_respawns_and_retries(self, isolated_cache,
+                                                monkeypatch):
+        _requires_fork()
+        monkeypatch.setattr(workers_module, "_EVALUATE", _sleepy_evaluate)
+        metrics = ServiceMetrics()
+        pool = ProcessWorkerPool(ServiceConfig(
+            workers=2, max_retries=2, retry_backoff=0.01,
+            poll_interval=0.01), metrics)
+        pool.start()
+        try:
+            tasks = [pool.submit(EvaluateRequest.from_dict(_body(
+                n_threads=n))) for n in (2, 4)]
+            deadline = time.time() + 5.0
+            while (pool.snapshot()["in_flight"] < 2
+                   and time.time() < deadline):
+                time.sleep(0.01)
+            assert pool.snapshot()["in_flight"] == 2
+
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+
+            # Both requests finish: the killed worker's task is retried
+            # on a respawned process, the survivor is untouched.
+            for task in tasks:
+                assert task.wait(10.0), "task never finished"
+                assert task.result is not None, task.error
+            results = {task.result["n_threads"] for task in tasks}
+            assert results == {2, 4}
+            assert pool.respawns >= 1
+            assert metrics.counters["worker_crashes"] >= 1
+            assert metrics.counters["retries_total"] >= 1
+            assert metrics.counters["worker_respawns"] >= 1
+        finally:
+            pool.stop()
+
+    def test_cancel_inflight_kills_and_frees_the_slot(self, isolated_cache,
+                                                      monkeypatch):
+        _requires_fork()
+        monkeypatch.setattr(workers_module, "_EVALUATE", _sleepy_evaluate)
+        metrics = ServiceMetrics()
+        pool = ProcessWorkerPool(ServiceConfig(
+            workers=1, max_retries=0, retry_backoff=0.01,
+            poll_interval=0.01), metrics)
+        pool.start()
+        try:
+            doomed = pool.submit(EvaluateRequest.from_dict(_body()))
+            deadline = time.time() + 5.0
+            while (pool.snapshot()["in_flight"] < 1
+                   and time.time() < deadline):
+                time.sleep(0.01)
+            pool.cancel(doomed)
+            assert doomed.wait(2.0)
+            assert doomed.timed_out and doomed.result is None
+            assert pool.respawns >= 1
+
+            follow_up = pool.submit(
+                EvaluateRequest.from_dict(_body(n_threads=4)))
+            assert follow_up.wait(10.0), "respawned slot unusable"
+            assert follow_up.result is not None
+        finally:
+            pool.stop()
+
+    def test_cancel_queued_task_never_dispatches(self, isolated_cache,
+                                                 monkeypatch):
+        _requires_fork()
+        monkeypatch.setattr(workers_module, "_EVALUATE", _sleepy_evaluate)
+        pool = ProcessWorkerPool(ServiceConfig(
+            workers=1, poll_interval=0.01), ServiceMetrics())
+        pool.start()
+        try:
+            running = pool.submit(EvaluateRequest.from_dict(_body()))
+            deadline = time.time() + 5.0
+            while (pool.snapshot()["in_flight"] < 1
+                   and time.time() < deadline):
+                time.sleep(0.01)
+            queued = pool.submit(
+                EvaluateRequest.from_dict(_body(n_threads=4)))
+            pool.cancel(queued)
+            assert queued.wait(1.0) and queued.timed_out
+            assert pool.respawns == 0  # queued cancel never kills
+            assert running.wait(10.0) and running.result is not None
+        finally:
+            pool.stop()
+
+
+class TestMakePool:
+    def test_workers_zero_selects_inline(self, isolated_cache):
+        pool = make_pool(ServiceConfig(workers=0, quiet=True),
+                         ServiceMetrics())
+        try:
+            assert isinstance(pool, InlineWorkerPool)
+            assert pool.worker_pids() == []
+        finally:
+            pool.stop()

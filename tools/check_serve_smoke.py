@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""CI smoke check for ``python -m repro serve`` (the ``serve-smoke``
+job): boot the daemon on an ephemeral port, run one evaluation over
+real HTTP, check memoization, liveness, and that the ``/metrics``
+counters moved, then tear the daemon down.
+
+Usage: PYTHONPATH=src python tools/check_serve_smoke.py
+Exits nonzero (with a diagnostic) on any failed expectation.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+BOOT_TIMEOUT = 60.0
+REQUEST = {"workload": "ks", "technique": "gremio", "n_threads": 2,
+           "scale": "train"}
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821
+    print("serve-smoke: FAIL: %s" % message)
+    sys.exit(1)
+
+
+def wait_for_port(process, lines) -> int:
+    """Parse the bound port from the daemon's startup line."""
+    pattern = re.compile(r"listening on http://[^:]+:(\d+)")
+    deadline = time.time() + BOOT_TIMEOUT
+    while time.time() < deadline:
+        if process.poll() is not None:
+            fail("daemon exited during startup (rc=%d): %s"
+                 % (process.returncode, " | ".join(lines)))
+        for line in list(lines):
+            match = pattern.search(line)
+            if match:
+                return int(match.group(1))
+        time.sleep(0.1)
+    fail("daemon never announced a port within %.0fs: %s"
+         % (BOOT_TIMEOUT, " | ".join(lines)))
+
+
+def get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=30) as reply:
+        return reply.status, json.loads(reply.read().decode("utf-8"))
+
+
+def post(base: str, body) -> "tuple":
+    request = urllib.request.Request(
+        base + "/v1/evaluate", data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=120) as reply:
+            return reply.status, json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def main() -> int:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    lines: list = []
+    reader = threading.Thread(
+        target=lambda: lines.extend(iter(process.stdout.readline, "")),
+        daemon=True)
+    reader.start()
+    try:
+        port = wait_for_port(process, lines)
+        base = "http://127.0.0.1:%d" % port
+        print("serve-smoke: daemon up on %s" % base)
+
+        status, health = get(base, "/healthz")
+        if status != 200 or health.get("status") != "ok":
+            fail("/healthz unhealthy: %d %r" % (status, health))
+
+        status, document = post(base, REQUEST)
+        if status != 200:
+            fail("evaluation answered %d: %r" % (status, document))
+        speedup = document.get("metrics", {}).get("speedup", 0.0)
+        if not speedup > 0.0:
+            fail("evaluation produced no speedup metric: %r" % document)
+        print("serve-smoke: evaluated %s -> speedup %.4f"
+              % (REQUEST["workload"], speedup))
+
+        status, repeat = post(base, REQUEST)
+        if status != 200 or repeat.get("memoized") is not True:
+            fail("repeat request was not memoized: %d %r"
+                 % (status, {k: repeat.get(k)
+                             for k in ("memoized", "stale")}))
+
+        status, metrics = get(base, "/metrics")
+        if status != 200:
+            fail("/metrics answered %d" % status)
+        counters = metrics.get("counters", {})
+        for name, floor in (("requests_total", 2), ("responses_ok", 2),
+                            ("evaluations_completed", 1),
+                            ("memo_hits", 1)):
+            if counters.get(name, 0) < floor:
+                fail("counter %s=%r below %d (counters: %r)"
+                     % (name, counters.get(name), floor, counters))
+        latency = metrics.get("request_latency", {})
+        if latency.get("count", 0) < 1:
+            fail("request_latency histogram is empty: %r" % latency)
+        if not metrics.get("stages"):
+            fail("per-stage telemetry missing from /metrics")
+        print("serve-smoke: PASS (requests_total=%d, memo_hits=%d, "
+              "latency_count=%d)" % (counters["requests_total"],
+                                     counters["memo_hits"],
+                                     latency["count"]))
+        return 0
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
