@@ -63,7 +63,8 @@ def evaluate(request: EvaluateRequest,
         scale=request.scale, check=request.check,
         alias_mode=request.alias_mode,
         local_schedule=request.local_schedule,
-        mt_check=request.mt_check, telemetry=telemetry)
+        mt_check=request.mt_check, telemetry=telemetry,
+        trace=request.trace)
     return EvaluateResult.from_evaluation(request, evaluation)
 
 
@@ -75,9 +76,11 @@ def evaluate_many(requests: Iterable[EvaluateRequest],
     if not requests:
         return []
     check = requests[0].check
-    if any(request.check != check for request in requests):
-        # evaluate_matrix applies one check policy per batch; run the
-        # rare mixed batch serially instead of silently unifying it.
+    if any(request.check != check for request in requests) \
+            or any(request.trace for request in requests):
+        # evaluate_matrix applies one check policy per batch and its
+        # cells carry no trace flag; run the rare mixed or traced batch
+        # serially instead of silently unifying it.
         return [evaluate(request) for request in requests]
     evaluations = evaluate_matrix(
         [request.cell() for request in requests], jobs=jobs, check=check)

@@ -50,6 +50,7 @@ class EvaluateRequest:
     local_schedule: Optional[str] = None
     mt_check: bool = False
     check: bool = True
+    trace: bool = False
     schema_version: str = API_SCHEMA_VERSION
 
     # -- validation --------------------------------------------------------
@@ -89,7 +90,7 @@ class EvaluateRequest:
             raise RequestValidationError(
                 "unknown local_schedule %r (use early/late/neutral)"
                 % (self.local_schedule,))
-        for name in ("coco", "mt_check", "check"):
+        for name in ("coco", "mt_check", "check", "trace"):
             if not isinstance(getattr(self, name), bool):
                 raise RequestValidationError(
                     "%s must be a boolean, got %r"
@@ -144,7 +145,8 @@ class EvaluateRequest:
         schema invalidates memoized responses."""
         cell = self.cell()
         return digest("api:evaluate", PIPELINE_SCHEMA, API_SCHEMA_VERSION,
-                      repr(tuple(cell)), repr(self.check))
+                      repr(tuple(cell)), repr(self.check),
+                      repr(self.trace))
 
 
 @dataclass
@@ -158,18 +160,21 @@ class EvaluateResult:
     stale: bool = False
     memoized: bool = False
     stale_age_seconds: Optional[float] = None
+    trace: Optional[Dict[str, object]] = None
     schema_version: str = API_SCHEMA_VERSION
 
     @classmethod
     def from_evaluation(cls, request: EvaluateRequest,
                         evaluation) -> "EvaluateResult":
         """Wrap a finished :class:`~repro.pipeline.core.Evaluation`."""
+        trace = getattr(evaluation, "trace", None)
         return cls(
             request=request,
             metrics=dict(evaluation.metrics()),
             fingerprints=dict(evaluation.fingerprints),
             telemetry=(evaluation.telemetry.to_dict()
-                       if evaluation.telemetry is not None else None))
+                       if evaluation.telemetry is not None else None),
+            trace=(trace.summary() if trace is not None else None))
 
     @property
     def speedup(self) -> float:
@@ -185,6 +190,7 @@ class EvaluateResult:
             "stale": self.stale,
             "memoized": self.memoized,
             "stale_age_seconds": self.stale_age_seconds,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -208,6 +214,7 @@ class EvaluateResult:
                    memoized=bool(data.get("memoized", False)),
                    stale_age_seconds=(float(age) if age is not None
                                       else None),
+                   trace=data.get("trace"),
                    schema_version=schema)
 
     def marked(self, stale: Optional[bool] = None,

@@ -1,7 +1,7 @@
 """Spec definitions, one module per experiment family.  Importing this
 package registers every spec with :mod:`repro.bench.spec`."""
 
-from . import ablations, hostperf, paper  # noqa: F401
+from . import ablations, hostperf, paper, trace  # noqa: F401
 
 #: Every spec id, grouped the way the benchmarks/ directory is.
 FAMILIES = {
@@ -13,4 +13,5 @@ FAMILIES = {
                   "scheduler_interaction", "profile_sensitivity",
                   "overhead_breakdown"],
     "hostperf": ["compile_time"],
+    "trace": ["trace_attribution"],
 }

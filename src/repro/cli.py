@@ -23,7 +23,11 @@ Commands:
 * ``serve`` — the scheduling service of :mod:`repro.service`: a
   JSON-over-HTTP daemon with a bounded multiprocess worker pool,
   admission control (429 shedding), per-request timeouts with
-  stale-artifact degradation, and ``/healthz`` + ``/metrics``.
+  stale-artifact degradation, and ``/healthz`` + ``/metrics``;
+* ``trace`` — the execution-tracing subsystem of :mod:`repro.trace`:
+  simulate one workload with per-instruction event capture, write a
+  Perfetto-loadable ``trace.json``, and report stall attribution and
+  the dynamic critical path (``--report`` / ``--report-json``).
 
 ``python -m repro --sweep`` is shorthand for ``sweep --technique all``.
 Evaluating commands accept ``--check`` to run the static MT validators
@@ -158,6 +162,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "FILE (CI: $GITHUB_STEP_SUMMARY)")
     bench.add_argument("--list", action="store_true",
                        help="list the registered bench specs and exit")
+
+    trace = sub.add_parser(
+        "trace", help="trace one workload's MT simulation: emit a "
+                      "Perfetto-loadable trace.json plus a stall-"
+                      "attribution / critical-path report",
+        parents=[cache_parent])
+    trace.add_argument("workload", help="workload name (see `list`)")
+    trace.add_argument("--partitioner", choices=TECHNIQUES,
+                       default="gremio",
+                       help="partitioning technique "
+                            "(default: %(default)s)")
+    trace.add_argument("--threads", type=int, default=2)
+    trace.add_argument("--coco", action="store_true",
+                       help="enable the COCO communication optimizer")
+    trace.add_argument("--scale", default="ref",
+                       choices=("train", "ref"))
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome Trace Format output path "
+                            "(default: %(default)s)")
+    trace.add_argument("--report", action="store_true",
+                       help="print the markdown stall-attribution / "
+                            "critical-path report")
+    trace.add_argument("--report-json", default=None, metavar="PATH",
+                       help="also write the full analysis as JSON")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="event ring capacity (default 1,000,000; "
+                            "older events are dropped, aggregates stay "
+                            "exact)")
 
     report = sub.add_parser(
         "report", help="regenerate the EXPERIMENTS.md headline table "
@@ -298,6 +330,37 @@ def _dump(args) -> int:
     print("; channels:")
     for channel in result.program.channels:
         print(";   %r" % channel)
+    return 0
+
+
+def _trace(args) -> int:
+    from .trace import (stall_report_json, stall_report_markdown,
+                        write_chrome_trace)
+    workload = get_workload(args.workload)
+    ev = evaluate_workload(workload, technique=args.partitioner,
+                           n_threads=args.threads, coco=args.coco,
+                           scale=args.scale, trace=True,
+                           trace_limit=args.limit)
+    analysis = ev.trace
+    write_chrome_trace(args.out, analysis.collector)
+    print("wrote %s (%d events, %d dropped; %.0f simulated cycles)"
+          % (args.out, analysis.events_recorded,
+             analysis.events_dropped, analysis.total_cycles))
+    print("critical path: %.0f cycles over %d instructions; "
+          "top stall: %s (%.0f cycles)"
+          % (analysis.critical_path.length,
+             analysis.critical_path.instructions,
+             analysis.top_stall_reason, analysis.top_stall_cycles))
+    if args.report_json:
+        with open(args.report_json, "w") as handle:
+            handle.write(stall_report_json(analysis))
+            handle.write("\n")
+        print("wrote %s" % args.report_json)
+    if args.report:
+        print()
+        print(stall_report_markdown(analysis))
+    if args.timings:
+        _print_telemetry()
     return 0
 
 
@@ -529,6 +592,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _dump(args)
     if args.command == "sweep":
         return _sweep(args)
+    if args.command == "trace":
+        return _trace(args)
     if args.command == "fuzz":
         return _fuzz(args)
     if args.command == "bench":

@@ -25,6 +25,10 @@ from .ir.cfg import Function
 from .ir.instructions import Instruction, Opcode
 from .machine.functional import FifoQueues
 from .mtcg.program import MTProgram
+from .trace.events import FunctionalEvent, RingBuffer
+
+#: How many of the most recent functional steps a deadlock report keeps.
+RECENT_EVENT_CAPACITY = 256
 
 
 class WriteRecord:
@@ -64,10 +68,13 @@ class DeadlockReport:
 
     def __init__(self, blocked: List[BlockedThread],
                  occupancy: Dict[int, int],
-                 channels: List = ()):
+                 channels: List = (),
+                 recent_events: List[FunctionalEvent] = ()):
         self.blocked = blocked
         self.occupancy = occupancy      # queue id -> pending value count
         self.channels = list(channels)  # CommChannels of blocking queues
+        # The last functional steps before progress stopped (bounded).
+        self.recent_events = list(recent_events)
 
     @property
     def blocked_threads(self) -> List[int]:
@@ -91,6 +98,12 @@ class DeadlockReport:
                             self.occupancy.get(record.queue, 0)))
         for channel in self.channels:
             lines.append("  blocking channel: %r" % (channel,))
+        if self.recent_events:
+            tail = self.recent_events[-8:]
+            lines.append("  last %d step(s) before the stall:"
+                         % len(tail))
+            for event in tail:
+                lines.append("    " + event.describe())
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -170,6 +183,7 @@ def trace_mt(program: MTProgram, args=None, initial_memory=None,
     writes: List[WriteRecord] = []
     live = [not c.exited for c in contexts]
     deadlock: Optional[DeadlockReport] = None
+    recent = RingBuffer(RECENT_EVENT_CAPACITY)
     steps = 0
     while any(live) and steps < max_steps:
         progressed = False
@@ -182,6 +196,11 @@ def trace_mt(program: MTProgram, args=None, initial_memory=None,
                 continue
             progressed = True
             steps += 1
+            if instruction is not None:
+                recent.append(FunctionalEvent(
+                    steps, index, instruction.op.value, instruction.iid,
+                    queue=(instruction.queue
+                           if instruction.is_communication() else None)))
             if result.status is StepStatus.EXITED:
                 live[index] = False
             if instruction is not None \
@@ -190,15 +209,17 @@ def trace_mt(program: MTProgram, args=None, initial_memory=None,
                                           memory.load(result.mem_address),
                                           instruction.iid, index))
         if not progressed:
-            deadlock = _deadlock_report(program, contexts, live, queues)
+            deadlock = _deadlock_report(program, contexts, live, queues,
+                                        recent)
             break
     return MTTrace(writes, [c.regs for c in contexts], steps, deadlock,
                    exhausted=(deadlock is None and any(live)), queues=queues)
 
 
 def _deadlock_report(program: MTProgram, contexts: List[ThreadContext],
-                     live: List[bool],
-                     queues: FifoQueues) -> DeadlockReport:
+                     live: List[bool], queues: FifoQueues,
+                     recent: Optional[RingBuffer] = None
+                     ) -> DeadlockReport:
     blocked: List[BlockedThread] = []
     for index, context in enumerate(contexts):
         if not live[index]:
@@ -213,7 +234,9 @@ def _deadlock_report(program: MTProgram, contexts: List[ThreadContext],
     channels = [program.channel_by_queue(record.queue)
                 for record in blocked if record.queue is not None]
     return DeadlockReport(blocked, occupancy,
-                          [c for c in channels if c is not None])
+                          [c for c in channels if c is not None],
+                          recent_events=(recent.snapshot()
+                                         if recent is not None else ()))
 
 
 class Divergence:

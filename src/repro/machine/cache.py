@@ -72,6 +72,9 @@ class MemoryHierarchy:
         self.l2 = [CacheLevel(config.l2) for _ in range(config.n_cores)]
         self.l3 = CacheLevel(config.l3)
         self.coherence_invalidations = 0
+        # Level that served the most recent access ("l1"/"l2"/"l3"/"mem"
+        # for reads, "store" for writes) — read by the tracer.
+        self.last_level = "l1"
 
     def _line_addresses(self, word_address: int) -> Tuple[int, int, int]:
         byte = word_address * self.config.word_bytes
@@ -87,6 +90,7 @@ class MemoryHierarchy:
         if is_write:
             # Write-through L1: update L1 (write-allocate on hit only),
             # allocate in L2/L3, and invalidate every other core's copies.
+            self.last_level = "store"
             self.l1[core].lookup(l1_line)
             self.l2[core].fill(l2_line)
             self.l3.fill(l3_line)
@@ -101,17 +105,21 @@ class MemoryHierarchy:
             return 1
 
         if self.l1[core].lookup(l1_line):
+            self.last_level = "l1"
             return self.config.l1d.hit_latency
         if self.l2[core].lookup(l2_line):
             self.l1[core].fill(l1_line)
+            self.last_level = "l2"
             return self.config.l2.hit_latency
         if self.l3.lookup(l3_line):
             self.l2[core].fill(l2_line)
             self.l1[core].fill(l1_line)
+            self.last_level = "l3"
             return self.config.l3.hit_latency
         self.l3.fill(l3_line)
         self.l2[core].fill(l2_line)
         self.l1[core].fill(l1_line)
+        self.last_level = "mem"
         return self.config.memory_latency
 
     def _present(self, core: int, l1_line: int, l2_line: int) -> bool:

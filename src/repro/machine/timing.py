@@ -29,6 +29,7 @@ from ..interp.state import Memory, bind_params, make_memory
 from ..ir.cfg import Function
 from ..ir.instructions import OpKind, Opcode
 from ..mtcg.program import MTProgram
+from ..trace.events import PRODUCER_CATEGORY
 from .cache import MemoryHierarchy
 from .config import DEFAULT_CONFIG, MachineConfig
 from .functional import (DeadlockError, FifoQueues, MTExecutionLimitExceeded)
@@ -36,6 +37,9 @@ from .functional import (DeadlockError, FifoQueues, MTExecutionLimitExceeded)
 
 class SAPortSchedule:
     """Global per-cycle budget of synchronization-array ports."""
+
+    #: Prune the booking dict once it holds this many cycle entries.
+    PRUNE_THRESHOLD = 4096
 
     def __init__(self, ports: int):
         self.ports = ports
@@ -48,6 +52,19 @@ class SAPortSchedule:
 
     def book(self, cycle: int) -> None:
         self.booked[cycle] = self.booked.get(cycle, 0) + 1
+
+    def prune(self, watermark: int) -> None:
+        """Drop bookings below ``watermark`` so long simulations don't
+        grow the dict monotonically.
+
+        Safe whenever every future ``next_free(t)`` query has
+        ``t >= watermark``: cores only ever query at or above their own
+        ``min_issue``, which never decreases, so the minimum
+        ``min_issue`` over live cores is a valid watermark.
+        """
+        stale = [cycle for cycle in self.booked if cycle < watermark]
+        for cycle in stale:
+            del self.booked[cycle]
 
 
 class TimedQueues(FifoQueues):
@@ -67,11 +84,19 @@ class TimedQueues(FifoQueues):
         self.pop_counts = [0] * n_queues
         self.staged_push_time = 0.0
         self.last_popped_time = 0.0
+        # Event-seq mirrors of the timestamp bookkeeping, threading
+        # cross-thread dependence edges through the queues when tracing.
+        self.producer_seqs: List[deque] = [deque() for _ in range(n_queues)]
+        self.pop_seqs: List[deque] = [deque(maxlen=max(capacity, 1))
+                                      for _ in range(n_queues)]
+        self.staged_push_seq: Optional[int] = None
+        self.last_popped_seq: Optional[int] = None
 
     def try_push(self, queue: int, value) -> bool:
         if not super().try_push(queue, value):
             return False
         self.timestamps[queue].append(self.staged_push_time)
+        self.producer_seqs[queue].append(self.staged_push_seq)
         self.push_counts[queue] += 1
         return True
 
@@ -79,6 +104,7 @@ class TimedQueues(FifoQueues):
         ok, value = super().try_pop(queue)
         if ok:
             self.last_popped_time = self.timestamps[queue].popleft()
+            self.last_popped_seq = self.producer_seqs[queue].popleft()
             self.pop_counts[queue] += 1
         return ok, value
 
@@ -93,8 +119,19 @@ class TimedQueues(FifoQueues):
                                             - len(self.pop_times[queue]))
         return self.pop_times[queue][index]
 
-    def record_pop_completion(self, queue: int, cycle: float) -> None:
+    def slot_free_seq(self, queue: int) -> Optional[int]:
+        """Event seq of the consume that freed the next push's slot."""
+        pushes = self.push_counts[queue]
+        if pushes < self.capacity:
+            return None
+        index = (pushes - self.capacity) - (self.pop_counts[queue]
+                                            - len(self.pop_seqs[queue]))
+        return self.pop_seqs[queue][index]
+
+    def record_pop_completion(self, queue: int, cycle: float,
+                              seq: Optional[int] = None) -> None:
         self.pop_times[queue].append(cycle)
+        self.pop_seqs[queue].append(seq)
 
 
 class CoreTiming:
@@ -121,6 +158,18 @@ class CoreTiming:
         self.backpressure_cycles = 0.0   # produce waited for a free slot
         self.operand_wait_cycles = 0.0   # consume value arrived late
         self.sa_port_delays = 0          # comm ops displaced by port limit
+        # Per-issue conflict counters (read by the tracer after each
+        # find_issue_slot call; pure bookkeeping, results unchanged).
+        self.last_port_delay = 0         # cycles lost to width/port limits
+        self.last_sa_delay = 0           # cycles displaced by SA ports
+        # Trace-only dependence bookkeeping (written only when tracing).
+        self.reg_source: Dict[str, tuple] = {}   # reg -> (seq, producer kind)
+        self.last_mem_event: Optional[int] = None
+        self.last_mem_kind = "store"
+        self.fence_event: Optional[int] = None
+        self.last_event_seq: Optional[int] = None
+        self.last_event_issue = 0
+        self.pending_control_dep: Optional[tuple] = None
 
     def branch_redirect(self, instruction, taken: bool) -> int:
         """Cycles of redirect penalty after this branch resolves."""
@@ -152,6 +201,8 @@ class CoreTiming:
         t = int(max(earliest, self.min_issue))
         if earliest > t:
             t += 1
+        self.last_port_delay = 0
+        self.last_sa_delay = 0
         limit = self.config.port_limit(port)
         while True:
             if t > self.cycle:
@@ -164,6 +215,7 @@ class CoreTiming:
                     free = self.sa_ports.next_free(t)
                     if free != t:
                         self.sa_port_delays += 1
+                        self.last_sa_delay += free - t
                         t = free
                         continue
                     self.sa_ports.book(t)
@@ -173,6 +225,7 @@ class CoreTiming:
                 self.issued_total += 1
                 self.finish = max(self.finish, float(t + 1))
                 return t
+            self.last_port_delay += 1
             t += 1
 
     def complete(self, cycle: float) -> None:
@@ -217,14 +270,84 @@ class TimedResult:
             self.cycles, self.dynamic_instructions)
 
 
+def _trace_operand_binding(core: CoreTiming, registers: Sequence[str],
+                           min_issue_before: float,
+                           use_fence: bool = False):
+    """Trace-only: the raw dependence-delay component (categorized by
+    what produced the binding operand) plus the register/memory
+    dependence edges of an instruction's sources.  Pure reads — must be
+    called *before* the instruction's own destination update."""
+    raw: Dict[str, float] = {}
+    deps: List[tuple] = []
+    best_ready = 0.0
+    best_kind = None
+    for register in registers:
+        ready = core.reg_ready.get(register, 0.0)
+        source = core.reg_source.get(register)
+        if source is not None and ready > 0.0:
+            deps.append((source[0], "register", ready))
+        if ready > best_ready:
+            best_ready = ready
+            best_kind = source[1] if source is not None else None
+    if use_fence and core.mem_fence > best_ready:
+        best_ready = core.mem_fence
+        best_kind = "fence"
+        if core.fence_event is not None:
+            deps.append((core.fence_event, "memory", core.mem_fence))
+    delay = best_ready - min_issue_before
+    if delay > 0.0:
+        category = ("sa_queue_empty" if best_kind == "fence"
+                    else PRODUCER_CATEGORY.get(best_kind, "operand_wait"))
+        raw[category] = delay
+    return raw, deps
+
+
+def _trace_emit(tracer, core: CoreTiming, thread: int, instruction,
+                op_class: str, issue: int, complete: float,
+                raw: Dict[str, float], deps: List[tuple],
+                queue: Optional[int] = None,
+                control_penalty: float = 0.0,
+                extra: Optional[Dict[str, object]] = None) -> int:
+    """Attach the common edges (in-order predecessor, pending control
+    redirect, issue-slot conflicts) and emit one event."""
+    if core.last_event_seq is not None:
+        deps.append((core.last_event_seq, "order",
+                     float(core.last_event_issue)))
+    if core.pending_control_dep is not None:
+        branch_seq, constraint = core.pending_control_dep
+        deps.append((branch_seq, "control", constraint))
+        core.pending_control_dep = None
+    if core.last_port_delay:
+        raw["port_conflict"] = float(core.last_port_delay)
+    if core.last_sa_delay:
+        raw["sa_port_contention"] = float(core.last_sa_delay)
+    seq = tracer.on_event(
+        core.core_id, thread, instruction.iid,
+        instruction.op.name.lower(), op_class, issue, complete,
+        stall=raw, deps=tuple(deps), queue=queue,
+        control_penalty=control_penalty, extra=extra)
+    core.last_event_seq = seq
+    core.last_event_issue = issue
+    return seq
+
+
 def simulate_threads(functions: Sequence[Function], exit_thread: int,
                      memory_owner: Function,
                      args: Optional[Mapping[str, object]] = None,
                      initial_memory: Optional[Mapping[str, object]] = None,
                      config: MachineConfig = DEFAULT_CONFIG,
                      n_queues: int = 0,
-                     max_steps: int = 200_000_000) -> TimedResult:
-    """Co-simulate ``functions`` (one per core) functionally + in time."""
+                     max_steps: int = 200_000_000,
+                     tracer=None) -> TimedResult:
+    """Co-simulate ``functions`` (one per core) functionally + in time.
+
+    ``tracer`` (a :class:`repro.trace.TraceCollector`, or anything with
+    its ``on_event`` / ``on_queue_depth`` / ``on_finish`` hooks) turns
+    on per-instruction event capture with stall breakdowns and
+    dependence edges.  All instrumentation is guarded: with
+    ``tracer=None`` the simulated timings are bit-identical to an
+    uninstrumented run.
+    """
     memory = make_memory(memory_owner, initial_memory)
     queues = TimedQueues(n_queues, config.sa_queue_size) if n_queues else None
     hierarchy = MemoryHierarchy(config)
@@ -245,6 +368,9 @@ def simulate_threads(functions: Sequence[Function], exit_thread: int,
     total_steps = 0
 
     while any(live):
+        if len(sa_ports.booked) > SAPortSchedule.PRUNE_THRESHOLD:
+            sa_ports.prune(min(cores[i].min_issue
+                               for i in range(n) if live[i]))
         progressed = False
         for index, context in enumerate(contexts):
             if not live[index]:
@@ -265,18 +391,50 @@ def simulate_threads(functions: Sequence[Function], exit_thread: int,
                             >= queues.capacity:
                         break  # functionally full: retry after consumers run
                     slot_free = queues.slot_free_time(instruction.queue)
+                    min_issue_before = float(core.min_issue)
                     if op is Opcode.PRODUCE:
                         own_ready = core.ready_time(instruction.srcs)
                     else:
                         own_ready = core.last_mem_complete
-                    own_ready = max(own_ready, float(core.min_issue))
+                    raw: Dict[str, float] = {}
+                    deps: List[tuple] = []
+                    if tracer is not None:
+                        if op is Opcode.PRODUCE:
+                            raw, deps = _trace_operand_binding(
+                                core, instruction.srcs, min_issue_before)
+                        else:
+                            delay = own_ready - min_issue_before
+                            if delay > 0.0:
+                                raw[PRODUCER_CATEGORY.get(
+                                    core.last_mem_kind,
+                                    "operand_wait")] = delay
+                            if core.last_mem_event is not None:
+                                deps.append((core.last_mem_event,
+                                             "memory", own_ready))
+                    own_ready = max(own_ready, min_issue_before)
                     if slot_free > own_ready:
                         core.backpressure_cycles += slot_free - own_ready
+                        if tracer is not None:
+                            raw["sa_queue_full"] = slot_free - own_ready
+                            free_seq = queues.slot_free_seq(
+                                instruction.queue)
+                            if free_seq is not None:
+                                deps.append((free_seq, "communication",
+                                             slot_free))
                     earliest = max(slot_free, own_ready)
                     t = core.find_issue_slot(earliest, "memory", True)
                     queues.staged_push_time = float(t + 1)
+                    if tracer is not None:
+                        queues.staged_push_seq = _trace_emit(
+                            tracer, core, index, instruction, "comm",
+                            t, float(t + 1), raw, deps,
+                            queue=instruction.queue)
                     result = context.step()
                     core.complete(t + 1)
+                    if tracer is not None:
+                        tracer.on_queue_depth(
+                            instruction.queue, float(t + 1),
+                            len(queues.queues[instruction.queue]))
                 elif op is Opcode.CONSUME or op is Opcode.CONSUME_SYNC:
                     result = context.step()
                     if result.status is StepStatus.BLOCKED:
@@ -291,15 +449,38 @@ def simulate_threads(functions: Sequence[Function], exit_thread: int,
                         core.reg_ready[instruction.dest] = available
                     else:
                         core.mem_fence = max(core.mem_fence, available)
+                    seq = None
+                    if tracer is not None:
+                        raw = {}
+                        deps = []
+                        lateness = data_ready - (t + 1)
+                        if lateness > 0.0:
+                            raw["sa_queue_empty"] = lateness
+                        if queues.last_popped_seq is not None:
+                            deps.append((queues.last_popped_seq,
+                                         "communication", data_ready))
+                        seq = _trace_emit(
+                            tracer, core, index, instruction, "comm",
+                            t, available, raw, deps,
+                            queue=instruction.queue)
+                        if op is Opcode.CONSUME:
+                            core.reg_source[instruction.dest] = (
+                                seq, "consume")
+                        else:
+                            core.fence_event = seq
+                        tracer.on_queue_depth(
+                            instruction.queue, float(t + 1),
+                            len(queues.queues[instruction.queue]))
                     queues.record_pop_completion(instruction.queue,
-                                                 available)
+                                                 available, seq)
                     core.complete(available)
                 else:
                     result = context.step()
                     if result.status is StepStatus.BLOCKED:  # pragma: no cover
                         break
                     _time_plain_instruction(core, hierarchy, config,
-                                            instruction, result)
+                                            instruction, result,
+                                            tracer, index)
 
                 progressed = True
                 total_steps += 1
@@ -328,6 +509,8 @@ def simulate_threads(functions: Sequence[Function], exit_thread: int,
         "sa_port_delays": sum(c.sa_port_delays for c in cores),
         "mispredictions": sum(c.mispredictions for c in cores),
     }
+    if tracer is not None:
+        tracer.on_finish(core_finish, hierarchy.stats(), comm_stats)
     return TimedResult(max(core_finish) if core_finish else 0.0,
                        core_finish, per_thread_instructions,
                        per_thread_communication, opcode_counts, live_outs,
@@ -336,12 +519,24 @@ def simulate_threads(functions: Sequence[Function], exit_thread: int,
 
 def _time_plain_instruction(core: CoreTiming, hierarchy: MemoryHierarchy,
                             config: MachineConfig, instruction,
-                            result) -> None:
+                            result, tracer=None, thread: int = 0) -> None:
     kind = instruction.kind
+    min_issue_before = float(core.min_issue)
     if kind is OpKind.LOAD:
         earliest = max(core.ready_time(instruction.srcs), core.mem_fence)
         t = core.find_issue_slot(earliest, "memory", False)
         latency = hierarchy.access(core.core_id, result.mem_address, False)
+        if tracer is not None:
+            raw, deps = _trace_operand_binding(
+                core, instruction.srcs, min_issue_before, use_fence=True)
+            level = hierarchy.last_level
+            seq = _trace_emit(tracer, core, thread, instruction, "memory",
+                              t, t + latency, raw, deps,
+                              extra={"cache_level": level})
+            core.reg_source[instruction.dest] = (seq, "load_" + level)
+            if t + latency >= core.last_mem_complete:
+                core.last_mem_event = seq
+                core.last_mem_kind = "load_" + level
         core.reg_ready[instruction.dest] = t + latency
         core.last_mem_complete = max(core.last_mem_complete, t + latency)
         core.complete(t + latency)
@@ -349,30 +544,64 @@ def _time_plain_instruction(core: CoreTiming, hierarchy: MemoryHierarchy,
         earliest = max(core.ready_time(instruction.srcs), core.mem_fence)
         t = core.find_issue_slot(earliest, "memory", False)
         hierarchy.access(core.core_id, result.mem_address, True)
+        if tracer is not None:
+            raw, deps = _trace_operand_binding(
+                core, instruction.srcs, min_issue_before, use_fence=True)
+            seq = _trace_emit(tracer, core, thread, instruction, "memory",
+                              t, float(t + 1), raw, deps)
+            if t + 1 >= core.last_mem_complete:
+                core.last_mem_event = seq
+                core.last_mem_kind = "store"
         core.last_mem_complete = max(core.last_mem_complete, float(t + 1))
         core.complete(t + 1)
     elif kind is OpKind.BRANCH:
         t = core.find_issue_slot(core.ready_time(instruction.srcs),
                                  "branch", False)
         penalty = core.branch_redirect(instruction, result.branch_taken)
+        if tracer is not None:
+            raw, deps = _trace_operand_binding(
+                core, instruction.srcs, min_issue_before)
+            seq = _trace_emit(tracer, core, thread, instruction, "branch",
+                              t, float(t + 1), raw, deps,
+                              control_penalty=float(penalty))
+            if penalty:
+                core.pending_control_dep = (seq, float(t + 1 + penalty))
         if penalty:
             core.min_issue = t + 1 + penalty
         core.complete(t + 1)
     elif kind is OpKind.JUMP:
         t = core.find_issue_slot(0.0, "branch", False)
+        if tracer is not None:
+            _trace_emit(tracer, core, thread, instruction, "branch",
+                        t, float(t + 1), {}, [])
         core.complete(t + 1)
     elif kind is OpKind.EXIT:
         t = core.find_issue_slot(core.ready_time(
             instruction.used_registers()), "branch", False)
+        if tracer is not None:
+            raw, deps = _trace_operand_binding(
+                core, instruction.used_registers(), min_issue_before)
+            _trace_emit(tracer, core, thread, instruction, "branch",
+                        t, float(t + 1), raw, deps)
         core.complete(t + 1)
     elif kind is OpKind.NOP:
         t = core.find_issue_slot(0.0, "alu", False)
+        if tracer is not None:
+            _trace_emit(tracer, core, thread, instruction, "alu",
+                        t, float(t + 1), {}, [])
         core.complete(t + 1)
     else:
         port = "fp" if kind is OpKind.FP else "alu"
         t = core.find_issue_slot(core.ready_time(instruction.srcs), port,
                                  False)
         latency = config.latency_of(instruction)
+        if tracer is not None:
+            raw, deps = _trace_operand_binding(
+                core, instruction.srcs, min_issue_before)
+            seq = _trace_emit(tracer, core, thread, instruction, port,
+                              t, t + latency, raw, deps)
+            if instruction.dest is not None:
+                core.reg_source[instruction.dest] = (seq, "alu")
         if instruction.dest is not None:
             core.reg_ready[instruction.dest] = t + latency
         core.complete(t + latency)
@@ -382,20 +611,24 @@ def simulate_program(program: MTProgram,
                      args: Optional[Mapping[str, object]] = None,
                      initial_memory: Optional[Mapping[str, object]] = None,
                      config: MachineConfig = DEFAULT_CONFIG,
-                     max_steps: int = 200_000_000) -> TimedResult:
+                     max_steps: int = 200_000_000,
+                     tracer=None) -> TimedResult:
     """Timed simulation of MTCG output on ``len(threads)`` cores."""
     config = config.with_threads(max(program.n_threads, 1))
     return simulate_threads(program.threads, program.exit_thread,
                             program.original, args, initial_memory, config,
-                            n_queues=program.n_queues, max_steps=max_steps)
+                            n_queues=program.n_queues, max_steps=max_steps,
+                            tracer=tracer)
 
 
 def simulate_single(function: Function,
                     args: Optional[Mapping[str, object]] = None,
                     initial_memory: Optional[Mapping[str, object]] = None,
                     config: MachineConfig = DEFAULT_CONFIG,
-                    max_steps: int = 200_000_000) -> TimedResult:
+                    max_steps: int = 200_000_000,
+                    tracer=None) -> TimedResult:
     """Timed simulation of the original single-threaded code on one core."""
     config = config.with_threads(1)
     return simulate_threads([function], 0, function, args, initial_memory,
-                            config, n_queues=0, max_steps=max_steps)
+                            config, n_queues=0, max_steps=max_steps,
+                            tracer=tracer)

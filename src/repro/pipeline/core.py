@@ -154,6 +154,8 @@ class Evaluation:
         # Populated by the staged pipeline (see Parallelization).
         self.fingerprints = {}
         self.telemetry: Optional[Telemetry] = None
+        # TraceAnalysis of the MT run when evaluated with trace=True.
+        self.trace = None
 
     @property
     def speedup(self) -> float:
@@ -180,7 +182,7 @@ class Evaluation:
         """The paper metrics as a flat JSON-able mapping — the payload
         the :mod:`repro.api` facade and the ``repro serve`` daemon
         return for one evaluated cell."""
-        return {
+        metrics = {
             "speedup": self.speedup,
             "st_cycles": float(self.st_result.cycles),
             "mt_cycles": float(self.mt_result.cycles),
@@ -193,6 +195,16 @@ class Evaluation:
             "communication_fraction": self.communication_fraction,
             "channels": float(len(self.parallelization.program.channels)),
         }
+        for key, value in self.mt_result.cache_stats.items():
+            metrics["cache_" + key] = float(value)
+        for key, value in self.st_result.cache_stats.items():
+            metrics["st_cache_" + key] = float(value)
+        if self.trace is not None:
+            metrics["critical_path_cycles"] = \
+                float(self.trace.critical_path.length)
+            metrics["critical_path_instructions"] = \
+                float(self.trace.critical_path.instructions)
+        return metrics
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<Evaluation %s/%s%s: speedup %.2fx, comm %.1f%%>" % (
@@ -210,7 +222,9 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
                       local_schedule: Optional[str] = None,
                       mt_check: bool = False,
                       cache: CacheOption = None,
-                      telemetry: Optional[Telemetry] = None) -> Evaluation:
+                      telemetry: Optional[Telemetry] = None,
+                      trace: bool = False,
+                      trace_limit: Optional[int] = None) -> Evaluation:
     """Run the full methodology for one workload: profile on `train`,
     measure on ``scale`` (default `ref`), and verify the multi-threaded
     run produced the single-threaded results.
@@ -221,6 +235,13 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
     "neutral") — the papers' post-MT scheduling stage.  ``mt_check``
     enables the static MT validator stage; ``cache`` and ``telemetry``
     are forwarded to the staged pipeline (see :func:`parallelize`).
+
+    ``trace=True`` runs the MT simulation with a
+    :class:`repro.trace.TraceCollector` attached and exposes the
+    resulting :class:`repro.trace.TraceAnalysis` as ``evaluation.trace``
+    (the traced simulate-mt stage bypasses the artifact cache;
+    ``trace_limit`` bounds the event ring).  Simulated cycle counts are
+    bit-identical with tracing on or off.
     """
     function = workload.build()
     train = workload.make_inputs("train")
@@ -244,6 +265,8 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
             "mt_check": mt_check,
             "measure_args": measure.args,
             "measure_memory": measure.memory,
+            "trace": trace,
+            "trace_limit": trace_limit,
         },
         config=effective,
         sim_config=config,
@@ -267,6 +290,7 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
                             parallelization, st_result, mt_result)
     evaluation.fingerprints = dict(ctx.fingerprints)
     evaluation.telemetry = run_telemetry
+    evaluation.trace = ctx.values.get("mt_trace")
     return evaluation
 
 

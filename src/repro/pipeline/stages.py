@@ -99,6 +99,7 @@ class PipelineContext:
             "program": None,
             "st_result": None,
             "mt_result": None,
+            "mt_trace": None,
         }
         self.options = options
         self.config = config            # partitioning config (with threads)
@@ -335,7 +336,12 @@ def _count_simulate_st(ctx: PipelineContext) -> None:
     ctx.telemetry.count("st_cycles", ctx.values["st_result"].cycles)
 
 
-def _fp_simulate_mt(ctx: PipelineContext) -> str:
+def _fp_simulate_mt(ctx: PipelineContext) -> Optional[str]:
+    # Traced runs are never cached (and never replayed from an untraced
+    # cache entry): the event stream is a side effect the artifact cache
+    # cannot reproduce.
+    if ctx.options.get("trace"):
+        return None
     config = ctx.sim_config if ctx.sim_config is not None else ctx.config
     return digest("stage:simulate-mt",
                   ctx.fingerprints.get("mtcg") or "", _measure_fp(ctx),
@@ -345,6 +351,15 @@ def _fp_simulate_mt(ctx: PipelineContext) -> str:
 
 def _run_simulate_mt(ctx: PipelineContext) -> dict:
     config = ctx.sim_config if ctx.sim_config is not None else ctx.config
+    if ctx.options.get("trace"):
+        from ..trace import DEFAULT_EVENT_LIMIT, TraceCollector, analyze
+        limit = ctx.options.get("trace_limit") or DEFAULT_EVENT_LIMIT
+        collector = TraceCollector(limit=limit)
+        result = simulate_program(ctx.values["program"],
+                                  ctx.options.get("measure_args"),
+                                  ctx.options.get("measure_memory"),
+                                  config=config, tracer=collector)
+        return {"mt_result": result, "mt_trace": analyze(collector)}
     result = simulate_program(ctx.values["program"],
                               ctx.options.get("measure_args"),
                               ctx.options.get("measure_memory"),
@@ -357,6 +372,11 @@ def _count_simulate_mt(ctx: PipelineContext) -> None:
     ctx.telemetry.count("mt_cycles", result.cycles)
     ctx.telemetry.count("comm_instructions",
                         result.communication_instructions)
+    for key, value in result.cache_stats.items():
+        ctx.telemetry.count("cache_" + key, value)
+    trace = ctx.values.get("mt_trace")
+    if trace is not None:
+        ctx.telemetry.count("trace_events", trace.events_recorded)
 
 
 STAGES: Dict[str, Stage] = {stage.name: stage for stage in (

@@ -1,0 +1,176 @@
+"""Trace analysis and the stall-attribution report (markdown + JSON).
+
+:func:`analyze` turns a finished :class:`~repro.trace.collector
+.TraceCollector` into a :class:`TraceAnalysis`: the per-core /
+per-thread / per-opcode-class attribution tables, stall totals, the
+dominant stall reason, and the dynamic critical path — after checking
+the reconciliation invariant (execute + attributed stalls == finish
+cycles on every core).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from .collector import TraceCollector
+from .critical_path import CriticalPath, critical_path
+from .events import EXECUTE, STALL_CATEGORIES, TRACE_SCHEMA_VERSION
+
+
+class TraceAnalysis:
+    """Everything the stall/critical-path report is built from."""
+
+    def __init__(self, collector: TraceCollector,
+                 path: CriticalPath):
+        self.collector = collector      # kept for the Chrome export
+        self.schema = TRACE_SCHEMA_VERSION
+        self.total_cycles = collector.total_cycles
+        self.core_finish = list(collector.core_finish)
+        self.core_table = collector.core_table()
+        self.class_table = collector.class_table()
+        self.thread_table = {thread: dict(stalls) for thread, stalls
+                             in sorted(collector.threads.items())}
+        self.stall_totals = collector.stall_totals()
+        self.top_stall_reason, self.top_stall_cycles = \
+            collector.top_stall()
+        self.critical_path = path
+        self.events_recorded = len(collector.events)
+        self.events_dropped = collector.events.dropped
+        self.queue_peak = dict(collector.queue_peak)
+        self.cache_stats = dict(collector.cache_stats)
+        self.comm_stats = dict(collector.comm_stats)
+
+    def summary(self) -> Dict[str, object]:
+        """The compact, JSON-able digest carried on API results and
+        bench metrics."""
+        return {
+            "schema": self.schema,
+            "total_cycles": self.total_cycles,
+            "events_recorded": self.events_recorded,
+            "events_dropped": self.events_dropped,
+            "critical_path_cycles": self.critical_path.length,
+            "critical_path_instructions":
+                self.critical_path.instructions,
+            "critical_path_truncated": self.critical_path.truncated,
+            "critical_path_edge_totals": {
+                kind: cycles for kind, cycles
+                in sorted(self.critical_path.edge_totals.items())
+                if cycles},
+            "top_stall_reason": self.top_stall_reason,
+            "top_stall_cycles": self.top_stall_cycles,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        data = self.summary()
+        data.update({
+            "core_finish": self.core_finish,
+            "cores": {str(core): row for core, row
+                      in self.core_table.items()},
+            "threads": {str(thread): row for thread, row
+                        in self.thread_table.items()},
+            "op_classes": self.class_table,
+            "stall_totals": self.stall_totals,
+            "queue_peak": {str(queue): depth for queue, depth
+                           in sorted(self.queue_peak.items())},
+            "cache_stats": self.cache_stats,
+            "comm_stats": self.comm_stats,
+            "critical_path": self.critical_path.as_dict(),
+        })
+        return data
+
+
+def analyze(collector: TraceCollector) -> TraceAnalysis:
+    """Verify and analyze a finished collector."""
+    collector.verify()
+    path = critical_path(collector.events)
+    return TraceAnalysis(collector, path)
+
+
+def _format_row(cells) -> str:
+    return "| " + " | ".join(cells) + " |"
+
+
+def stall_report_markdown(analysis: TraceAnalysis) -> str:
+    """The human-readable stall-attribution + critical-path report."""
+    lines = ["# Trace report", ""]
+    lines.append("- schema: `%s`" % analysis.schema)
+    lines.append("- total simulated cycles: **%.0f**"
+                 % analysis.total_cycles)
+    lines.append("- events: %d recorded, %d dropped (ring bound)"
+                 % (analysis.events_recorded, analysis.events_dropped))
+    lines.append("- top stall reason: **%s** (%.1f cycles)"
+                 % (analysis.top_stall_reason,
+                    analysis.top_stall_cycles))
+    lines.append("")
+
+    lines.append("## Per-core stall attribution (cycles)")
+    lines.append("")
+    header = ["core", EXECUTE] + list(STALL_CATEGORIES) + \
+        ["total", "finish"]
+    lines.append(_format_row(header))
+    lines.append(_format_row(["---"] * len(header)))
+    for core, row in analysis.core_table.items():
+        cells = ["%d" % core, "%.0f" % row[EXECUTE]]
+        cells += ["%.1f" % row[category]
+                  for category in STALL_CATEGORIES]
+        cells += ["%.1f" % row["total"], "%.0f" % row["finish"]]
+        lines.append(_format_row(cells))
+    lines.append("")
+
+    lines.append("## Per-thread stall attribution (cycles)")
+    lines.append("")
+    header = ["thread"] + list(STALL_CATEGORIES)
+    lines.append(_format_row(header))
+    lines.append(_format_row(["---"] * len(header)))
+    for thread, stalls in analysis.thread_table.items():
+        cells = ["%d" % thread]
+        cells += ["%.1f" % stalls[category]
+                  for category in STALL_CATEGORIES]
+        lines.append(_format_row(cells))
+    lines.append("")
+
+    lines.append("## Per-opcode-class stall attribution (cycles)")
+    lines.append("")
+    header = ["class", "count"] + list(STALL_CATEGORIES)
+    lines.append(_format_row(header))
+    lines.append(_format_row(["---"] * len(header)))
+    for op_class, row in analysis.class_table.items():
+        cells = [op_class, "%.0f" % row["count"]]
+        cells += ["%.1f" % row[category]
+                  for category in STALL_CATEGORIES]
+        lines.append(_format_row(cells))
+    lines.append("")
+
+    if analysis.queue_peak:
+        lines.append("## SA queue peak occupancy")
+        lines.append("")
+        lines.append(_format_row(["queue", "peak depth"]))
+        lines.append(_format_row(["---", "---"]))
+        for queue, depth in sorted(analysis.queue_peak.items()):
+            lines.append(_format_row(["%d" % queue, "%d" % depth]))
+        lines.append("")
+
+    if analysis.cache_stats:
+        lines.append("## Cache counters")
+        lines.append("")
+        lines.append(_format_row(["counter", "value"]))
+        lines.append(_format_row(["---", "---"]))
+        for key in sorted(analysis.cache_stats):
+            lines.append(_format_row(
+                [key, "%d" % analysis.cache_stats[key]]))
+        lines.append("")
+
+    lines.append("## Dynamic critical path")
+    lines.append("")
+    lines.append("```")
+    lines.append(analysis.critical_path.describe())
+    lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def stall_report_json(analysis: TraceAnalysis,
+                      indent: Optional[int] = 2) -> str:
+    return json.dumps(analysis.to_dict(), indent=indent,
+                      sort_keys=True)

@@ -68,9 +68,13 @@ def register(workload: Workload) -> Workload:
     return workload
 
 
+#: Convenience aliases: benchmark family name -> registered kernel.
+_ALIASES = {"adpcm": "adpcmdec"}
+
+
 def get_workload(name: str) -> Workload:
     _ensure_loaded()
-    return _REGISTRY[name]
+    return _REGISTRY[_ALIASES.get(name, name)]
 
 
 def all_workloads() -> List[Workload]:

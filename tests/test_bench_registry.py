@@ -27,11 +27,12 @@ EXPECTED_SPECS = [
     "profile_sensitivity",
     "region_selection",
     "scheduler_interaction",
+    "trace_attribution",
 ]
 
 
 class TestRegistry:
-    def test_all_sixteen_specs_registered(self):
+    def test_all_seventeen_specs_registered(self):
         assert spec_ids() == EXPECTED_SPECS
 
     def test_every_spec_is_complete(self):

@@ -71,3 +71,50 @@ class TestFindDivergence:
         divergence = find_divergence_truncating(f, mt, args, memory,
                                                 max_steps=50_000)
         assert divergence is not None
+
+
+class TestDeadlockRecentEvents:
+    def test_report_carries_functional_step_tail(self):
+        """A deadlock report includes the last functional steps before
+        progress stopped — the context that makes a crossed
+        produce/consume immediately legible."""
+        from repro.debug import trace_mt
+        from .mt_utils import build_crossed_deadlock
+        mt_trace = trace_mt(build_crossed_deadlock(), max_steps=10_000)
+        report = mt_trace.deadlock
+        assert report is not None
+        assert report.recent_events
+        # Both threads got to run their movi before wedging on consume.
+        threads_seen = {event.thread for event in report.recent_events}
+        assert threads_seen == {0, 1}
+        text = report.describe()
+        assert "before the stall" in text
+        assert "step" in text
+
+    def test_recent_events_window_is_bounded(self):
+        from repro.debug import RECENT_EVENT_CAPACITY, trace_mt
+        from .helpers import build_memory_loop
+        from .mt_utils import make_mt, round_robin_partition
+        from repro.ir import Opcode
+        f = build_memory_loop()
+        mt = make_mt(f, round_robin_partition(f, 2))
+        for thread in mt.threads:
+            for block in thread.blocks:
+                new = [i for i in block.instructions
+                       if i.op is not Opcode.PRODUCE]
+                if len(new) != len(block.instructions):
+                    block.instructions = new
+                    break
+            else:
+                continue
+            break
+        mt_trace = trace_mt(mt, {"r_n": 12},
+                            {"arr_in": list(range(12))},
+                            max_steps=100_000)
+        report = mt_trace.deadlock
+        assert report is not None
+        assert 0 < len(report.recent_events) <= RECENT_EVENT_CAPACITY
+        # describe() shows only the tail, not the whole window.
+        tail_lines = [line for line in report.describe().splitlines()
+                      if line.startswith("    ")]
+        assert len(tail_lines) <= 8

@@ -1,0 +1,105 @@
+"""Tests for the Chrome Trace Format export: the JSON object format
+with per-core tracks, SA occupancy counter tracks, and required keys —
+the shape Perfetto/`chrome://tracing` load."""
+
+import json
+
+import pytest
+
+from repro.analysis import build_pdg
+from repro.interp import run_function
+from repro.machine import DEFAULT_CONFIG, simulate_program
+from repro.mtcg import generate
+from repro.partition.dswp import DSWPPartitioner
+from repro.trace import (TRACE_SCHEMA_VERSION, TraceCollector,
+                         chrome_trace, write_chrome_trace)
+
+from ._pipeline_fixture import build_pipeline_loop
+
+
+@pytest.fixture(scope="module")
+def traced():
+    f = build_pipeline_loop()
+    args = {"r_n": 80}
+    profile = run_function(f, args).profile
+    pdg = build_pdg(f)
+    p = DSWPPartitioner().partition(f, pdg, profile, 2)
+    mt = generate(f, pdg, p, None)
+    collector = TraceCollector()
+    simulate_program(mt, args, config=DEFAULT_CONFIG.for_dswp(),
+                     tracer=collector)
+    return collector
+
+
+@pytest.fixture(scope="module")
+def document(traced):
+    return chrome_trace(traced)
+
+
+class TestChromeTrace:
+    def test_object_format_top_level(self, document):
+        assert isinstance(document, dict)
+        assert isinstance(document["traceEvents"], list)
+        assert document["displayTimeUnit"]
+        other = document["otherData"]
+        assert other["schema"] == TRACE_SCHEMA_VERSION
+
+    def test_complete_events_have_required_keys(self, document, traced):
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(traced.events)
+        for event in xs:
+            for key in ("name", "ph", "ts", "dur", "pid", "tid", "cat"):
+                assert key in event
+            assert event["dur"] > 0          # Perfetto drops 0-width
+            assert event["ts"] >= 0
+
+    def test_one_named_track_per_core(self, document):
+        names = {(e["pid"]): e["args"]["name"]
+                 for e in document["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        x_pids = {e["pid"] for e in document["traceEvents"]
+                  if e["ph"] == "X"}
+        assert x_pids  # both cores issued work
+        assert x_pids <= set(names)
+        for pid in x_pids:
+            assert "core" in names[pid]
+
+    def test_sa_counter_track_on_dedicated_pid(self, document):
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert counters, "MT run must emit SA occupancy counters"
+        x_pids = {e["pid"] for e in document["traceEvents"]
+                  if e["ph"] == "X"}
+        counter_pids = {e["pid"] for e in counters}
+        # Counters live on their own process, above every core pid.
+        assert counter_pids.isdisjoint(x_pids)
+        for event in counters:
+            assert "depth" in event["args"]
+            assert event["args"]["depth"] >= 0
+
+    def test_other_data_counts_match(self, document, traced):
+        other = document["otherData"]
+        assert other["events_recorded"] == len(traced.events)
+        assert other["events_dropped"] == traced.events.dropped
+        assert other["total_cycles"] == traced.total_cycles
+
+    def test_write_is_valid_json(self, traced, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), traced)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["traceEvents"]
+
+    def test_checker_tool_accepts_the_export(self, traced, tmp_path):
+        """The CI trace-smoke validator passes on a real export."""
+        import os
+        import subprocess
+        import sys
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), traced)
+        tool = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "tools", "check_trace_smoke.py")
+        proc = subprocess.run(
+            [sys.executable, tool, str(path), "--expect-counters"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "PASS" in proc.stdout
