@@ -1,0 +1,84 @@
+"""TOPO-E1: topology-aware thread scaling (flat vs clustered machines).
+
+The papers evaluate a flat dual-core CMP whose synchronization array is
+equidistant from every core.  This extension experiment scales both
+techniques across the machine-topology presets — flat quads against the
+clustered ``quad-2x2``/``octa-hier`` machines whose inter-cluster
+crossings cost extra cycles — and compares the ``identity`` and
+``affinity`` thread placers on the clustered quad.
+
+Metric extraction lives in the ``topology_scaling`` spec
+(:mod:`repro.bench.specs.scaling`).
+"""
+
+from harness import run_once
+
+from repro.bench import FULL, get_spec
+from repro.bench.specs.scaling import (PLACER_TOPOLOGY, SCALING_BENCHES,
+                                       TECHNIQUES, TOPOLOGY_CURVE,
+                                       curve_threads)
+from repro.report import table
+
+
+def _metrics(benchmark):
+    return run_once(
+        benchmark, lambda: get_spec("topology_scaling").collect(FULL))
+
+
+def test_topology_scaling_curves(benchmark):
+    metrics = _metrics(benchmark)
+    rows = []
+    for technique in TECHNIQUES:
+        for name in SCALING_BENCHES[:1]:
+            for preset in TOPOLOGY_CURVE:
+                entry = [technique, preset]
+                for threads in (1, 2, 4, 8):
+                    key = "mt_cycles/%s/%s/%s/%dt" % (technique, name,
+                                                      preset, threads)
+                    entry.append("%.0f" % metrics[key].value
+                                 if key in metrics else "-")
+                rows.append(entry)
+    print()
+    print(table(["technique", "topology", "1T", "2T", "4T", "8T"], rows,
+                title="TOPO-E1: MT cycles across machine topologies"))
+    for technique in TECHNIQUES:
+        for name in SCALING_BENCHES[:1]:
+            for preset in TOPOLOGY_CURVE:
+                # The single-thread run never crosses clusters: its
+                # cycles must match on every preset (the flat papers'
+                # machine is the 1-cluster special case).
+                assert metrics["mt_cycles/%s/%s/%s/1t"
+                               % (technique, name, preset)].value \
+                    == metrics["mt_cycles/%s/%s/%s/1t"
+                               % (technique, name,
+                                  TOPOLOGY_CURVE[0])].value
+                for threads in curve_threads(preset):
+                    assert metrics["mt_cycles/%s/%s/%s/%dt"
+                                   % (technique, name, preset,
+                                      threads)].value > 0
+
+
+def test_affinity_placer_never_loses(benchmark):
+    """The affinity placer falls back to the identity placement unless
+    its estimated crossing cost strictly improves, so on the clustered
+    quad it must never produce more cycles than identity."""
+    metrics = _metrics(benchmark)
+    rows = []
+    for technique in TECHNIQUES:
+        for name in SCALING_BENCHES[:1]:
+            identity = metrics["placer_cycles/%s/%s/identity"
+                               % (technique, name)].value
+            affinity = metrics["placer_cycles/%s/%s/affinity"
+                               % (technique, name)].value
+            gain = metrics["placer_gain/%s/%s" % (technique, name)].value
+            rows.append((technique, name, "%.0f" % identity,
+                         "%.0f" % affinity, "%.0f" % gain))
+            assert affinity <= identity
+            assert gain == identity - affinity
+    print()
+    print(table(["technique", "benchmark", "identity", "affinity",
+                 "gain"], rows,
+                title="TOPO-E1b: thread placers on %s" % PLACER_TOPOLOGY))
+    # At least one clustered cell must actually improve under the
+    # affinity placer (the tentpole's acceptance bar).
+    assert any(float(row[4]) > 0 for row in rows)

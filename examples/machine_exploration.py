@@ -30,7 +30,7 @@ def main() -> None:
         function = normalize(workload.build())
         profile = run_function(function, train.args, train.memory).profile
         pdg = build_pdg(function)
-        config = DEFAULT_CONFIG.for_dswp().with_threads(n_threads)
+        config = DEFAULT_CONFIG.for_dswp().with_cores(n_threads)
         partition = DSWPPartitioner(config).partition(function, pdg,
                                                       profile, n_threads)
         program = generate(function, pdg, partition)

@@ -21,16 +21,18 @@ of ``DeprecationWarning`` shims behind.
 """
 
 from .facade import (ArtifactCache, CacheStats, Evaluation,
-                     LatencyHistogram, MatrixCell, Parallelization,
-                     TECHNIQUES, Telemetry, all_workloads, build_cells,
-                     configure_cache, default_cache_dir, digest, evaluate,
-                     evaluate_many, evaluate_matrix, evaluate_workload,
+                     LatencyHistogram, MatrixCell, PLACERS,
+                     Parallelization, TECHNIQUES, TOPOLOGIES, Telemetry,
+                     all_workloads, build_cells, configure_cache,
+                     default_cache_dir, digest, evaluate, evaluate_many,
+                     evaluate_matrix, evaluate_workload,
                      fingerprint_config, fingerprint_function,
                      fingerprint_inputs, fingerprint_profile, get_cache,
-                     get_workload, global_telemetry, make_partitioner,
-                     normalize, parallelize, pool_payload,
-                     reset_global_telemetry, run_cell_payload,
-                     technique_config, workload_names)
+                     get_topology, get_workload, global_telemetry,
+                     make_partitioner, normalize, parallelize,
+                     pool_payload, reset_global_telemetry,
+                     run_cell_payload, technique_config, topology_names,
+                     workload_names)
 from .types import (ALIAS_MODES, API_SCHEMA_VERSION, LOCAL_SCHEDULES,
                     SCALES, EvaluateRequest, EvaluateResult,
                     RequestValidationError)
@@ -45,6 +47,8 @@ __all__ = [
     "MatrixCell", "build_cells", "evaluate_matrix",
     "pool_payload", "run_cell_payload",
     "TECHNIQUES", "make_partitioner", "normalize", "technique_config",
+    # machine topology / placement registries
+    "TOPOLOGIES", "get_topology", "topology_names", "PLACERS",
     # infrastructure
     "ArtifactCache", "CacheStats", "configure_cache",
     "default_cache_dir", "get_cache",

@@ -18,6 +18,8 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 # Re-exported pipeline surface (the facade's stability boundary).
+from ..machine.placement import PLACERS
+from ..machine.topology import TOPOLOGIES, get_topology, topology_names
 from ..pipeline.cache import (ArtifactCache, CacheStats, configure_cache,
                               default_cache_dir, get_cache)
 from ..pipeline.core import (Evaluation, Parallelization,
@@ -46,6 +48,7 @@ __all__ = [
     "MatrixCell", "build_cells", "evaluate_matrix",
     "pool_payload", "run_cell_payload",
     "TECHNIQUES", "make_partitioner", "normalize", "technique_config",
+    "TOPOLOGIES", "get_topology", "topology_names", "PLACERS",
     "LatencyHistogram", "Telemetry", "global_telemetry",
     "reset_global_telemetry",
     "all_workloads", "get_workload", "workload_names",
@@ -64,7 +67,8 @@ def evaluate(request: EvaluateRequest,
         alias_mode=request.alias_mode,
         local_schedule=request.local_schedule,
         mt_check=request.mt_check, telemetry=telemetry,
-        trace=request.trace)
+        trace=request.trace, topology=request.topology,
+        placer=request.placer)
     return EvaluateResult.from_evaluation(request, evaluation)
 
 

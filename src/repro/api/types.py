@@ -51,6 +51,8 @@ class EvaluateRequest:
     mt_check: bool = False
     check: bool = True
     trace: bool = False
+    topology: Optional[str] = None
+    placer: str = "identity"
     schema_version: str = API_SCHEMA_VERSION
 
     # -- validation --------------------------------------------------------
@@ -95,6 +97,22 @@ class EvaluateRequest:
                 raise RequestValidationError(
                     "%s must be a boolean, got %r"
                     % (name, getattr(self, name)))
+        from ..machine.placement import PLACERS
+        from ..machine.topology import TOPOLOGIES
+        if self.topology is not None:
+            if self.topology not in TOPOLOGIES:
+                raise RequestValidationError(
+                    "unknown topology %r (use one of %s)"
+                    % (self.topology, ", ".join(sorted(TOPOLOGIES))))
+            preset = TOPOLOGIES[self.topology]
+            if self.n_threads > preset.n_cores:
+                raise RequestValidationError(
+                    "n_threads=%d exceeds topology %r (%d cores)"
+                    % (self.n_threads, self.topology, preset.n_cores))
+        if self.placer not in PLACERS:
+            raise RequestValidationError(
+                "unknown placer %r (use one of %s)"
+                % (self.placer, ", ".join(PLACERS)))
         return self
 
     # -- conversions -------------------------------------------------------
@@ -102,7 +120,8 @@ class EvaluateRequest:
     def cell(self) -> MatrixCell:
         return MatrixCell(self.workload, self.technique, self.coco,
                           self.n_threads, self.scale, self.alias_mode,
-                          self.local_schedule, self.mt_check)
+                          self.local_schedule, self.mt_check,
+                          self.topology, self.placer)
 
     @classmethod
     def from_cell(cls, cell: MatrixCell,
@@ -111,7 +130,8 @@ class EvaluateRequest:
                    coco=cell.coco, n_threads=cell.n_threads,
                    scale=cell.scale, alias_mode=cell.alias_mode,
                    local_schedule=cell.local_schedule,
-                   mt_check=cell.mt_check, check=check)
+                   mt_check=cell.mt_check, check=check,
+                   topology=cell.topology, placer=cell.placer)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "EvaluateRequest":

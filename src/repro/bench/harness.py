@@ -32,14 +32,16 @@ def clear_memo() -> None:
 
 def evaluation(name: str, technique: str, coco: bool = False,
                n_threads: int = 2, scale: str = "ref",
-               alias_mode: str = "annotated") -> Evaluation:
+               alias_mode: str = "annotated", topology=None,
+               placer: str = "identity") -> Evaluation:
     """The memoized full-methodology evaluation of one matrix cell."""
     cell = MatrixCell(name, technique, coco, n_threads, scale,
-                      alias_mode)
+                      alias_mode, topology=topology, placer=placer)
     if cell not in _MEMO:
         _MEMO[cell] = evaluate_workload(
             get_workload(name), technique=technique, coco=coco,
-            n_threads=n_threads, scale=scale, alias_mode=alias_mode)
+            n_threads=n_threads, scale=scale, alias_mode=alias_mode,
+            topology=topology, placer=placer)
     return _MEMO[cell]
 
 

@@ -1,7 +1,7 @@
 """Spec definitions, one module per experiment family.  Importing this
 package registers every spec with :mod:`repro.bench.spec`."""
 
-from . import ablations, hostperf, paper, trace  # noqa: F401
+from . import ablations, hostperf, paper, scaling, trace  # noqa: F401
 
 #: Every spec id, grouped the way the benchmarks/ directory is.
 FAMILIES = {
@@ -14,4 +14,5 @@ FAMILIES = {
                   "overhead_breakdown"],
     "hostperf": ["compile_time"],
     "trace": ["trace_attribution"],
+    "scaling": ["topology_scaling"],
 }

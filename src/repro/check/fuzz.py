@@ -151,7 +151,7 @@ def _evaluate_cell(sketch: ProgramSketch, cell: _Cell,
     profile_result = run_function(function, cell.args)
     pdg = build_pdg(function)
     if cell.technique is not None:
-        config = technique_config(cell.technique).with_threads(
+        config = technique_config(cell.technique).with_cores(
             cell.n_threads)
         partition = make_partitioner(cell.technique, config).partition(
             function, pdg, profile_result.profile, cell.n_threads)

@@ -50,10 +50,10 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .api import (TECHNIQUES, build_cells, configure_cache,
-                  evaluate_matrix, evaluate_workload, get_cache,
-                  global_telemetry, normalize, parallelize,
-                  reset_global_telemetry)
+from .api import (PLACERS, TECHNIQUES, TOPOLOGIES, build_cells,
+                  configure_cache, evaluate_matrix, evaluate_workload,
+                  get_cache, get_topology, global_telemetry, normalize,
+                  parallelize, reset_global_telemetry)
 from .ir.printer import format_function
 from .machine.config import config_table
 from .report import table
@@ -91,7 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_parent = _jobs_parent()
 
     sub.add_parser("list", help="list the benchmark workloads")
-    sub.add_parser("machine", help="print the machine configuration")
+    machine = sub.add_parser("machine",
+                             help="print the machine configuration")
+    machine.add_argument("--topology", default=None,
+                         choices=sorted(TOPOLOGIES),
+                         help="print the table for this topology preset "
+                              "(default: the papers' flat dual-core)")
 
     run = sub.add_parser("run", help="parallelize one workload",
                          parents=[cache_parent])
@@ -190,6 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="event ring capacity (default 1,000,000; "
                             "older events are dropped, aggregates stay "
                             "exact)")
+    trace.add_argument("--topology", default=None,
+                       choices=sorted(TOPOLOGIES),
+                       help="machine-topology preset (default: flat "
+                            "cores sized to --threads)")
+    trace.add_argument("--placer", default="identity", choices=PLACERS,
+                       help="thread->core placement policy "
+                            "(default: %(default)s)")
 
     report = sub.add_parser(
         "report", help="regenerate the EXPERIMENTS.md headline table "
@@ -252,6 +264,13 @@ def _common_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--check", action="store_true",
                      help="run the static MT validators over every "
                           "generated program (the pipeline check stage)")
+    sub.add_argument("--topology", default=None,
+                     choices=sorted(TOPOLOGIES),
+                     help="machine-topology preset (default: flat cores "
+                          "sized to --threads, the papers' machine)")
+    sub.add_argument("--placer", default="identity", choices=PLACERS,
+                     help="thread->core placement policy "
+                          "(default: %(default)s)")
 
 
 def _apply_cache_options(args) -> None:
@@ -286,7 +305,8 @@ def _run_one(args) -> int:
                            n_threads=args.threads, coco=args.coco,
                            scale=args.scale, alias_mode=args.alias_mode,
                            local_schedule=args.schedule,
-                           mt_check=args.check)
+                           mt_check=args.check, topology=args.topology,
+                           placer=args.placer)
     rows = [
         ("single-threaded cycles", "%.0f" % ev.st_result.cycles),
         ("multi-threaded cycles", "%.0f" % ev.mt_result.cycles),
@@ -322,7 +342,7 @@ def _dump(args) -> int:
                          profile_args=train.args,
                          profile_memory=train.memory,
                          alias_mode=args.alias_mode, normalized=True,
-                         mt_check=args.check)
+                         mt_check=args.check, topology=args.topology)
     for index, thread in enumerate(result.program.threads):
         print("; ===== thread %d =====" % index)
         print(format_function(thread))
@@ -340,7 +360,8 @@ def _trace(args) -> int:
     ev = evaluate_workload(workload, technique=args.partitioner,
                            n_threads=args.threads, coco=args.coco,
                            scale=args.scale, trace=True,
-                           trace_limit=args.limit)
+                           trace_limit=args.limit,
+                           topology=args.topology, placer=args.placer)
     analysis = ev.trace
     write_chrome_trace(args.out, analysis.collector)
     print("wrote %s (%d events, %d dropped; %.0f simulated cycles)"
@@ -371,7 +392,8 @@ def _sweep(args) -> int:
                         coco=(args.coco,), n_threads=(args.threads,),
                         scale=args.scale, alias_mode=args.alias_mode,
                         local_schedule=args.schedule,
-                        mt_check=args.check)
+                        mt_check=args.check, topology=args.topology,
+                        placer=args.placer)
     evaluations = evaluate_matrix(cells, jobs=args.jobs)
     rows = []
     speedups = {technique: [] for technique in techniques}
@@ -559,7 +581,7 @@ def _dot(args) -> int:
                          profile_args=train.args,
                          profile_memory=train.memory,
                          alias_mode=args.alias_mode, normalized=True,
-                         mt_check=args.check)
+                         mt_check=args.check, topology=args.topology)
     if args.what == "pdg":
         print(pdg_to_dot(result.pdg, result.partition))
     elif args.what == "threads":
@@ -584,7 +606,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(benchmark_table())
         return 0
     if args.command == "machine":
-        print(config_table())
+        if args.topology is not None:
+            import dataclasses
+
+            from .machine.config import DEFAULT_CONFIG
+            preset = get_topology(args.topology)
+            print(config_table(dataclasses.replace(
+                DEFAULT_CONFIG, topology=preset,
+                n_cores=preset.n_cores)))
+        else:
+            print(config_table())
         return 0
     if args.command == "run":
         return _run_one(args)

@@ -1,15 +1,26 @@
-"""The CMP machine model: functional MT simulation and the timing model."""
+"""The CMP machine model: topology, placement, functional MT simulation,
+and the timing model."""
 
 from .cache import CacheLevel, MemoryHierarchy
 from .config import DEFAULT_CONFIG, CacheConfig, MachineConfig, config_table
 from .functional import (DeadlockError, FifoQueues, MTExecutionLimitExceeded,
                          MTRunResult, run_mt_program)
-from .timing import (TimedResult, simulate_program, simulate_single,
-                     simulate_threads)
+from .placement import (PLACERS, Placement, PlacementError,
+                        affinity_placement, identity_placement,
+                        make_placement, thread_affinity)
+from .timing import (TimedResult, queue_crossing_penalties, simulate_program,
+                     simulate_single, simulate_threads)
+from .topology import (TOPOLOGIES, Topology, TopologyError, get_topology,
+                       topology_names)
 
 __all__ = [
     "CacheLevel", "MemoryHierarchy", "DEFAULT_CONFIG", "CacheConfig",
     "MachineConfig", "config_table", "DeadlockError", "FifoQueues",
     "MTExecutionLimitExceeded", "MTRunResult", "run_mt_program",
     "TimedResult", "simulate_program", "simulate_single", "simulate_threads",
+    "queue_crossing_penalties",
+    "TOPOLOGIES", "Topology", "TopologyError", "get_topology",
+    "topology_names",
+    "PLACERS", "Placement", "PlacementError", "make_placement",
+    "identity_placement", "affinity_placement", "thread_affinity",
 ]

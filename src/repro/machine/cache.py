@@ -64,17 +64,36 @@ class CacheLevel:
 
 
 class MemoryHierarchy:
-    """Per-core L1/L2 plus shared L3; write-invalidate between cores."""
+    """Per-core L1/L2 plus shared L3; write-invalidate between cores.
+
+    The L3 is split into the topology's cache-sharing domains — one
+    global level on any ``shared_l3`` (or flat) machine, one per cluster
+    otherwise.  Coherence stays global: a store invalidates every other
+    core's private copies regardless of domain."""
 
     def __init__(self, config: MachineConfig):
         self.config = config
-        self.l1 = [CacheLevel(config.l1d) for _ in range(config.n_cores)]
-        self.l2 = [CacheLevel(config.l2) for _ in range(config.n_cores)]
-        self.l3 = CacheLevel(config.l3)
+        topo = config.resolve_topology()
+        self.n_cores = topo.n_cores
+        self.l1 = [CacheLevel(config.l1d) for _ in range(self.n_cores)]
+        self.l2 = [CacheLevel(config.l2) for _ in range(self.n_cores)]
+        domains = topo.cache_domains()
+        self.l3s = [CacheLevel(config.l3) for _ in domains]
+        self._domain_of = {core: index
+                           for index, domain in enumerate(domains)
+                           for core in domain}
         self.coherence_invalidations = 0
         # Level that served the most recent access ("l1"/"l2"/"l3"/"mem"
         # for reads, "store" for writes) — read by the tracer.
         self.last_level = "l1"
+
+    @property
+    def l3(self) -> CacheLevel:
+        """The single L3 of a one-domain (flat or shared-L3) machine."""
+        if len(self.l3s) != 1:
+            raise AttributeError(
+                "hierarchy has %d L3 domains; use l3s" % len(self.l3s))
+        return self.l3s[0]
 
     def _line_addresses(self, word_address: int) -> Tuple[int, int, int]:
         byte = word_address * self.config.word_bytes
@@ -87,14 +106,15 @@ class MemoryHierarchy:
         (stores return 1: write-buffered)."""
         l1_line, l2_line, l3_line = self._line_addresses(word_address)
 
+        l3 = self.l3s[self._domain_of[core]]
         if is_write:
             # Write-through L1: update L1 (write-allocate on hit only),
             # allocate in L2/L3, and invalidate every other core's copies.
             self.last_level = "store"
             self.l1[core].lookup(l1_line)
             self.l2[core].fill(l2_line)
-            self.l3.fill(l3_line)
-            for other in range(self.config.n_cores):
+            l3.fill(l3_line)
+            for other in range(self.n_cores):
                 if other == core:
                     continue
                 before = self._present(other, l1_line, l2_line)
@@ -111,12 +131,12 @@ class MemoryHierarchy:
             self.l1[core].fill(l1_line)
             self.last_level = "l2"
             return self.config.l2.hit_latency
-        if self.l3.lookup(l3_line):
+        if l3.lookup(l3_line):
             self.l2[core].fill(l2_line)
             self.l1[core].fill(l1_line)
             self.last_level = "l3"
             return self.config.l3.hit_latency
-        self.l3.fill(l3_line)
+        l3.fill(l3_line)
         self.l2[core].fill(l2_line)
         self.l1[core].fill(l1_line)
         self.last_level = "mem"
@@ -135,7 +155,7 @@ class MemoryHierarchy:
             "l1_misses": sum(c.misses for c in self.l1),
             "l2_hits": sum(c.hits for c in self.l2),
             "l2_misses": sum(c.misses for c in self.l2),
-            "l3_hits": self.l3.hits,
-            "l3_misses": self.l3.misses,
+            "l3_hits": sum(c.hits for c in self.l3s),
+            "l3_misses": sum(c.misses for c in self.l3s),
             "coherence_invalidations": self.coherence_invalidations,
         }

@@ -8,10 +8,12 @@ simulator and the partitioners' cost models.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from ..ir.instructions import Instruction, OpKind, Opcode
+from .topology import Topology
 
 
 @dataclass(frozen=True)
@@ -56,6 +58,11 @@ class MachineConfig:
     memory_latency: int = 141
     word_bytes: int = 8
 
+    # Explicit machine topology (clusters, per-cluster SA slices, L3
+    # domains).  ``None`` resolves to a flat single-cluster machine built
+    # from the scalar SA parameters above — exactly the papers' shape.
+    topology: Optional[Topology] = None
+
     # Operation latencies (cycles until the result is usable).
     op_latencies: Dict[Opcode, int] = field(default_factory=lambda: dict(
         _DEFAULT_LATENCIES))
@@ -68,8 +75,38 @@ class MachineConfig:
         """The DSWP configuration: 32-entry queues."""
         return replace(self, sa_queue_size=32)
 
-    def with_threads(self, n_cores: int) -> "MachineConfig":
+    def with_cores(self, n_cores: int) -> "MachineConfig":
+        """A copy with ``n_cores`` set.  How many of those cores a
+        program actually occupies is the placement stage's business
+        (:mod:`repro.machine.placement`) — this only sizes the machine."""
         return replace(self, n_cores=n_cores)
+
+    def with_threads(self, n_cores: int) -> "MachineConfig":
+        """Deprecated misnomer for :meth:`with_cores` — it always set
+        ``n_cores``, silently conflating threads with cores.  Shim
+        scheduled for removal one release after 1.3."""
+        warnings.warn(
+            "MachineConfig.with_threads() is deprecated; it sets n_cores "
+            "— use with_cores() (threads meet cores in the placement "
+            "stage; shim scheduled for removal one release after 1.3)",
+            DeprecationWarning, stacklevel=2)
+        return self.with_cores(n_cores)
+
+    def resolve_topology(self) -> Topology:
+        """The effective topology: the explicit one when set, else a
+        flat single-cluster machine of ``n_cores`` cores carrying this
+        config's scalar SA parameters (bit-for-bit the legacy model)."""
+        if self.topology is not None:
+            return self.topology
+        return Topology.flat(self.n_cores,
+                             sa_access_latency=self.sa_access_latency,
+                             sa_ports=self.sa_ports,
+                             sa_queues=self.sa_queues)
+
+    def crossing_cycles(self, core_a: int, core_b: int) -> int:
+        """Extra communication latency between two placed cores (zero on
+        any flat machine)."""
+        return self.resolve_topology().crossing(core_a, core_b)
 
     def port_kind(self, instruction: Instruction) -> str:
         """Which issue-port class an instruction occupies.  produce/consume
@@ -138,7 +175,14 @@ def config_table(config: MachineConfig = DEFAULT_CONFIG) -> str:
         ("Synch. Array", "%d queues, %d-entry, %d-cycle access, %d ports"
          % (config.sa_queues, config.sa_queue_size,
             config.sa_access_latency, config.sa_ports)),
+        ("Operand Network", "produce-to-consume: %d cycles"
+         % config.comm_latency),
+        ("Branch Handling", "%s predictor, mispredict: %d cycles, "
+         "taken-branch: %d cycle(s)"
+         % (config.branch_predictor, config.mispredict_penalty,
+            config.taken_branch_penalty)),
         ("Cores", str(config.n_cores)),
+        ("Topology", config.resolve_topology().summary()),
     ]
     width = max(len(label) for label, _ in rows)
     return "\n".join("%-*s | %s" % (width, label, text)

@@ -338,8 +338,17 @@ def simulate_threads(functions: Sequence[Function], exit_thread: int,
                      config: MachineConfig = DEFAULT_CONFIG,
                      n_queues: int = 0,
                      max_steps: int = 200_000_000,
-                     tracer=None) -> TimedResult:
-    """Co-simulate ``functions`` (one per core) functionally + in time.
+                     tracer=None,
+                     placement: Optional[Sequence[int]] = None,
+                     queue_crossing: Optional[Sequence[int]] = None
+                     ) -> TimedResult:
+    """Co-simulate ``functions`` (one per thread) functionally + in time.
+
+    ``placement`` maps thread index to core id of the machine's
+    topology (identity when omitted); each core arbitrates for its own
+    cluster's synchronization-array ports, and ``queue_crossing`` adds
+    the per-queue inter-cluster latency for channels whose placed
+    endpoints sit in different clusters (zeros on any flat machine).
 
     ``tracer`` (a :class:`repro.trace.TraceCollector`, or anything with
     its ``on_event`` / ``on_queue_depth`` / ``on_finish`` hooks) turns
@@ -351,14 +360,30 @@ def simulate_threads(functions: Sequence[Function], exit_thread: int,
     memory = make_memory(memory_owner, initial_memory)
     queues = TimedQueues(n_queues, config.sa_queue_size) if n_queues else None
     hierarchy = MemoryHierarchy(config)
-    sa_ports = SAPortSchedule(config.sa_ports)
+    topo = config.resolve_topology()
+    sa_latency = topo.sa_access_latency
+    cluster_ports = [SAPortSchedule(topo.sa_ports)
+                     for _ in range(topo.n_clusters)]
+    if placement is None:
+        placement = tuple(range(len(functions)))
+    if len(placement) < len(functions):
+        raise ValueError("placement covers %d threads, program has %d"
+                         % (len(placement), len(functions)))
 
     contexts: List[ThreadContext] = []
     cores: List[CoreTiming] = []
     for index, function in enumerate(functions):
         regs = bind_params(function, dict(args) if args else {})
         contexts.append(ThreadContext(function, regs, memory, queues))
-        cores.append(CoreTiming(index, config, sa_ports))
+        core_id = placement[index]
+        if not 0 <= core_id < topo.n_cores:
+            raise ValueError("thread %d placed on core %d outside "
+                             "topology %r (%d cores)"
+                             % (index, core_id, topo.name, topo.n_cores))
+        cores.append(CoreTiming(core_id, config,
+                                cluster_ports[topo.cluster_of(core_id)]))
+    if tracer is not None and hasattr(tracer, "on_topology"):
+        tracer.on_topology(topo.cluster_map())
 
     n = len(contexts)
     per_thread_instructions = [0] * n
@@ -368,9 +393,12 @@ def simulate_threads(functions: Sequence[Function], exit_thread: int,
     total_steps = 0
 
     while any(live):
-        if len(sa_ports.booked) > SAPortSchedule.PRUNE_THRESHOLD:
-            sa_ports.prune(min(cores[i].min_issue
-                               for i in range(n) if live[i]))
+        if any(len(schedule.booked) > SAPortSchedule.PRUNE_THRESHOLD
+               for schedule in cluster_ports):
+            watermark = min(cores[i].min_issue
+                            for i in range(n) if live[i])
+            for schedule in cluster_ports:
+                schedule.prune(watermark)
         progressed = False
         for index, context in enumerate(contexts):
             if not live[index]:
@@ -440,8 +468,9 @@ def simulate_threads(functions: Sequence[Function], exit_thread: int,
                     if result.status is StepStatus.BLOCKED:
                         break
                     t = core.find_issue_slot(0.0, "memory", True)
-                    data_ready = (queues.last_popped_time
-                                  + config.sa_access_latency)
+                    data_ready = queues.last_popped_time + sa_latency
+                    if queue_crossing is not None:
+                        data_ready += queue_crossing[instruction.queue]
                     if data_ready > t + 1:
                         core.operand_wait_cycles += data_ready - (t + 1)
                     available = max(float(t + 1), data_ready)
@@ -502,7 +531,14 @@ def simulate_threads(functions: Sequence[Function], exit_thread: int,
 
     live_outs = {register: contexts[exit_thread].regs.get(register)
                  for register in memory_owner.live_outs}
-    core_finish = [core.finish for core in cores]
+    # Indexed by *core id* (idle cores report 0.0), so stall attribution
+    # and per-core reporting stay exact under any placement.  With the
+    # identity placement on a machine sized to the thread count — every
+    # legacy call path — this is the per-thread list it always was.
+    core_finish = [0.0] * max(len(cores), max(placement[:n],
+                                              default=-1) + 1)
+    for core in cores:
+        core_finish[core.core_id] = core.finish
     comm_stats = {
         "backpressure_cycles": sum(c.backpressure_cycles for c in cores),
         "operand_wait_cycles": sum(c.operand_wait_cycles for c in cores),
@@ -607,18 +643,50 @@ def _time_plain_instruction(core: CoreTiming, hierarchy: MemoryHierarchy,
         core.complete(t + latency)
 
 
+def queue_crossing_penalties(program: MTProgram, config: MachineConfig,
+                             placement: Optional[Sequence[int]] = None
+                             ) -> Optional[List[int]]:
+    """Per-physical-queue inter-cluster latency under ``placement``
+    (identity by default): a channel whose placed producer and consumer
+    cores sit in different clusters pays the topology's crossing penalty
+    on every consume.  ``None`` on any flat machine — queue sharing only
+    ever pairs channels of one (producer, consumer) thread pair, so the
+    per-queue penalty is well defined."""
+    topo = config.resolve_topology()
+    if topo.n_clusters == 1 or not program.n_queues:
+        return None
+    if placement is None:
+        placement = tuple(range(program.n_threads))
+    penalties = [0] * program.n_queues
+    for channel in program.channels:
+        if channel.queue is None:
+            continue
+        crossing = topo.crossing(placement[channel.source_thread],
+                                 placement[channel.target_thread])
+        penalties[channel.queue] = max(penalties[channel.queue], crossing)
+    return penalties
+
+
 def simulate_program(program: MTProgram,
                      args: Optional[Mapping[str, object]] = None,
                      initial_memory: Optional[Mapping[str, object]] = None,
                      config: MachineConfig = DEFAULT_CONFIG,
                      max_steps: int = 200_000_000,
-                     tracer=None) -> TimedResult:
-    """Timed simulation of MTCG output on ``len(threads)`` cores."""
-    config = config.with_threads(max(program.n_threads, 1))
+                     tracer=None,
+                     placement=None) -> TimedResult:
+    """Timed simulation of MTCG output.  ``placement`` (a
+    :class:`~repro.machine.placement.Placement` or a raw thread->core
+    sequence) selects the cores; identity on a machine sized to the
+    thread count otherwise."""
+    cores = getattr(placement, "cores", placement)
+    if config.topology is None:
+        config = config.with_cores(max(program.n_threads, 1))
     return simulate_threads(program.threads, program.exit_thread,
                             program.original, args, initial_memory, config,
                             n_queues=program.n_queues, max_steps=max_steps,
-                            tracer=tracer)
+                            tracer=tracer, placement=cores,
+                            queue_crossing=queue_crossing_penalties(
+                                program, config, cores))
 
 
 def simulate_single(function: Function,
@@ -628,7 +696,8 @@ def simulate_single(function: Function,
                     max_steps: int = 200_000_000,
                     tracer=None) -> TimedResult:
     """Timed simulation of the original single-threaded code on one core."""
-    config = config.with_threads(1)
+    if config.topology is None:
+        config = config.with_cores(1)
     return simulate_threads([function], 0, function, args, initial_memory,
                             config, n_queues=0, max_steps=max_steps,
                             tracer=tracer)

@@ -1,0 +1,198 @@
+"""Machine topology: clustered N-core CMPs with per-cluster
+synchronization arrays.
+
+The papers evaluate a flat dual-core CMP: every core reaches one shared
+synchronization array at a uniform latency.  Scaling the machine model
+beyond two cores (the ROADMAP's "N-core hierarchical CMPs" item) makes
+that shape a special case of a :class:`Topology` — cores grouped into
+*clusters*, each cluster owning a synchronization-array slice
+(``sa_access_latency`` / ``sa_ports`` / ``sa_queues``) and an L3 cache
+domain, with an ``inter_cluster_latency`` penalty charged whenever a
+value crosses clusters.  Communication cost therefore depends on *where*
+threads are placed, not just how many there are (cf. Thibault's
+hierarchical-machine scheduling and Papp et al.'s "increasingly
+realistic models" in PAPERS.md).
+
+A single-cluster topology is exactly the papers' machine: one port
+schedule, one L3, zero crossing penalties.  ``MachineConfig`` resolves a
+missing ``topology`` field to such a flat topology built from its own
+scalar SA parameters, which keeps every committed dual-core cycle count
+bit-for-bit unchanged.
+
+Named presets live in :data:`TOPOLOGIES`; ``paper-dual`` is the default
+machine of the papers, the others scale it to 4 and 8 cores, flat and
+clustered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class TopologyError(ValueError):
+    """The topology description is malformed."""
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A clustered CMP: ``clusters[i]`` is the tuple of core ids in
+    cluster ``i``.  Every cluster owns one synchronization-array slice
+    (``sa_ports`` per-cycle port budget, ``sa_queues`` physical queues,
+    ``sa_access_latency`` cycles per access) and — unless ``shared_l3``
+    — one L3 cache domain.  ``inter_cluster_latency`` is the extra
+    producer-to-consumer latency when a value crosses clusters."""
+
+    name: str
+    clusters: Tuple[Tuple[int, ...], ...]
+    sa_access_latency: int = 1
+    sa_ports: int = 4
+    sa_queues: int = 256
+    inter_cluster_latency: int = 0
+    shared_l3: bool = True
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> "Topology":
+        if not self.clusters or any(not cluster
+                                    for cluster in self.clusters):
+            raise TopologyError("topology %r needs at least one core per "
+                                "cluster" % (self.name,))
+        cores = [core for cluster in self.clusters for core in cluster]
+        if sorted(cores) != list(range(len(cores))):
+            raise TopologyError(
+                "topology %r must cover core ids 0..%d exactly once, got "
+                "%s" % (self.name, len(cores) - 1, sorted(cores)))
+        for field_name in ("sa_access_latency", "sa_ports", "sa_queues"):
+            if getattr(self, field_name) < 1:
+                raise TopologyError("topology %r: %s must be >= 1"
+                                    % (self.name, field_name))
+        if self.inter_cluster_latency < 0:
+            raise TopologyError("topology %r: inter_cluster_latency must "
+                                "be >= 0" % (self.name,))
+        if len(self.clusters) == 1 and self.inter_cluster_latency:
+            raise TopologyError(
+                "topology %r: a single cluster cannot carry an "
+                "inter-cluster penalty" % (self.name,))
+        return self
+
+    # -- structure queries -------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        return sum(len(cluster) for cluster in self.clusters)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster_of(self, core: int) -> int:
+        """Cluster index owning ``core``."""
+        for index, cluster in enumerate(self.clusters):
+            if core in cluster:
+                return index
+        raise TopologyError("core %d outside topology %r (%d cores)"
+                            % (core, self.name, self.n_cores))
+
+    def cluster_map(self) -> Dict[int, int]:
+        """``{core id: cluster index}`` over every core."""
+        return {core: index
+                for index, cluster in enumerate(self.clusters)
+                for core in cluster}
+
+    def crossing(self, core_a: int, core_b: int) -> int:
+        """Extra communication cycles between two placed cores: zero
+        within a cluster, ``inter_cluster_latency`` across clusters."""
+        if self.n_clusters == 1:
+            return 0
+        if self.cluster_of(core_a) == self.cluster_of(core_b):
+            return 0
+        return self.inter_cluster_latency
+
+    def cache_domains(self) -> Tuple[Tuple[int, ...], ...]:
+        """The L3 sharing domains: one global domain, or one per
+        cluster."""
+        if self.shared_l3:
+            return (tuple(core for cluster in self.clusters
+                          for core in cluster),)
+        return self.clusters
+
+    def summary(self) -> str:
+        """One-line description for the machine-configuration table."""
+        shape = " + ".join(str(len(cluster)) for cluster in self.clusters)
+        parts = ["%s: %d core(s) in %d cluster(s) [%s]"
+                 % (self.name, self.n_cores, self.n_clusters, shape)]
+        if self.n_clusters > 1:
+            parts.append("inter-cluster +%d cycles"
+                         % self.inter_cluster_latency)
+            parts.append("L3 %s" % ("shared" if self.shared_l3
+                                    else "per cluster"))
+        parts.append("SA/cluster: %d queues, %d ports, %d-cycle access"
+                     % (self.sa_queues, self.sa_ports,
+                        self.sa_access_latency))
+        return "; ".join(parts)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def flat(cls, n_cores: int, sa_access_latency: int = 1,
+             sa_ports: int = 4, sa_queues: int = 256,
+             name: str = "flat") -> "Topology":
+        """A single-cluster machine of ``n_cores`` cores — the papers'
+        shape, generalized to any core count."""
+        return cls(name=name,
+                   clusters=(tuple(range(max(1, n_cores))),),
+                   sa_access_latency=sa_access_latency,
+                   sa_ports=sa_ports, sa_queues=sa_queues,
+                   inter_cluster_latency=0, shared_l3=True).validate()
+
+    @classmethod
+    def clustered(cls, shape: Tuple[int, ...], name: str,
+                  sa_access_latency: int = 1, sa_ports: int = 4,
+                  sa_queues: int = 128, inter_cluster_latency: int = 4,
+                  shared_l3: bool = False) -> "Topology":
+        """Consecutive core ids grouped into clusters of the given
+        sizes, e.g. ``shape=(2, 2)`` -> cores (0, 1) and (2, 3)."""
+        clusters = []
+        base = 0
+        for size in shape:
+            clusters.append(tuple(range(base, base + size)))
+            base += size
+        return cls(name=name, clusters=tuple(clusters),
+                   sa_access_latency=sa_access_latency,
+                   sa_ports=sa_ports, sa_queues=sa_queues,
+                   inter_cluster_latency=inter_cluster_latency,
+                   shared_l3=shared_l3).validate()
+
+
+#: The named presets ``--topology`` / ``EvaluateRequest.topology``
+#: accept.  ``paper-dual`` is the papers' machine (and the behavioural
+#: default); the others scale it out, flat and clustered.
+TOPOLOGIES: Dict[str, Topology] = {
+    # The flat dual-core CMP of Figure 6(a): one shared SA, global L3.
+    "paper-dual": Topology.flat(2, name="paper-dual"),
+    # Four cores on one shared SA — the naive scale-out.
+    "quad-flat": Topology.flat(4, name="quad-flat"),
+    # Two dual-core clusters: private SA slice + L3 per cluster, 4-cycle
+    # crossing penalty.
+    "quad-2x2": Topology.clustered((2, 2), name="quad-2x2",
+                                   sa_queues=128,
+                                   inter_cluster_latency=4),
+    # Eight cores as four dual-core clusters: the hierarchical CMP the
+    # ROADMAP's scaling curves target.
+    "octa-hier": Topology.clustered((2, 2, 2, 2), name="octa-hier",
+                                    sa_queues=64,
+                                    inter_cluster_latency=6),
+}
+
+
+def get_topology(name: str) -> Topology:
+    try:
+        return TOPOLOGIES[name]
+    except KeyError:
+        raise TopologyError("unknown topology %r (known: %s)"
+                            % (name, ", ".join(sorted(TOPOLOGIES))))
+
+
+def topology_names() -> Tuple[str, ...]:
+    return tuple(sorted(TOPOLOGIES))

@@ -44,7 +44,8 @@ def generate(function: Function, pdg: PDG, partition: Partition,
              data_channels: Optional[List[CommChannel]] = None,
              condition_covered=frozenset(),
              verify: bool = True,
-             queue_allocation: str = "dense") -> MTProgram:
+             queue_allocation: str = "dense",
+             config=None) -> MTProgram:
     """Run MTCG.  ``data_channels`` overrides the baseline at-the-source
     placement of register/memory communication (COCO passes optimized
     channels); control channels are always derived from the relevance
@@ -52,7 +53,11 @@ def generate(function: Function, pdg: PDG, partition: Partition,
     duplicated branches whose operand a register channel already delivers.
     ``queue_allocation`` chooses between one physical queue per channel
     ("dense") and the sharing allocator ("shared", see
-    :mod:`repro.mtcg.queues`).
+    :mod:`repro.mtcg.queues`).  ``config`` (a
+    :class:`~repro.machine.config.MachineConfig`) enables the per-cluster
+    queue-capacity check when it carries an explicit clustered topology —
+    each cluster's synchronization-array slice only holds
+    ``topology.sa_queues`` physical queues.
     """
     exit_thread = _exit_thread(function, partition)
     if data_channels is None:
@@ -69,6 +74,9 @@ def generate(function: Function, pdg: PDG, partition: Partition,
     else:
         raise CodegenError("unknown queue_allocation %r"
                            % (queue_allocation,))
+    if config is not None and config.topology is not None:
+        from .queues import check_cluster_capacity
+        check_cluster_capacity(channels, config.topology)
 
     threads = [
         _generate_thread(function, partition, relevance, channels, thread,

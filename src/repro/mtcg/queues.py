@@ -123,3 +123,34 @@ def allocate_queues(channels: Sequence[CommChannel], function: Function,
     for index, channel in enumerate(channels):
         channel.queue = physical[index]
     return QueueAllocation(physical, n_physical, n)
+
+
+def check_cluster_capacity(channels: Sequence[CommChannel], topology,
+                           placement=None) -> Dict[int, int]:
+    """Check the per-cluster queue budget of a clustered topology.
+
+    Each physical queue lives in its *producer* core's cluster (the
+    synchronization-array slice the produce writes into).  ``placement``
+    maps thread -> core (identity by default).  Returns the per-cluster
+    physical-queue counts; raises :class:`QueueAllocationError` when any
+    cluster needs more queues than its slice provides.  Single-cluster
+    topologies reduce to the global ``max_queues`` check above.
+    """
+    cores = getattr(placement, "cores", placement)
+    per_cluster: Dict[int, set] = {}
+    for channel in channels:
+        if channel.queue is None:
+            continue
+        core = (cores[channel.source_thread] if cores is not None
+                else channel.source_thread)
+        cluster = topology.cluster_of(min(core, topology.n_cores - 1))
+        per_cluster.setdefault(cluster, set()).add(channel.queue)
+    counts = {cluster: len(queues)
+              for cluster, queues in sorted(per_cluster.items())}
+    for cluster, count in counts.items():
+        if count > topology.sa_queues:
+            raise QueueAllocationError(
+                "cluster %d needs %d physical queues, its "
+                "synchronization-array slice has %d (topology %r)"
+                % (cluster, count, topology.sa_queues, topology.name))
+    return counts

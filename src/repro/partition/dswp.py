@@ -52,15 +52,55 @@ class DSWPPartitioner(Partitioner):
                     for index in range(len(components))}
         order = topological_sort(range(len(components)), dag, priority)
 
+        # Topology-aware stage-boundary cost (identity thread->core
+        # assumption): when consecutive pipeline stages land in different
+        # clusters, every value flowing across the boundary pays the
+        # crossing penalty per dynamic execution.  The greedy packer then
+        # demands that opening a new stage also amortizes that traffic —
+        # the charge is *only* the crossing component, so on any flat
+        # topology (crossing 0 everywhere) the packing is bit-identical
+        # to the legacy balance-only rule.
+        topo = self.config.resolve_topology()
+        clustered = topo.n_clusters > 1
+        incoming: Dict[int, Dict[int, set]] = {}
+        if clustered:
+            for arc in pdg.arcs:
+                source_comp = component_of[arc.source]
+                target_comp = component_of[arc.target]
+                if source_comp == target_comp:
+                    continue
+                incoming.setdefault(target_comp, {}).setdefault(
+                    source_comp, set()).add(arc.source)
+
+        def crossing_charge(index: int, stage: int,
+                            stage_components: set) -> float:
+            """Extra per-execution cycles if ``index`` opens stage+1 while
+            its in-stage producers stay behind a cluster boundary."""
+            last_core = topo.n_cores - 1
+            crossing = topo.crossing(min(stage, last_core),
+                                     min(stage + 1, last_core))
+            if not crossing:
+                return 0.0
+            inflow_iids = set()
+            for source_comp, iids in incoming.get(index, {}).items():
+                if source_comp in stage_components:
+                    inflow_iids.update(iids)
+            inflow = sum(max(profile.block_weight(block_of[iid]), 0.0)
+                         for iid in inflow_iids)
+            return crossing * inflow
+
         total_weight = sum(weights)
         assignment: Dict[int, int] = {}
         stage = 0
         stage_weight = 0.0
+        stage_components: set = set()
         remaining_weight = total_weight
         remaining_stages = n_threads
         for rank, index in enumerate(order):
             target = (remaining_weight / remaining_stages
                       if remaining_stages else float("inf"))
+            if clustered:
+                target += crossing_charge(index, stage, stage_components)
             components_left = len(order) - rank
             must_not_advance = components_left <= (n_threads - stage - 1)
             if (stage_weight >= target and stage < n_threads - 1
@@ -69,7 +109,9 @@ class DSWPPartitioner(Partitioner):
                 remaining_stages -= 1
                 stage += 1
                 stage_weight = 0.0
+                stage_components = set()
             for iid in components[index]:
                 assignment[iid] = stage
+            stage_components.add(index)
             stage_weight += weights[index]
         return Partition(function, n_threads, assignment)

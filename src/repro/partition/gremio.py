@@ -105,6 +105,20 @@ class GremioPartitioner(Partitioner):
         self._pdg = pdg
         self._profile = profile
         self._n = max(1, n_threads)
+        # Topology-aware operand-network latency per thread pair (identity
+        # thread->core assumption — the placement stage may later refine
+        # the mapping, but at partition time identity is the estimate):
+        # the scalar comm_latency plus the clusters' crossing penalty.
+        # On any flat topology every entry is comm_latency * latency_factor,
+        # i.e. exactly the legacy scalar model.
+        topo = self.config.resolve_topology()
+        last_core = topo.n_cores - 1
+        self._comm_matrix = [
+            [(float(self.config.comm_latency)
+              + topo.crossing(min(a, last_core), min(b, last_core)))
+             * self.latency_factor
+             for b in range(self._n)]
+            for a in range(self._n)]
         self._block_of = function.block_of()
         self._position = function.position_of()
         self._by_iid = function.by_iid()
@@ -307,9 +321,11 @@ class GremioPartitioner(Partitioner):
         destroys the decoupling the split exists for.
         """
         n = self._n
-        comm = float(self.config.comm_latency) * self.latency_factor
-        if pipelined:
-            comm = 0.0
+        # Per-pair operand-network latency (see partition()); in pipelined
+        # loop bodies the latency — including any inter-cluster crossing —
+        # is a one-time skew rather than a per-iteration cost, so it does
+        # not gate the throughput estimate.
+        comm = self._comm_matrix if not pipelined else None
         by_key = {item.key: item for item in items}
         successors, arc_channels = self._project_arcs(items)
         components, component_of, dag = condense(
@@ -405,8 +421,9 @@ class GremioPartitioner(Partitioner):
                     # within one iteration costs throughput nothing.)
                     for pred in predecessors[index]:
                         arrival = finish.get(pred, 0.0)
-                        if unit_thread.get(pred, thread) != thread:
-                            arrival += comm
+                        pred_thread = unit_thread.get(pred, thread)
+                        if pred_thread != thread:
+                            arrival += comm[pred_thread][thread]
                         start = max(start, arrival)
                 candidate = start + weight + occupancy
                 if candidate < best_finish:

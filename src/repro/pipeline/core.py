@@ -16,6 +16,7 @@ across a (workload x technique x coco x threads) matrix lives in
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Mapping, Optional, Union
 
 from ..analysis.pdg import PDG
@@ -89,7 +90,8 @@ def parallelize(function: Function,
                 alias_mode: str = "annotated",
                 mt_check: bool = False,
                 cache: CacheOption = None,
-                telemetry: Optional[Telemetry] = None) -> Parallelization:
+                telemetry: Optional[Telemetry] = None,
+                topology: Optional[str] = None) -> Parallelization:
     """Parallelize ``function`` into ``n_threads`` threads.
 
     ``profile`` may be supplied directly; otherwise the function is
@@ -106,10 +108,16 @@ def parallelize(function: Function,
     ``mt_check`` enables the ``check`` stage: the static MT validators of
     :mod:`repro.check.validators` run over the MTCG output and raise
     :class:`~repro.check.validators.MTValidationError` on any violation.
+
+    ``topology`` names a machine-topology preset; the partition cost
+    models then see the clustered machine (see :func:`evaluate_workload`).
     """
     if config is None:
         config = technique_config(technique)
-    config = config.with_threads(n_threads)
+    if topology is not None:
+        from ..machine.topology import get_topology
+        config = dataclasses.replace(config, topology=get_topology(topology))
+    config = config.with_cores(n_threads)
     run_telemetry = Telemetry()
     ctx = PipelineContext(
         function,
@@ -224,7 +232,9 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
                       cache: CacheOption = None,
                       telemetry: Optional[Telemetry] = None,
                       trace: bool = False,
-                      trace_limit: Optional[int] = None) -> Evaluation:
+                      trace_limit: Optional[int] = None,
+                      topology: Optional[str] = None,
+                      placer: str = "identity") -> Evaluation:
     """Run the full methodology for one workload: profile on `train`,
     measure on ``scale`` (default `ref`), and verify the multi-threaded
     run produced the single-threaded results.
@@ -242,13 +252,22 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
     (the traced simulate-mt stage bypasses the artifact cache;
     ``trace_limit`` bounds the event ring).  Simulated cycle counts are
     bit-identical with tracing on or off.
+
+    ``topology`` names a machine-topology preset (see
+    :data:`repro.machine.topology.TOPOLOGIES`) — partition cost models,
+    the placement stage, and the simulator all see the clustered machine;
+    ``placer`` chooses the thread->core placer ("identity"/"affinity").
+    Both default to the flat legacy machine, which is cycle-invariant.
     """
     function = workload.build()
     train = workload.make_inputs("train")
     measure = workload.make_inputs(scale)
     if config is None:
         config = technique_config(technique)
-    effective = config.with_threads(n_threads)
+    if topology is not None:
+        from ..machine.topology import get_topology
+        config = dataclasses.replace(config, topology=get_topology(topology))
+    effective = config.with_cores(n_threads)
     run_telemetry = Telemetry()
     ctx = PipelineContext(
         function,
@@ -267,6 +286,7 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
             "measure_memory": measure.memory,
             "trace": trace,
             "trace_limit": trace_limit,
+            "placer": placer,
         },
         config=effective,
         sim_config=config,

@@ -33,6 +33,8 @@ class MatrixCell(NamedTuple):
     alias_mode: str = "annotated"
     local_schedule: Optional[str] = None
     mt_check: bool = False
+    topology: Optional[str] = None
+    placer: str = "identity"
 
 
 def build_cells(workloads: Optional[
@@ -43,7 +45,9 @@ def build_cells(workloads: Optional[
                 scale: str = "ref",
                 alias_mode: str = "annotated",
                 local_schedule: Optional[str] = None,
-                mt_check: bool = False) -> List[MatrixCell]:
+                mt_check: bool = False,
+                topology: Optional[str] = None,
+                placer: str = "identity") -> List[MatrixCell]:
     """The cross product, in deterministic workload-major order."""
     if workloads is None:
         names = workload_names()
@@ -51,7 +55,8 @@ def build_cells(workloads: Optional[
         names = [w.name if isinstance(w, Workload) else w
                  for w in workloads]
     return [MatrixCell(name, technique, use_coco, threads, scale,
-                       alias_mode, local_schedule, mt_check)
+                       alias_mode, local_schedule, mt_check,
+                       topology, placer)
             for name in names
             for technique in techniques
             for use_coco in coco
@@ -70,7 +75,9 @@ def evaluate_matrix(cells: Optional[Iterable[MatrixCell]] = None,
                     mt_check: bool = False,
                     jobs: int = 1,
                     check: bool = True,
-                    telemetry: Optional[Telemetry] = None
+                    telemetry: Optional[Telemetry] = None,
+                    topology: Optional[str] = None,
+                    placer: str = "identity"
                     ) -> List[Evaluation]:
     """Evaluate every cell and return the evaluations in cell order.
 
@@ -82,7 +89,8 @@ def evaluate_matrix(cells: Optional[Iterable[MatrixCell]] = None,
     """
     if cells is None:
         cells = build_cells(workloads, techniques, coco, n_threads, scale,
-                            alias_mode, local_schedule, mt_check)
+                            alias_mode, local_schedule, mt_check,
+                            topology, placer)
     cells = [cell if isinstance(cell, MatrixCell) else MatrixCell(*cell)
              for cell in cells]
 
@@ -111,7 +119,9 @@ def _run_cell(cell: MatrixCell, check: bool,
                              alias_mode=cell.alias_mode,
                              local_schedule=cell.local_schedule,
                              mt_check=cell.mt_check,
-                             telemetry=telemetry)
+                             telemetry=telemetry,
+                             topology=cell.topology,
+                             placer=cell.placer)
 
 
 def pool_payload(cell: MatrixCell, check: bool = True,

@@ -32,6 +32,7 @@ from ..interp.profile import static_profile
 from ..ir.cfg import Function
 from ..ir.transforms import renumber_iids, split_critical_edges
 from ..machine.config import DEFAULT_CONFIG, MachineConfig
+from ..machine.placement import make_placement
 from ..machine.timing import simulate_program, simulate_single
 from ..mtcg.codegen import generate
 from ..partition.base import Partitioner
@@ -97,6 +98,7 @@ class PipelineContext:
             "data_channels": None,
             "condition_covered": frozenset(),
             "program": None,
+            "placement": None,
             "st_result": None,
             "mt_result": None,
             "mt_trace": None,
@@ -263,15 +265,20 @@ def _count_coco(ctx: PipelineContext) -> None:
 
 
 def _fp_mtcg(ctx: PipelineContext) -> str:
+    config = ctx.sim_config if ctx.sim_config is not None else ctx.config
+    topo = config.topology
     return digest("stage:mtcg", ctx.fingerprints.get("partition") or "",
-                  "coco" if ctx.options.get("coco") else "plain")
+                  "coco" if ctx.options.get("coco") else "plain",
+                  "" if topo is None else "topology:%r" % (topo,))
 
 
 def _run_mtcg(ctx: PipelineContext) -> dict:
+    config = ctx.sim_config if ctx.sim_config is not None else ctx.config
     program = generate(ctx.function, ctx.values["pdg"],
                        ctx.values["partition"],
                        data_channels=ctx.values["data_channels"],
-                       condition_covered=ctx.values["condition_covered"])
+                       condition_covered=ctx.values["condition_covered"],
+                       config=config)
     return {"program": program}
 
 
@@ -312,6 +319,35 @@ def _run_schedule(ctx: PipelineContext) -> dict:
     return {}
 
 
+def _fp_placement(ctx: PipelineContext) -> str:
+    config = ctx.sim_config if ctx.sim_config is not None else ctx.config
+    return digest("stage:placement",
+                  ctx.fingerprints.get("mtcg") or "",
+                  str(ctx.options.get("placer", "identity")),
+                  str(ctx.options["n_threads"]),
+                  fingerprint_config(config))
+
+
+def _run_placement(ctx: PipelineContext) -> dict:
+    n_threads = max(int(ctx.options["n_threads"]), 1)
+    config = ctx.sim_config if ctx.sim_config is not None else ctx.config
+    # with_cores() sizes the flat default; an explicit topology wins.
+    topo = config.with_cores(n_threads).resolve_topology()
+    placement = make_placement(ctx.options.get("placer", "identity"),
+                               n_threads, topo,
+                               pdg=ctx.values["pdg"],
+                               partition=ctx.values["partition"],
+                               profile=ctx.values["profile"])
+    return {"placement": placement}
+
+
+def _count_placement(ctx: PipelineContext) -> None:
+    placement = ctx.values["placement"]
+    moved = sum(1 for thread, core in enumerate(placement.cores)
+                if thread != core)
+    ctx.telemetry.count("placement_threads_moved", moved)
+
+
 def _measure_fp(ctx: PipelineContext) -> str:
     return fingerprint_inputs(ctx.options.get("measure_args"),
                               ctx.options.get("measure_memory"))
@@ -320,7 +356,7 @@ def _measure_fp(ctx: PipelineContext) -> str:
 def _fp_simulate_st(ctx: PipelineContext) -> str:
     config = ctx.sim_config if ctx.sim_config is not None else ctx.config
     return digest("stage:simulate-st", ctx.norm_fp, _measure_fp(ctx),
-                  fingerprint_config(config.with_threads(1)),
+                  fingerprint_config(config.with_cores(1)),
                   repr(ctx.options.get("local_schedule")))
 
 
@@ -345,6 +381,7 @@ def _fp_simulate_mt(ctx: PipelineContext) -> Optional[str]:
     config = ctx.sim_config if ctx.sim_config is not None else ctx.config
     return digest("stage:simulate-mt",
                   ctx.fingerprints.get("mtcg") or "", _measure_fp(ctx),
+                  ctx.fingerprints.get("placement") or "",
                   fingerprint_config(config),
                   repr(ctx.options.get("local_schedule")))
 
@@ -358,12 +395,14 @@ def _run_simulate_mt(ctx: PipelineContext) -> dict:
         result = simulate_program(ctx.values["program"],
                                   ctx.options.get("measure_args"),
                                   ctx.options.get("measure_memory"),
-                                  config=config, tracer=collector)
+                                  config=config, tracer=collector,
+                                  placement=ctx.values.get("placement"))
         return {"mt_result": result, "mt_trace": analyze(collector)}
     result = simulate_program(ctx.values["program"],
                               ctx.options.get("measure_args"),
                               ctx.options.get("measure_memory"),
-                              config=config)
+                              config=config,
+                              placement=ctx.values.get("placement"))
     return {"mt_result": result}
 
 
@@ -389,6 +428,8 @@ STAGES: Dict[str, Stage] = {stage.name: stage for stage in (
     Stage("mtcg", _run_mtcg, _fp_mtcg, persist=True, counters=_count_mtcg),
     Stage("check", _run_check, enabled=_check_enabled),
     Stage("schedule", _run_schedule, enabled=_schedule_enabled),
+    Stage("placement", _run_placement, _fp_placement, persist=True,
+          counters=_count_placement),
     Stage("simulate-st", _run_simulate_st, _fp_simulate_st, persist=True,
           counters=_count_simulate_st),
     Stage("simulate-mt", _run_simulate_mt, _fp_simulate_mt, persist=True,
@@ -401,8 +442,8 @@ STAGES: Dict[str, Stage] = {stage.name: stage for stage in (
 #: fuzzing).
 PARALLELIZE_STAGES = ("normalize", "profile", "pdg", "partition", "coco",
                       "mtcg", "check")
-EVALUATE_STAGES = PARALLELIZE_STAGES + ("schedule", "simulate-st",
-                                        "simulate-mt")
+EVALUATE_STAGES = PARALLELIZE_STAGES + ("schedule", "placement",
+                                        "simulate-st", "simulate-mt")
 
 
 def stage_names() -> Iterable[str]:

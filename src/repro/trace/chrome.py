@@ -28,14 +28,28 @@ def chrome_trace(collector: TraceCollector) -> Dict[str, object]:
     cores = sorted(collector.cores)
     sa_pid = (max(cores) + 1) if cores else 0
 
+    # On a clustered machine (the simulator reported a core -> cluster
+    # map spanning >1 cluster) the core tracks are named and ordered by
+    # cluster; the flat machine keeps the historical plain "core N"
+    # naming bit-for-bit.
+    cluster_of = collector.cluster_of
+    clustered = len(set(cluster_of.get(core, 0) for core in cores)) > 1
+
     for core in cores:
+        if clustered:
+            cluster = cluster_of.get(core, 0)
+            name = "cluster %d · core %d" % (cluster, core)
+            sort_index = cluster * 64 + core
+        else:
+            name = "core %d" % core
+            sort_index = core
         trace_events.append({
             "name": "process_name", "ph": "M", "pid": core, "tid": 0,
-            "args": {"name": "core %d" % core},
+            "args": {"name": name},
         })
         trace_events.append({
             "name": "process_sort_index", "ph": "M", "pid": core,
-            "tid": 0, "args": {"sort_index": core},
+            "tid": 0, "args": {"sort_index": sort_index},
         })
     trace_events.append({
         "name": "process_name", "ph": "M", "pid": sa_pid, "tid": 0,
@@ -43,7 +57,9 @@ def chrome_trace(collector: TraceCollector) -> Dict[str, object]:
     })
     trace_events.append({
         "name": "process_sort_index", "ph": "M", "pid": sa_pid,
-        "tid": 0, "args": {"sort_index": sa_pid},
+        "tid": 0,
+        "args": {"sort_index": (max(cluster_of.values(), default=0) + 1)
+                               * 64 if clustered else sa_pid},
     })
 
     named_threads = set()

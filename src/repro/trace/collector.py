@@ -96,10 +96,19 @@ class TraceCollector:
         self.core_finish: List[float] = []
         self.cache_stats: Dict[str, int] = {}
         self.comm_stats: Dict[str, float] = {}
+        # Core id -> cluster index (from the simulator's topology hook);
+        # empty until on_topology fires, which single-purpose consumers
+        # of the collector may never do.
+        self.cluster_of: Dict[int, int] = {}
         self.finished = False
         self._next_seq = 0
 
     # -- simulator hooks ---------------------------------------------------
+
+    def on_topology(self, cluster_of: Dict[int, int]) -> None:
+        """Record the machine's core -> cluster map (the Chrome exporter
+        groups core tracks by cluster with it)."""
+        self.cluster_of = dict(cluster_of)
 
     def on_event(self, core: int, thread: int, iid: int, op: str,
                  op_class: str, issue: int, complete: float,

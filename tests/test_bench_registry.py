@@ -27,12 +27,13 @@ EXPECTED_SPECS = [
     "profile_sensitivity",
     "region_selection",
     "scheduler_interaction",
+    "topology_scaling",
     "trace_attribution",
 ]
 
 
 class TestRegistry:
-    def test_all_seventeen_specs_registered(self):
+    def test_all_eighteen_specs_registered(self):
         assert spec_ids() == EXPECTED_SPECS
 
     def test_every_spec_is_complete(self):

@@ -57,7 +57,7 @@ class TestValidatorsPassOnLegalOutput:
             n_threads = rng.randint(2, 3)
             partitions = []
             for technique in TECHNIQUES:
-                config = technique_config(technique).with_threads(n_threads)
+                config = technique_config(technique).with_cores(n_threads)
                 partitions.append(make_partitioner(
                     technique, config).partition(function, pdg, profile,
                                                  n_threads))

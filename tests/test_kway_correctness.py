@@ -1,0 +1,54 @@
+"""K-way correctness: the static MT validators and the differential
+execution oracle must hold beyond the papers' two threads — at 3 and 4
+threads, on flat and clustered machines alike.  (The 2-thread cases are
+covered throughout the rest of the suite; these tests pin the k-way
+generalization the topology-aware machine model depends on.)"""
+
+import pytest
+
+from repro.api import get_workload, parallelize
+from repro.check import run_oracle, validate_program
+
+WORKLOADS = ("ks", "adpcmdec")
+THREAD_COUNTS = (3, 4)
+
+
+def _program(name, technique, n_threads, topology=None):
+    workload = get_workload(name)
+    result = parallelize(workload.build(), technique=technique,
+                         n_threads=n_threads, topology=topology)
+    return workload, result.program
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("technique", ("gremio", "dswp"))
+@pytest.mark.parametrize("n_threads", THREAD_COUNTS)
+def test_validators_pass_kway(name, technique, n_threads):
+    _, program = _program(name, technique, n_threads)
+    report = validate_program(program, raise_on_failure=True)
+    assert report.ok
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("technique", ("gremio", "dswp"))
+@pytest.mark.parametrize("n_threads", THREAD_COUNTS)
+def test_oracle_equivalent_kway(name, technique, n_threads):
+    workload, program = _program(name, technique, n_threads)
+    inputs = workload.make_inputs("train")
+    result = run_oracle(workload.build(), program, args=inputs.args,
+                        initial_memory=inputs.memory)
+    assert result.ok, result.describe()
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("technique", ("gremio", "dswp"))
+def test_oracle_equivalent_clustered(name, technique):
+    """The clustered topology only changes *timing*; the generated
+    program must stay functionally equivalent."""
+    workload, program = _program(name, technique, 4,
+                                 topology="quad-2x2")
+    validate_program(program, raise_on_failure=True)
+    inputs = workload.make_inputs("train")
+    result = run_oracle(workload.build(), program, args=inputs.args,
+                        initial_memory=inputs.memory)
+    assert result.ok, result.describe()

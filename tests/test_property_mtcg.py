@@ -111,7 +111,7 @@ def test_partitioners_equivalent_on_random_programs(sketch, args,
     renumber_iids(function)
     st_result = run_f(function, args)
     pdg = build_pdg(function)
-    config = technique_config(technique).with_threads(n_threads)
+    config = technique_config(technique).with_cores(n_threads)
     partition = make_partitioner(technique, config).partition(
         function, pdg, st_result.profile, n_threads)
     if technique == "dswp":

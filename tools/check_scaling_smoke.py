@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI smoke check for the clustered machine model (the
+``scaling-smoke`` job): one workload at 4 threads on the clustered
+``quad-2x2`` preset must run end-to-end for both techniques with
+
+* **exact stall reconciliation** — per core, execute + attributed
+  stalls == finish cycles (``TraceCollector.verify()``);
+* **a cluster-grouped Chrome trace** — one named track per core, the
+  track names carrying the core's cluster, ordered cluster-first;
+* **a sane affinity placer** — the ``affinity`` placement never takes
+  more cycles than ``identity`` on the same cell.
+
+Usage: PYTHONPATH=src python tools/check_scaling_smoke.py \
+           [--workload ks] [--topology quad-2x2] [--n-threads 4] \
+           [--out-dir DIR]
+Exits nonzero (with a diagnostic) on any failed expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+TECHNIQUES = ("gremio", "dswp")
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821
+    print("scaling-smoke: FAIL: %s" % message)
+    sys.exit(1)
+
+
+def check_chrome_document(path: str, technique: str, topology) -> None:
+    import json
+
+    with open(path) as handle:
+        document = json.load(handle)
+    names = {event["pid"]: event["args"]["name"]
+             for event in document["traceEvents"]
+             if event.get("name") == "process_name"}
+    sort_index = {event["pid"]: event["args"]["sort_index"]
+                  for event in document["traceEvents"]
+                  if event.get("name") == "process_sort_index"}
+    core_pids = sorted(pid for pid, name in names.items()
+                       if name.startswith(("core ", "cluster ")))
+    if len(core_pids) != topology.n_cores:
+        fail("%s: %d core tracks, topology has %d cores"
+             % (technique, len(core_pids), topology.n_cores))
+    for pid in core_pids:
+        expected = "cluster %d · core %d" % (topology.cluster_of(pid),
+                                             pid)
+        if names[pid] != expected:
+            fail("%s: core %d track named %r, expected %r"
+                 % (technique, pid, names[pid], expected))
+    ordered = sorted(core_pids,
+                     key=lambda pid: (topology.cluster_of(pid), pid))
+    by_sort = sorted(core_pids, key=lambda pid: sort_index[pid])
+    if by_sort != ordered:
+        fail("%s: track sort order %r is not cluster-grouped %r"
+             % (technique, by_sort, ordered))
+    print("scaling-smoke: %s trace ok (%d cluster-grouped core tracks)"
+          % (technique, len(core_pids)))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="ks")
+    parser.add_argument("--topology", default="quad-2x2")
+    parser.add_argument("--n-threads", type=int, default=4)
+    parser.add_argument("--out-dir", default=None,
+                        help="directory for the emitted trace.json "
+                             "files (default: a temp dir)")
+    args = parser.parse_args()
+
+    from repro.api import evaluate_workload, get_workload, get_topology
+    from repro.trace import write_chrome_trace
+
+    topology = get_topology(args.topology)
+    if topology.n_clusters < 2:
+        fail("topology %r is flat; the smoke needs a clustered preset"
+             % args.topology)
+    workload = get_workload(args.workload)
+    out_dir = args.out_dir or tempfile.mkdtemp(prefix="scaling-smoke-")
+    os.makedirs(out_dir, exist_ok=True)
+
+    for technique in TECHNIQUES:
+        cycles = {}
+        for placer in ("identity", "affinity"):
+            evaluation = evaluate_workload(
+                workload, technique=technique, n_threads=args.n_threads,
+                scale="train", topology=args.topology, placer=placer,
+                trace=(placer == "identity"))
+            cycles[placer] = evaluation.mt_result.cycles
+            if placer != "identity":
+                continue
+            trace = evaluation.trace
+            if trace is None:
+                fail("%s: no trace attached" % technique)
+            # Exact per-core stall reconciliation: execute + stalls ==
+            # finish, on every core of the clustered machine.
+            trace.collector.verify()
+            if len(trace.collector.cores) != topology.n_cores:
+                fail("%s: trace covers %d cores, topology has %d"
+                     % (technique, len(trace.collector.cores),
+                        topology.n_cores))
+            path = os.path.join(out_dir, "%s-%s.trace.json"
+                                % (args.workload, technique))
+            write_chrome_trace(path, trace.collector)
+            check_chrome_document(path, technique, topology)
+            print("scaling-smoke: %s reconciled (%d cores, %.0f cycles)"
+                  % (technique, len(trace.collector.cores),
+                     evaluation.mt_result.cycles))
+        if cycles["affinity"] > cycles["identity"]:
+            fail("%s: affinity placer lost to identity (%.0f > %.0f)"
+                 % (technique, cycles["affinity"], cycles["identity"]))
+        print("scaling-smoke: %s placers ok (identity %.0f, affinity "
+              "%.0f)" % (technique, cycles["identity"],
+                         cycles["affinity"]))
+
+    print("scaling-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
