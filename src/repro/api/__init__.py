@@ -20,8 +20,8 @@ The facade is covenanted: additions only within one
 of ``DeprecationWarning`` shims behind.
 """
 
-from .facade import (ArtifactCache, CacheStats, Evaluation,
-                     LatencyHistogram, MatrixCell, PLACERS,
+from .facade import (ArtifactCache, BACKENDS, CacheStats, DEFAULT_BACKEND,
+                     Evaluation, LatencyHistogram, MatrixCell, PLACERS,
                      Parallelization, TECHNIQUES, TOPOLOGIES, Telemetry,
                      all_workloads, build_cells, configure_cache,
                      default_cache_dir, digest, evaluate, evaluate_many,
@@ -32,7 +32,7 @@ from .facade import (ArtifactCache, CacheStats, Evaluation,
                      make_partitioner, normalize, parallelize,
                      pool_payload, reset_global_telemetry,
                      run_cell_payload, technique_config, topology_names,
-                     workload_names)
+                     validate_backend, workload_names)
 from .types import (ALIAS_MODES, API_SCHEMA_VERSION, LOCAL_SCHEDULES,
                     SCALES, EvaluateRequest, EvaluateResult,
                     RequestValidationError)
@@ -47,8 +47,9 @@ __all__ = [
     "MatrixCell", "build_cells", "evaluate_matrix",
     "pool_payload", "run_cell_payload",
     "TECHNIQUES", "make_partitioner", "normalize", "technique_config",
-    # machine topology / placement registries
+    # machine topology / placement / backend registries
     "TOPOLOGIES", "get_topology", "topology_names", "PLACERS",
+    "BACKENDS", "DEFAULT_BACKEND", "validate_backend",
     # infrastructure
     "ArtifactCache", "CacheStats", "configure_cache",
     "default_cache_dir", "get_cache",

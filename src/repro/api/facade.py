@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 # Re-exported pipeline surface (the facade's stability boundary).
+from ..machine.backend import BACKENDS, DEFAULT_BACKEND, validate_backend
 from ..machine.placement import PLACERS
 from ..machine.topology import TOPOLOGIES, get_topology, topology_names
 from ..pipeline.cache import (ArtifactCache, CacheStats, configure_cache,
@@ -49,6 +50,7 @@ __all__ = [
     "pool_payload", "run_cell_payload",
     "TECHNIQUES", "make_partitioner", "normalize", "technique_config",
     "TOPOLOGIES", "get_topology", "topology_names", "PLACERS",
+    "BACKENDS", "DEFAULT_BACKEND", "validate_backend",
     "LatencyHistogram", "Telemetry", "global_telemetry",
     "reset_global_telemetry",
     "all_workloads", "get_workload", "workload_names",
@@ -68,7 +70,7 @@ def evaluate(request: EvaluateRequest,
         local_schedule=request.local_schedule,
         mt_check=request.mt_check, telemetry=telemetry,
         trace=request.trace, topology=request.topology,
-        placer=request.placer)
+        placer=request.placer, backend=request.backend)
     return EvaluateResult.from_evaluation(request, evaluation)
 
 

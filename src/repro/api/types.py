@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Mapping, Optional
 
+from ..machine.backend import BACKENDS, DEFAULT_BACKEND
 from ..pipeline.fingerprint import SCHEMA_VERSION as PIPELINE_SCHEMA
 from ..pipeline.fingerprint import digest
 from ..pipeline.matrix import MatrixCell
@@ -53,6 +54,7 @@ class EvaluateRequest:
     trace: bool = False
     topology: Optional[str] = None
     placer: str = "identity"
+    backend: str = DEFAULT_BACKEND
     schema_version: str = API_SCHEMA_VERSION
 
     # -- validation --------------------------------------------------------
@@ -113,6 +115,10 @@ class EvaluateRequest:
             raise RequestValidationError(
                 "unknown placer %r (use one of %s)"
                 % (self.placer, ", ".join(PLACERS)))
+        if self.backend not in BACKENDS:
+            raise RequestValidationError(
+                "unknown backend %r (use one of %s)"
+                % (self.backend, ", ".join(BACKENDS)))
         return self
 
     # -- conversions -------------------------------------------------------
@@ -121,7 +127,7 @@ class EvaluateRequest:
         return MatrixCell(self.workload, self.technique, self.coco,
                           self.n_threads, self.scale, self.alias_mode,
                           self.local_schedule, self.mt_check,
-                          self.topology, self.placer)
+                          self.topology, self.placer, self.backend)
 
     @classmethod
     def from_cell(cls, cell: MatrixCell,
@@ -131,7 +137,8 @@ class EvaluateRequest:
                    scale=cell.scale, alias_mode=cell.alias_mode,
                    local_schedule=cell.local_schedule,
                    mt_check=cell.mt_check, check=check,
-                   topology=cell.topology, placer=cell.placer)
+                   topology=cell.topology, placer=cell.placer,
+                   backend=cell.backend)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "EvaluateRequest":
@@ -162,10 +169,13 @@ class EvaluateRequest:
         """Deterministic idempotency key: a digest over the pipeline
         schema, the API schema, and every cell-identifying field.  Two
         requests for the same work always collide; any bump of either
-        schema invalidates memoized responses."""
+        schema invalidates memoized responses.  ``backend`` is *not*
+        part of the key — backends are bit-identical, so a memoized
+        reference response answers a fast request and vice versa (and
+        keys stay byte-compatible with pre-backend clients)."""
         cell = self.cell()
         return digest("api:evaluate", PIPELINE_SCHEMA, API_SCHEMA_VERSION,
-                      repr(tuple(cell)), repr(self.check),
+                      repr(cell.identity()), repr(self.check),
                       repr(self.trace))
 
 

@@ -18,22 +18,24 @@ workflow.
 """
 
 from .compare import Comparison, MetricDelta, compare
-from .harness import (BENCH_ORDER, clear_memo, evaluation, prewarm,
-                      relative_communication)
+from .harness import (BENCH_ORDER, active_backend, clear_memo,
+                      evaluation, prewarm, relative_communication,
+                      set_backend)
 from .results import SCHEMA, BenchResults, SchemaError, SpecResult
 from .runner import run_bench, select_specs
-from .spec import (EXACT, FULL, MODES, SMOKE, TIME_BAND, BenchMode,
-                   BenchSpec, Metric, all_specs, bench_spec, get_spec,
-                   register, spec_ids)
+from .spec import (EXACT, FULL, MODES, SMOKE, STRICT_TIME_BAND,
+                   TIME_BAND, BenchMode, BenchSpec, Metric, all_specs,
+                   bench_spec, get_spec, register, spec_ids)
 
 __all__ = [
     # specs
     "BenchSpec", "BenchMode", "Metric", "MODES", "SMOKE", "FULL",
-    "EXACT", "TIME_BAND", "register", "bench_spec", "get_spec",
+    "EXACT", "TIME_BAND", "STRICT_TIME_BAND", "register", "bench_spec",
+    "get_spec",
     "all_specs", "spec_ids",
     # harness
     "BENCH_ORDER", "evaluation", "prewarm", "relative_communication",
-    "clear_memo",
+    "clear_memo", "set_backend", "active_backend",
     # results + comparison
     "SCHEMA", "BenchResults", "SpecResult", "SchemaError",
     "Comparison", "MetricDelta", "compare",

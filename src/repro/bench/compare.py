@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 
 from ..stats import relative_delta, within_band
 from .results import BenchResults, SchemaError
-from .spec import Metric
+from .spec import STRICT_TIME_BAND, Metric
 
 OK = "ok"
 SAME = "same"
@@ -59,11 +59,18 @@ class MetricDelta:
 
 
 def _compare_metric(spec_id: str, name: str, base: Metric,
-                    current: Metric) -> MetricDelta:
+                    current: Metric,
+                    host_strict: bool = False) -> MetricDelta:
     tolerance = current.tolerance
+    unit = current.unit or base.unit
+    if (host_strict and unit == "s" and tolerance is not None
+            and tolerance > STRICT_TIME_BAND):
+        # --host-strict: on a quiet dedicated host, tighten every
+        # wall-time band to STRICT_TIME_BAND (the CI default stays
+        # generous to absorb shared-runner jitter).
+        tolerance = STRICT_TIME_BAND
     delta = MetricDelta(spec_id, name, OK, base.value, current.value,
-                        unit=current.unit or base.unit,
-                        tolerance=tolerance)
+                        unit=unit, tolerance=tolerance)
     if base.value == current.value:
         delta.status = SAME
     elif tolerance is None:
@@ -164,9 +171,14 @@ def _tolerance(tolerance: Optional[float]) -> str:
     return "±%.0f%%" % (100.0 * tolerance)
 
 
-def compare(baseline: BenchResults,
-            current: BenchResults) -> Comparison:
+def compare(baseline: BenchResults, current: BenchResults,
+            host_strict: bool = False) -> Comparison:
     """Diff ``current`` against ``baseline``.
+
+    ``host_strict`` tightens every wall-time (``unit="s"``) band to
+    :data:`~repro.bench.spec.STRICT_TIME_BAND` — for baselines recorded
+    on the same quiet host, where the default CI jitter band would mask
+    real slowdowns.
 
     Raises :class:`~repro.bench.results.SchemaError` when the two
     documents are not comparable (schema or mode mismatch) — smoke
@@ -192,7 +204,8 @@ def compare(baseline: BenchResults,
                                       tolerance=base_metric.tolerance))
         else:
             deltas.append(_compare_metric(spec_id, name, base_metric,
-                                          current_metric))
+                                          current_metric,
+                                          host_strict=host_strict))
     for (spec_id, name), metric in sorted(current_index.items()):
         deltas.append(MetricDelta(spec_id, name, NEW, None, metric.value,
                                   unit=metric.unit,

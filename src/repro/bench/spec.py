@@ -34,6 +34,12 @@ EXACT = 0.0
 #: Default relative band for host wall-time metrics: a 5x slowdown
 #: gates, scheduler jitter on shared CI runners does not.
 TIME_BAND = 4.0
+#: The ``--host-strict`` band: on a quiet, dedicated host a 2x slowdown
+#: is a real regression, not jitter.  The comparator substitutes this
+#: for any looser wall-time tolerance when host-strict comparison is
+#: requested (baselines recorded on the same host; see
+#: ``docs/performance.md``).
+STRICT_TIME_BAND = 1.0
 
 
 @dataclass(frozen=True)

@@ -22,8 +22,8 @@ from ...interp.profile import EdgeProfile
 from ...interp.state import bind_params, make_memory
 from ...ir import Opcode
 from ...ir.outline import OutlineError, outline_hottest_loop
-from ...machine import (DEFAULT_CONFIG, run_mt_program, simulate_program,
-                        simulate_single)
+from ...machine import DEFAULT_CONFIG, run_mt_program
+from ...machine.backend import simulate_program_fn, simulate_single_fn
 from ...mtcg import generate
 from ...opt.scheduler import (CommPriority, schedule_function,
                               schedule_program)
@@ -33,8 +33,41 @@ from ...api import (MatrixCell, make_partitioner, normalize,
                     technique_config)
 from ...stats import geomean, overhead_breakdown
 from ...workloads import get_workload
-from ..harness import evaluation
+from ..harness import active_backend, evaluation
 from ..spec import BenchMode, Metric, MetricMap, bench_spec
+
+
+def simulate_program(*args, **kwargs):
+    """The bench session's active simulator backend (bit-identical to
+    the reference; see tests/test_backend_equivalence.py)."""
+    return simulate_program_fn(active_backend())(*args, **kwargs)
+
+
+def simulate_single(*args, **kwargs):
+    return simulate_single_fn(active_backend())(*args, **kwargs)
+
+
+# Per-process memo of the derivation chain every ablation repeats for a
+# workload: the train-input profile and the PDG of its normalized
+# function.  Workload builds are deterministic — the persistent pipeline
+# cache already applies cached profiles/PDGs to freshly built functions —
+# so the shared objects are valid against any fresh build; call sites
+# still rebuild the Function itself because downstream passes may mutate
+# it (local scheduling, outlining).
+_TRAIN_DERIVATIONS: dict = {}
+
+
+def _train_derivation(workload) -> tuple:
+    """(train profile, PDG) for the workload's normalized function."""
+    cached = _TRAIN_DERIVATIONS.get(workload.name)
+    if cached is None:
+        function = normalize(workload.build())
+        train = workload.make_inputs("train")
+        profile = run_function(function, train.args,
+                               train.memory).profile
+        cached = (profile, build_pdg(function))
+        _TRAIN_DERIVATIONS[workload.name] = cached
+    return cached
 
 SCALING_BENCHES = ["ks", "181.mcf", "435.gromacs", "188.ammp"]
 HIERARCHY_BENCHES = ["ks", "181.mcf", "435.gromacs", "300.twolf",
@@ -58,10 +91,8 @@ def _prepare_dswp(name: str, mode: BenchMode,
     DSWP assembly the machine/branch sweeps study."""
     workload = get_workload(name)
     function = normalize(workload.build())
-    train = workload.make_inputs("train")
     measure = workload.make_inputs(mode.scale)
-    profile = run_function(function, train.args, train.memory).profile
-    pdg = build_pdg(function)
+    profile, pdg = _train_derivation(workload)
     partition = DSWPPartitioner(config or DEFAULT_CONFIG).partition(
         function, pdg, profile, 2)
     program = generate(function, pdg, partition)
@@ -121,10 +152,8 @@ def collect_ext_scaling(mode: BenchMode) -> MetricMap:
 
 def _speedup_with(workload, partitioner, mode: BenchMode) -> float:
     function = normalize(workload.build())
-    train = workload.make_inputs("train")
     measure = workload.make_inputs(mode.scale)
-    profile = run_function(function, train.args, train.memory).profile
-    pdg = build_pdg(function)
+    profile, pdg = _train_derivation(workload)
     partition = partitioner.partition(function, pdg, profile, 2)
     program = generate(function, pdg, partition)
     st = simulate_single(function, measure.args, measure.memory)
@@ -272,10 +301,8 @@ def _image_to_initial(function, memory):
 
 def _whole_function_speedup(workload, mode: BenchMode) -> float:
     function = normalize(workload.build())
-    train = workload.make_inputs("train")
     measure = workload.make_inputs(mode.scale)
-    profile = run_function(function, train.args, train.memory).profile
-    pdg = build_pdg(function)
+    profile, pdg = _train_derivation(workload)
     config = DEFAULT_CONFIG.for_dswp()
     partition = DSWPPartitioner(config).partition(function, pdg,
                                                   profile, 2)
@@ -294,7 +321,7 @@ def _outlined_loop_speedup(workload, mode: BenchMode) -> float:
     docstring for the replay caveats)."""
     function = normalize(workload.build())
     train = workload.make_inputs("train")
-    profile = run_function(function, train.args, train.memory).profile
+    profile, _ = _train_derivation(workload)
     extracted = outline_hottest_loop(function, profile)
     loop_fn = extracted.function
 
@@ -357,10 +384,8 @@ def _scheduled_speedup(name: str, comm_priority,
                        mode: BenchMode) -> float:
     workload = get_workload(name)
     function = normalize(workload.build())
-    train = workload.make_inputs("train")
     measure = workload.make_inputs(mode.scale)
-    profile = run_function(function, train.args, train.memory).profile
-    pdg = build_pdg(function)
+    profile, pdg = _train_derivation(workload)
     config = technique_config("dswp")
     partition = make_partitioner("dswp", config).partition(
         function, pdg, profile, 2)
@@ -402,14 +427,11 @@ def collect_scheduler_interaction(mode: BenchMode) -> MetricMap:
 
 def _comm_with_profile(workload, which: str, mode: BenchMode) -> int:
     function = normalize(workload.build())
-    train = workload.make_inputs("train")
     measure = workload.make_inputs(mode.scale)
     config = technique_config("dswp")
     # The partition itself always uses the train profile (so only COCO's
     # cost source varies).
-    train_profile = run_function(function, train.args,
-                                 train.memory).profile
-    pdg = build_pdg(function)
+    train_profile, pdg = _train_derivation(workload)
     partition = DSWPPartitioner(config).partition(function, pdg,
                                                   train_profile, 2)
     if which == "baseline":

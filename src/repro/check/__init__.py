@@ -23,6 +23,10 @@ the test suite into reusable, CLI-driven infrastructure:
 See ``docs/correctness.md`` for the invariants and workflow.
 """
 
+from .differential_backend import (CaseResult, DifferentialReport,
+                                   diff_snapshots, run_differential,
+                                   run_fuzz_case, run_workload_case,
+                                   snapshot_result, snapshot_trace)
 from .fuzz import FuzzFailure, FuzzReport, run_fuzz
 from .generate import (MEM_SIZE, SAFE_BINOPS, ProgramSketch, random_args,
                        random_partition, random_sketch, render_program,
@@ -49,4 +53,8 @@ __all__ = [
     "sketch_to_json",
     # fuzzing
     "FuzzFailure", "FuzzReport", "run_fuzz",
+    # backend equivalence
+    "CaseResult", "DifferentialReport", "diff_snapshots",
+    "run_differential", "run_fuzz_case", "run_workload_case",
+    "snapshot_result", "snapshot_trace",
 ]

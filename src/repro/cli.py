@@ -50,10 +50,11 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .api import (PLACERS, TECHNIQUES, TOPOLOGIES, build_cells,
-                  configure_cache, evaluate_matrix, evaluate_workload,
-                  get_cache, get_topology, global_telemetry, normalize,
-                  parallelize, reset_global_telemetry)
+from .api import (BACKENDS, DEFAULT_BACKEND, PLACERS, TECHNIQUES,
+                  TOPOLOGIES, build_cells, configure_cache,
+                  evaluate_matrix, evaluate_workload, get_cache,
+                  get_topology, global_telemetry, normalize, parallelize,
+                  reset_global_telemetry)
 from .ir.printer import format_function
 from .machine.config import config_table
 from .report import table
@@ -81,6 +82,20 @@ def _jobs_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _backend_parent() -> argparse.ArgumentParser:
+    """``--backend``, declared once for every simulating command
+    (run/sweep/bench/trace/serve).  Backends are bit-identical (see
+    docs/performance.md); the flag trades host wall time only."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--backend", default=DEFAULT_BACKEND,
+                        choices=BACKENDS,
+                        help="simulator implementation: the line-for-line "
+                             "reference, or the batched-dispatch fast "
+                             "backend (bit-identical results; "
+                             "default: %(default)s)")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -89,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     cache_parent = _cache_parent()
     jobs_parent = _jobs_parent()
+    backend_parent = _backend_parent()
 
     sub.add_parser("list", help="list the benchmark workloads")
     machine = sub.add_parser("machine",
@@ -99,7 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: the papers' flat dual-core)")
 
     run = sub.add_parser("run", help="parallelize one workload",
-                         parents=[cache_parent])
+                         parents=[cache_parent, backend_parent])
     _common_options(run)
     run.add_argument("workload", help="workload name (see `list`)")
 
@@ -111,7 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the generated per-thread CFGs")
 
     sweep = sub.add_parser("sweep", help="evaluate every workload",
-                           parents=[cache_parent, jobs_parent])
+                           parents=[cache_parent, jobs_parent,
+                                    backend_parent])
     _common_options(sweep)
 
     fuzz = sub.add_parser(
@@ -135,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run the machine-readable benchmark specs and "
                       "emit/compare BENCH_RESULTS.json",
-        parents=[cache_parent, jobs_parent])
+        parents=[cache_parent, jobs_parent, backend_parent])
     mode = bench.add_mutually_exclusive_group()
     mode.add_argument("--smoke", action="store_true",
                       help="CI configuration: train inputs, truncated "
@@ -154,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--compare", default=None, metavar="BASELINE",
                        help="diff the run against this baseline JSON; "
                             "exit 1 on any out-of-tolerance metric")
+    bench.add_argument("--host-strict", action="store_true",
+                       help="tighten wall-time tolerance bands for "
+                            "--compare (quiet dedicated host; baseline "
+                            "recorded on the same machine)")
     bench.add_argument("--baseline",
                        default="benchmarks/baselines/bench_baseline.json",
                        metavar="PATH",
@@ -172,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="trace one workload's MT simulation: emit a "
                       "Perfetto-loadable trace.json plus a stall-"
                       "attribution / critical-path report",
-        parents=[cache_parent])
+        parents=[cache_parent, backend_parent])
     trace.add_argument("workload", help="workload name (see `list`)")
     trace.add_argument("--partitioner", choices=TECHNIQUES,
                        default="gremio",
@@ -215,7 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the scheduling service: a JSON-over-HTTP "
                       "daemon with a bounded worker pool, admission "
                       "control, and /healthz + /metrics",
-        parents=[cache_parent])
+        parents=[cache_parent, backend_parent])
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: %(default)s)")
     serve.add_argument("--port", type=int, default=8184,
@@ -306,7 +327,7 @@ def _run_one(args) -> int:
                            scale=args.scale, alias_mode=args.alias_mode,
                            local_schedule=args.schedule,
                            mt_check=args.check, topology=args.topology,
-                           placer=args.placer)
+                           placer=args.placer, backend=args.backend)
     rows = [
         ("single-threaded cycles", "%.0f" % ev.st_result.cycles),
         ("multi-threaded cycles", "%.0f" % ev.mt_result.cycles),
@@ -361,7 +382,8 @@ def _trace(args) -> int:
                            n_threads=args.threads, coco=args.coco,
                            scale=args.scale, trace=True,
                            trace_limit=args.limit,
-                           topology=args.topology, placer=args.placer)
+                           topology=args.topology, placer=args.placer,
+                           backend=args.backend)
     analysis = ev.trace
     write_chrome_trace(args.out, analysis.collector)
     print("wrote %s (%d events, %d dropped; %.0f simulated cycles)"
@@ -393,7 +415,7 @@ def _sweep(args) -> int:
                         scale=args.scale, alias_mode=args.alias_mode,
                         local_schedule=args.schedule,
                         mt_check=args.check, topology=args.topology,
-                        placer=args.placer)
+                        placer=args.placer, backend=args.backend)
     evaluations = evaluate_matrix(cells, jobs=args.jobs)
     rows = []
     speedups = {technique: [] for technique in techniques}
@@ -504,6 +526,7 @@ def _bench(args) -> int:
 
     mode = MODES["full" if args.full else "smoke"]
     results = run_bench(mode, jobs=args.jobs, spec_ids=args.spec,
+                        backend=args.backend,
                         progress=lambda line: print("bench: " + line))
     results.save(args.out)
     print("bench: %d specs, %d metrics -> %s (%.1fs, mode=%s)"
@@ -523,7 +546,8 @@ def _bench(args) -> int:
         return 0
     try:
         baseline = BenchResults.load(args.compare)
-        comparison = compare(baseline, results)
+        comparison = compare(baseline, results,
+                             host_strict=args.host_strict)
     except FileNotFoundError:
         print("bench: no baseline at %s — generate one with "
               "`python -m repro bench --%s --update-baseline`"
@@ -550,7 +574,8 @@ def _serve(args) -> int:
                            workers=args.workers,
                            queue_limit=args.queue_limit,
                            request_timeout=args.request_timeout,
-                           max_retries=args.max_retries)
+                           max_retries=args.max_retries,
+                           backend=args.backend)
     daemon = ServiceDaemon(config)
     print("repro serve: listening on %s (workers=%d, queue_limit=%d, "
           "timeout=%.1fs)" % (daemon.address, config.workers,

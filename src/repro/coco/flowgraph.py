@@ -50,6 +50,37 @@ class GfContext:
         self.block_of = function.block_of()
         self.position = function.position_of()
         self._controllers: Dict[str, Set[str]] = {}
+        self._live_cache: Dict[Tuple, object] = {}
+        self._safe_cache: Dict[Tuple, object] = {}
+        self._safe_pins: list = []
+
+    def live_range(self, register: str, use_iids: Set[int]):
+        """Memoized :func:`live_range_wrt_thread` — the placement loop
+        rebuilds the same register graphs across fixpoint iterations, and
+        the analysis is a pure function of (register, use sites)."""
+        key = (register, frozenset(use_iids))
+        result = self._live_cache.get(key)
+        if result is None:
+            result = live_range_wrt_thread(self.function, register,
+                                           use_iids)
+            self._live_cache[key] = result
+        return result
+
+    def safe_range(self, partition: Partition, register: str,
+                   source_thread: int, source_branches: Set[str]):
+        """Memoized :func:`safe_range_wrt_thread` (pure function of its
+        arguments; the partition is pinned so its id stays unique for
+        the cache's lifetime)."""
+        key = (id(partition), register, source_thread,
+               frozenset(source_branches))
+        result = self._safe_cache.get(key)
+        if result is None:
+            result = safe_range_wrt_thread(self.function, register,
+                                           partition, source_thread,
+                                           source_branches)
+            self._safe_cache[key] = result
+            self._safe_pins.append(partition)
+        return result
 
     def controllers(self, label: str) -> Set[str]:
         result = self._controllers.get(label)
@@ -101,9 +132,9 @@ def build_register_flow_graph(
     Section 3.1.2."""
     function = context.function
     profile = context.profile
-    live = live_range_wrt_thread(function, register, use_iids)
-    safe = safe_range_wrt_thread(
-        function, register, partition, source_thread,
+    live = context.live_range(register, use_iids)
+    safe = context.safe_range(
+        partition, register, source_thread,
         relevant_branches.get(source_thread, set()))
     source_branches = relevant_branches.get(source_thread, set())
     target_branches = relevant_branches.get(target_thread, set())

@@ -38,20 +38,39 @@ def live_range_wrt_thread(function: Function, register: str,
                                        for b in function.blocks}
     live_in_block: Dict[str, bool] = dict(live_out_block)
 
-    def block_transfer(label: str, live: bool) -> bool:
-        for instruction in reversed(function.block(label).instructions):
-            if register in instruction.defined_registers():
-                live = False
+    # One scan per block computes per-instruction events (+1: this use
+    # site makes the register live, -1: a definition kills it, 0:
+    # neutral; a defining use site nets +1 since in the backward scan the
+    # use wins) plus the block transfer summary.  Walking backwards, the
+    # block's live-in is fixed by its first event in program order —
+    # independent of live-out — so the transfer is either a constant or
+    # the identity.
+    block_events: Dict[str, list] = {}
+    transfer: Dict[str, tuple] = {}  # label -> (has_event, value)
+    for block in function.blocks:
+        events = []
+        for instruction in block.instructions:
             if instruction.iid in use_iids:
-                live = True
-        return live
+                events.append(1)
+            elif register in instruction.defined_registers():
+                events.append(-1)
+            else:
+                events.append(0)
+        block_events[block.label] = events
+        summary = (False, False)
+        for event in events:
+            if event:
+                summary = (True, event > 0)
+                break
+        transfer[block.label] = summary
 
     changed = True
     while changed:
         changed = False
         for block in reversed(function.blocks):
             out = any(live_in_block[succ] for succ in block.successors())
-            in_ = block_transfer(block.label, out)
+            has_event, value = transfer[block.label]
+            in_ = value if has_event else out
             if (out != live_out_block[block.label]
                     or in_ != live_in_block[block.label]):
                 live_out_block[block.label] = out
@@ -62,13 +81,15 @@ def live_range_wrt_thread(function: Function, register: str,
     after: Dict[int, bool] = {}
     for block in function.blocks:
         live = live_out_block[block.label]
-        for instruction in reversed(block.instructions):
-            after[instruction.iid] = live
-            if register in instruction.defined_registers():
-                live = False
-            if instruction.iid in use_iids:
-                live = True
-            before[instruction.iid] = live
+        events = block_events[block.label]
+        instructions = block.instructions
+        for position in range(len(instructions) - 1, -1, -1):
+            iid = instructions[position].iid
+            after[iid] = live
+            event = events[position]
+            if event:
+                live = event > 0
+            before[iid] = live
     return RegisterRange(before, after,
                          {label: live_in_block[label]
                           for label in live_in_block})
@@ -98,18 +119,34 @@ def safe_range_wrt_thread(function: Function, register: str,
     preds = function.predecessors_map()
     entry = function.entry.label
 
-    def block_transfer(label: str, safe: bool) -> bool:
-        for instruction in function.block(label).instructions:
-            defines = register in instruction.defined_registers()
-            uses = register in instruction.used_registers()
-            if in_source(instruction, label) and (defines or uses):
-                safe = True
-            elif defines:
-                safe = False
-        return safe
-
     # Parameters start out held by every thread.
     entry_fact = register in params
+
+    # As in liveness: one scan per block computes per-instruction events
+    # (+1: a source-thread def/use makes the register safe, -1: a foreign
+    # definition makes it stale, 0: neutral) and the transfer summary —
+    # the block's safe-out is fixed by its last event in program order,
+    # or equals safe-in when the block never touches the register.
+    block_events: Dict[str, list] = {}
+    transfer: Dict[str, tuple] = {}  # label -> (has_event, value)
+    for block in function.blocks:
+        events = []
+        for instruction in block.instructions:
+            defines = register in instruction.defined_registers()
+            uses = register in instruction.used_registers()
+            if (defines or uses) and in_source(instruction, block.label):
+                events.append(1)
+            elif defines:
+                events.append(-1)
+            else:
+                events.append(0)
+        block_events[block.label] = events
+        summary = (False, False)
+        for event in reversed(events):
+            if event:
+                summary = (True, event > 0)
+                break
+        transfer[block.label] = summary
 
     changed = True
     while changed:
@@ -121,7 +158,8 @@ def safe_range_wrt_thread(function: Function, register: str,
                 pred_list = preds[block.label]
                 in_ = bool(pred_list) and all(safe_out_block[p]
                                               for p in pred_list)
-            out = block_transfer(block.label, in_)
+            has_event, value = transfer[block.label]
+            out = value if has_event else in_
             if (in_ != safe_in_block[block.label]
                     or out != safe_out_block[block.label]):
                 safe_in_block[block.label] = in_
@@ -132,13 +170,11 @@ def safe_range_wrt_thread(function: Function, register: str,
     after: Dict[int, bool] = {}
     for block in function.blocks:
         safe = safe_in_block[block.label]
-        for instruction in block:
+        events = block_events[block.label]
+        for position, instruction in enumerate(block.instructions):
             before[instruction.iid] = safe
-            defines = register in instruction.defined_registers()
-            uses = register in instruction.used_registers()
-            if in_source(instruction, block.label) and (defines or uses):
-                safe = True
-            elif defines:
-                safe = False
+            event = events[position]
+            if event:
+                safe = event > 0
             after[instruction.iid] = safe
     return RegisterRange(before, after, dict(safe_in_block))

@@ -163,6 +163,31 @@ class ThreadContext:
         instruction = self.block.instructions[self.index]
         op = instruction.op
 
+        # Hot path: plain binary ALU ops dominate every profile, so they
+        # dispatch on one dict probe with the operands read inline (the
+        # general ``_operands`` path below stays for the odd shapes and
+        # is what defines the trap behaviour being preserved here).
+        handler = _BINARY.get(op)
+        if handler is not None:
+            srcs = instruction.srcs
+            imm = instruction.imm
+            self.steps += 1
+            regs = self.regs
+            try:
+                if len(srcs) == 2 and imm is None:
+                    value = handler(regs[srcs[0]], regs[srcs[1]])
+                elif len(srcs) == 1 and imm is not None:
+                    value = handler(regs[srcs[0]], imm)
+                else:
+                    a, b = self._operands(instruction)
+                    value = handler(a, b)
+            except KeyError as error:
+                raise TrapError("read of undefined register %r in %s"
+                                % (error.args[0], self.function.name))
+            regs[instruction.dest] = value
+            self.index += 1
+            return StepResult(StepStatus.OK, instruction)
+
         # Communication first: these may block without side effects.
         if op is Opcode.PRODUCE or op is Opcode.PRODUCE_SYNC:
             if self.queues is None:
@@ -226,14 +251,6 @@ class ThreadContext:
             self.index += 1
             return StepResult(StepStatus.OK, instruction)
 
-        handler = _BINARY.get(op)
-        if handler is not None:
-            a, b = self._operands(instruction)
-            if op is Opcode.FDIV:
-                pass  # unreachable; FDIV handled below
-            self.regs[instruction.dest] = handler(a, b)
-            self.index += 1
-            return StepResult(StepStatus.OK, instruction)
         if op is Opcode.FDIV:
             a, b = self._operands(instruction)
             if float(b) == 0.0:

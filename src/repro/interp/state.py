@@ -39,6 +39,12 @@ class Memory:
         self.words[address] = value
 
     def write_array(self, base: int, values: Iterable) -> None:
+        values = list(values)
+        if 0 <= base and base + len(values) <= self.size:
+            self.words[base:base + len(values)] = values
+            return
+        # Out of bounds somewhere: take the word-at-a-time path so the
+        # error names the first offending address, as store() would.
         for offset, value in enumerate(values):
             self.store(base + offset, value)
 

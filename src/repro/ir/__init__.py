@@ -7,11 +7,14 @@ from .builder import BuildError, FunctionBuilder
 from .printer import format_function, format_instruction
 from .parser import ParseError, parse_function, parse_functions
 from .verify import VerificationError, verify_function
+from .interning import (InternedInstruction, intern_function,
+                        intern_instruction, intern_program)
 
 __all__ = [
     "Instruction", "Opcode", "OpKind", "SIGNATURES", "COMM_OPCODES",
     "MEMORY_OPCODES", "TERMINATOR_OPCODES", "BasicBlock", "Function",
     "MemObject", "BuildError", "FunctionBuilder", "format_function",
     "format_instruction", "ParseError", "parse_function", "parse_functions",
-    "VerificationError", "verify_function",
+    "VerificationError", "verify_function", "InternedInstruction",
+    "intern_function", "intern_instruction", "intern_program",
 ]

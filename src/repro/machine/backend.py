@@ -1,0 +1,69 @@
+"""Simulation backend registry.
+
+Two backends implement the same timing-simulation contract:
+
+``reference``
+    The readable event-driven model in :mod:`repro.machine.timing`.
+    Supports tracing; the semantics source of truth.
+
+``fast``
+    The batched-dispatch model in :mod:`repro.machine.fast_timing`.
+    Bit-identical results (locked down by
+    :mod:`repro.check.differential_backend` and
+    ``tests/test_backend_equivalence.py``); delegates to the reference
+    implementation when a tracer is attached.
+
+Because results are bit-identical, the backend choice is an *execution*
+concern, not a *request* concern: it is excluded from stage fingerprints
+and from :meth:`repro.api.EvaluateRequest.request_key`, so both backends
+share one artifact-cache namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from . import fast_timing, timing
+
+#: Valid values of the ``--backend`` flag / ``EvaluateRequest.backend``.
+BACKENDS: Tuple[str, ...] = ("reference", "fast")
+
+DEFAULT_BACKEND = "reference"
+
+_SIMULATE_PROGRAM: Dict[str, Callable] = {
+    "reference": timing.simulate_program,
+    "fast": fast_timing.simulate_program_fast,
+}
+
+_SIMULATE_SINGLE: Dict[str, Callable] = {
+    "reference": timing.simulate_single,
+    "fast": fast_timing.simulate_single_fast,
+}
+
+_SIMULATE_THREADS: Dict[str, Callable] = {
+    "reference": timing.simulate_threads,
+    "fast": fast_timing.simulate_threads_fast,
+}
+
+
+def validate_backend(name: str) -> str:
+    """Return ``name`` if it names a registered backend, else raise."""
+    if name not in BACKENDS:
+        raise ValueError("unknown backend %r (expected one of %s)"
+                         % (name, ", ".join(BACKENDS)))
+    return name
+
+
+def simulate_program_fn(backend: str = DEFAULT_BACKEND) -> Callable:
+    """The backend's :func:`simulate_program`-compatible entry point."""
+    return _SIMULATE_PROGRAM[validate_backend(backend)]
+
+
+def simulate_single_fn(backend: str = DEFAULT_BACKEND) -> Callable:
+    """The backend's :func:`simulate_single`-compatible entry point."""
+    return _SIMULATE_SINGLE[validate_backend(backend)]
+
+
+def simulate_threads_fn(backend: str = DEFAULT_BACKEND) -> Callable:
+    """The backend's :func:`simulate_threads`-compatible entry point."""
+    return _SIMULATE_THREADS[validate_backend(backend)]

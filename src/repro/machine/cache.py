@@ -86,6 +86,16 @@ class MemoryHierarchy:
         # Level that served the most recent access ("l1"/"l2"/"l3"/"mem"
         # for reads, "store" for writes) — read by the tracer.
         self.last_level = "l1"
+        # Hoisted config scalars: access() runs once per simulated memory
+        # instruction, so the nested attribute chains add up.
+        self._word_bytes = config.word_bytes
+        self._l1_line_bytes = config.l1d.line_bytes
+        self._l2_line_bytes = config.l2.line_bytes
+        self._l3_line_bytes = config.l3.line_bytes
+        self._l1_hit = config.l1d.hit_latency
+        self._l2_hit = config.l2.hit_latency
+        self._l3_hit = config.l3.hit_latency
+        self._memory_latency = config.memory_latency
 
     @property
     def l3(self) -> CacheLevel:
@@ -104,43 +114,51 @@ class MemoryHierarchy:
     def access(self, core: int, word_address: int, is_write: bool) -> int:
         """Perform one access; returns the load-use latency in cycles
         (stores return 1: write-buffered)."""
-        l1_line, l2_line, l3_line = self._line_addresses(word_address)
+        byte = word_address * self._word_bytes
+        l1_line = byte // self._l1_line_bytes
 
-        l3 = self.l3s[self._domain_of[core]]
-        if is_write:
-            # Write-through L1: update L1 (write-allocate on hit only),
-            # allocate in L2/L3, and invalidate every other core's copies.
-            self.last_level = "store"
-            self.l1[core].lookup(l1_line)
-            self.l2[core].fill(l2_line)
+        # Read fast path: an L1 hit (the common case by far) needs no
+        # other line addresses and no L3 domain lookup.
+        if not is_write:
+            if self.l1[core].lookup(l1_line):
+                self.last_level = "l1"
+                return self._l1_hit
+            l2_line = byte // self._l2_line_bytes
+            if self.l2[core].lookup(l2_line):
+                self.l1[core].fill(l1_line)
+                self.last_level = "l2"
+                return self._l2_hit
+            l3_line = byte // self._l3_line_bytes
+            l3 = self.l3s[self._domain_of[core]]
+            if l3.lookup(l3_line):
+                self.l2[core].fill(l2_line)
+                self.l1[core].fill(l1_line)
+                self.last_level = "l3"
+                return self._l3_hit
             l3.fill(l3_line)
-            for other in range(self.n_cores):
-                if other == core:
-                    continue
-                before = self._present(other, l1_line, l2_line)
-                self.l1[other].invalidate(l1_line)
-                self.l2[other].invalidate(l2_line)
-                if before:
-                    self.coherence_invalidations += 1
-            return 1
-
-        if self.l1[core].lookup(l1_line):
-            self.last_level = "l1"
-            return self.config.l1d.hit_latency
-        if self.l2[core].lookup(l2_line):
-            self.l1[core].fill(l1_line)
-            self.last_level = "l2"
-            return self.config.l2.hit_latency
-        if l3.lookup(l3_line):
             self.l2[core].fill(l2_line)
             self.l1[core].fill(l1_line)
-            self.last_level = "l3"
-            return self.config.l3.hit_latency
-        l3.fill(l3_line)
+            self.last_level = "mem"
+            return self._memory_latency
+
+        # Write-through L1: update L1 (write-allocate on hit only),
+        # allocate in L2/L3, and invalidate every other core's copies.
+        l2_line = byte // self._l2_line_bytes
+        l3_line = byte // self._l3_line_bytes
+        l3 = self.l3s[self._domain_of[core]]
+        self.last_level = "store"
+        self.l1[core].lookup(l1_line)
         self.l2[core].fill(l2_line)
-        self.l1[core].fill(l1_line)
-        self.last_level = "mem"
-        return self.config.memory_latency
+        l3.fill(l3_line)
+        for other in range(self.n_cores):
+            if other == core:
+                continue
+            before = self._present(other, l1_line, l2_line)
+            self.l1[other].invalidate(l1_line)
+            self.l2[other].invalidate(l2_line)
+            if before:
+                self.coherence_invalidations += 1
+        return 1
 
     def _present(self, core: int, l1_line: int, l2_line: int) -> bool:
         index, tag = self.l1[core]._locate(l1_line)

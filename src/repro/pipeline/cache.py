@@ -7,6 +7,15 @@ environment variable; ``REPRO_CACHE=0`` (or ``off``/``no``) disables the
 cache entirely.  Writes are atomic (write-to-temp + rename), so parallel
 sweep workers can share one directory safely.
 
+In front of the disk sits a bounded in-process LRU of *encoded* envelope
+bytes (``REPRO_CACHE_MEMORY_BUDGET`` bytes, default 128 MiB, 0 disables):
+sweep cells that share an artifact — e.g. four partitioner/topology
+variants of one workload reusing its profile and PDG — then pay one
+``pickle.loads`` instead of a disk round-trip.  Bytes, not objects, are
+cached because stages mutate their payloads in place (the local
+scheduler reorders instruction lists); every hit deserializes a fresh
+object graph.  Memory hits count as ordinary hits plus ``memory_hits``.
+
 The cache is best-effort by design: a missing, corrupted, or truncated
 blob is counted as an invalidation and recomputed, never raised.
 """
@@ -18,32 +27,53 @@ import pickle
 import shutil
 import tempfile
 import time
+from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from .fingerprint import SCHEMA_VERSION
 
 _DISABLE_VALUES = ("0", "off", "no", "false")
 
+DEFAULT_MEMORY_BUDGET = 128 * 1024 * 1024
+
+
+def _default_memory_budget() -> int:
+    raw = os.environ.get("REPRO_CACHE_MEMORY_BUDGET")
+    if raw is None:
+        return DEFAULT_MEMORY_BUDGET
+    try:
+        return max(int(raw), 0)
+    except ValueError:
+        return DEFAULT_MEMORY_BUDGET
+
 
 class CacheStats:
-    """Hit/miss/invalidation accounting for one cache instance."""
+    """Hit/miss/invalidation accounting for one cache instance.
+
+    ``memory_hits`` counts the subset of ``hits`` served from the
+    in-process memory tier without touching the disk."""
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.stores = 0
+        self.memory_hits = 0
 
     def reset(self) -> None:
         self.hits = self.misses = self.invalidations = self.stores = 0
+        self.memory_hits = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "invalidations": self.invalidations, "stores": self.stores}
+                "invalidations": self.invalidations, "stores": self.stores,
+                "memory_hits": self.memory_hits}
 
     def summary(self) -> str:
-        return ("%d hits, %d misses, %d invalidations, %d stores"
-                % (self.hits, self.misses, self.invalidations, self.stores))
+        return ("%d hits (%d from memory), %d misses, %d invalidations, "
+                "%d stores"
+                % (self.hits, self.memory_hits, self.misses,
+                   self.invalidations, self.stores))
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<CacheStats %s>" % self.summary()
@@ -58,13 +88,19 @@ class ArtifactCache:
     """Content-addressed pickle store with per-stage subdirectories."""
 
     def __init__(self, directory: Optional[str] = None,
-                 enabled: Optional[bool] = None):
+                 enabled: Optional[bool] = None,
+                 memory_budget: Optional[int] = None):
         if enabled is None:
             enabled = (os.environ.get("REPRO_CACHE", "1").lower()
                        not in _DISABLE_VALUES)
         self.directory = directory or default_cache_dir()
         self.enabled = enabled
         self.stats = CacheStats()
+        if memory_budget is None:
+            memory_budget = _default_memory_budget()
+        self.memory_budget = max(int(memory_budget), 0)
+        self._memory: "OrderedDict[Tuple[str, str], bytes]" = OrderedDict()
+        self._memory_bytes = 0
 
     # -- lookup ------------------------------------------------------------
 
@@ -83,23 +119,33 @@ class ArtifactCache:
         artifacts served after an evaluation timeout."""
         if not self.enabled:
             return False, None, {}
+        mem_key = (stage, key)
+        blob = self._memory.get(mem_key)
+        if blob is not None:
+            envelope = self._decode(blob, stage)
+            if envelope is not None:
+                self._memory.move_to_end(mem_key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                meta = {"stored_at": float(envelope.get("stored_at", 0.0))}
+                return True, envelope["payload"], meta
+            self._memory_drop(mem_key)
         path = self._path(stage, key)
         try:
             with open(path, "rb") as handle:
-                envelope = pickle.load(handle)
+                blob = handle.read()
         except FileNotFoundError:
             self.stats.misses += 1
             return False, None, {}
         except Exception:
             self._invalidate(path)
             return False, None, {}
-        if (not isinstance(envelope, dict)
-                or envelope.get("schema") != SCHEMA_VERSION
-                or envelope.get("stage") != stage
-                or "payload" not in envelope):
+        envelope = self._decode(blob, stage)
+        if envelope is None:
             self._invalidate(path)
             return False, None, {}
         self.stats.hits += 1
+        self._memory_put(mem_key, blob)
         meta = {"stored_at": float(envelope.get("stored_at", 0.0))}
         return True, envelope["payload"], meta
 
@@ -111,13 +157,17 @@ class ArtifactCache:
         envelope = {"schema": SCHEMA_VERSION, "stage": stage, "key": key,
                     "stored_at": time.time(), "payload": payload}
         try:
+            blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return  # unpicklable payloads are simply not cached
+        self._memory_put((stage, key), blob)
+        try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, temp_path = tempfile.mkstemp(dir=os.path.dirname(path),
                                              suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(envelope, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(blob)
                 os.replace(temp_path, path)
             except BaseException:
                 try:
@@ -129,13 +179,48 @@ class ArtifactCache:
             return  # best effort: an unwritable cache never fails the run
         self.stats.stores += 1
 
+    def drop_memory(self) -> None:
+        """Empty the in-process memory tier (the disk is untouched).
+        Tests use this to model a fresh process against a shared disk."""
+        self._memory.clear()
+        self._memory_bytes = 0
+
     def clear(self) -> None:
+        self.drop_memory()
         shutil.rmtree(self.directory, ignore_errors=True)
 
     # -- internals ---------------------------------------------------------
 
     def _path(self, stage: str, key: str) -> str:
         return os.path.join(self.directory, stage, key[:2], key + ".pkl")
+
+    def _decode(self, blob: bytes, stage: str) -> Optional[Dict[str, Any]]:
+        """Unpickle and validate an envelope; ``None`` on any mismatch."""
+        try:
+            envelope = pickle.loads(blob)
+        except Exception:
+            return None
+        if (not isinstance(envelope, dict)
+                or envelope.get("schema") != SCHEMA_VERSION
+                or envelope.get("stage") != stage
+                or "payload" not in envelope):
+            return None
+        return envelope
+
+    def _memory_put(self, mem_key: Tuple[str, str], blob: bytes) -> None:
+        if not self.memory_budget or len(blob) > self.memory_budget:
+            return
+        self._memory_drop(mem_key)
+        self._memory[mem_key] = blob
+        self._memory_bytes += len(blob)
+        while self._memory_bytes > self.memory_budget:
+            _evicted, old = self._memory.popitem(last=False)
+            self._memory_bytes -= len(old)
+
+    def _memory_drop(self, mem_key: Tuple[str, str]) -> None:
+        blob = self._memory.pop(mem_key, None)
+        if blob is not None:
+            self._memory_bytes -= len(blob)
 
     def _invalidate(self, path: str) -> None:
         self.stats.invalidations += 1
@@ -163,9 +248,10 @@ def get_cache() -> ArtifactCache:
 
 
 def configure_cache(directory: Optional[str] = None,
-                    enabled: Optional[bool] = None) -> ArtifactCache:
+                    enabled: Optional[bool] = None,
+                    memory_budget: Optional[int] = None) -> ArtifactCache:
     """Replace the process-wide cache (e.g. per-test tmp directories, or
     ``--no-cache`` from the CLI) and return the new instance."""
     global _ACTIVE
-    _ACTIVE = ArtifactCache(directory, enabled)
+    _ACTIVE = ArtifactCache(directory, enabled, memory_budget)
     return _ACTIVE

@@ -23,6 +23,7 @@ from ..analysis.pdg import PDG
 from ..coco.driver import CocoResult
 from ..interp.profile import EdgeProfile
 from ..ir.cfg import Function
+from ..machine.backend import DEFAULT_BACKEND, validate_backend
 from ..machine.config import MachineConfig
 from ..machine.timing import TimedResult
 from ..mtcg.program import MTProgram
@@ -234,7 +235,8 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
                       trace: bool = False,
                       trace_limit: Optional[int] = None,
                       topology: Optional[str] = None,
-                      placer: str = "identity") -> Evaluation:
+                      placer: str = "identity",
+                      backend: str = DEFAULT_BACKEND) -> Evaluation:
     """Run the full methodology for one workload: profile on `train`,
     measure on ``scale`` (default `ref`), and verify the multi-threaded
     run produced the single-threaded results.
@@ -258,7 +260,13 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
     the placement stage, and the simulator all see the clustered machine;
     ``placer`` chooses the thread->core placer ("identity"/"affinity").
     Both default to the flat legacy machine, which is cycle-invariant.
+
+    ``backend`` selects the simulator implementation ("reference" or
+    "fast", see :mod:`repro.machine.backend`).  Backends are
+    bit-identical by contract, so the choice never enters cache
+    fingerprints or request keys — it only trades host wall time.
     """
+    validate_backend(backend)
     function = workload.build()
     train = workload.make_inputs("train")
     measure = workload.make_inputs(scale)
@@ -287,6 +295,7 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
             "trace": trace,
             "trace_limit": trace_limit,
             "placer": placer,
+            "backend": backend,
         },
         config=effective,
         sim_config=config,

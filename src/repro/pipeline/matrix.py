@@ -15,6 +15,7 @@ from __future__ import annotations
 import warnings
 from typing import Iterable, List, NamedTuple, Optional, Sequence, Union
 
+from ..machine.backend import DEFAULT_BACKEND
 from ..workloads import get_workload, workload_names
 from ..workloads.common import Workload
 from .cache import configure_cache, get_cache
@@ -23,7 +24,12 @@ from .telemetry import Telemetry, global_telemetry
 
 
 class MatrixCell(NamedTuple):
-    """One point of the evaluation matrix."""
+    """One point of the evaluation matrix.
+
+    ``backend`` (last field, after all identity fields) picks the
+    simulator implementation; backends are bit-identical, so it is not
+    part of the cell's *identity* — :meth:`identity` strips it, and
+    request keys/baselines built from it are backend-invariant."""
 
     workload: str
     technique: str = "gremio"
@@ -35,6 +41,12 @@ class MatrixCell(NamedTuple):
     mt_check: bool = False
     topology: Optional[str] = None
     placer: str = "identity"
+    backend: str = DEFAULT_BACKEND
+
+    def identity(self) -> tuple:
+        """The fields that determine this cell's results (everything but
+        ``backend``) — the key for caches, baselines, and the daemon."""
+        return tuple(self[:-1])
 
 
 def build_cells(workloads: Optional[
@@ -47,7 +59,8 @@ def build_cells(workloads: Optional[
                 local_schedule: Optional[str] = None,
                 mt_check: bool = False,
                 topology: Optional[str] = None,
-                placer: str = "identity") -> List[MatrixCell]:
+                placer: str = "identity",
+                backend: str = DEFAULT_BACKEND) -> List[MatrixCell]:
     """The cross product, in deterministic workload-major order."""
     if workloads is None:
         names = workload_names()
@@ -56,7 +69,7 @@ def build_cells(workloads: Optional[
                  for w in workloads]
     return [MatrixCell(name, technique, use_coco, threads, scale,
                        alias_mode, local_schedule, mt_check,
-                       topology, placer)
+                       topology, placer, backend)
             for name in names
             for technique in techniques
             for use_coco in coco
@@ -77,7 +90,8 @@ def evaluate_matrix(cells: Optional[Iterable[MatrixCell]] = None,
                     check: bool = True,
                     telemetry: Optional[Telemetry] = None,
                     topology: Optional[str] = None,
-                    placer: str = "identity"
+                    placer: str = "identity",
+                    backend: str = DEFAULT_BACKEND
                     ) -> List[Evaluation]:
     """Evaluate every cell and return the evaluations in cell order.
 
@@ -90,7 +104,7 @@ def evaluate_matrix(cells: Optional[Iterable[MatrixCell]] = None,
     if cells is None:
         cells = build_cells(workloads, techniques, coco, n_threads, scale,
                             alias_mode, local_schedule, mt_check,
-                            topology, placer)
+                            topology, placer, backend)
     cells = [cell if isinstance(cell, MatrixCell) else MatrixCell(*cell)
              for cell in cells]
 
@@ -121,7 +135,8 @@ def _run_cell(cell: MatrixCell, check: bool,
                              mt_check=cell.mt_check,
                              telemetry=telemetry,
                              topology=cell.topology,
-                             placer=cell.placer)
+                             placer=cell.placer,
+                             backend=cell.backend)
 
 
 def pool_payload(cell: MatrixCell, check: bool = True,
@@ -148,13 +163,28 @@ def run_cell_payload(payload) -> Evaluation:
 _pool_worker = run_cell_payload
 
 
+def _run_batch_payload(batch) -> List[Evaluation]:
+    return [run_cell_payload(payload) for payload in batch]
+
+
 def _evaluate_pool(cells: List[MatrixCell], jobs: int,
                    check: bool) -> Optional[List[Evaluation]]:
     payloads = [pool_payload(cell, check) for cell in cells]
+    # One batch per workload: cells of a workload share their expensive
+    # front-end artifacts (profile, PDG, the single-threaded baseline
+    # simulation), and a worker that evaluates them back-to-back reuses
+    # those through its in-process cache tier.  Scattering them across
+    # workers instead would race the disk tier and compute the shared
+    # stages once per worker.
+    groups: dict = {}
+    for index, cell in enumerate(cells):
+        groups.setdefault(cell.workload, []).append(index)
+    batches = [[payloads[index] for index in indices]
+               for indices in groups.values()]
     try:
         import multiprocessing
-        with multiprocessing.Pool(min(jobs, len(cells))) as pool:
-            return pool.map(_pool_worker, payloads)
+        with multiprocessing.Pool(min(jobs, len(batches))) as pool:
+            batch_results = pool.map(_run_batch_payload, batches)
     except (AssertionError, KeyboardInterrupt):
         raise  # real evaluation failures / user interrupts propagate
     except Exception as error:
@@ -162,3 +192,8 @@ def _evaluate_pool(cells: List[MatrixCell], jobs: int,
                       "falling back to serial execution" % (error,),
                       RuntimeWarning)
         return None
+    results: List[Optional[Evaluation]] = [None] * len(cells)
+    for indices, batch in zip(groups.values(), batch_results):
+        for index, evaluation in zip(indices, batch):
+            results[index] = evaluation
+    return results

@@ -30,10 +30,12 @@ from ..coco.driver import optimize as coco_optimize
 from ..interp.interpreter import run_function
 from ..interp.profile import static_profile
 from ..ir.cfg import Function
+from ..ir.interning import intern_program
 from ..ir.transforms import renumber_iids, split_critical_edges
+from ..machine.backend import (DEFAULT_BACKEND, simulate_program_fn,
+                               simulate_single_fn)
 from ..machine.config import DEFAULT_CONFIG, MachineConfig
 from ..machine.placement import make_placement
-from ..machine.timing import simulate_program, simulate_single
 from ..mtcg.codegen import generate
 from ..partition.base import Partitioner
 from ..partition.dswp import DSWPPartitioner
@@ -279,7 +281,11 @@ def _run_mtcg(ctx: PipelineContext) -> dict:
                        data_channels=ctx.values["data_channels"],
                        condition_covered=ctx.values["condition_covered"],
                        config=config)
-    return {"program": program}
+    # Thread functions are finished artifacts from here on (the local
+    # scheduler only reorders instruction lists): collapse them to
+    # interned flyweights so sweep cells, pool payloads, and cache
+    # pickles share one object per distinct instruction.
+    return {"program": intern_program(program)}
 
 
 def _count_mtcg(ctx: PipelineContext) -> None:
@@ -362,6 +368,11 @@ def _fp_simulate_st(ctx: PipelineContext) -> str:
 
 def _run_simulate_st(ctx: PipelineContext) -> dict:
     config = ctx.sim_config if ctx.sim_config is not None else ctx.config
+    # The backend is deliberately absent from the stage fingerprint:
+    # backends are bit-identical (tests/test_backend_equivalence.py), so
+    # reference and fast runs share one cache namespace.
+    simulate_single = simulate_single_fn(
+        ctx.options.get("backend", DEFAULT_BACKEND))
     result = simulate_single(ctx.function, ctx.options.get("measure_args"),
                              ctx.options.get("measure_memory"),
                              config=config)
@@ -388,6 +399,8 @@ def _fp_simulate_mt(ctx: PipelineContext) -> Optional[str]:
 
 def _run_simulate_mt(ctx: PipelineContext) -> dict:
     config = ctx.sim_config if ctx.sim_config is not None else ctx.config
+    simulate_program = simulate_program_fn(
+        ctx.options.get("backend", DEFAULT_BACKEND))
     if ctx.options.get("trace"):
         from ..trace import DEFAULT_EVENT_LIMIT, TraceCollector, analyze
         limit = ctx.options.get("trace_limit") or DEFAULT_EVENT_LIMIT

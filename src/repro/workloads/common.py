@@ -46,12 +46,30 @@ class Workload:
         self.exec_percent = exec_percent
         self.suite = suite
         self.build = build
-        self.make_inputs = make_inputs
+        self._make_inputs = make_inputs
+        self._inputs_cache: Dict[str, WorkloadInputs] = {}
         self.reference = reference
         # Memory objects whose final contents are workload outputs (checked
         # against the oracle in addition to live-out registers).
         self.output_objects = output_objects
         self.description = description
+
+    def make_inputs(self, scale: str) -> WorkloadInputs:
+        """Inputs for ``scale``, generated once per process.
+
+        The generators are deterministic (seeded by workload name and
+        scale) but not cheap — a matrix sweep would otherwise re-run
+        them per cell.  Callers receive fresh top-level containers, so
+        simulating (which consumes the memory image) or mutating the
+        returned maps cannot leak into later evaluations.
+        """
+        cached = self._inputs_cache.get(scale)
+        if cached is None:
+            cached = self._make_inputs(scale)
+            self._inputs_cache[scale] = cached
+        return WorkloadInputs(dict(cached.args),
+                              {name: list(values)
+                               for name, values in cached.memory.items()})
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<Workload %s (%s:%s)>" % (self.name, self.benchmark,

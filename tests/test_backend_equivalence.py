@@ -1,0 +1,155 @@
+"""Differential equivalence of the fast simulator backend.
+
+The contract under test (see ``docs/performance.md``): for every
+program the fast backend (:mod:`repro.machine.fast_timing`) produces
+results **bit-identical** to the reference
+(:mod:`repro.machine.timing`) — cycles, per-core finish times, stall
+attributions, queue internals, live-outs, memory images, and the
+int-vs-float type of every number.  The grid is every registry workload
+x {paper-dual, quad-2x2} x {GREMIO, DSWP} x {trace off, trace on},
+plus the single-threaded simulator per workload, whole-pipeline
+``Evaluation.metrics()`` parity, and seeded random programs from
+:mod:`repro.check.generate`.
+"""
+
+import pytest
+
+from repro.api import configure_cache, evaluate_workload, get_cache, \
+    get_workload, workload_names
+from repro.check.differential_backend import (diff_snapshots,
+                                              run_fuzz_case,
+                                              snapshot_result,
+                                              snapshot_trace)
+from repro.machine.backend import (simulate_program_fn,
+                                   simulate_single_fn)
+from repro.pipeline.core import parallelize
+
+#: (topology preset, threads that fill it).
+TOPOLOGIES = (("paper-dual", 2), ("quad-2x2", 4))
+TECHNIQUES = ("gremio", "dswp")
+
+_BUILDS = {}
+
+
+def _built(name, technique, topology, n_threads):
+    """One parallelization per grid point, shared by the trace-on and
+    trace-off cases (the build side is backend-agnostic)."""
+    key = (name, technique, topology, n_threads)
+    if key not in _BUILDS:
+        workload = get_workload(name)
+        train = workload.make_inputs("train")
+        _BUILDS[key] = parallelize(
+            workload.build(), technique=technique, n_threads=n_threads,
+            profile_args=train.args, profile_memory=train.memory,
+            cache=False, topology=topology)
+    return _BUILDS[key]
+
+
+def _assert_identical(reference_snap, fast_snap, label):
+    divergences = diff_snapshots(reference_snap, fast_snap)
+    assert not divergences, "%s diverged:\n%s" % (
+        label, "\n".join(divergences[:10]))
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_single_threaded_bit_identical(name):
+    workload = get_workload(name)
+    inputs = workload.make_inputs("train")
+    reference = simulate_single_fn("reference")(
+        workload.build(), inputs.args, inputs.memory)
+    fast = simulate_single_fn("fast")(
+        workload.build(), inputs.args, inputs.memory)
+    _assert_identical(snapshot_result(reference), snapshot_result(fast),
+                      "%s/st" % name)
+
+
+@pytest.mark.parametrize("topology,n_threads", TOPOLOGIES)
+@pytest.mark.parametrize("technique", TECHNIQUES)
+@pytest.mark.parametrize("name", workload_names())
+def test_multi_threaded_bit_identical(name, technique, topology,
+                                      n_threads):
+    built = _built(name, technique, topology, n_threads)
+    inputs = get_workload(name).make_inputs("train")
+    reference = simulate_program_fn("reference")(
+        built.program, inputs.args, inputs.memory, config=built.config)
+    fast = simulate_program_fn("fast")(
+        built.program, inputs.args, inputs.memory, config=built.config)
+    ref_snap = snapshot_result(reference)
+    fast_snap = snapshot_result(fast)
+    _assert_identical(ref_snap, fast_snap,
+                      "%s/%s/%s" % (name, technique, topology))
+    # Per-core stall attributions reconcile, not just the total cycles:
+    # the snapshot covers comm_stats (SA port delays, backpressure,
+    # operand waits), per-core finish times, and queue timestamps.
+    for field in ("core_finish", "comm_stats", "queues", "cache_stats"):
+        assert ref_snap[field] == fast_snap[field]
+
+
+@pytest.mark.parametrize("topology,n_threads", TOPOLOGIES)
+@pytest.mark.parametrize("technique", TECHNIQUES)
+@pytest.mark.parametrize("name", workload_names())
+def test_traced_runs_bit_identical(name, technique, topology, n_threads):
+    """With a tracer attached the fast backend delegates to the
+    reference, so event streams and stall tables are identical — this
+    pins the delegation (a fast-path trace reimplementation would have
+    to reproduce the whole stream to pass)."""
+    from repro.trace import TraceCollector
+    built = _built(name, technique, topology, n_threads)
+    inputs = get_workload(name).make_inputs("train")
+    snapshots = []
+    for backend in ("reference", "fast"):
+        collector = TraceCollector()
+        result = simulate_program_fn(backend)(
+            built.program, inputs.args, inputs.memory,
+            config=built.config, tracer=collector)
+        snapshots.append((snapshot_result(result),
+                          snapshot_trace(collector)))
+    _assert_identical(snapshots[0][0], snapshots[1][0],
+                      "%s/%s/%s/trace-result" % (name, technique,
+                                                 topology))
+    _assert_identical(snapshots[0][1], snapshots[1][1],
+                      "%s/%s/%s/trace-events" % (name, technique,
+                                                 topology))
+
+
+class TestEvaluationMetrics:
+    """Whole-pipeline parity: evaluate_workload under both backends
+    (cache disabled, so the fast run cannot replay reference artifacts)
+    yields bit-identical Evaluation.metrics()."""
+
+    @pytest.fixture(autouse=True)
+    def _no_cache(self):
+        previous = get_cache()
+        configure_cache(enabled=False)
+        yield
+        configure_cache(previous.directory, previous.enabled)
+
+    @pytest.mark.parametrize("name,technique,topology,n_threads", [
+        ("ks", "gremio", "paper-dual", 2),
+        ("adpcmdec", "dswp", "quad-2x2", 4),
+        ("mpeg2enc", "gremio", None, 2),
+    ])
+    def test_metrics_bit_identical(self, name, technique, topology,
+                                   n_threads):
+        evaluations = [
+            evaluate_workload(get_workload(name), technique=technique,
+                              n_threads=n_threads, scale="train",
+                              topology=topology, backend=backend)
+            for backend in ("reference", "fast")]
+        reference, fast = evaluations
+        assert reference.metrics() == fast.metrics()
+        # Bit-identity includes types: speedup reprs match exactly.
+        assert repr(reference.speedup) == repr(fast.speedup)
+        assert (reference.mt_result.cycles == fast.mt_result.cycles
+                and type(reference.mt_result.cycles)
+                is type(fast.mt_result.cycles))
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_fuzz_programs_bit_identical(seed):
+    """Seeded random programs (repro.check.generate): single-threaded
+    plus a random-partition MTCG program per seed, both backends —
+    including identical trap type and message when the program traps."""
+    case = run_fuzz_case(seed)
+    assert case.ok, "fuzz seed %d diverged:\n%s" % (
+        seed, "\n".join(case.divergences[:10]))

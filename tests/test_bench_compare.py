@@ -66,6 +66,50 @@ class TestMetricVerdicts:
                                                tolerance=0.5)}))
         assert not slower.ok
 
+    def test_host_strict_tightens_wall_time_bands(self):
+        """--host-strict substitutes STRICT_TIME_BAND for looser
+        wall-time tolerances: a slowdown that the default TIME_BAND
+        jitter allowance absorbs gates on a quiet dedicated host."""
+        from repro.bench import STRICT_TIME_BAND, TIME_BAND
+        base = {"t": Metric(1.0, unit="s", tolerance=TIME_BAND)}
+        slower = {"t": Metric(1.0 + STRICT_TIME_BAND + 0.5, unit="s",
+                              tolerance=TIME_BAND)}
+        assert compare(make_doc(base), make_doc(slower)).ok
+        strict = compare(make_doc(base), make_doc(slower),
+                         host_strict=True)
+        assert not strict.ok
+        delta = one_delta(strict)
+        assert delta.status == REGRESSION
+        assert delta.tolerance == STRICT_TIME_BAND
+
+    def test_host_strict_stays_one_sided_and_scoped_to_seconds(self):
+        from repro.bench import STRICT_TIME_BAND, TIME_BAND
+        # Speedups under strict comparison still never gate...
+        faster = compare(
+            make_doc({"t": Metric(10.0, unit="s", tolerance=TIME_BAND)}),
+            make_doc({"t": Metric(0.5, unit="s", tolerance=TIME_BAND)}),
+            host_strict=True)
+        assert faster.ok
+        # ...non-wall-time metrics keep their own bands...
+        counts = compare(
+            make_doc({"n": Metric(100.0, unit="count", tolerance=3.0)}),
+            make_doc({"n": Metric(300.0, unit="count", tolerance=3.0)}),
+            host_strict=True)
+        assert counts.ok
+        # ...and already-tighter or informational tolerances are kept.
+        tight = compare(
+            make_doc({"t": Metric(1.0, unit="s", tolerance=0.1)}),
+            make_doc({"t": Metric(1.05, unit="s", tolerance=0.1)}),
+            host_strict=True)
+        assert one_delta(tight).tolerance == 0.1
+        info = compare(
+            make_doc({"t": Metric(1.0, unit="s", tolerance=None)}),
+            make_doc({"t": Metric(9.0, unit="s", tolerance=None)}),
+            host_strict=True)
+        assert info.ok
+        assert one_delta(info).status == INFO
+        assert STRICT_TIME_BAND < TIME_BAND
+
     def test_info_metrics_never_gate(self):
         comparison = compare(
             make_doc({"m": Metric(10.0, tolerance=None)}),

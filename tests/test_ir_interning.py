@@ -1,0 +1,170 @@
+"""Property tests for the IR instruction flyweight
+(:mod:`repro.ir.interning`).
+
+The contract: interned instructions are drop-in replacements for plain
+ones (equal, same hash, mix freely in sets/dicts), structurally equal
+instructions collapse to one canonical object per process — surviving
+pickle round trips, including into *other* processes — and interning is
+invisible to the content-addressed pipeline fingerprints.
+"""
+
+import copy
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import get_workload
+from repro.ir import (InternedInstruction, intern_function,
+                      intern_instruction, intern_program)
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.interning import intern_instruction_fields
+from repro.pipeline.core import parallelize
+from repro.pipeline.fingerprint import fingerprint_function
+
+
+def _sample():
+    return Instruction(Opcode.ADD, dest="sum", srcs=("a", "b"),
+                       iid=7, region="loop")
+
+
+def test_interned_equals_and_hashes_like_plain():
+    plain = _sample()
+    interned = intern_instruction(plain)
+    assert type(interned) is InternedInstruction
+    assert interned == plain and plain == interned
+    assert hash(interned) == hash(plain)
+    # Flyweights substitute transparently in hashed containers.
+    assert interned in {plain}
+    assert {plain: "x"}[interned] == "x"
+
+
+def test_equal_instructions_intern_to_one_object():
+    first = intern_instruction(_sample())
+    second = intern_instruction(_sample())
+    assert first is second
+    # Interning an already-interned instruction is the identity.
+    assert intern_instruction(first) is first
+
+
+def test_imm_type_distinguishes_instructions():
+    # 1 == 1.0 in Python, but ``movi 1`` and ``movi 1.0`` are different
+    # programs — the intern key carries type(imm).
+    as_int = intern_instruction(Instruction(Opcode.MOVI, dest="r",
+                                            imm=1))
+    as_float = intern_instruction(Instruction(Opcode.MOVI, dest="r",
+                                              imm=1.0))
+    assert as_int is not as_float
+    assert type(as_int.imm) is int and type(as_float.imm) is float
+
+
+def test_interned_is_immutable_but_copy_is_mutable():
+    interned = intern_instruction(_sample())
+    with pytest.raises(AttributeError):
+        interned.dest = "other"
+    with pytest.raises(AttributeError):
+        del interned.dest
+    mutable = interned.copy()
+    assert type(mutable) is Instruction and mutable == interned
+    mutable.dest = "other"  # downstream clone-and-edit keeps working
+    assert interned.dest == "sum"
+
+
+def test_annotations_are_part_of_the_intern_key_not_equality():
+    # Instruction equality is *semantic* (iid/origin excluded), and the
+    # flyweight preserves that — but the intern table must not collapse
+    # instructions with different annotations, or MTCG iids would leak
+    # between occurrences.
+    base = intern_instruction(_sample())
+    other_iid = intern_instruction(
+        Instruction(Opcode.ADD, dest="sum", srcs=("a", "b"), iid=8,
+                    region="loop"))
+    assert base is not other_iid
+    assert base == other_iid and hash(base) == hash(other_iid)
+    assert (base.iid, other_iid.iid) == (7, 8)
+
+
+def test_pickle_round_trips_through_the_intern_table():
+    interned = intern_instruction(_sample())
+    loaded = pickle.loads(pickle.dumps(interned))
+    # Not merely equal: unpickling lands on the canonical object.
+    assert loaded is interned
+    # pickle's memo serializes each distinct instruction once, so a
+    # program with N occurrences costs ~one instruction plus N refs.
+    once = len(pickle.dumps([interned]))
+    thrice = len(pickle.dumps([interned, interned, interned]))
+    assert thrice - once < once
+
+
+def test_pickle_round_trips_across_processes():
+    payload = pickle.dumps([intern_instruction(_sample()),
+                            intern_instruction(_sample())])
+    script = (
+        "import pickle, sys\n"
+        "from repro.ir import InternedInstruction\n"
+        "first, second = pickle.loads(sys.stdin.buffer.read())\n"
+        "assert type(first) is InternedInstruction\n"
+        "assert first is second, 'not canonical after unpickling'\n"
+        "assert first.dest == 'sum' and first.srcs == ('a', 'b')\n"
+        "assert first.iid == 7 and first.region == 'loop'\n"
+        "print('ok')\n")
+    proc = subprocess.run([sys.executable, "-c", script], input=payload,
+                          capture_output=True, env={"PYTHONPATH": "src"},
+                          cwd=None)
+    assert proc.returncode == 0, proc.stderr.decode()
+    assert proc.stdout.decode().strip() == "ok"
+
+
+def test_reduce_preserves_every_field():
+    interned = intern_instruction(
+        Instruction(Opcode.PRODUCE, srcs=("v",), queue=3, iid=11,
+                    region="r0", origin=42))
+    rebuilt = intern_instruction_fields(*interned.__reduce__()[1])
+    assert rebuilt is interned
+    assert (rebuilt.queue, rebuilt.iid, rebuilt.region,
+            rebuilt.origin) == (3, 11, "r0", 42)
+
+
+def _parallelized(name="ks"):
+    workload = get_workload(name)
+    train = workload.make_inputs("train")
+    return parallelize(workload.build(), technique="gremio", n_threads=2,
+                       profile_args=train.args,
+                       profile_memory=train.memory, cache=False)
+
+
+def test_mtcg_output_is_interned():
+    program = _parallelized().program
+    for thread in program.threads:
+        for block in thread.blocks:
+            assert all(type(instruction) is InternedInstruction
+                       for instruction in block.instructions)
+
+
+@pytest.mark.parametrize("name", ["ks", "adpcmdec"])
+def test_fingerprints_unchanged_by_interning(name):
+    """Interning is invisible to the content-addressed cache: the
+    textual-IR fingerprint of each interned MTCG thread equals that of
+    a structurally identical uninterned clone."""
+    program = _parallelized(name).program
+    for thread in program.threads:
+        uninterned = copy.deepcopy(thread)
+        for block in uninterned.blocks:
+            block.instructions[:] = [
+                instruction.copy() for instruction in block.instructions]
+        assert all(type(i) is Instruction
+                   for block in uninterned.blocks
+                   for i in block.instructions)
+        assert (fingerprint_function(thread)
+                == fingerprint_function(uninterned))
+        # And re-interning the clone lands on the same flyweights.
+        intern_function(uninterned)
+        for ours, theirs in zip(thread.blocks, uninterned.blocks):
+            assert all(a is b for a, b in zip(ours.instructions,
+                                              theirs.instructions))
+
+
+def test_intern_program_returns_same_program():
+    built = _parallelized()
+    assert intern_program(built.program) is built.program

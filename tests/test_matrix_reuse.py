@@ -1,0 +1,102 @@
+"""Cross-cell artifact reuse in the evaluation matrix.
+
+A sweep whose cells share a workload recomputes the expensive front of
+the pipeline (normalize, profile, PDG) only once: every later cell hits
+the artifact cache.  With the in-process memory tier those hits don't
+even touch the disk.  And reuse must be invisible in the results — a
+warm sweep is bit-identical to evaluating each cell cold and serially.
+"""
+
+import pytest
+
+from repro.api import configure_cache, get_cache, get_workload
+from repro.check.differential_backend import diff_snapshots, \
+    snapshot_result
+from repro.pipeline.core import evaluate_workload
+from repro.pipeline.matrix import build_cells, evaluate_matrix
+
+#: One workload, four cells: two techniques x two thread counts.  Every
+#: cell shares the normalize/profile/pdg front of the pipeline.
+WORKLOAD = "ks"
+TECHNIQUES = ("gremio", "dswp")
+THREADS = (2, 4)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    previous = get_cache()
+    active = configure_cache(str(tmp_path / "artifacts"))
+    yield active
+    configure_cache(previous.directory, previous.enabled)
+
+
+def _sweep(jobs=1, backend="reference"):
+    cells = build_cells(workloads=[WORKLOAD], techniques=TECHNIQUES,
+                        n_threads=THREADS, scale="train",
+                        backend=backend)
+    assert len(cells) == 4
+    return cells, evaluate_matrix(cells=cells, jobs=jobs, check=False)
+
+
+def test_shared_workload_hits_profile_and_pdg_cache(cache):
+    _cells, evaluations = _sweep()
+    assert len(evaluations) == 4
+    stats = cache.stats
+    # Cell 1 misses and stores; cells 2-4 each hit profile and pdg
+    # (>= 3 hits apiece across the sweep, 6 total; simulate-st adds
+    # more where thread counts coincide).
+    assert stats.hits >= 6, stats.as_dict()
+    assert stats.stores > 0 and stats.misses > 0
+    # Same process, so the memory tier served them — no disk reads.
+    assert stats.memory_hits == stats.hits, stats.as_dict()
+
+
+def test_warm_sweep_bit_identical_to_cold_serial(cache):
+    cells, warm = _sweep()
+    # Cold: fresh pipeline per cell, cache fully disabled, one at a
+    # time — the reuse-free baseline.
+    configure_cache(enabled=False)
+    workload = get_workload(WORKLOAD)
+    for cell, evaluation in zip(cells, warm):
+        cold = evaluate_workload(workload, technique=cell.technique,
+                                 n_threads=cell.n_threads, scale="train",
+                                 check=False)
+        assert cold.metrics() == evaluation.metrics()
+        divergences = diff_snapshots(snapshot_result(cold.mt_result),
+                                     snapshot_result(evaluation.mt_result))
+        assert not divergences, "\n".join(divergences[:10])
+        divergences = diff_snapshots(snapshot_result(cold.st_result),
+                                     snapshot_result(evaluation.st_result))
+        assert not divergences, "\n".join(divergences[:10])
+
+
+def test_fresh_process_reuses_disk_artifacts(cache):
+    """Drop the memory tier between sweeps (modelling a new process
+    against a shared cache directory): the second sweep hits disk."""
+    _sweep()
+    first = cache.stats.as_dict()
+    cache.drop_memory()
+    cache.stats.reset()
+    _cells, evaluations = _sweep()
+    assert len(evaluations) == 4
+    stats = cache.stats
+    assert stats.stores == 0, stats.as_dict()  # everything reused
+    assert stats.hits >= first["stores"]
+    # First load of each artifact came from disk, not memory...
+    assert stats.memory_hits < stats.hits
+    # ...and repopulated the memory tier for the shared-stage hits.
+    assert stats.memory_hits > 0, stats.as_dict()
+
+
+def test_fast_backend_sweep_shares_the_same_cache(cache):
+    """Backends share one cache namespace (fingerprints exclude the
+    backend), so a fast sweep after a reference sweep recomputes
+    nothing and the results are bit-identical."""
+    _cells, reference = _sweep(backend="reference")
+    cache.stats.reset()
+    _cells, fast = _sweep(backend="fast")
+    stats = cache.stats
+    assert stats.stores == 0, stats.as_dict()
+    assert stats.misses == 0, stats.as_dict()
+    for ref_eval, fast_eval in zip(reference, fast):
+        assert ref_eval.metrics() == fast_eval.metrics()

@@ -108,6 +108,7 @@ class TestArtifactCache:
         for path in blobs:
             with open(path, "wb") as handle:
                 handle.write(b"\x80corrupted, not a pickle")
+        cache.drop_memory()  # a fresh process sees only the corrupted disk
         cache.stats.reset()
         recomputed = parallelize(build_counted_loop(), technique="dswp",
                                  profile_args={"r_n": 12})
@@ -122,6 +123,7 @@ class TestArtifactCache:
         for path in _blob_paths(cache):
             with open(path, "r+b") as handle:
                 handle.truncate(3)
+        cache.drop_memory()
         cache.stats.reset()
         result = parallelize(build_counted_loop(), profile_args={"r_n": 12})
         assert result.program is not None
@@ -134,7 +136,41 @@ class TestArtifactCache:
             parallelize(build_counted_loop(), profile_args={"r_n": 12})
             assert not os.path.exists(disabled.directory)
             assert disabled.stats.as_dict() == {
-                "hits": 0, "misses": 0, "invalidations": 0, "stores": 0}
+                "hits": 0, "misses": 0, "invalidations": 0, "stores": 0,
+                "memory_hits": 0}
+        finally:
+            configure_cache(previous.directory, previous.enabled)
+
+    def test_memory_tier_serves_repeat_loads(self, cache):
+        cache.store("pdg", "a" * 64, {"pdg": [1, 2, 3]})
+        hit, payload = cache.load("pdg", "a" * 64)
+        assert hit and payload == {"pdg": [1, 2, 3]}
+        assert cache.stats.memory_hits == 1
+        # Hits hand out fresh object graphs: mutating one result must not
+        # leak into the next load (stages mutate payloads in place).
+        payload["pdg"].append(99)
+        hit, payload2 = cache.load("pdg", "a" * 64)
+        assert hit and payload2 == {"pdg": [1, 2, 3]}
+        assert cache.stats.memory_hits == 2
+
+    def test_memory_tier_budget_evicts_lru(self, tmp_path):
+        previous = get_cache()
+        small = configure_cache(str(tmp_path / "small"), memory_budget=1)
+        try:
+            small.store("pdg", "b" * 64, {"pdg": "payload"})
+            hit, payload = small.load("pdg", "b" * 64)  # blob > budget
+            assert hit and payload == {"pdg": "payload"}
+            assert small.stats.memory_hits == 0
+        finally:
+            configure_cache(previous.directory, previous.enabled)
+
+    def test_zero_budget_disables_memory_tier(self, tmp_path):
+        previous = get_cache()
+        off = configure_cache(str(tmp_path / "zero"), memory_budget=0)
+        try:
+            off.store("pdg", "c" * 64, {"pdg": 1})
+            hit, _payload = off.load("pdg", "c" * 64)
+            assert hit and off.stats.memory_hits == 0 and not off._memory
         finally:
             configure_cache(previous.directory, previous.enabled)
 
