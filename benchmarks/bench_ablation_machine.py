@@ -33,7 +33,7 @@ def test_comm_latency_sensitivity(benchmark):
     rows = _sweep_rows(metrics, "latency", LATENCIES)
     print()
     print(table(["SA latency", "MT cycles", "speedup"],
-                [(l, "%.0f" % c, "%.3f" % s) for l, c, s in rows],
+                [(lat, "%.0f" % c, "%.3f" % s) for lat, c, s in rows],
                 title="EXT-E2a: operand-network latency sweep "
                       "(%s, DSWP)" % MACHINE_SWEEP_BENCH))
     cycles = [c for _, c, _ in rows]

@@ -26,7 +26,7 @@ def test_region_selection(benchmark):
             for name in REGION_BENCHES]
     print()
     print(table(["benchmark", "whole function", "outlined hottest loop"],
-                [(n, "%.3f" % w, "%.3f" % l) for n, w, l in rows],
+                [(n, "%.3f" % w, "%.3f" % o) for n, w, o in rows],
                 title="EXT-E6: DSWP speedup by scheduled region"))
     # Region choice matters little for these single-hot-loop kernels —
     # the loop region captures (almost) all the parallelism the whole

@@ -1,0 +1,50 @@
+"""TUNE-E1: search-based auto-tuning vs the paper-default schedulers.
+
+The papers fix two points in the scheduling-policy space (GREMIO's
+hierarchical list scheduling, DSWP's pipeline partitioning).  This
+extension experiment treats the partitioner thresholds, the placer,
+the topology preset, and selected machine parameters as a search space
+and asks how much a seeded, deterministic search improves on either
+fixed heuristic.
+
+Metric extraction lives in the ``tune_smoke`` spec
+(:mod:`repro.bench.specs.tune`).
+"""
+
+from harness import run_once
+
+from repro.bench import FULL, get_spec
+from repro.bench.specs.tune import TUNE_WORKLOADS
+from repro.report import table
+
+
+def _metrics(benchmark):
+    return run_once(
+        benchmark, lambda: get_spec("tune_smoke").collect(FULL))
+
+
+def test_tune_beats_or_matches_baselines(benchmark):
+    """The search seeds the default GREMIO and DSWP candidates before
+    any strategy proposal, so the best-found configuration can never be
+    slower than either baseline."""
+    metrics = _metrics(benchmark)
+    rows = []
+    for name in TUNE_WORKLOADS:
+        best = metrics["best_cycles/" + name].value
+        gremio = metrics["gremio_cycles/" + name].value
+        dswp = metrics["dswp_cycles/" + name].value
+        rows.append((name, "%.0f" % gremio, "%.0f" % dswp,
+                     "%.0f" % best,
+                     "%+.2f%%" % metrics["improvement_vs_gremio_pct/"
+                                         + name].value,
+                     "%+.2f%%" % metrics["improvement_vs_dswp_pct/"
+                                         + name].value))
+        assert best <= gremio
+        assert best <= dswp
+        assert metrics["improvement_vs_gremio_pct/" + name].value >= 0
+        assert metrics["improvement_vs_dswp_pct/" + name].value >= 0
+    print()
+    print(table(["benchmark", "gremio", "dswp", "tuned",
+                 "vs gremio", "vs dswp"], rows,
+                title="TUNE-E1: auto-tuned configuration vs defaults"))
+    assert metrics["candidates_evaluated"].value > 0

@@ -56,7 +56,7 @@ class LoopNestForest:
             loop = stack.pop()
             result.append(loop)
             stack.extend(loop.children)
-        result.sort(key=lambda l: (l.depth, l.header))
+        result.sort(key=lambda lp: (lp.depth, lp.header))
         return result
 
     def innermost_loop_of(self, block_label: str) -> Optional[Loop]:
@@ -111,7 +111,7 @@ def loop_nest_forest(function: Function) -> LoopNestForest:
                 loop.back_edge_sources.add(block.label)
                 loop.blocks |= _natural_loop(function, succ, block.label)
 
-    loops = sorted(loops_by_header.values(), key=lambda l: len(l.blocks))
+    loops = sorted(loops_by_header.values(), key=lambda lp: len(lp.blocks))
     # Nest loops: each loop's parent is the smallest strictly-containing one.
     for index, inner in enumerate(loops):
         for outer in loops[index + 1:]:
@@ -130,8 +130,8 @@ def loop_nest_forest(function: Function) -> LoopNestForest:
     for loop in top_level:
         set_depth(loop, 1)
     for loop in loops:
-        loop.children.sort(key=lambda l: l.header)
-    top_level.sort(key=lambda l: l.header)
+        loop.children.sort(key=lambda lp: lp.header)
+    top_level.sort(key=lambda lp: lp.header)
     return LoopNestForest(function, top_level, loops_by_header)
 
 

@@ -7,7 +7,9 @@ from here.  The surface is:
 * **typed request/response**: :class:`EvaluateRequest` /
   :class:`EvaluateResult` (``API_SCHEMA_VERSION``-stamped, JSON
   round-trippable, with deterministic idempotency keys) and the
-  :func:`evaluate` / :func:`evaluate_many` entry points;
+  :func:`evaluate` / :func:`evaluate_many` entry points, plus
+  :class:`TuneRequest` / :class:`TuneResult` and the :func:`tune`
+  search driver (``TUNE_SCHEMA_VERSION``-stamped leaderboards);
 * **the classic callables**: :func:`parallelize`,
   :func:`evaluate_workload`, :func:`evaluate_matrix`,
   :func:`build_cells`, and the workload registry;
@@ -21,27 +23,34 @@ of ``DeprecationWarning`` shims behind.
 """
 
 from .facade import (ArtifactCache, BACKENDS, CacheStats, DEFAULT_BACKEND,
-                     Evaluation, LatencyHistogram, MatrixCell, PLACERS,
-                     Parallelization, TECHNIQUES, TOPOLOGIES, Telemetry,
-                     all_workloads, build_cells, configure_cache,
-                     default_cache_dir, digest, evaluate, evaluate_many,
-                     evaluate_matrix, evaluate_workload,
+                     Evaluation, LatencyHistogram, MatrixCell,
+                     PARTITIONER_PARAMS, PLACERS, Parallelization,
+                     TECHNIQUES, TOPOLOGIES, TUNABLE_MACHINE_FIELDS,
+                     Telemetry, all_workloads, build_cells,
+                     configure_cache, default_cache_dir, digest, evaluate,
+                     evaluate_many, evaluate_matrix, evaluate_workload,
                      fingerprint_config, fingerprint_function,
                      fingerprint_inputs, fingerprint_profile, get_cache,
                      get_topology, get_workload, global_telemetry,
-                     make_partitioner, normalize, parallelize,
-                     pool_payload, reset_global_telemetry,
+                     make_partitioner, normalize, overrides_config,
+                     parallelize, pool_payload, reset_global_telemetry,
                      run_cell_payload, technique_config, topology_names,
-                     validate_backend, workload_names)
+                     tune, validate_backend, validate_overrides,
+                     workload_names)
 from .types import (ALIAS_MODES, API_SCHEMA_VERSION, LOCAL_SCHEDULES,
-                    SCALES, EvaluateRequest, EvaluateResult,
-                    RequestValidationError)
+                    SCALES, STRATEGIES, TUNE_SCHEMA_VERSION,
+                    EvaluateRequest, EvaluateResult,
+                    RequestValidationError, TuneRequest, TuneResult)
 
 __all__ = [
     # typed surface
     "API_SCHEMA_VERSION", "EvaluateRequest", "EvaluateResult",
     "RequestValidationError", "evaluate", "evaluate_many",
     "SCALES", "ALIAS_MODES", "LOCAL_SCHEDULES",
+    # auto-tuning
+    "TUNE_SCHEMA_VERSION", "STRATEGIES", "TuneRequest", "TuneResult",
+    "tune", "validate_overrides", "overrides_config",
+    "TUNABLE_MACHINE_FIELDS", "PARTITIONER_PARAMS",
     # classic callables
     "Evaluation", "Parallelization", "evaluate_workload", "parallelize",
     "MatrixCell", "build_cells", "evaluate_matrix",

@@ -19,6 +19,7 @@ from typing import Iterable, List, Optional
 
 # Re-exported pipeline surface (the facade's stability boundary).
 from ..machine.backend import BACKENDS, DEFAULT_BACKEND, validate_backend
+from ..machine.config import TUNABLE_MACHINE_FIELDS
 from ..machine.placement import PLACERS
 from ..machine.topology import TOPOLOGIES, get_topology, topology_names
 from ..pipeline.cache import (ArtifactCache, CacheStats, configure_cache,
@@ -30,17 +31,23 @@ from ..pipeline.fingerprint import (digest, fingerprint_config,
                                     fingerprint_inputs,
                                     fingerprint_profile)
 from ..pipeline.matrix import (MatrixCell, build_cells, evaluate_matrix,
-                               pool_payload, run_cell_payload)
-from ..pipeline.stages import (TECHNIQUES, make_partitioner, normalize,
+                               overrides_config, pool_payload,
+                               run_cell_payload, validate_overrides)
+from ..pipeline.stages import (PARTITIONER_PARAMS, TECHNIQUES,
+                               make_partitioner, normalize,
                                technique_config)
 from ..pipeline.telemetry import (LatencyHistogram, Telemetry,
                                   global_telemetry,
                                   reset_global_telemetry)
 from ..workloads import all_workloads, get_workload, workload_names
-from .types import EvaluateRequest, EvaluateResult
+from .types import (EvaluateRequest, EvaluateResult, TuneRequest,
+                    TuneResult)
 
 __all__ = [
-    "evaluate", "evaluate_many",
+    "evaluate", "evaluate_many", "tune",
+    "TuneRequest", "TuneResult",
+    "TUNABLE_MACHINE_FIELDS", "PARTITIONER_PARAMS",
+    "validate_overrides", "overrides_config",
     "ArtifactCache", "CacheStats", "configure_cache",
     "default_cache_dir", "get_cache",
     "digest", "fingerprint_config", "fingerprint_function",
@@ -61,17 +68,32 @@ def evaluate(request: EvaluateRequest,
              telemetry: Optional[Telemetry] = None) -> EvaluateResult:
     """Run the full methodology for one validated request and wrap the
     outcome as a schema-versioned :class:`EvaluateResult`."""
-    request.validate()
+    request = request.validate()
+    config, partitioner_args = overrides_config(request.technique,
+                                                request.overrides)
     evaluation = evaluate_workload(
         get_workload(request.workload), technique=request.technique,
         n_threads=request.n_threads, coco=request.coco,
-        scale=request.scale, check=request.check,
+        scale=request.scale, config=config, check=request.check,
         alias_mode=request.alias_mode,
         local_schedule=request.local_schedule,
         mt_check=request.mt_check, telemetry=telemetry,
         trace=request.trace, topology=request.topology,
-        placer=request.placer, backend=request.backend)
+        placer=request.placer, backend=request.backend,
+        partitioner_args=partitioner_args)
     return EvaluateResult.from_evaluation(request, evaluation)
+
+
+def tune(request: TuneRequest, jobs: int = 1,
+         out_dir: Optional[str] = None, top: int = 10,
+         progress=None) -> TuneResult:
+    """Run the auto-tuning search driver for one validated request (see
+    :mod:`repro.tune`) and return its schema-versioned leaderboard.
+    Imported lazily: ``repro.tune`` drives this facade in a closed loop,
+    so the facade must not import it at module load."""
+    from ..tune.driver import run_tune
+    return run_tune(request, jobs=jobs, out_dir=out_dir, top=top,
+                    progress=progress)
 
 
 def evaluate_many(requests: Iterable[EvaluateRequest],

@@ -18,20 +18,28 @@ carry ``schema_version`` so clients can detect incompatible servers.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..machine.backend import BACKENDS, DEFAULT_BACKEND
 from ..pipeline.fingerprint import SCHEMA_VERSION as PIPELINE_SCHEMA
 from ..pipeline.fingerprint import digest
-from ..pipeline.matrix import MatrixCell
+from ..pipeline.matrix import MatrixCell, Overrides, validate_overrides
 from ..pipeline.stages import TECHNIQUES
 
 #: Bumped on any incompatible change to the request/response layout.
 API_SCHEMA_VERSION = "repro.api/v1"
 
+#: Bumped on any incompatible change to the tune request/leaderboard
+#: layout (the tune schema evolves independently of the evaluate one).
+TUNE_SCHEMA_VERSION = "repro.tune/v1"
+
 SCALES = ("train", "ref")
 ALIAS_MODES = ("annotated", "provenance", "none")
 LOCAL_SCHEDULES = (None, "early", "late", "neutral")
+
+#: Search strategies ``repro tune`` accepts (see
+#: :mod:`repro.tune.strategies`).
+STRATEGIES = ("grid", "random", "greedy")
 
 
 class RequestValidationError(ValueError):
@@ -55,6 +63,12 @@ class EvaluateRequest:
     topology: Optional[str] = None
     placer: str = "identity"
     backend: str = DEFAULT_BACKEND
+    #: Namespaced ``(knob, value)`` tuning overrides — ``machine.<field>``
+    #: or ``partitioner.<param>`` pairs (see
+    #: :func:`repro.pipeline.matrix.validate_overrides`).  Part of the
+    #: request key when non-empty; the empty default keeps keys
+    #: byte-compatible with pre-tune clients.
+    overrides: Overrides = ()
     schema_version: str = API_SCHEMA_VERSION
 
     # -- validation --------------------------------------------------------
@@ -119,15 +133,29 @@ class EvaluateRequest:
             raise RequestValidationError(
                 "unknown backend %r (use one of %s)"
                 % (self.backend, ", ".join(BACKENDS)))
+        if self.overrides:
+            try:
+                canonical = validate_overrides(self.overrides,
+                                               self.technique)
+            except ValueError as error:
+                raise RequestValidationError(str(error))
+            except TypeError:
+                raise RequestValidationError(
+                    "overrides must be a list of (name, value) pairs, "
+                    "got %r" % (self.overrides,))
+            if canonical != tuple(self.overrides):
+                return replace(self, overrides=canonical)
         return self
 
     # -- conversions -------------------------------------------------------
 
     def cell(self) -> MatrixCell:
+        overrides = tuple(tuple(pair) for pair in self.overrides)
         return MatrixCell(self.workload, self.technique, self.coco,
                           self.n_threads, self.scale, self.alias_mode,
                           self.local_schedule, self.mt_check,
-                          self.topology, self.placer, self.backend)
+                          self.topology, self.placer, self.backend,
+                          overrides)
 
     @classmethod
     def from_cell(cls, cell: MatrixCell,
@@ -138,7 +166,7 @@ class EvaluateRequest:
                    local_schedule=cell.local_schedule,
                    mt_check=cell.mt_check, check=check,
                    topology=cell.topology, placer=cell.placer,
-                   backend=cell.backend)
+                   backend=cell.backend, overrides=cell.overrides)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "EvaluateRequest":
@@ -261,3 +289,162 @@ class EvaluateResult:
         if stale_age_seconds is not None:
             result.stale_age_seconds = stale_age_seconds
         return result
+
+
+@dataclass(frozen=True)
+class TuneRequest:
+    """One auto-tuning run: search the declared knob space for the
+    configurations minimizing total MT cycles on each workload.
+
+    ``knobs`` optionally restricts the search to a subset of the knob
+    space (empty = every knob of :data:`repro.tune.space.DEFAULT_SPACE`).
+    ``backend`` is excluded from :meth:`request_key` — like evaluation
+    requests, tuning over bit-identical backends is the same work.
+    """
+
+    workloads: Tuple[str, ...] = ()
+    strategy: str = "greedy"
+    budget: int = 24
+    seed: int = 0
+    n_threads: int = 2
+    scale: str = "train"
+    backend: str = DEFAULT_BACKEND
+    knobs: Tuple[str, ...] = ()
+    schema_version: str = TUNE_SCHEMA_VERSION
+
+    def validate(self) -> "TuneRequest":
+        """Return self (canonicalized) after checking every field;
+        raise :class:`RequestValidationError` otherwise."""
+        from ..workloads import workload_names
+        if self.schema_version != TUNE_SCHEMA_VERSION:
+            raise RequestValidationError(
+                "schema mismatch: request has %r, this facade speaks %r"
+                % (self.schema_version, TUNE_SCHEMA_VERSION))
+        workloads = tuple(self.workloads)
+        if not workloads:
+            raise RequestValidationError(
+                "tune request needs at least one workload "
+                "(see `python -m repro list`)")
+        for name in workloads:
+            if name not in workload_names():
+                raise RequestValidationError(
+                    "unknown workload %r (see `python -m repro list`)"
+                    % (name,))
+        if self.strategy not in STRATEGIES:
+            raise RequestValidationError(
+                "unknown strategy %r (use one of %s)"
+                % (self.strategy, ", ".join(STRATEGIES)))
+        if not isinstance(self.budget, int) or isinstance(
+                self.budget, bool) or self.budget < 1:
+            raise RequestValidationError(
+                "budget must be a positive integer (candidate "
+                "evaluations per workload), got %r" % (self.budget,))
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise RequestValidationError(
+                "seed must be an integer, got %r" % (self.seed,))
+        if not isinstance(self.n_threads, int) or isinstance(
+                self.n_threads, bool) or self.n_threads < 1:
+            raise RequestValidationError(
+                "n_threads must be a positive integer, got %r"
+                % (self.n_threads,))
+        if self.scale not in SCALES:
+            raise RequestValidationError(
+                "unknown scale %r (use one of %s)"
+                % (self.scale, ", ".join(SCALES)))
+        if self.backend not in BACKENDS:
+            raise RequestValidationError(
+                "unknown backend %r (use one of %s)"
+                % (self.backend, ", ".join(BACKENDS)))
+        knobs = tuple(self.knobs)
+        if knobs:
+            # Validated against the live space lazily: repro.tune sits
+            # above the api facade in the layer order.
+            from ..tune.space import DEFAULT_SPACE
+            try:
+                DEFAULT_SPACE.subspace(knobs)
+            except ValueError as error:
+                raise RequestValidationError(str(error))
+        if workloads != self.workloads or knobs != self.knobs:
+            return replace(self, workloads=workloads, knobs=knobs)
+        return self
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TuneRequest":
+        """Build and validate a tune request from a plain (JSON)
+        mapping; unknown keys are rejected."""
+        if not isinstance(data, Mapping):
+            raise RequestValidationError(
+                "request body must be a JSON object, got %s"
+                % type(data).__name__)
+        unknown = sorted(set(data) - set(cls.__dataclass_fields__))
+        if unknown:
+            raise RequestValidationError(
+                "unknown request field(s): %s" % ", ".join(unknown))
+        try:
+            request = cls(**dict(data))
+        except TypeError as error:
+            raise RequestValidationError(str(error))
+        return request.validate()
+
+    def as_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["workloads"] = list(self.workloads)
+        data["knobs"] = list(self.knobs)
+        return data
+
+    def request_key(self) -> str:
+        """Deterministic key over everything that shapes the search
+        outcome: schemas, workloads, strategy, budget, seed, threads,
+        scale, and the knob subset — but not ``backend`` (backends are
+        bit-identical) and not ``--jobs`` (results are pool-invariant).
+        The per-candidate artifact-cache memo keys derive from this
+        plus each candidate's :meth:`EvaluateRequest.request_key`."""
+        return digest("api:tune", TUNE_SCHEMA_VERSION, PIPELINE_SCHEMA,
+                      API_SCHEMA_VERSION,
+                      repr((tuple(self.workloads), self.strategy,
+                            self.budget, self.seed, self.n_threads,
+                            self.scale, tuple(self.knobs))))
+
+
+@dataclass
+class TuneResult:
+    """The outcome of one tuning run: a leaderboard per workload (rank
+    0 = best), the best entry per workload, and bookkeeping."""
+
+    request: TuneRequest
+    leaderboards: Dict[str, List[Dict[str, object]]] = field(
+        default_factory=dict)
+    best: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    evaluated: int = 0
+    schema_version: str = TUNE_SCHEMA_VERSION
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "request": self.request.as_dict(),
+            "leaderboards": {name: [dict(entry) for entry in entries]
+                             for name, entries in
+                             sorted(self.leaderboards.items())},
+            "best": {name: dict(entry)
+                     for name, entry in sorted(self.best.items())},
+            "evaluated": self.evaluated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TuneResult":
+        if not isinstance(data, Mapping) or "request" not in data:
+            raise RequestValidationError(
+                "not a TuneResult document (missing 'request')")
+        schema = data.get("schema_version", TUNE_SCHEMA_VERSION)
+        if schema != TUNE_SCHEMA_VERSION:
+            raise RequestValidationError(
+                "schema mismatch: document has %r, this facade speaks %r"
+                % (schema, TUNE_SCHEMA_VERSION))
+        request = TuneRequest.from_dict(data["request"])
+        return cls(request=request,
+                   leaderboards={str(k): list(v) for k, v in
+                                 data.get("leaderboards", {}).items()},
+                   best={str(k): dict(v)
+                         for k, v in data.get("best", {}).items()},
+                   evaluated=int(data.get("evaluated", 0)),
+                   schema_version=schema)

@@ -1,7 +1,8 @@
 """Spec definitions, one module per experiment family.  Importing this
 package registers every spec with :mod:`repro.bench.spec`."""
 
-from . import ablations, hostperf, paper, scaling, trace  # noqa: F401
+from . import (ablations, hostperf, paper, scaling,  # noqa: F401
+               trace, tune)
 
 #: Every spec id, grouped the way the benchmarks/ directory is.
 FAMILIES = {
@@ -15,4 +16,5 @@ FAMILIES = {
     "hostperf": ["compile_time"],
     "trace": ["trace_attribution"],
     "scaling": ["topology_scaling"],
+    "tune": ["tune_smoke"],
 }

@@ -31,7 +31,6 @@ from ..coco.driver import optimize as coco_optimize
 from ..interp.interpreter import run_function
 from ..ir.printer import format_function
 from ..mtcg.codegen import generate
-from ..partition.base import Partition
 from ..pipeline.stages import make_partitioner, normalize, technique_config
 from .generate import (ProgramSketch, random_args, random_partition,
                        random_sketch, render_program, shrink_candidates,

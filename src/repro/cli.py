@@ -50,8 +50,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .api import (BACKENDS, DEFAULT_BACKEND, PLACERS, TECHNIQUES,
-                  TOPOLOGIES, build_cells, configure_cache,
+from .api import (BACKENDS, DEFAULT_BACKEND, PLACERS, STRATEGIES,
+                  TECHNIQUES, TOPOLOGIES, build_cells, configure_cache,
                   evaluate_matrix, evaluate_workload, get_cache,
                   get_topology, global_telemetry, normalize, parallelize,
                   reset_global_telemetry)
@@ -231,6 +231,47 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--threads", type=int, default=2)
     report.add_argument("--scale", default="ref",
                         choices=("train", "ref"))
+
+    tune = sub.add_parser(
+        "tune", help="search the partitioner/placement/machine knob "
+                     "space for configurations beating the paper "
+                     "defaults; emits schema-versioned JSON "
+                     "leaderboards plus a markdown summary",
+        parents=[cache_parent, jobs_parent, backend_parent])
+    tune.set_defaults(backend="fast")
+    tune.add_argument("--workloads", nargs="+", default=None,
+                      metavar="NAME",
+                      help="workloads to tune (default: all; see "
+                           "`list`)")
+    tune.add_argument("--strategy", default="greedy",
+                      choices=STRATEGIES,
+                      help="search strategy (default: %(default)s)")
+    tune.add_argument("--budget", type=int, default=64,
+                      help="candidate evaluations per workload "
+                           "(default: %(default)s)")
+    tune.add_argument("--seed", type=int, default=0,
+                      help="search seed; equal seed + budget => "
+                           "byte-identical leaderboards "
+                           "(default: %(default)s)")
+    tune.add_argument("--threads", type=int, default=2)
+    tune.add_argument("--scale", default="train",
+                      choices=("train", "ref"),
+                      help="input scale candidates are scored on "
+                           "(default: %(default)s)")
+    tune.add_argument("--knob", action="append", default=None,
+                      metavar="NAME", dest="knobs",
+                      help="restrict the search to this knob "
+                           "(repeatable; default: the full space)")
+    tune.add_argument("--out", default=None, metavar="DIR",
+                      help="write tune_result.json, per-workload "
+                           "leaderboard_<w>.json, and tune_summary.md "
+                           "into DIR")
+    tune.add_argument("--top", type=int, default=10,
+                      help="leaderboard entries kept per workload "
+                           "(default: %(default)s)")
+    tune.add_argument("--smoke", action="store_true",
+                      help="small fixed CI configuration: adpcmdec+ks, "
+                           "greedy, budget 24, train scale")
 
     serve = sub.add_parser(
         "serve", help="run the scheduling service: a JSON-over-HTTP "
@@ -616,6 +657,38 @@ def _dot(args) -> int:
     return 0
 
 
+def _tune(args) -> int:
+    # Imported here: the tune subsystem (and its leaderboard writer)
+    # loads only when the subcommand actually runs.
+    from .api import RequestValidationError, TuneRequest, tune
+    from .tune.leaderboard import markdown_summary
+    if args.smoke:
+        workloads = ("adpcmdec", "ks")
+        strategy, budget, scale = "greedy", 24, "train"
+        knobs = ()
+    else:
+        if args.workloads:
+            workloads = tuple(args.workloads)
+        else:
+            workloads = tuple(w.name for w in all_workloads())
+        strategy, budget, scale = args.strategy, args.budget, args.scale
+        knobs = tuple(args.knobs) if args.knobs else ()
+    request = TuneRequest(workloads=workloads, strategy=strategy,
+                          budget=budget, seed=args.seed,
+                          n_threads=args.threads, scale=scale,
+                          backend=args.backend, knobs=knobs)
+    try:
+        result = tune(request, jobs=args.jobs, out_dir=args.out,
+                      top=args.top, progress=print)
+    except RequestValidationError as error:
+        raise SystemExit("tune: %s" % error)
+    print()
+    print(markdown_summary(result), end="")
+    if args.timings:
+        _print_telemetry()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "--sweep":
@@ -654,6 +727,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _fuzz(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "tune":
+        return _tune(args)
     if args.command == "serve":
         return _serve(args)
     if args.command == "dot":

@@ -67,7 +67,7 @@ class InternedInstruction(Instruction):
         set_(self, "dest", _intern_str(dest))
         set_(self, "srcs", tuple(_intern_str(s) for s in srcs))
         set_(self, "imm", imm)
-        set_(self, "labels", tuple(_intern_str(l) for l in labels))
+        set_(self, "labels", tuple(_intern_str(lab) for lab in labels))
         set_(self, "queue", queue)
         set_(self, "iid", iid)
         set_(self, "region", _intern_str(region))

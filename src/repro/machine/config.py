@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..ir.instructions import Instruction, OpKind, Opcode
 from .topology import Topology
@@ -154,6 +154,54 @@ _DEFAULT_LATENCIES.update({
 })
 
 DEFAULT_CONFIG = MachineConfig()
+
+
+@dataclass(frozen=True)
+class TunableField:
+    """Validation contract of one machine-config field the auto-tuner
+    (``repro tune``) may override: integer fields carry an inclusive
+    range, choice fields an allowed-value set."""
+
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    choices: Optional[Tuple[str, ...]] = None
+
+    def check(self, name: str, value: object) -> None:
+        if self.choices is not None:
+            if value not in self.choices:
+                raise ValueError(
+                    "override %r must be one of %s, got %r"
+                    % (name, ", ".join(self.choices), value))
+            return
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError("override %r must be an integer, got %r"
+                             % (name, value))
+        if not self.lo <= value <= self.hi:
+            raise ValueError("override %r must be in [%d, %d], got %d"
+                             % (name, self.lo, self.hi, value))
+
+
+#: The :class:`MachineConfig` fields ``repro tune`` may override
+#: (``machine.<field>`` knobs), each with its validity envelope.  The
+#: whitelist is deliberate: structural fields (``n_cores``, caches,
+#: ``topology``) have dedicated pipeline knobs or invariants of their
+#: own and are excluded.
+TUNABLE_MACHINE_FIELDS: Dict[str, TunableField] = {
+    "issue_width": TunableField(1, 16),
+    "alu_ports": TunableField(1, 16),
+    "memory_ports": TunableField(1, 16),
+    "fp_ports": TunableField(1, 16),
+    "branch_ports": TunableField(1, 16),
+    "taken_branch_penalty": TunableField(0, 16),
+    "branch_predictor": TunableField(
+        choices=("static", "bimodal", "perfect")),
+    "mispredict_penalty": TunableField(0, 64),
+    "sa_queue_size": TunableField(1, 1024),
+    "sa_access_latency": TunableField(1, 16),
+    "sa_ports": TunableField(1, 64),
+    "comm_latency": TunableField(1, 32),
+    "memory_latency": TunableField(1, 2048),
+}
 
 
 def config_table(config: MachineConfig = DEFAULT_CONFIG) -> str:

@@ -24,7 +24,7 @@ Two placers are registered:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from .topology import Topology, TopologyError
 

@@ -31,7 +31,7 @@ from ..partition.base import Partition
 from ..workloads.common import Workload
 from .cache import ArtifactCache, get_cache
 from .stages import (EVALUATE_STAGES, PARALLELIZE_STAGES, PipelineContext,
-                     execute, normalize, technique_config)
+                     execute, technique_config)
 from .telemetry import Telemetry, global_telemetry
 
 CacheOption = Union[ArtifactCache, bool, None]
@@ -92,7 +92,9 @@ def parallelize(function: Function,
                 mt_check: bool = False,
                 cache: CacheOption = None,
                 telemetry: Optional[Telemetry] = None,
-                topology: Optional[str] = None) -> Parallelization:
+                topology: Optional[str] = None,
+                partitioner_args: Optional[
+                    Mapping[str, object]] = None) -> Parallelization:
     """Parallelize ``function`` into ``n_threads`` threads.
 
     ``profile`` may be supplied directly; otherwise the function is
@@ -112,6 +114,9 @@ def parallelize(function: Function,
 
     ``topology`` names a machine-topology preset; the partition cost
     models then see the clustered machine (see :func:`evaluate_workload`).
+    ``partitioner_args`` forwards tunable cost-model parameters to the
+    technique's partitioner (see
+    :data:`repro.pipeline.stages.PARTITIONER_PARAMS`).
     """
     if config is None:
         config = technique_config(technique)
@@ -132,6 +137,8 @@ def parallelize(function: Function,
             "profile_args": profile_args,
             "profile_memory": profile_memory,
             "mt_check": mt_check,
+            "partitioner_args": dict(partitioner_args)
+            if partitioner_args else None,
         },
         config=config,
         cache=_resolve_cache(cache),
@@ -236,7 +243,9 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
                       trace_limit: Optional[int] = None,
                       topology: Optional[str] = None,
                       placer: str = "identity",
-                      backend: str = DEFAULT_BACKEND) -> Evaluation:
+                      backend: str = DEFAULT_BACKEND,
+                      partitioner_args: Optional[
+                          Mapping[str, object]] = None) -> Evaluation:
     """Run the full methodology for one workload: profile on `train`,
     measure on ``scale`` (default `ref`), and verify the multi-threaded
     run produced the single-threaded results.
@@ -265,6 +274,12 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
     "fast", see :mod:`repro.machine.backend`).  Backends are
     bit-identical by contract, so the choice never enters cache
     fingerprints or request keys — it only trades host wall time.
+
+    ``partitioner_args`` forwards tunable cost-model parameters (e.g.
+    ``split_threshold``) to the technique's partitioner; they enter the
+    partition-stage fingerprint, so distinct parameters never share
+    cache entries (see
+    :data:`repro.pipeline.stages.PARTITIONER_PARAMS`).
     """
     validate_backend(backend)
     function = workload.build()
@@ -296,6 +311,8 @@ def evaluate_workload(workload: Workload, technique: str = "gremio",
             "trace_limit": trace_limit,
             "placer": placer,
             "backend": backend,
+            "partitioner_args": dict(partitioner_args)
+            if partitioner_args else None,
         },
         config=effective,
         sim_config=config,

@@ -8,28 +8,125 @@ the persistent artifact cache (atomic writes make that safe) and results
 are bit-identical to serial execution.  Any failure to parallelize —
 no ``multiprocessing`` support, unpicklable state, a crashed pool —
 degrades gracefully to the serial path.
+
+Cells may carry *overrides* — a tuple of namespaced ``(knob, value)``
+pairs tweaking the machine model (``machine.comm_latency``) or the
+partitioner's cost-model thresholds (``partitioner.split_threshold``).
+They are how the ``repro tune`` search driver dispatches candidate
+configurations through the same batched, cached evaluation path as
+everything else; :func:`validate_overrides` is the single gatekeeper
+for the knob namespace.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
-from typing import Iterable, List, NamedTuple, Optional, Sequence, Union
+from typing import (Dict, Iterable, List, Mapping, NamedTuple, Optional,
+                    Sequence, Tuple, Union)
 
 from ..machine.backend import DEFAULT_BACKEND
+from ..machine.config import TUNABLE_MACHINE_FIELDS, MachineConfig
 from ..workloads import get_workload, workload_names
 from ..workloads.common import Workload
 from .cache import configure_cache, get_cache
 from .core import Evaluation, evaluate_workload
+from .stages import PARTITIONER_PARAMS, technique_config
 from .telemetry import Telemetry, global_telemetry
+
+Overrides = Tuple[Tuple[str, object], ...]
+
+
+def validate_overrides(overrides: Iterable[Sequence],
+                       technique: str = "gremio") -> Overrides:
+    """Check ``(knob, value)`` override pairs against the tunable-knob
+    registries and return them as a canonical sorted tuple.
+
+    Knobs are namespaced: ``machine.<field>`` tweaks a whitelisted
+    :class:`~repro.machine.config.MachineConfig` field
+    (:data:`~repro.machine.config.TUNABLE_MACHINE_FIELDS`);
+    ``partitioner.<param>`` forwards a keyword to the technique's
+    partitioner (:data:`~repro.pipeline.stages.PARTITIONER_PARAMS`).
+    Raises :class:`ValueError` with an actionable message otherwise.
+    """
+    canonical: Dict[str, object] = {}
+    partitioner_params = PARTITIONER_PARAMS.get(technique, ())
+    for pair in overrides:
+        if len(tuple(pair)) != 2 or not isinstance(pair[0], str):
+            raise ValueError(
+                "override entries must be (name, value) pairs with a "
+                "string name, got %r" % (pair,))
+        name, value = pair
+        domain, _, field = name.partition(".")
+        if domain == "machine":
+            if field not in TUNABLE_MACHINE_FIELDS:
+                raise ValueError(
+                    "unknown machine override %r (tunable machine "
+                    "fields: %s)" % (name, ", ".join(
+                        sorted(TUNABLE_MACHINE_FIELDS))))
+            TUNABLE_MACHINE_FIELDS[field].check(name, value)
+        elif domain == "partitioner":
+            if field not in partitioner_params:
+                raise ValueError(
+                    "technique %r does not accept partitioner override "
+                    "%r (tunable: %s)"
+                    % (technique, name,
+                       ", ".join(partitioner_params) or "none"))
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or not value > 0:
+                raise ValueError(
+                    "partitioner override %r must be a positive number, "
+                    "got %r" % (name, value))
+        else:
+            raise ValueError(
+                "unknown override namespace %r in %r (use "
+                "'machine.<field>' or 'partitioner.<param>')"
+                % (domain, name))
+        if name in canonical:
+            raise ValueError("duplicate override %r" % (name,))
+        canonical[name] = value
+    return tuple(sorted(canonical.items()))
+
+
+def split_overrides(overrides: Optional[Iterable[Sequence]]
+                    ) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Partition override pairs into machine-config fields and
+    partitioner keyword arguments (names with the namespace stripped)."""
+    machine: Dict[str, object] = {}
+    partitioner: Dict[str, object] = {}
+    for name, value in overrides or ():
+        domain, _, field = name.partition(".")
+        (machine if domain == "machine" else partitioner)[field] = value
+    return machine, partitioner
+
+
+def overrides_config(technique: str,
+                     overrides: Optional[Iterable[Sequence]]
+                     ) -> Tuple[Optional[MachineConfig],
+                                Optional[Mapping[str, object]]]:
+    """Resolve override pairs into the ``(config, partitioner_args)``
+    arguments of :func:`~repro.pipeline.core.evaluate_workload`: a
+    machine configuration with the overridden fields applied on top of
+    the technique's default (or ``None`` when untouched), plus the
+    partitioner keyword mapping (or ``None``)."""
+    machine, partitioner = split_overrides(overrides)
+    config = None
+    if machine:
+        config = dataclasses.replace(technique_config(technique),
+                                     **machine)
+    return config, (partitioner or None)
 
 
 class MatrixCell(NamedTuple):
     """One point of the evaluation matrix.
 
-    ``backend`` (last field, after all identity fields) picks the
-    simulator implementation; backends are bit-identical, so it is not
-    part of the cell's *identity* — :meth:`identity` strips it, and
-    request keys/baselines built from it are backend-invariant."""
+    ``backend`` picks the simulator implementation; backends are
+    bit-identical, so it is not part of the cell's *identity* —
+    :meth:`identity` strips it, and request keys/baselines built from
+    it are backend-invariant.  ``overrides`` optionally carries
+    ``(knob, value)`` pairs (see :func:`validate_overrides`); it *is*
+    identity when non-empty, and the empty default keeps the identity
+    tuple byte-compatible with pre-override cells."""
 
     workload: str
     technique: str = "gremio"
@@ -42,11 +139,16 @@ class MatrixCell(NamedTuple):
     topology: Optional[str] = None
     placer: str = "identity"
     backend: str = DEFAULT_BACKEND
+    overrides: Overrides = ()
 
     def identity(self) -> tuple:
         """The fields that determine this cell's results (everything but
         ``backend``) — the key for caches, baselines, and the daemon."""
-        return tuple(self[:-1])
+        base = tuple(self[:10])
+        if self.overrides:
+            return base + (("overrides",
+                            tuple(sorted(self.overrides))),)
+        return base
 
 
 def build_cells(workloads: Optional[
@@ -60,7 +162,8 @@ def build_cells(workloads: Optional[
                 mt_check: bool = False,
                 topology: Optional[str] = None,
                 placer: str = "identity",
-                backend: str = DEFAULT_BACKEND) -> List[MatrixCell]:
+                backend: str = DEFAULT_BACKEND,
+                overrides: Overrides = ()) -> List[MatrixCell]:
     """The cross product, in deterministic workload-major order."""
     if workloads is None:
         names = workload_names()
@@ -69,7 +172,7 @@ def build_cells(workloads: Optional[
                  for w in workloads]
     return [MatrixCell(name, technique, use_coco, threads, scale,
                        alias_mode, local_schedule, mt_check,
-                       topology, placer, backend)
+                       topology, placer, backend, overrides)
             for name in names
             for technique in techniques
             for use_coco in coco
@@ -91,7 +194,8 @@ def evaluate_matrix(cells: Optional[Iterable[MatrixCell]] = None,
                     telemetry: Optional[Telemetry] = None,
                     topology: Optional[str] = None,
                     placer: str = "identity",
-                    backend: str = DEFAULT_BACKEND
+                    backend: str = DEFAULT_BACKEND,
+                    overrides: Overrides = ()
                     ) -> List[Evaluation]:
     """Evaluate every cell and return the evaluations in cell order.
 
@@ -104,7 +208,7 @@ def evaluate_matrix(cells: Optional[Iterable[MatrixCell]] = None,
     if cells is None:
         cells = build_cells(workloads, techniques, coco, n_threads, scale,
                             alias_mode, local_schedule, mt_check,
-                            topology, placer, backend)
+                            topology, placer, backend, overrides)
     cells = [cell if isinstance(cell, MatrixCell) else MatrixCell(*cell)
              for cell in cells]
 
@@ -126,17 +230,20 @@ def evaluate_matrix(cells: Optional[Iterable[MatrixCell]] = None,
 
 def _run_cell(cell: MatrixCell, check: bool,
               telemetry: Optional[Telemetry]) -> Evaluation:
+    config, partitioner_args = overrides_config(cell.technique,
+                                                cell.overrides)
     return evaluate_workload(get_workload(cell.workload),
                              technique=cell.technique,
                              n_threads=cell.n_threads, coco=cell.coco,
-                             scale=cell.scale, check=check,
+                             scale=cell.scale, config=config, check=check,
                              alias_mode=cell.alias_mode,
                              local_schedule=cell.local_schedule,
                              mt_check=cell.mt_check,
                              telemetry=telemetry,
                              topology=cell.topology,
                              placer=cell.placer,
-                             backend=cell.backend)
+                             backend=cell.backend,
+                             partitioner_args=partitioner_args)
 
 
 def pool_payload(cell: MatrixCell, check: bool = True,

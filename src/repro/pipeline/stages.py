@@ -47,17 +47,37 @@ from .telemetry import Telemetry
 
 TECHNIQUES = ("gremio", "gremio-flat", "dswp")
 
+#: Tunable cost-model parameters each technique's partitioner accepts as
+#: keyword arguments (the ``partitioner.<param>`` override namespace of
+#: :func:`repro.pipeline.matrix.validate_overrides`).  DSWP's greedy
+#: packer has no free thresholds; ``hierarchical`` is deliberately not
+#: tunable — it is what distinguishes the ``gremio``/``gremio-flat``
+#: techniques.
+PARTITIONER_PARAMS: Dict[str, tuple] = {
+    "gremio": ("split_threshold", "occupancy_factor", "latency_factor"),
+    "gremio-flat": ("split_threshold", "occupancy_factor",
+                    "latency_factor"),
+    "dswp": (),
+}
 
-def make_partitioner(technique: str,
-                     config: MachineConfig) -> Partitioner:
+
+def make_partitioner(technique: str, config: MachineConfig,
+                     **params) -> Partitioner:
+    allowed = PARTITIONER_PARAMS.get(technique)
+    if allowed is None:
+        raise ValueError("unknown technique %r (use one of %s)"
+                         % (technique, TECHNIQUES))
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise ValueError(
+            "technique %r does not accept partitioner parameter(s) %s "
+            "(tunable: %s)" % (technique, ", ".join(unknown),
+                               ", ".join(allowed) or "none"))
     if technique == "gremio":
-        return GremioPartitioner(config)
+        return GremioPartitioner(config, **params)
     if technique == "gremio-flat":
-        return GremioPartitioner(config, hierarchical=False)
-    if technique == "dswp":
-        return DSWPPartitioner(config)
-    raise ValueError("unknown technique %r (use one of %s)"
-                     % (technique, TECHNIQUES))
+        return GremioPartitioner(config, hierarchical=False, **params)
+    return DSWPPartitioner(config)
 
 
 def technique_config(technique: str,
@@ -228,16 +248,24 @@ def _count_pdg(ctx: PipelineContext) -> None:
 
 
 def _fp_partition(ctx: PipelineContext) -> str:
-    return digest("stage:partition",
-                  ctx.fingerprints.get("pdg") or "",
-                  fingerprint_profile(ctx.values["profile"]),
-                  str(ctx.options["technique"]),
-                  str(ctx.options["n_threads"]),
-                  fingerprint_config(ctx.config))
+    parts = ["stage:partition",
+             ctx.fingerprints.get("pdg") or "",
+             fingerprint_profile(ctx.values["profile"]),
+             str(ctx.options["technique"]),
+             str(ctx.options["n_threads"]),
+             fingerprint_config(ctx.config)]
+    params = ctx.options.get("partitioner_args")
+    if params:
+        # Appended only when present so default-parameter fingerprints
+        # (and the cache entries behind them) are unchanged.
+        parts.append("params:%r" % (sorted(params.items()),))
+    return digest(*parts)
 
 
 def _run_partition(ctx: PipelineContext) -> dict:
-    partitioner = make_partitioner(ctx.options["technique"], ctx.config)
+    params = ctx.options.get("partitioner_args") or {}
+    partitioner = make_partitioner(ctx.options["technique"], ctx.config,
+                                   **params)
     partition = partitioner.partition(ctx.function, ctx.values["pdg"],
                                       ctx.values["profile"],
                                       ctx.options["n_threads"])

@@ -107,8 +107,8 @@ def workload_names() -> List[str]:
 
 def _ensure_loaded() -> None:
     # Import kernel modules for their registration side effects.
-    from . import (adpcm, ks, mpeg2, mesa, mcf, equake, ammp, twolf,
-                   gromacs, sjeng)  # noqa: F401
+    from . import adpcm, ks, mpeg2, mesa, mcf  # noqa: F401
+    from . import equake, ammp, twolf, gromacs, sjeng  # noqa: F401
 
 
 def rng_for(name: str, scale: str) -> random.Random:

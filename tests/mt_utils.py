@@ -8,7 +8,7 @@ values and memory state, without deadlock.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Mapping
 
 from repro.analysis import build_pdg
 from repro.interp import run_function

@@ -7,9 +7,8 @@ from repro.analysis import (VIRTUAL_EXIT, control_dependence_graph,
                             reaching_definitions, register_dependences)
 from repro.analysis.reaching_defs import PARAM_DEF
 from repro.interp import run_function
-from repro.ir import FunctionBuilder, Opcode
 
-from .helpers import (build_counted_loop, build_diamond, build_memory_loop,
+from .helpers import (build_counted_loop, build_diamond,
                       build_nested_loops, build_paper_figure3,
                       build_paper_figure4)
 

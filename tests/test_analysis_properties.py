@@ -15,8 +15,7 @@ from hypothesis import HealthCheck, given, settings
 from repro.analysis import (dominator_tree, liveness, postdominator_tree,
                             reaching_definitions)
 from repro.analysis.dataflow import instruction_uses
-from repro.analysis.dominators import VIRTUAL_EXIT
-from repro.ir import Function, Opcode
+from repro.ir import Function
 
 from repro.check.generate import render_program
 from repro.check.strategies import program_sketches

@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.bench import (FULL, SMOKE, BenchSpec, all_specs, get_spec,
+from repro.bench import (FULL, SMOKE, all_specs, get_spec,
                          register, run_bench, spec_ids)
 from repro.cli import main
 from repro.pipeline import MatrixCell
@@ -29,11 +29,12 @@ EXPECTED_SPECS = [
     "scheduler_interaction",
     "topology_scaling",
     "trace_attribution",
+    "tune_smoke",
 ]
 
 
 class TestRegistry:
-    def test_all_eighteen_specs_registered(self):
+    def test_all_nineteen_specs_registered(self):
         assert spec_ids() == EXPECTED_SPECS
 
     def test_every_spec_is_complete(self):

@@ -1,7 +1,5 @@
 """Tests for the builder's structured control-flow helpers."""
 
-import pytest
-
 from repro.interp import run_function
 from repro.ir import FunctionBuilder, verify_function
 from repro.machine import run_mt_program

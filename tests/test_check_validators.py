@@ -14,10 +14,8 @@ from hypothesis import HealthCheck, assume, given, settings
 from repro.analysis import build_pdg
 from repro.check.generate import (random_args, random_partition,
                                   random_sketch, render_program)
-from repro.check.strategies import (program_sketches,
-                                    random_partition_strategy)
+from repro.check.strategies import program_sketches
 from repro.check.validators import (CONSUME_OPS, MTValidationError,
-                                    check_channel_balance,
                                     validate_program)
 from repro.interp import run_function
 from repro.ir import Opcode

@@ -13,7 +13,7 @@ from repro.ir import Opcode
 from repro.ir.transforms import renumber_iids, split_critical_edges
 from repro.machine import run_mt_program
 from repro.mtcg import generate
-from repro.partition import Partition, partition_from_threads
+from repro.partition import partition_from_threads
 
 from .helpers import (build_counted_loop, build_memory_loop,
                       build_paper_figure3, build_paper_figure4)
@@ -38,8 +38,8 @@ def _coco_mt(f, partition, args):
 
 def _figure4_partition(f):
     block_of = f.block_of()
-    loop1 = {"B1", "B2"} | {l for l in block_of.values()
-                            if l.startswith("B1__") or l.startswith("B2__")}
+    loop1 = {"B1", "B2"} | {b for b in block_of.values()
+                            if b.startswith("B1__") or b.startswith("B2__")}
     t0, t1 = [], []
     for instruction in f.instructions():
         if block_of[instruction.iid] in loop1:

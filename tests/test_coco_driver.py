@@ -6,7 +6,6 @@ from repro.coco import optimize
 from repro.coco.driver import _thread_pair_order
 from repro.interp import run_function
 from repro.ir.transforms import renumber_iids, split_critical_edges
-from repro.partition import partition_from_threads
 
 from .helpers import build_paper_figure4
 from .mt_utils import round_robin_partition

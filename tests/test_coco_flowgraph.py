@@ -10,7 +10,6 @@ from repro.coco.flowgraph import (GfContext, S_NODE, T_NODE,
                                   instr_node)
 from repro.graphs import INFINITY, min_cut
 from repro.interp import run_function
-from repro.ir import Opcode
 from repro.ir.transforms import renumber_iids, split_critical_edges
 from repro.mtcg import Point
 from repro.mtcg.relevant import compute_relevance

@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.analysis import build_pdg
 from repro.debug import (DeadlockDetected, find_divergence,
                          find_divergence_truncating)
 from repro.ir import Opcode
-from repro.mtcg import generate
 
 from .helpers import build_memory_loop
 from .mt_utils import make_mt, round_robin_partition

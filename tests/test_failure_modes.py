@@ -5,7 +5,7 @@ mis-execute."""
 import pytest
 
 from repro.analysis import build_pdg
-from repro.ir import (FunctionBuilder, Instruction, Opcode,
+from repro.ir import (FunctionBuilder, Opcode,
                       VerificationError, verify_function)
 from repro.machine import DeadlockError, run_mt_program
 from repro.machine.functional import MTExecutionLimitExceeded

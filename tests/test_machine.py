@@ -1,10 +1,8 @@
 """Tests for the machine model: caches, queues, and the timing simulator."""
 
-import pytest
-
 from repro.analysis import build_pdg
 from repro.interp import run_function
-from repro.machine import (DEFAULT_CONFIG, MachineConfig, MemoryHierarchy,
+from repro.machine import (DEFAULT_CONFIG, MemoryHierarchy,
                            config_table, simulate_program, simulate_single)
 from repro.machine.timing import TimedQueues
 from repro.mtcg import generate

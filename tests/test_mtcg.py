@@ -5,10 +5,8 @@ import pytest
 
 from repro.analysis import DepKind, build_pdg
 from repro.ir import Opcode
-from repro.machine import run_mt_program
-from repro.mtcg import EXIT_LABEL, generate
-from repro.mtcg.codegen import CodegenError
-from repro.partition import (Partition, partition_from_threads,
+from repro.mtcg import generate
+from repro.partition import (partition_from_threads,
                              single_thread_partition)
 
 from .helpers import (build_counted_loop, build_diamond, build_memory_loop,

@@ -3,11 +3,9 @@ end-to-end semantic equivalence of the partitions they produce."""
 
 import pytest
 
-from repro.analysis import DepKind, build_pdg
-from repro.graphs import topological_sort
+from repro.analysis import build_pdg
 from repro.interp import run_function, static_profile
 from repro.ir import Opcode
-from repro.partition import Partition, single_thread_partition
 from repro.partition.dswp import DSWPPartitioner
 from repro.partition.gremio import GremioPartitioner
 

@@ -1,9 +1,8 @@
 """Tests for PDG construction: arc kinds, adjacency, and the running
 examples' dependence structure."""
 
-from repro.analysis import AliasAnalysis, DepKind, build_pdg
+from repro.analysis import DepKind, build_pdg
 from repro.ir import Opcode
-from repro.partition import Partition
 
 from .helpers import (build_counted_loop, build_diamond, build_memory_loop,
                       build_nested_loops, build_paper_figure3,

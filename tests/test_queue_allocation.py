@@ -10,7 +10,7 @@ from repro.mtcg import (QueueAllocationError, allocate_queues,
                         build_data_channels, generate)
 from repro.mtcg.channels import CommChannel, Point
 from repro.analysis.pdg import DepKind
-from repro.partition import Partition, partition_from_threads
+from repro.partition import partition_from_threads
 
 from .helpers import build_paper_figure4
 from .mt_utils import round_robin_partition
@@ -18,7 +18,7 @@ from .mt_utils import round_robin_partition
 
 def _figure4_partition(f):
     block_of = f.block_of()
-    loop1 = {l for l in block_of.values() if l in ("B1", "B2")}
+    loop1 = {b for b in block_of.values() if b in ("B1", "B2")}
     t0 = [i.iid for i in f.instructions() if block_of[i.iid] in loop1]
     t1 = [i.iid for i in f.instructions() if block_of[i.iid] not in loop1]
     return partition_from_threads(f, 2, [t0, t1])

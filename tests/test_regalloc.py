@@ -3,11 +3,10 @@
 import pytest
 from hypothesis import HealthCheck, given, settings
 
-from repro.analysis import build_pdg
 from repro.interp import run_function
 from repro.ir import FunctionBuilder, Opcode, verify_function
 from repro.machine import run_mt_program
-from repro.opt.regalloc import (RegAllocError, SCRATCH, allocate_registers)
+from repro.opt.regalloc import RegAllocError, allocate_registers
 
 from .helpers import build_counted_loop, build_nested_loops
 from .mt_utils import make_mt, round_robin_partition

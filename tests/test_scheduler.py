@@ -3,7 +3,6 @@ companion paper discusses interacting with COCO)."""
 
 import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro.interp import run_function
 from repro.ir import FunctionBuilder, Opcode, verify_function

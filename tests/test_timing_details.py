@@ -3,7 +3,7 @@ stall-on-use, fences, and the SA port schedule."""
 
 import dataclasses
 
-from repro.ir import Instruction, Opcode
+from repro.ir import Opcode
 from repro.machine import DEFAULT_CONFIG, simulate_single
 from repro.machine.timing import CoreTiming, SAPortSchedule
 from repro.ir import FunctionBuilder

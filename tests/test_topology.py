@@ -9,7 +9,7 @@ import pytest
 from repro.api import (EvaluateRequest, PLACERS, RequestValidationError,
                        TOPOLOGIES, evaluate_workload, get_topology,
                        get_workload, parallelize, topology_names)
-from repro.machine import (DEFAULT_CONFIG, MachineConfig, Placement,
+from repro.machine import (DEFAULT_CONFIG, Placement,
                            PlacementError, Topology, TopologyError,
                            config_table, identity_placement,
                            make_placement)

@@ -6,7 +6,7 @@ from repro.ir.transforms import (has_critical_edges, renumber_iids,
                                  split_critical_edges)
 
 from .helpers import (build_counted_loop, build_diamond,
-                      build_nested_loops, build_paper_figure4)
+                      build_paper_figure4)
 
 
 class TestCriticalEdges:

@@ -8,7 +8,7 @@ from collections import Counter
 
 from repro.analysis import loop_nest_forest
 from repro.interp import run_function
-from repro.ir import OpKind, Opcode
+from repro.ir import OpKind
 from repro.stats import overhead_breakdown
 from repro.workloads import get_workload
 
