@@ -1,0 +1,28 @@
+"""A user program in the repro.frontend Python subset.
+
+Compile and parallelize it straight from the command line:
+
+    python -m repro run --source examples/user_fn.py --technique gremio
+    python -m repro dump --source examples/user_fn.py
+    python -m repro trace --source examples/user_fn.py --report
+
+The subset (see docs/frontend.md): int/float/bool scalar parameters,
+flat arrays declared as "int[N]"/"float[N]" string annotations,
+if/while/for-range control flow, arithmetic/comparison/boolean
+operators, and the abs/min/max/int/float/bool/sqrt intrinsics.  CPython
+running this very file is the reference oracle the compiled IR is
+checked against.
+"""
+
+
+def energy(gain: int, signal: "int[32]", envelope: "int[32]"):
+    total = 0
+    peak = 0
+    for i in range(32):
+        sample = signal[i] * gain
+        if sample < 0:
+            sample = -sample
+        envelope[i] = max(sample, peak - envelope[i])
+        peak = max(peak, sample)
+        total = total + envelope[i]
+    return total, peak

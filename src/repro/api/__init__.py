@@ -6,7 +6,9 @@ from here.  The surface is:
 
 * **typed request/response**: :class:`EvaluateRequest` /
   :class:`EvaluateResult` (``API_SCHEMA_VERSION``-stamped, JSON
-  round-trippable, with deterministic idempotency keys) and the
+  round-trippable, with deterministic idempotency keys), the
+  :class:`ProgramSpec` program-input union (registry name, inline IR,
+  or Python source compiled by :mod:`repro.frontend`) and the
   :func:`evaluate` / :func:`evaluate_many` entry points, plus
   :class:`TuneRequest` / :class:`TuneResult` and the :func:`tune`
   search driver (``TUNE_SCHEMA_VERSION``-stamped leaderboards);
@@ -35,17 +37,21 @@ from .facade import (ArtifactCache, BACKENDS, CacheStats, DEFAULT_BACKEND,
                      make_partitioner, normalize, overrides_config,
                      parallelize, pool_payload, reset_global_telemetry,
                      run_cell_payload, technique_config, topology_names,
-                     tune, validate_backend, validate_overrides,
+                     resolve_program, tune, unknown_workload_message,
+                     validate_backend, validate_overrides,
                      workload_names)
 from .types import (ALIAS_MODES, API_SCHEMA_VERSION, LOCAL_SCHEDULES,
-                    SCALES, STRATEGIES, TUNE_SCHEMA_VERSION,
-                    EvaluateRequest, EvaluateResult,
-                    RequestValidationError, TuneRequest, TuneResult)
+                    MAX_INLINE_PROGRAM_BYTES, PROGRAM_KINDS, SCALES,
+                    STRATEGIES, TUNE_SCHEMA_VERSION, EvaluateRequest,
+                    EvaluateResult, ProgramSpec, RequestValidationError,
+                    TuneRequest, TuneResult)
 
 __all__ = [
     # typed surface
     "API_SCHEMA_VERSION", "EvaluateRequest", "EvaluateResult",
-    "RequestValidationError", "evaluate", "evaluate_many",
+    "ProgramSpec", "PROGRAM_KINDS", "MAX_INLINE_PROGRAM_BYTES",
+    "RequestValidationError", "resolve_program",
+    "evaluate", "evaluate_many",
     "SCALES", "ALIAS_MODES", "LOCAL_SCHEDULES",
     # auto-tuning
     "TUNE_SCHEMA_VERSION", "STRATEGIES", "TuneRequest", "TuneResult",
@@ -68,4 +74,5 @@ __all__ = [
     "reset_global_telemetry",
     # workload registry
     "all_workloads", "get_workload", "workload_names",
+    "unknown_workload_message",
 ]

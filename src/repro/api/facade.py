@@ -39,9 +39,10 @@ from ..pipeline.stages import (PARTITIONER_PARAMS, TECHNIQUES,
 from ..pipeline.telemetry import (LatencyHistogram, Telemetry,
                                   global_telemetry,
                                   reset_global_telemetry)
-from ..workloads import all_workloads, get_workload, workload_names
-from .types import (EvaluateRequest, EvaluateResult, TuneRequest,
-                    TuneResult)
+from ..workloads import (all_workloads, get_workload,
+                         unknown_workload_message, workload_names)
+from .types import (EvaluateRequest, EvaluateResult, ProgramSpec,
+                    TuneRequest, TuneResult)
 
 __all__ = [
     "evaluate", "evaluate_many", "tune",
@@ -61,7 +62,19 @@ __all__ = [
     "LatencyHistogram", "Telemetry", "global_telemetry",
     "reset_global_telemetry",
     "all_workloads", "get_workload", "workload_names",
+    "unknown_workload_message",
+    "ProgramSpec", "resolve_program",
 ]
+
+
+def resolve_program(program: ProgramSpec):
+    """Validate a :class:`ProgramSpec` and return its
+    :class:`~repro.workloads.Workload` — registering inline programs in
+    the session registry as a side effect.  This is the one-stop hook
+    for callers (the CLI's ``--source``/``--ir`` flags) that need the
+    workload object itself rather than a full evaluation."""
+    program.validate()
+    return get_workload(program.workload_name())
 
 
 def evaluate(request: EvaluateRequest,

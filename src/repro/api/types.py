@@ -17,6 +17,7 @@ carry ``schema_version`` so clients can detect incompatible servers.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -46,11 +47,125 @@ class RequestValidationError(ValueError):
     """The request is malformed or names unknown entities (HTTP 400)."""
 
 
+#: The program-input kinds :class:`ProgramSpec` accepts.
+PROGRAM_KINDS = ("registry", "ir", "source")
+
+#: Upper bound on inline program text (UTF-8 bytes); ``repro serve``
+#: turns anything larger into a 400 before a worker ever sees it.
+MAX_INLINE_PROGRAM_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """The canonical program input: a validated union of a registry
+    workload reference, inline IR text, or inline Python source.
+
+    * ``ProgramSpec.registry("ks")`` — a named workload from
+      :mod:`repro.workloads` (exactly what the deprecated
+      ``workload=`` field meant);
+    * ``ProgramSpec.inline_ir(text)`` — textual IR, parsed and verified;
+    * ``ProgramSpec.source(text)`` — Python source compiled by
+      :mod:`repro.frontend`.
+
+    Inline programs materialize into session workloads named by a
+    content hash (:meth:`workload_name`), so identical programs share
+    request keys — and therefore artifact-cache entries and ``repro
+    serve`` memo hits — while registry references keep their historical
+    names and keys byte-identical."""
+
+    kind: str
+    value: str
+    #: For ``source`` programs: the target function name (default: the
+    #: first function defined in the module).
+    name: Optional[str] = None
+
+    @classmethod
+    def registry(cls, name: str) -> "ProgramSpec":
+        return cls(kind="registry", value=name)
+
+    @classmethod
+    def inline_ir(cls, text: str) -> "ProgramSpec":
+        return cls(kind="ir", value=text)
+
+    @classmethod
+    def source(cls, text: str,
+               name: Optional[str] = None) -> "ProgramSpec":
+        return cls(kind="source", value=text, name=name)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ProgramSpec":
+        if not isinstance(data, Mapping):
+            raise RequestValidationError(
+                "program must be a JSON object with 'kind' and 'value', "
+                "got %s" % type(data).__name__)
+        unknown = sorted(set(data) - {"kind", "value", "name"})
+        if unknown:
+            raise RequestValidationError(
+                "unknown program field(s): %s" % ", ".join(unknown))
+        try:
+            return cls(**dict(data))
+        except TypeError as error:
+            raise RequestValidationError(str(error))
+
+    def validate(self) -> "ProgramSpec":
+        """Check shape, size cap, registry existence — and, for inline
+        programs, that they actually compile/parse and verify (which
+        also materializes them as session workloads, so later
+        ``get_workload`` calls in this process resolve them)."""
+        if self.kind not in PROGRAM_KINDS:
+            raise RequestValidationError(
+                "unknown program kind %r (use one of %s)"
+                % (self.kind, ", ".join(PROGRAM_KINDS)))
+        if not isinstance(self.value, str) or not self.value.strip():
+            raise RequestValidationError(
+                "program value must be non-empty text")
+        if self.name is not None and not isinstance(self.name, str):
+            raise RequestValidationError(
+                "program name must be a string, got %r" % (self.name,))
+        if self.kind == "registry":
+            from ..workloads import unknown_workload_message, workload_names
+            if self.value not in workload_names():
+                raise RequestValidationError(
+                    unknown_workload_message(self.value))
+            return self
+        encoded = len(self.value.encode("utf-8"))
+        if encoded > MAX_INLINE_PROGRAM_BYTES:
+            raise RequestValidationError(
+                "inline program too large: %d bytes (cap %d)"
+                % (encoded, MAX_INLINE_PROGRAM_BYTES))
+        from ..workloads.inline import materialize_program
+        materialize_program(self)  # raises RequestValidationError
+        return self
+
+    def workload_name(self) -> str:
+        """The workload-registry name this program evaluates under:
+        the registry name itself, or a content-hashed session name for
+        inline programs (identical content ⇒ identical name ⇒ shared
+        request keys and cache entries)."""
+        if self.kind == "registry":
+            return self.value
+        tag = digest("program:" + self.kind, self.value,
+                     self.name or "")[:12]
+        return "inline-%s-%s" % ("ir" if self.kind == "ir" else "py",
+                                 tag)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value,
+                "name": self.name}
+
+
 @dataclass(frozen=True)
 class EvaluateRequest:
-    """One evaluation-matrix cell, as clients describe it."""
+    """One evaluation-matrix cell, as clients describe it.
 
-    workload: str
+    The program under evaluation is described by ``program`` (a
+    :class:`ProgramSpec`); the older ``workload`` string field remains
+    as a one-release deprecation shim equivalent to
+    ``ProgramSpec.registry(workload)``, with byte-identical request
+    keys.  After construction both fields are populated and consistent:
+    ``workload == program.workload_name()``."""
+
+    workload: str = ""
     technique: str = "gremio"
     coco: bool = False
     n_threads: int = 2
@@ -70,23 +185,47 @@ class EvaluateRequest:
     #: byte-compatible with pre-tune clients.
     overrides: Overrides = ()
     schema_version: str = API_SCHEMA_VERSION
+    #: The canonical program input.  ``None`` only transiently: when
+    #: omitted, ``__post_init__`` derives it from the deprecated
+    #: ``workload`` field (with a :class:`DeprecationWarning`).
+    program: Optional[ProgramSpec] = None
+
+    def __post_init__(self):
+        program = self.program
+        if program is not None and not isinstance(program, ProgramSpec):
+            raise RequestValidationError(
+                "program must be a ProgramSpec, got %r" % (program,))
+        if program is None:
+            if isinstance(self.workload, str) and self.workload:
+                warnings.warn(
+                    "EvaluateRequest(workload=...) is deprecated; pass "
+                    "program=ProgramSpec.registry(%r) instead (removal "
+                    "after one release)" % self.workload,
+                    DeprecationWarning, stacklevel=3)
+                object.__setattr__(
+                    self, "program", ProgramSpec.registry(self.workload))
+        elif not self.workload:
+            object.__setattr__(self, "workload",
+                               program.workload_name())
 
     # -- validation --------------------------------------------------------
 
     def validate(self) -> "EvaluateRequest":
         """Return self after checking every field against the live
         registries; raise :class:`RequestValidationError` otherwise."""
-        from ..workloads import workload_names
         if self.schema_version != API_SCHEMA_VERSION:
             raise RequestValidationError(
                 "schema mismatch: request has %r, this facade speaks %r"
                 % (self.schema_version, API_SCHEMA_VERSION))
-        if not isinstance(self.workload, str) or not self.workload:
-            raise RequestValidationError("missing workload name")
-        if self.workload not in workload_names():
+        if self.program is None:
             raise RequestValidationError(
-                "unknown workload %r (see `python -m repro list`)"
-                % (self.workload,))
+                "missing workload name (pass program=ProgramSpec....)")
+        self.program.validate()
+        expected = self.program.workload_name()
+        if self.workload != expected:
+            raise RequestValidationError(
+                "workload %r does not match the program (which "
+                "evaluates as %r)" % (self.workload, expected))
         if self.technique not in TECHNIQUES:
             raise RequestValidationError(
                 "unknown technique %r (use one of %s)"
@@ -158,15 +297,22 @@ class EvaluateRequest:
                           overrides)
 
     @classmethod
-    def from_cell(cls, cell: MatrixCell,
-                  check: bool = True) -> "EvaluateRequest":
+    def from_cell(cls, cell: MatrixCell, check: bool = True,
+                  program: Optional[ProgramSpec] = None
+                  ) -> "EvaluateRequest":
+        """Wrap a matrix cell back into a request.  ``program`` carries
+        the original spec for inline-program cells; without it the cell
+        is assumed to name a registry workload."""
+        if program is None:
+            program = ProgramSpec.registry(cell.workload)
         return cls(workload=cell.workload, technique=cell.technique,
                    coco=cell.coco, n_threads=cell.n_threads,
                    scale=cell.scale, alias_mode=cell.alias_mode,
                    local_schedule=cell.local_schedule,
                    mt_check=cell.mt_check, check=check,
                    topology=cell.topology, placer=cell.placer,
-                   backend=cell.backend, overrides=cell.overrides)
+                   backend=cell.backend, overrides=cell.overrides,
+                   program=program)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "EvaluateRequest":
@@ -182,8 +328,16 @@ class EvaluateRequest:
         if unknown:
             raise RequestValidationError(
                 "unknown request field(s): %s" % ", ".join(unknown))
+        data = dict(data)
+        if data.get("program") is not None:
+            data["program"] = ProgramSpec.from_dict(data["program"])
         try:
-            request = cls(**dict(data))
+            with warnings.catch_warnings():
+                # The wire shim: a bare {"workload": ...} body is the
+                # documented deprecated form; the warning belongs at
+                # client construction sites, not in the server log.
+                warnings.simplefilter("ignore", DeprecationWarning)
+                request = cls(**data)
         except TypeError as error:
             raise RequestValidationError(str(error))
         return request.validate()
@@ -315,7 +469,7 @@ class TuneRequest:
     def validate(self) -> "TuneRequest":
         """Return self (canonicalized) after checking every field;
         raise :class:`RequestValidationError` otherwise."""
-        from ..workloads import workload_names
+        from ..workloads import unknown_workload_message, workload_names
         if self.schema_version != TUNE_SCHEMA_VERSION:
             raise RequestValidationError(
                 "schema mismatch: request has %r, this facade speaks %r"
@@ -328,8 +482,7 @@ class TuneRequest:
         for name in workloads:
             if name not in workload_names():
                 raise RequestValidationError(
-                    "unknown workload %r (see `python -m repro list`)"
-                    % (name,))
+                    unknown_workload_message(name))
         if self.strategy not in STRATEGIES:
             raise RequestValidationError(
                 "unknown strategy %r (use one of %s)"

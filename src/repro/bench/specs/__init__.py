@@ -2,7 +2,7 @@
 package registers every spec with :mod:`repro.bench.spec`."""
 
 from . import (ablations, hostperf, paper, scaling,  # noqa: F401
-               trace, tune)
+               synthetic, trace, tune)
 
 #: Every spec id, grouped the way the benchmarks/ directory is.
 FAMILIES = {
@@ -17,4 +17,5 @@ FAMILIES = {
     "trace": ["trace_attribution"],
     "scaling": ["topology_scaling"],
     "tune": ["tune_smoke"],
+    "synthetic": ["synthetic_frontend"],
 }

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ...api import EvaluateRequest, evaluate
+from ...api import EvaluateRequest, ProgramSpec, evaluate
 from ...trace import STALL_CATEGORIES
 from ..spec import BenchMode, Metric, MetricMap, bench_spec
 
@@ -37,8 +37,8 @@ def collect_trace(mode: BenchMode) -> MetricMap:
     for technique in TECHNIQUES:
         for name in _benches(mode):
             result = evaluate(EvaluateRequest(
-                workload=name, technique=technique, scale=mode.scale,
-                trace=True))
+                program=ProgramSpec.registry(name),
+                technique=technique, scale=mode.scale, trace=True))
             summary = result.trace or {}
             key = "%s/%s" % (technique, name)
             metrics["critical_path_cycles/" + key] = Metric(

@@ -5,6 +5,10 @@ Commands:
 * ``list`` — the benchmark registry (the papers' Figure 6(b));
 * ``machine`` — the machine configuration (Figure 6(a));
 * ``run`` — parallelize one workload and report speedup/communication;
+  ``--source FILE.py`` compiles a program with the
+  :mod:`repro.frontend` Python subset instead of naming a registry
+  workload, and ``--ir FILE.ir`` evaluates textual IR directly (both
+  also accepted by ``dump``/``sweep``/``trace``);
 * ``dump`` — print the IR of a workload, or the generated thread CFGs;
 * ``sweep`` — run every workload under one (or every) configuration and
   summarize; ``--jobs N`` fans cells across a process pool, and the
@@ -12,7 +16,8 @@ Commands:
 * ``fuzz`` — the differential fuzzing loop of :mod:`repro.check`:
   random programs x {GREMIO, DSWP, random partitions} x {COCO on/off},
   every cell statically validated and differentially executed, failures
-  shrunk and persisted to ``--corpus``;
+  shrunk and persisted to ``--corpus``; ``--frontend`` fuzzes the
+  Python-to-IR frontend against CPython instead;
 * ``bench`` — the machine-readable benchmark subsystem of
   :mod:`repro.bench`: run every registered spec (``--smoke`` or
   ``--full``), emit a schema-versioned ``BENCH_RESULTS.json``, and gate
@@ -82,6 +87,21 @@ def _jobs_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _program_parent() -> argparse.ArgumentParser:
+    """``--source``/``--ir``, declared once for every command that can
+    evaluate an inline program instead of a registry workload
+    (run/dump/sweep/trace)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--source", default=None, metavar="FILE.py",
+                        help="compile FILE.py with the repro.frontend "
+                             "Python subset and evaluate it instead of "
+                             "a registry workload")
+    parent.add_argument("--ir", default=None, metavar="FILE.ir",
+                        help="parse FILE.ir (textual IR) and evaluate "
+                             "it instead of a registry workload")
+    return parent
+
+
 def _backend_parent() -> argparse.ArgumentParser:
     """``--backend``, declared once for every simulating command
     (run/sweep/bench/trace/serve).  Backends are bit-identical (see
@@ -105,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parent = _cache_parent()
     jobs_parent = _jobs_parent()
     backend_parent = _backend_parent()
+    program_parent = _program_parent()
 
     sub.add_parser("list", help="list the benchmark workloads")
     machine = sub.add_parser("machine",
@@ -115,20 +136,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: the papers' flat dual-core)")
 
     run = sub.add_parser("run", help="parallelize one workload",
-                         parents=[cache_parent, backend_parent])
+                         parents=[cache_parent, backend_parent,
+                                  program_parent])
     _common_options(run)
-    run.add_argument("workload", help="workload name (see `list`)")
+    run.add_argument("workload", nargs="?", default=None,
+                     help="workload name (see `list`); omit with "
+                          "--source/--ir")
 
     dump = sub.add_parser("dump", help="print workload IR / thread CFGs",
-                          parents=[cache_parent])
+                          parents=[cache_parent, program_parent])
     _common_options(dump)
-    dump.add_argument("workload")
+    dump.add_argument("workload", nargs="?", default=None,
+                      help="workload name (see `list`); omit with "
+                           "--source/--ir")
     dump.add_argument("--threads-code", action="store_true",
                       help="print the generated per-thread CFGs")
 
     sweep = sub.add_parser("sweep", help="evaluate every workload",
                            parents=[cache_parent, jobs_parent,
-                                    backend_parent])
+                                    backend_parent, program_parent])
     _common_options(sweep)
 
     fuzz = sub.add_parser(
@@ -148,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--max-threads", type=int, default=3)
     fuzz.add_argument("--depth", type=int, default=2,
                       help="program nesting depth of generated sketches")
+    fuzz.add_argument("--frontend", action="store_true",
+                      help="fuzz the Python-to-IR frontend instead: "
+                           "render each sketch as Python source, compile "
+                           "it, and differentially execute the emitted "
+                           "IR against CPython")
 
     bench = sub.add_parser(
         "bench", help="run the machine-readable benchmark specs and "
@@ -193,8 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="trace one workload's MT simulation: emit a "
                       "Perfetto-loadable trace.json plus a stall-"
                       "attribution / critical-path report",
-        parents=[cache_parent, backend_parent])
-    trace.add_argument("workload", help="workload name (see `list`)")
+        parents=[cache_parent, backend_parent, program_parent])
+    trace.add_argument("workload", nargs="?", default=None,
+                       help="workload name (see `list`); omit with "
+                            "--source/--ir")
     trace.add_argument("--partitioner", choices=TECHNIQUES,
                        default="gremio",
                        help="partitioning technique "
@@ -340,6 +373,42 @@ def _apply_cache_options(args) -> None:
         configure_cache(enabled=False)
 
 
+def _resolve_workload(args):
+    """The workload a run/dump/sweep/trace invocation targets: a
+    registry name, or an inline program from ``--source``/``--ir``
+    (materialized through :func:`repro.api.resolve_program`)."""
+    from .api import ProgramSpec, RequestValidationError, resolve_program
+    source = getattr(args, "source", None)
+    ir = getattr(args, "ir", None)
+    name = getattr(args, "workload", None)
+    picked = [flag for flag, value in
+              (("--source", source), ("--ir", ir), ("workload", name))
+              if value]
+    if len(picked) > 1:
+        raise SystemExit("pick one program input: %s are mutually "
+                         "exclusive" % " and ".join(picked))
+    if not picked:
+        raise SystemExit("missing program: name a workload (see `list`) "
+                         "or pass --source FILE.py / --ir FILE.ir")
+    if source or ir:
+        path = source or ir
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise SystemExit("cannot read %s: %s" % (path, error))
+        spec = (ProgramSpec.source(text) if source
+                else ProgramSpec.inline_ir(text))
+        try:
+            return resolve_program(spec)
+        except RequestValidationError as error:
+            raise SystemExit("%s: %s" % (path, error))
+    try:
+        return get_workload(name)
+    except KeyError as error:
+        raise SystemExit(error.args[0])
+
+
 def _print_telemetry() -> None:
     telemetry = global_telemetry()
     print()
@@ -360,7 +429,7 @@ def _print_telemetry() -> None:
 
 
 def _run_one(args) -> int:
-    workload = get_workload(args.workload)
+    workload = _resolve_workload(args)
     if args.technique == "all":
         raise SystemExit("run: pick one --technique (not 'all')")
     ev = evaluate_workload(workload, technique=args.technique,
@@ -392,7 +461,7 @@ def _run_one(args) -> int:
 
 
 def _dump(args) -> int:
-    workload = get_workload(args.workload)
+    workload = _resolve_workload(args)
     function = workload.build()
     if not args.threads_code:
         print(format_function(function, show_iids=True))
@@ -418,7 +487,7 @@ def _dump(args) -> int:
 def _trace(args) -> int:
     from .trace import (stall_report_json, stall_report_markdown,
                         write_chrome_trace)
-    workload = get_workload(args.workload)
+    workload = _resolve_workload(args)
     ev = evaluate_workload(workload, technique=args.partitioner,
                            n_threads=args.threads, coco=args.coco,
                            scale=args.scale, trace=True,
@@ -451,7 +520,11 @@ def _trace(args) -> int:
 def _sweep(args) -> int:
     techniques = (list(TECHNIQUES) if args.technique == "all"
                   else [args.technique])
-    cells = build_cells(workloads=all_workloads(), techniques=techniques,
+    if getattr(args, "source", None) or getattr(args, "ir", None):
+        workloads = [_resolve_workload(args)]
+    else:
+        workloads = all_workloads()
+    cells = build_cells(workloads=workloads, techniques=techniques,
                         coco=(args.coco,), n_threads=(args.threads,),
                         scale=args.scale, alias_mode=args.alias_mode,
                         local_schedule=args.schedule,
@@ -529,6 +602,8 @@ def _fuzz(args) -> int:
     if iterations is None:
         iterations = 25 if args.smoke else 100
     seed = 0 if args.smoke else args.seed
+    if args.frontend:
+        return _fuzz_frontend(args, seed, iterations)
     report = run_fuzz(seed=seed, iterations=iterations,
                       corpus_dir=args.corpus,
                       max_threads=args.max_threads, depth=args.depth,
@@ -544,6 +619,29 @@ def _fuzz(args) -> int:
                   "statements"
                   % (failure.iteration, failure.cell,
                      "+coco" if failure.coco else "", failure.kind,
+                     failure.original_size, failure.shrunk_size))
+            print("  " + failure.detail.replace("\n", "\n  "))
+        if args.corpus:
+            print("reproducers written to %s" % args.corpus)
+        return 1
+    return 0
+
+
+def _fuzz_frontend(args, seed: int, iterations: int) -> int:
+    from .frontend import run_frontend_fuzz
+    report = run_frontend_fuzz(seed=seed, iterations=iterations,
+                               corpus_dir=args.corpus, depth=args.depth,
+                               progress=print)
+    print(report.summary())
+    rows = [(name, str(value))
+            for name, value in sorted(report.counters.items())]
+    print(table(["counter", "total"], rows,
+                title="frontend fuzz counters"))
+    if report.failures:
+        print()
+        for failure in report.failures:
+            print("FAILURE iteration %d (%s): shrunk %d -> %d statements"
+                  % (failure.iteration, failure.kind,
                      failure.original_size, failure.shrunk_size))
             print("  " + failure.detail.replace("\n", "\n  "))
         if args.corpus:

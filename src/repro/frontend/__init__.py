@@ -1,0 +1,29 @@
+"""Python-to-IR frontend: compile a documented Python subset into the
+textual mini-IR, verified and differentially fuzzed against CPython.
+
+Public surface::
+
+    from repro.frontend import compile_source, compile_function
+    program = compile_source(open("kernel.py").read())
+    program.function          # verified repro.ir Function
+
+See ``docs/frontend.md`` for the supported subset and the differential
+fuzz workflow (``python -m repro fuzz --frontend``).
+"""
+
+from .compiler import (CompiledProgram, ParamSpec, compile_function,
+                       compile_source, python_callable, random_inputs)
+from .errors import FrontendError
+from .fuzz import run_frontend_fuzz, sketch_to_python
+
+__all__ = [
+    "CompiledProgram",
+    "ParamSpec",
+    "FrontendError",
+    "compile_function",
+    "compile_source",
+    "python_callable",
+    "random_inputs",
+    "run_frontend_fuzz",
+    "sketch_to_python",
+]

@@ -1,0 +1,32 @@
+"""Frontend diagnostics.
+
+Every rejection the Python-to-IR compiler produces is a
+:class:`FrontendError` carrying the source position (1-based line,
+0-based column, like CPython's own ``ast`` locations) of the offending
+construct, so callers can render ``file:line:col: message``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FrontendError(Exception):
+    """A Python construct the frontend does not accept."""
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 col: Optional[int] = None,
+                 filename: Optional[str] = None):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.col = col
+        self.filename = filename
+
+    def __str__(self) -> str:
+        prefix = self.filename or "<source>"
+        if self.line is not None:
+            prefix += ":%d" % self.line
+            if self.col is not None:
+                prefix += ":%d" % (self.col + 1)
+        return "%s: %s" % (prefix, self.message)

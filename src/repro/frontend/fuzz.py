@@ -1,0 +1,392 @@
+"""Differential fuzzing of the Python frontend against CPython.
+
+``python -m repro fuzz --frontend`` drives this module: each iteration
+samples a program sketch from the shared structured-program grammar
+(:mod:`repro.check.generate`), renders it to *Python source* in the
+frontend's supported subset (:func:`sketch_to_python`), compiles that
+source with :mod:`repro.frontend.compiler`, and executes both sides —
+the source under CPython, the emitted IR under the reference
+interpreter — on deterministic random inputs.  Any observable
+difference (return values, final array contents, or error-vs-success)
+is a bug in the frontend's lowering; the failing sketch is shrunk by
+greedy deletion and persisted into the corpus directory.
+
+Errors are compared by *kind* only: when both sides raise (division by
+zero, out-of-range index, overflow), the case passes — the frontend
+promises matching values on whatever CPython can compute, and a trap
+wherever CPython raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..check.generate import (ProgramSketch, random_sketch,
+                              shrink_candidates, sketch_size,
+                              sketch_to_json)
+from ..interp.interpreter import run_function
+from ..ir.printer import format_function
+from .compiler import CompiledProgram, compile_source, python_callable
+from .errors import FrontendError
+
+MEM_SIZE = 32
+ARG_SETS_PER_PROGRAM = 3
+
+#: How each grammar ALU op renders as a Python expression.
+_PY_BINOPS = {
+    "add": "{a} + {b}", "sub": "{a} - {b}", "mul": "{a} * {b}",
+    "and": "{a} & {b}", "or": "{a} | {b}", "xor": "{a} ^ {b}",
+    "min": "min({a}, {b})", "max": "max({a}, {b})",
+    "cmpeq": "int({a} == {b})", "cmpne": "int({a} != {b})",
+    "cmplt": "int({a} < {b})", "cmple": "int({a} <= {b})",
+    "cmpgt": "int({a} > {b})", "cmpge": "int({a} >= {b})",
+}
+
+#: A fixed float-flavoured epilogue so every generated program also
+#: exercises the FP lowering (conversions, fdiv, sqrt, ternary).
+_EPILOGUE = [
+    "fa = float(r0) / 16.0",
+    "fb = math.sqrt(float(abs(r1) + 1)) * 0.5",
+    "fr = fa + fb if fa < fb else fa - fb",
+    "return (r0, r1, r2 + int(fr))",
+]
+
+
+def sketch_to_python(sketch: ProgramSketch) -> str:
+    """Render a program sketch as Python source in the frontend subset.
+
+    The rendering is deterministic in the sketch alone (stable corpus
+    entries) and intentionally varies surface syntax — augmented
+    assignment when the destination aliases an operand, ternaries for
+    some min/max — so the fuzz load covers more of the compiler than a
+    single canonical spelling would."""
+    lines: List[str] = [
+        "import math",
+        "",
+        "",
+        "def fuzz_program(in0: int, in1: int, m: \"int[%d]\"):" % MEM_SIZE,
+        "    r0 = in0",
+        "    r1 = in1",
+        "    r2 = in0 + in1",
+        "    r3 = in0 - in1",
+        "    r4 = 7",
+        "    r5 = -3",
+    ]
+    loop_depth_counter = [0]
+    statement_counter = [0]
+
+    def reg(index: int) -> str:
+        return "r%d" % index
+
+    def emit(statements, indent: int, in_loop: bool) -> None:
+        pad = "    " * indent
+        wrote = False
+        for statement in statements:
+            kind = statement[0]
+            statement_counter[0] += 1
+            variant = statement_counter[0]
+            if kind == "breakif":
+                _, cond = statement
+                if not in_loop:
+                    continue  # mirrors render_program's no-op
+                lines.append(pad + "if %s > 15:" % reg(cond))
+                lines.append(pad + "    break")
+                wrote = True
+            elif kind == "alu":
+                _, op, dest, a, b = statement
+                if op in ("add", "sub", "mul", "and", "or", "xor") \
+                        and dest == a and variant % 2:
+                    symbol = _PY_BINOPS[op].format(a="", b="").strip()
+                    lines.append(pad + "%s %s= %s"
+                                 % (reg(dest), symbol, reg(b)))
+                elif op in ("min", "max") and variant % 3 == 0:
+                    relation = "<=" if op == "min" else ">="
+                    lines.append(pad + "%s = %s if %s %s %s else %s"
+                                 % (reg(dest), reg(a), reg(a), relation,
+                                    reg(b), reg(b)))
+                else:
+                    lines.append(pad + "%s = %s"
+                                 % (reg(dest),
+                                    _PY_BINOPS[op].format(a=reg(a),
+                                                          b=reg(b))))
+                wrote = True
+            elif kind == "movi":
+                _, dest, value = statement
+                lines.append(pad + "%s = %d" % (reg(dest), value))
+                wrote = True
+            elif kind == "load":
+                _, dest, addr = statement
+                lines.append(pad + "%s = m[%s & %d]"
+                             % (reg(dest), reg(addr), MEM_SIZE - 1))
+                wrote = True
+            elif kind == "store":
+                _, value, addr = statement
+                lines.append(pad + "m[%s & %d] = %s"
+                             % (reg(addr), MEM_SIZE - 1, reg(value)))
+                wrote = True
+            elif kind == "if":
+                _, cond, then_statements, else_statements = statement
+                lines.append(pad + "if %s > 0:" % reg(cond))
+                emit(then_statements, indent + 1, in_loop)
+                lines.append(pad + "else:")
+                emit(else_statements, indent + 1, in_loop)
+                wrote = True
+            elif kind == "loop":
+                _, trips, body = statement
+                loop_depth_counter[0] += 1
+                loop_var = "i%d" % loop_depth_counter[0]
+                lines.append(pad + "for %s in range(%d):"
+                             % (loop_var, trips))
+                emit(body, indent + 1, True)
+                wrote = True
+            else:  # pragma: no cover
+                raise AssertionError("unknown statement %r" % (statement,))
+        if not wrote:
+            lines.append(pad + "pass")
+
+    emit(sketch.statements, 1, False)
+    for line in _EPILOGUE:
+        lines.append("    " + line)
+    return "\n".join(lines) + "\n"
+
+
+def fuzz_args(rng: random.Random) -> Dict[str, object]:
+    return {"in0": rng.randint(-50, 50), "in1": rng.randint(-50, 50),
+            "memory": [rng.randint(-50, 50) for _ in range(MEM_SIZE)]}
+
+
+def _values_equal(a, b) -> bool:
+    if a == b:
+        return True
+    return a != a and b != b  # NaN on both sides
+
+
+def run_differential_case(program: CompiledProgram, fn,
+                          args: Dict[str, object]) -> Optional[str]:
+    """Execute one input set on both sides; return a divergence
+    description, or None when the observables agree."""
+    python_memory = list(args["memory"])
+    scalar_args = {"in0": args["in0"], "in1": args["in1"]}
+    try:
+        python_result = fn(args["in0"], args["in1"], python_memory)
+        python_error = None
+    except Exception as error:
+        python_result, python_error = None, type(error).__name__
+    try:
+        run = run_function(program.function, scalar_args,
+                           initial_memory={"m": list(args["memory"])})
+        ir_error = None
+    except Exception as error:
+        run, ir_error = None, type(error).__name__
+    if python_error is not None or ir_error is not None:
+        if python_error is not None and ir_error is not None:
+            return None  # both raised: matching error observable
+        return ("error mismatch: CPython %s vs IR %s"
+                % (python_error or "ok", ir_error or "ok"))
+    ir_result = tuple(run.live_outs["__ret%d" % index]
+                      for index in range(program.n_returns))
+    if not isinstance(python_result, tuple):
+        python_result = (python_result,)
+    if len(python_result) != len(ir_result) or not all(
+            _values_equal(a, b)
+            for a, b in zip(python_result, ir_result)):
+        return ("return mismatch: CPython %r vs IR %r"
+                % (python_result, ir_result))
+    ir_memory = run.mem_object("m")
+    for index, (a, b) in enumerate(zip(python_memory, ir_memory)):
+        if not _values_equal(a, b):
+            return ("memory mismatch at m[%d]: CPython %r vs IR %r"
+                    % (index, a, b))
+    return None
+
+
+def _evaluate_sketch(sketch: ProgramSketch,
+                     arg_sets: List[Dict[str, object]]
+                     ) -> Optional[Tuple[str, str]]:
+    """Compile and run one sketch over the arg sets; returns
+    (kind, detail) on failure."""
+    source = sketch_to_python(sketch)
+    try:
+        program = compile_source(source, name="fuzz_program")
+    except FrontendError as error:
+        return "frontend-error", str(error)
+    except Exception as error:  # pragma: no cover - compiler crash
+        return "frontend-crash", "%s: %s" % (type(error).__name__, error)
+    fn = python_callable(source, name="fuzz_program")
+    for args in arg_sets:
+        divergence = run_differential_case(program, fn, args)
+        if divergence is not None:
+            return "divergence", divergence
+    return None
+
+
+class FrontendFuzzFailure:
+    """One minimized frontend counterexample."""
+
+    def __init__(self, iteration: int, kind: str, detail: str,
+                 sketch: ProgramSketch,
+                 arg_sets: List[Dict[str, object]], original_size: int):
+        self.iteration = iteration
+        self.kind = kind
+        self.detail = detail
+        self.sketch = sketch
+        self.arg_sets = arg_sets
+        self.original_size = original_size
+
+    @property
+    def shrunk_size(self) -> int:
+        return sketch_size(self.sketch)
+
+    def to_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "kind": self.kind,
+            "detail": self.detail,
+            "sketch": json.loads(sketch_to_json(self.sketch)),
+            "arg_sets": self.arg_sets,
+            "original_size": self.original_size,
+            "shrunk_size": self.shrunk_size,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<FrontendFuzzFailure it%d %s>" % (self.iteration,
+                                                  self.kind)
+
+
+class FrontendFuzzReport:
+    """Aggregate outcome of one frontend fuzzing run."""
+
+    def __init__(self, seed: int, iterations: int):
+        self.seed = seed
+        self.iterations = iterations
+        self.programs_generated = 0
+        self.cases_run = 0
+        self.shrink_attempts = 0
+        self.failures: List[FrontendFuzzFailure] = []
+        self.counters: Dict[str, int] = {}
+        self.elapsed = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": "frontend",
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "programs_generated": self.programs_generated,
+            "cases_run": self.cases_run,
+            "shrink_attempts": self.shrink_attempts,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "counters": dict(sorted(self.counters.items())),
+            "failures": [failure.to_dict()
+                         for failure in self.failures],
+        }
+
+    def summary(self) -> str:
+        return ("frontend fuzz: seed %d, %d programs, %d cases, "
+                "%d failure(s), %.1fs"
+                % (self.seed, self.programs_generated, self.cases_run,
+                   len(self.failures), self.elapsed))
+
+
+def _shrink(sketch: ProgramSketch, arg_sets: List[Dict[str, object]],
+            report: FrontendFuzzReport,
+            max_attempts: int = 150) -> ProgramSketch:
+    current = sketch
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in shrink_candidates(current):
+            attempts += 1
+            report.shrink_attempts += 1
+            if attempts >= max_attempts:
+                break
+            try:
+                failure = _evaluate_sketch(candidate, arg_sets)
+            except Exception:
+                continue
+            if failure is not None:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+def run_frontend_fuzz(seed: int = 0, iterations: int = 100,
+                      corpus_dir: Optional[str] = None, depth: int = 2,
+                      progress=None) -> FrontendFuzzReport:
+    """Run the CPython-vs-IR differential loop; see module docstring."""
+    report = FrontendFuzzReport(seed, iterations)
+    start = time.perf_counter()
+    for iteration in range(iterations):
+        rng = random.Random(seed * 1_000_003 + iteration)
+        sketch = random_sketch(rng, depth=depth)
+        arg_sets = [fuzz_args(rng)
+                    for _ in range(ARG_SETS_PER_PROGRAM)]
+        report.programs_generated += 1
+        report.cases_run += len(arg_sets)
+        failure = _evaluate_sketch(sketch, arg_sets)
+        if failure is None:
+            report.count("agreed")
+            continue
+        kind, detail = failure
+        report.count(kind)
+        original_size = sketch_size(sketch)
+        shrunk = _shrink(sketch, arg_sets, report)
+        record = FrontendFuzzFailure(iteration, kind, detail, shrunk,
+                                     arg_sets, original_size)
+        report.failures.append(record)
+        if corpus_dir:
+            _persist_failure(corpus_dir, record)
+        if progress is not None:
+            progress("iteration %d: FAILURE (%s): %s"
+                     % (iteration, kind, detail))
+        if progress is not None and (iteration + 1) % 20 == 0:
+            progress("iteration %d/%d: %d failure(s)"
+                     % (iteration + 1, iterations,
+                        len(report.failures)))
+    report.elapsed = time.perf_counter() - start
+    if corpus_dir:
+        _persist_report(corpus_dir, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Corpus persistence (same layout conventions as repro.check.fuzz).
+
+def _persist_failure(corpus_dir: str,
+                     failure: FrontendFuzzFailure) -> None:
+    os.makedirs(corpus_dir, exist_ok=True)
+    stem = "frontend-failure-%03d" % failure.iteration
+    with open(os.path.join(corpus_dir, stem + ".json"), "w") as handle:
+        json.dump(failure.to_dict(), handle, indent=2, sort_keys=True)
+    source = sketch_to_python(failure.sketch)
+    rendering = "# %s: %s\n%s" % (failure.kind,
+                                  failure.detail.replace("\n", " | "),
+                                  source)
+    try:
+        program = compile_source(source, name="fuzz_program")
+        rendering += "\n# Compiled IR:\n# " + "\n# ".join(
+            format_function(program.function).splitlines()) + "\n"
+    except Exception as error:
+        rendering += "\n# compilation failed: %s\n" % error
+    with open(os.path.join(corpus_dir, stem + ".py"), "w") as handle:
+        handle.write(rendering)
+
+
+def _persist_report(corpus_dir: str,
+                    report: FrontendFuzzReport) -> None:
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, "frontend-report.json")
+    with open(path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)

@@ -28,8 +28,8 @@ import random
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..api import (TOPOLOGIES, EvaluateRequest, TuneRequest, TuneResult,
-                   evaluate, evaluate_many, get_cache)
+from ..api import (TOPOLOGIES, EvaluateRequest, ProgramSpec, TuneRequest,
+                   TuneResult, evaluate, evaluate_many, get_cache)
 from .space import DEFAULT_SPACE, CanonicalCandidate, KnobSpace
 from .strategies import Strategy, make_strategy
 
@@ -60,7 +60,8 @@ def candidate_request(workload: str, candidate: CanonicalCandidate,
                       request: TuneRequest) -> EvaluateRequest:
     """The evaluation-cell request scoring one candidate."""
     return EvaluateRequest(
-        workload=workload, technique=candidate.technique,
+        program=ProgramSpec.registry(workload),
+        technique=candidate.technique,
         coco=candidate.coco, n_threads=request.n_threads,
         scale=request.scale, topology=candidate.topology,
         placer=candidate.placer, backend=request.backend,

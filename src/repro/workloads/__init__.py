@@ -2,9 +2,10 @@
 
 from .common import (Workload, WorkloadInputs, all_workloads,
                      benchmark_table, get_workload, register,
-                     workload_names)
+                     unknown_workload_message, workload_names)
 
 __all__ = [
     "Workload", "WorkloadInputs", "all_workloads", "benchmark_table",
-    "get_workload", "register", "workload_names",
+    "get_workload", "register", "unknown_workload_message",
+    "workload_names",
 ]

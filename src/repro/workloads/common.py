@@ -15,6 +15,7 @@ mismatch.
 
 from __future__ import annotations
 
+import difflib
 import random
 from typing import Callable, Dict, List, Tuple
 
@@ -92,7 +93,28 @@ _ALIASES = {"adpcm": "adpcmdec"}
 
 def get_workload(name: str) -> Workload:
     _ensure_loaded()
-    return _REGISTRY[_ALIASES.get(name, name)]
+    workload = _REGISTRY.get(_ALIASES.get(name, name))
+    if workload is not None:
+        return workload
+    # Inline programs (``--source`` / ``--ir`` / serve bodies) live in a
+    # per-process session registry under content-hashed names.
+    from .inline import lookup_inline
+    inline = lookup_inline(name)
+    if inline is not None:
+        return inline
+    raise KeyError(unknown_workload_message(name))
+
+
+def unknown_workload_message(name: str) -> str:
+    """Error text for an unknown workload, with did-you-mean suggestions."""
+    _ensure_loaded()
+    candidates = sorted(set(_REGISTRY) | set(_ALIASES))
+    close = difflib.get_close_matches(name, candidates, n=3, cutoff=0.6)
+    if close:
+        hint = "did you mean %s?" % " or ".join(repr(c) for c in close)
+    else:
+        hint = "see `python -m repro list` for the registry"
+    return "unknown workload %r (%s)" % (name, hint)
 
 
 def all_workloads() -> List[Workload]:
@@ -109,6 +131,7 @@ def _ensure_loaded() -> None:
     # Import kernel modules for their registration side effects.
     from . import adpcm, ks, mpeg2, mesa, mcf  # noqa: F401
     from . import equake, ammp, twolf, gromacs, sjeng  # noqa: F401
+    from . import synthetic  # noqa: F401
 
 
 def rng_for(name: str, scale: str) -> random.Random:

@@ -27,6 +27,7 @@ EXPECTED_SPECS = [
     "profile_sensitivity",
     "region_selection",
     "scheduler_interaction",
+    "synthetic_frontend",
     "topology_scaling",
     "trace_attribution",
     "tune_smoke",
@@ -34,7 +35,7 @@ EXPECTED_SPECS = [
 
 
 class TestRegistry:
-    def test_all_nineteen_specs_registered(self):
+    def test_all_twenty_specs_registered(self):
         assert spec_ids() == EXPECTED_SPECS
 
     def test_every_spec_is_complete(self):

@@ -70,8 +70,12 @@ class TestCommands:
         assert "produce" in out
 
     def test_unknown_workload_raises(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(SystemExit, match="unknown workload"):
             main(["run", "not-a-workload", "--scale", "train"])
+
+    def test_unknown_workload_suggests_close_match(self):
+        with pytest.raises(SystemExit, match="did you mean 'ks'"):
+            main(["run", "kss", "--scale", "train"])
 
     def test_dot_cfg(self, capsys):
         assert main(["dot", "mpeg2enc"]) == 0

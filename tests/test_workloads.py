@@ -11,7 +11,10 @@ from repro.workloads import (all_workloads, benchmark_table, get_workload,
 
 EXPECTED_NAMES = ["177.mesa", "181.mcf", "183.equake", "188.ammp",
                   "300.twolf", "435.gromacs", "458.sjeng", "adpcmdec",
-                  "adpcmenc", "ks", "mpeg2enc"]
+                  "adpcmenc", "ks", "mpeg2enc",
+                  # Frontend-compiled synthetic family (PR 9).
+                  "syn.argmin", "syn.blur3", "syn.dotsat", "syn.prefix",
+                  "syn.quant"]
 
 
 def _check_against_reference(workload, scale):
