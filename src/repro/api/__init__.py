@@ -24,7 +24,9 @@ The facade is covenanted: additions only within one
 of ``DeprecationWarning`` shims behind.
 """
 
-from .facade import (ArtifactCache, BACKENDS, CacheStats, DEFAULT_BACKEND,
+from .facade import (ArtifactCache, ArtifactStore, BACKENDS, CacheStats,
+                     DEFAULT_BACKEND, HttpStore, LocalStore,
+                     STORE_URL_ENV, make_store,
                      Evaluation, LatencyHistogram, MatrixCell,
                      PARTITIONER_PARAMS, PLACERS, Parallelization,
                      TECHNIQUES, TOPOLOGIES, TUNABLE_MACHINE_FIELDS,
@@ -40,6 +42,7 @@ from .facade import (ArtifactCache, BACKENDS, CacheStats, DEFAULT_BACKEND,
                      resolve_program, tune, unknown_workload_message,
                      validate_backend, validate_overrides,
                      workload_names)
+from .client import ServiceClient, ServiceError
 from .types import (ALIAS_MODES, API_SCHEMA_VERSION, LOCAL_SCHEDULES,
                     MAX_INLINE_PROGRAM_BYTES, PROGRAM_KINDS, SCALES,
                     STRATEGIES, TUNE_SCHEMA_VERSION, EvaluateRequest,
@@ -52,6 +55,7 @@ __all__ = [
     "ProgramSpec", "PROGRAM_KINDS", "MAX_INLINE_PROGRAM_BYTES",
     "RequestValidationError", "resolve_program",
     "evaluate", "evaluate_many",
+    "ServiceClient", "ServiceError",
     "SCALES", "ALIAS_MODES", "LOCAL_SCHEDULES",
     # auto-tuning
     "TUNE_SCHEMA_VERSION", "STRATEGIES", "TuneRequest", "TuneResult",
@@ -68,6 +72,8 @@ __all__ = [
     # infrastructure
     "ArtifactCache", "CacheStats", "configure_cache",
     "default_cache_dir", "get_cache",
+    "ArtifactStore", "HttpStore", "LocalStore", "make_store",
+    "STORE_URL_ENV",
     "digest", "fingerprint_config", "fingerprint_function",
     "fingerprint_inputs", "fingerprint_profile",
     "LatencyHistogram", "Telemetry", "global_telemetry",

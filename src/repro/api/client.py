@@ -1,0 +1,103 @@
+"""A small HTTP client for ``repro serve`` daemons and clusters.
+
+:class:`ServiceClient` speaks the same wire surface whether the base
+URL is a standalone daemon, a cluster coordinator, or one worker node —
+that symmetry is the point: callers switch from single-host to sharded
+serving by changing a URL, nothing else.  ``tenant`` is forwarded as
+the ``X-Repro-Tenant`` fairness header (it never affects results or
+request keys).  Only the standard library is used, like everything
+else in the repo.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+from .types import EvaluateRequest, EvaluateResult
+
+
+class ServiceError(Exception):
+    """A non-200 answer from the service (the document is attached)."""
+
+    def __init__(self, status: int, document: Dict[str, object]):
+        super().__init__("HTTP %d: %s"
+                         % (status, document.get("error", document)))
+        self.status = status
+        self.document = document
+
+
+class ServiceClient:
+    """JSON-over-HTTP access to one service/cluster endpoint."""
+
+    def __init__(self, base_url: str, tenant: str = "default",
+                 timeout: float = 120.0):
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- raw transport -----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None
+                 ) -> Tuple[int, bytes]:
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json",
+                     "X-Repro-Tenant": self.tenant})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as reply:
+                return reply.status, reply.read()
+        except urllib.error.HTTPError as error:
+            with error:
+                return error.code, error.read()
+
+    def _json(self, method: str, path: str,
+              body: Optional[Dict[str, object]] = None
+              ) -> Tuple[int, Dict[str, object]]:
+        status, raw = self._request(method, path, body)
+        try:
+            return status, json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return status, {"error": "non-JSON response",
+                            "raw": raw.decode("utf-8", "replace")}
+
+    # -- typed surface -----------------------------------------------------
+
+    def evaluate_raw(self, body: Dict[str, object]
+                     ) -> Tuple[int, Dict[str, object]]:
+        """POST an already-shaped request body; returns
+        ``(status, document)`` without raising on errors (tests and
+        tools inspect shed/timeout documents directly)."""
+        return self._json("POST", "/v1/evaluate", body)
+
+    def evaluate(self, request: EvaluateRequest) -> EvaluateResult:
+        """Evaluate through the service; raises :class:`ServiceError`
+        on any non-200 disposition."""
+        status, document = self.evaluate_raw(request.as_dict())
+        if status != 200:
+            raise ServiceError(status, document)
+        return EvaluateResult.from_dict(document)
+
+    def metrics(self) -> Dict[str, object]:
+        status, document = self._json("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, document)
+        return document
+
+    def health(self) -> Dict[str, object]:
+        status, document = self._json("GET", "/healthz")
+        if status != 200:
+            raise ServiceError(status, document)
+        return document
+
+    def schema(self) -> Dict[str, object]:
+        status, document = self._json("GET", "/v1/schema")
+        if status != 200:
+            raise ServiceError(status, document)
+        return document

@@ -24,6 +24,8 @@ from ..machine.placement import PLACERS
 from ..machine.topology import TOPOLOGIES, get_topology, topology_names
 from ..pipeline.cache import (ArtifactCache, CacheStats, configure_cache,
                               default_cache_dir, get_cache)
+from ..pipeline.store import (ArtifactStore, HttpStore, LocalStore,
+                              STORE_URL_ENV, make_store)
 from ..pipeline.core import (Evaluation, Parallelization,
                              evaluate_workload, parallelize)
 from ..pipeline.fingerprint import (digest, fingerprint_config,

@@ -17,7 +17,6 @@ carry ``schema_version`` so clients can detect incompatible servers.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -159,11 +158,11 @@ class EvaluateRequest:
     """One evaluation-matrix cell, as clients describe it.
 
     The program under evaluation is described by ``program`` (a
-    :class:`ProgramSpec`); the older ``workload`` string field remains
-    as a one-release deprecation shim equivalent to
-    ``ProgramSpec.registry(workload)``, with byte-identical request
-    keys.  After construction both fields are populated and consistent:
-    ``workload == program.workload_name()``."""
+    :class:`ProgramSpec`); the derived ``workload`` string is kept as a
+    read-only convenience and must equal ``program.workload_name()``.
+    (The PR-9 ``workload=``-only constructor shim has completed its
+    one-release deprecation window and now raises
+    :class:`RequestValidationError`.)"""
 
     workload: str = ""
     technique: str = "gremio"
@@ -185,9 +184,7 @@ class EvaluateRequest:
     #: byte-compatible with pre-tune clients.
     overrides: Overrides = ()
     schema_version: str = API_SCHEMA_VERSION
-    #: The canonical program input.  ``None`` only transiently: when
-    #: omitted, ``__post_init__`` derives it from the deprecated
-    #: ``workload`` field (with a :class:`DeprecationWarning`).
+    #: The canonical program input (required).
     program: Optional[ProgramSpec] = None
 
     def __post_init__(self):
@@ -197,13 +194,10 @@ class EvaluateRequest:
                 "program must be a ProgramSpec, got %r" % (program,))
         if program is None:
             if isinstance(self.workload, str) and self.workload:
-                warnings.warn(
-                    "EvaluateRequest(workload=...) is deprecated; pass "
-                    "program=ProgramSpec.registry(%r) instead (removal "
-                    "after one release)" % self.workload,
-                    DeprecationWarning, stacklevel=3)
-                object.__setattr__(
-                    self, "program", ProgramSpec.registry(self.workload))
+                raise RequestValidationError(
+                    "EvaluateRequest(workload=...) was removed after "
+                    "its deprecation window; pass "
+                    "program=ProgramSpec.registry(%r)" % self.workload)
         elif not self.workload:
             object.__setattr__(self, "workload",
                                program.workload_name())
@@ -332,12 +326,7 @@ class EvaluateRequest:
         if data.get("program") is not None:
             data["program"] = ProgramSpec.from_dict(data["program"])
         try:
-            with warnings.catch_warnings():
-                # The wire shim: a bare {"workload": ...} body is the
-                # documented deprecated form; the warning belongs at
-                # client construction sites, not in the server log.
-                warnings.simplefilter("ignore", DeprecationWarning)
-                request = cls(**data)
+            request = cls(**data)
         except TypeError as error:
             raise RequestValidationError(str(error))
         return request.validate()

@@ -331,6 +331,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-retries", type=int, default=2,
                        help="crashed-worker retry budget per request "
                             "(default: %(default)s)")
+    serve.add_argument("--role", default="standalone",
+                       choices=("standalone", "coordinator", "worker"),
+                       help="cluster role: standalone daemon (default), "
+                            "coordinator (shard requests across "
+                            "registered worker nodes, serve the remote "
+                            "artifact store and /dashboard), or worker "
+                            "(register with --coordinator and serve "
+                            "its shard)")
+    serve.add_argument("--coordinator", default=None, metavar="URL",
+                       help="coordinator base URL "
+                            "(required with --role worker)")
+    serve.add_argument("--node-id", default=None,
+                       help="stable node identity for rendezvous "
+                            "sharding (default: host:port)")
+    serve.add_argument("--tenant-limit", type=int, default=0,
+                       help="per-tenant in-flight/queue cap; 0 = the "
+                            "global queue limit (default: %(default)s)")
+    serve.add_argument("--heartbeat-interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="worker heartbeat / monitoring publish "
+                            "period (default: %(default)s)")
 
     dot = sub.add_parser("dot", help="emit Graphviz dot for a workload",
                          parents=[cache_parent])
@@ -714,17 +735,41 @@ def _serve(args) -> int:
                            queue_limit=args.queue_limit,
                            request_timeout=args.request_timeout,
                            max_retries=args.max_retries,
-                           backend=args.backend)
-    daemon = ServiceDaemon(config)
-    print("repro serve: listening on %s (workers=%d, queue_limit=%d, "
-          "timeout=%.1fs)" % (daemon.address, config.workers,
-                              config.queue_limit,
-                              config.request_timeout))
+                           backend=args.backend,
+                           role=args.role,
+                           coordinator_url=args.coordinator,
+                           node_id=args.node_id,
+                           tenant_limit=args.tenant_limit,
+                           heartbeat_interval=args.heartbeat_interval)
+    try:
+        config.validate()
+    except ValueError as error:
+        print("repro serve: %s" % error, file=sys.stderr)
+        return 2
+    if config.role == "coordinator":
+        from .cluster import CoordinatorDaemon
+        node = CoordinatorDaemon(config)
+        print("repro serve[coordinator]: listening on %s "
+              "(queue_limit=%d, store=/store, dashboard=/dashboard)"
+              % (node.address, config.queue_limit))
+    elif config.role == "worker":
+        from .cluster import WorkerNode
+        node = WorkerNode(config)
+        print("repro serve[worker %s]: listening on %s "
+              "(coordinator=%s, workers=%d)"
+              % (node.node_id, node.address, config.coordinator_url,
+                 config.workers))
+    else:
+        node = ServiceDaemon(config)
+        print("repro serve: listening on %s (workers=%d, "
+              "queue_limit=%d, timeout=%.1fs)"
+              % (node.address, config.workers, config.queue_limit,
+                 config.request_timeout))
     sys.stdout.flush()
     try:
-        daemon.serve_forever()
+        node.serve_forever()
     except KeyboardInterrupt:
-        daemon.close()
+        node.close()
     if args.timings:
         _print_telemetry()
     return 0

@@ -1,0 +1,121 @@
+"""The ``/dashboard`` page: cluster state as dependency-free HTML.
+
+Server-rendered from the same aggregate the JSON ``/metrics`` endpoint
+exports — per-node health/gauge cards, the shard distribution, tenant
+queue depths, and the recent monitoring-channel feed.  A ``<meta
+refresh>`` keeps it live without any JavaScript, so it works from
+``curl``-grade environments and never adds a frontend dependency.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 1.5em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.2em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.6em; text-align: left;
+         font-size: 0.9em; }
+th { background: #f2f2f2; }
+.ok { color: #0a7d32; font-weight: 600; }
+.bad { color: #b3261e; font-weight: 600; }
+.muted { color: #777; font-size: 0.85em; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _node_rows(nodes: Dict[str, Dict[str, object]]) -> str:
+    rows = []
+    for node_id, node in sorted(nodes.items()):
+        gauges = node.get("gauges") or {}
+        queue = gauges.get("queue") or {}
+        counters = gauges.get("counters") or {}
+        healthy = bool(node.get("healthy"))
+        rows.append(
+            "<tr><td>%s</td><td class=\"%s\">%s</td><td>%s</td>"
+            "<td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>"
+            % (_esc(node_id), "ok" if healthy else "bad",
+               "healthy" if healthy else "unhealthy",
+               _esc(node.get("url", "")),
+               _esc(node.get("dispatched", 0)),
+               _esc(node.get("failed", 0)),
+               _esc(queue.get("depth", "–")),
+               _esc(queue.get("in_flight", "–")),
+               _esc(counters.get("responses_ok", "–"))))
+    return "".join(rows) or \
+        "<tr><td colspan=\"9\" class=\"muted\">no nodes registered</td></tr>"
+
+
+def _shard_rows(shards: Dict[str, int]) -> str:
+    total = sum(shards.values()) or 1
+    rows = []
+    for node_id, count in sorted(shards.items()):
+        rows.append("<tr><td>%s</td><td>%d</td><td>%.1f%%</td></tr>"
+                    % (_esc(node_id), count, 100.0 * count / total))
+    return "".join(rows) or \
+        "<tr><td colspan=\"3\" class=\"muted\">no requests routed</td></tr>"
+
+
+def _tenant_rows(tenants: Dict[str, Dict[str, object]]) -> str:
+    rows = []
+    for tenant, stats in sorted(tenants.items()):
+        rows.append(
+            "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>"
+            % (_esc(tenant), _esc(stats.get("depth", 0)),
+               _esc(stats.get("admitted", 0)), _esc(stats.get("shed", 0))))
+    return "".join(rows) or \
+        "<tr><td colspan=\"4\" class=\"muted\">no tenants yet</td></tr>"
+
+
+def _event_rows(events: List[Dict[str, object]]) -> str:
+    rows = []
+    for event in reversed(events[-12:]):
+        rows.append("<tr><td>%s</td><td>%s</td><td>%s</td></tr>"
+                    % (_esc(event.get("node_id", "?")),
+                       _esc(event.get("kind", "?")),
+                       _esc(event.get("received_at", ""))))
+    return "".join(rows) or \
+        "<tr><td colspan=\"3\" class=\"muted\">channel quiet</td></tr>"
+
+
+def render_dashboard(metrics: Dict[str, object]) -> str:
+    """The full ``/dashboard`` HTML from a cluster metrics document."""
+    cluster = metrics.get("cluster") or {}
+    nodes = cluster.get("nodes") or {}
+    shards = cluster.get("shard_distribution") or {}
+    admission = cluster.get("admission") or {}
+    tenants = admission.get("tenants") or {}
+    events = cluster.get("recent_events") or []
+    counters = cluster.get("counters") or {}
+    healthy = sum(1 for node in nodes.values() if node.get("healthy"))
+    return """<!doctype html>
+<html><head><meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>repro cluster dashboard</title><style>%s</style></head><body>
+<h1>repro cluster dashboard</h1>
+<p class="muted">%d/%d nodes healthy · %s routed · %s failovers ·
+%s proxy errors · uptime %.0fs</p>
+<h2>Nodes</h2>
+<table><tr><th>node</th><th colspan="2">health</th><th>url</th>
+<th>dispatched</th><th>failed</th><th>queue</th><th>in-flight</th>
+<th>ok</th></tr>%s</table>
+<h2>Shard distribution</h2>
+<table><tr><th>node</th><th>requests</th><th>share</th></tr>%s</table>
+<h2>Tenant queues</h2>
+<table><tr><th>tenant</th><th>depth</th><th>admitted</th><th>shed</th>
+</tr>%s</table>
+<h2>Monitoring channel</h2>
+<table><tr><th>node</th><th>event</th><th>received</th></tr>%s</table>
+</body></html>""" % (
+        _STYLE, healthy, len(nodes),
+        _esc(counters.get("routed_total", 0)),
+        _esc(counters.get("failovers_total", 0)),
+        _esc(counters.get("proxy_errors_total", 0)),
+        float(metrics.get("uptime_seconds", 0.0)),
+        _node_rows(nodes), _shard_rows(shards),
+        _tenant_rows(tenants), _event_rows(events))

@@ -1,0 +1,157 @@
+"""Async admission with per-tenant fair queueing for the coordinator.
+
+Where a single node sheds instantly (:mod:`repro.service.admission`),
+the coordinator *queues*: each tenant gets a bounded FIFO, and a fixed
+pool of dispatch slots is granted round-robin across the tenants that
+have waiters — a tenant flooding its queue delays only itself; other
+tenants' requests keep flowing at their fair share.  Only a tenant
+whose *own* queue is full is shed with 429.
+
+The mechanics are ticket-based so HTTP handler threads can block on
+their own admission: ``submit`` either raises
+:class:`TenantQueueFullError` or returns a :class:`Ticket`; the caller
+waits on it, runs the request, then must call ``release`` so the next
+round-robin grant fires.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional
+
+from ..service.admission import DEFAULT_TENANT
+
+
+class TenantQueueFullError(Exception):
+    """This tenant's queue is at capacity (HTTP 429)."""
+
+    def __init__(self, tenant: str, limit: int):
+        super().__init__("tenant %r queue full (limit %d)"
+                         % (tenant, limit))
+        self.tenant = tenant
+        self.limit = limit
+
+
+class Ticket:
+    """One queued request's admission handle."""
+
+    def __init__(self, tenant: str):
+        self.tenant = tenant
+        self._granted = threading.Event()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._granted.wait(timeout)
+
+    def _grant(self) -> None:
+        self._granted.set()
+
+
+class TenantFairQueue:
+    """Bounded per-tenant FIFOs drained round-robin into ``slots``
+    concurrent dispatch grants."""
+
+    def __init__(self, slots: int, tenant_depth: int = 16):
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if tenant_depth < 1:
+            raise ValueError("tenant_depth must be >= 1")
+        self.slots = slots
+        self.tenant_depth = tenant_depth
+        self._lock = threading.Lock()
+        #: tenant → waiting tickets.  An OrderedDict keeps round-robin
+        #: order stable: the tenant just granted moves to the back.
+        self._queues: "OrderedDict[str, Deque[Ticket]]" = OrderedDict()
+        self._in_flight = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+        self._shed_by_tenant: Dict[str, int] = {}
+        self._admitted_by_tenant: Dict[str, int] = {}
+
+    def submit(self, tenant: str = DEFAULT_TENANT) -> Ticket:
+        """Queue one request.  Grants immediately when a slot is free
+        and no earlier waiter exists; raises
+        :class:`TenantQueueFullError` when this tenant's FIFO is full."""
+        ticket = Ticket(tenant)
+        with self._lock:
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = deque()
+                self._queues[tenant] = queue
+            if len(queue) >= self.tenant_depth:
+                self.shed_total += 1
+                self._shed_by_tenant[tenant] = \
+                    self._shed_by_tenant.get(tenant, 0) + 1
+                raise TenantQueueFullError(tenant, self.tenant_depth)
+            queue.append(ticket)
+            self._pump_locked()
+        return ticket
+
+    def release(self, ticket: Ticket) -> None:
+        """Return ``ticket``'s slot and grant the next waiter."""
+        with self._lock:
+            if self._in_flight > 0:
+                self._in_flight -= 1
+            self._pump_locked()
+
+    def cancel(self, ticket: Ticket) -> None:
+        """Remove a never-granted ticket (client gave up waiting)."""
+        with self._lock:
+            queue = self._queues.get(ticket.tenant)
+            if queue is not None:
+                try:
+                    queue.remove(ticket)
+                except ValueError:
+                    pass
+
+    def _pump_locked(self) -> None:
+        """Grant free slots round-robin across tenants with waiters."""
+        while self._in_flight < self.slots:
+            granted = False
+            for tenant in list(self._queues.keys()):
+                queue = self._queues[tenant]
+                if not queue:
+                    continue
+                ticket = queue.popleft()
+                self._in_flight += 1
+                self.admitted_total += 1
+                self._admitted_by_tenant[tenant] = \
+                    self._admitted_by_tenant.get(tenant, 0) + 1
+                # Rotate the granted tenant to the back of the
+                # round-robin order.
+                self._queues.move_to_end(tenant)
+                ticket._grant()
+                granted = True
+                if self._in_flight >= self.slots:
+                    break
+            if not granted:
+                break
+        # Drop empty FIFOs so the tenant map cannot grow unboundedly.
+        for tenant in [t for t, q in self._queues.items() if not q]:
+            del self._queues[tenant]
+
+    def depths(self) -> Dict[str, int]:
+        with self._lock:
+            return {tenant: len(queue)
+                    for tenant, queue in self._queues.items() if queue}
+
+    def stats(self) -> Dict[str, object]:
+        """Queue gauges + per-tenant counters for ``/metrics``."""
+        with self._lock:
+            tenants = sorted(set(self._queues)
+                             | set(self._shed_by_tenant)
+                             | set(self._admitted_by_tenant))
+            return {
+                "slots": self.slots,
+                "in_flight": self._in_flight,
+                "tenant_depth_limit": self.tenant_depth,
+                "admitted_total": self.admitted_total,
+                "shed_total": self.shed_total,
+                "tenants": {
+                    tenant: {
+                        "depth": len(self._queues.get(tenant, ())),
+                        "admitted":
+                            self._admitted_by_tenant.get(tenant, 0),
+                        "shed": self._shed_by_tenant.get(tenant, 0),
+                    } for tenant in tenants},
+            }

@@ -1,0 +1,39 @@
+"""Consistent request→node sharding via rendezvous hashing.
+
+Highest-random-weight (rendezvous) hashing beats a ring of virtual
+nodes for small clusters: every (key, node) pair gets a deterministic
+weight — ``digest("cluster:shard", key, node)`` from the pipeline's
+fingerprint module, so shards are stable across processes and
+platforms — and a key lands on the highest-weighted *healthy* node.
+Adding or removing one node remaps only the keys that scored it
+highest (~1/N of traffic); everything else keeps its placement, which
+keeps each node's local artifact tier hot.
+
+:func:`rank_nodes` returns the full preference order, which doubles as
+the failover order: when the primary dies mid-request the coordinator
+walks the same ranking, so retries are deterministic too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..api import digest
+
+
+def rank_nodes(key: str, nodes: Sequence[str]) -> List[str]:
+    """All ``nodes`` ordered by descending rendezvous weight for
+    ``key`` (ties — astronomically unlikely — break on node id so the
+    order is still total and deterministic)."""
+    return sorted(nodes,
+                  key=lambda node: (digest("cluster:shard", key, node),
+                                    node),
+                  reverse=True)
+
+
+def shard_node(key: str, nodes: Sequence[str]) -> str:
+    """The primary owner of ``key`` among ``nodes`` (which must be
+    non-empty)."""
+    if not nodes:
+        raise ValueError("no nodes to shard across")
+    return rank_nodes(key, nodes)[0]

@@ -1,0 +1,103 @@
+"""The pub/sub monitoring channel between workers and coordinator.
+
+Workers *publish* — each :class:`EventPublisher` thread periodically
+snapshots its node's ``/metrics`` gauges (queue depth, in-flight count,
+request counters, cache + store traffic, tenant stats) and POSTs an
+event batch to the coordinator's ``/cluster/events`` endpoint.  The
+coordinator *subscribes* — :class:`MonitoringChannel` folds each batch
+into per-node latest-gauge state plus a bounded recent-event feed, and
+the cluster ``/metrics``/``/dashboard`` render from that aggregate.
+The channel is fire-and-forget on the worker side (a publish failure
+is retried next period, never blocks evaluation) — the same shape as
+agent frameworks that dedicate a monitoring exchange separate from the
+work queues.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+#: Recent events kept for the dashboard feed.
+EVENT_BUFFER = 256
+
+
+class MonitoringChannel:
+    """Coordinator-side aggregate of worker-published events."""
+
+    def __init__(self, buffer: int = EVENT_BUFFER):
+        self._lock = threading.Lock()
+        self._events: Deque[Dict[str, object]] = deque(maxlen=buffer)
+        self._published = 0
+
+    def publish(self, node_id: str,
+                events: List[Dict[str, object]]) -> int:
+        """Fold one batch from ``node_id``; returns events accepted."""
+        now = time.time()
+        accepted = 0
+        with self._lock:
+            for event in events:
+                if not isinstance(event, dict):
+                    continue
+                record = dict(event)
+                record["node_id"] = node_id
+                record.setdefault("received_at", round(now, 3))
+                self._events.append(record)
+                accepted += 1
+            self._published += accepted
+        return accepted
+
+    def recent(self, limit: int = 50) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._events)[-limit:]
+
+    @property
+    def published_total(self) -> int:
+        with self._lock:
+            return self._published
+
+
+class EventPublisher:
+    """Worker-side publisher thread: gauges → coordinator, each period.
+
+    ``snapshot_fn`` returns the node's gauge document; ``post_fn(doc)``
+    delivers one batch (and may raise — failures count and the batch
+    is dropped, the next period publishes fresh gauges anyway)."""
+
+    def __init__(self, snapshot_fn, post_fn, interval: float = 1.0):
+        self._snapshot_fn = snapshot_fn
+        self._post_fn = post_fn
+        self.interval = interval
+        self.published = 0
+        self.failures = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "EventPublisher":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-cluster-publisher")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(2.0)
+
+    def publish_once(self) -> bool:
+        """One immediate publish (used at startup and in tests)."""
+        try:
+            gauges = self._snapshot_fn()
+            self._post_fn({"kind": "gauges", "gauges": gauges,
+                           "published_at": round(time.time(), 3)})
+        except Exception:
+            self.failures += 1
+            return False
+        self.published += 1
+        return True
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.publish_once()

@@ -1,0 +1,128 @@
+"""Worker-node registry: membership, heartbeats, health.
+
+The coordinator tracks every node that has registered.  A node is
+*healthy* while its most recent heartbeat is younger than
+``heartbeat_timeout`` seconds and it has not accumulated consecutive
+dispatch failures past ``failure_threshold``; only healthy nodes
+receive shards.  Failures reset on the next successful dispatch or
+heartbeat — a node that died and was restarted (same node id) simply
+re-registers and rejoins the ring with its placement intact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: Heartbeats a node may miss before it is sharded around.
+MISSED_HEARTBEATS = 3
+
+#: Consecutive dispatch failures that mark a node unhealthy even while
+#: its heartbeats still arrive (a wedged evaluator on a live host).
+FAILURE_THRESHOLD = 3
+
+
+class NodeInfo:
+    """One worker node's registration + live health state."""
+
+    def __init__(self, node_id: str, url: str, registered_at: float):
+        self.node_id = node_id
+        self.url = url.rstrip("/")
+        self.registered_at = registered_at
+        self.last_heartbeat = registered_at
+        self.consecutive_failures = 0
+        self.dispatched = 0
+        self.failed = 0
+        #: Latest gauge document published on the monitoring channel.
+        self.gauges: Dict[str, object] = {}
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"node_id": self.node_id, "url": self.url,
+                "registered_at": self.registered_at,
+                "last_heartbeat": self.last_heartbeat,
+                "consecutive_failures": self.consecutive_failures,
+                "dispatched": self.dispatched, "failed": self.failed}
+
+
+class NodeRegistry:
+    """Thread-safe membership + health book-keeping for the cluster."""
+
+    def __init__(self, heartbeat_timeout: float = 6.0,
+                 failure_threshold: int = FAILURE_THRESHOLD):
+        self.heartbeat_timeout = heartbeat_timeout
+        self.failure_threshold = failure_threshold
+        self._lock = threading.Lock()
+        self._nodes: Dict[str, NodeInfo] = {}
+
+    def register(self, node_id: str, url: str) -> NodeInfo:
+        with self._lock:
+            node = NodeInfo(node_id, url, time.time())
+            self._nodes[node_id] = node  # re-registration resets health
+            return node
+
+    def heartbeat(self, node_id: str) -> bool:
+        """Record a heartbeat; ``False`` when the node is unknown (it
+        must re-register, e.g. after a coordinator restart)."""
+        with self._lock:
+            node = self._nodes.get(node_id)
+            if node is None:
+                return False
+            node.last_heartbeat = time.time()
+            return True
+
+    def node(self, node_id: str) -> Optional[NodeInfo]:
+        with self._lock:
+            return self._nodes.get(node_id)
+
+    def mark_dispatch(self, node_id: str, ok: bool) -> None:
+        """Record one dispatch outcome for health tracking."""
+        with self._lock:
+            node = self._nodes.get(node_id)
+            if node is None:
+                return
+            node.dispatched += 1
+            if ok:
+                node.consecutive_failures = 0
+            else:
+                node.failed += 1
+                node.consecutive_failures += 1
+
+    def update_gauges(self, node_id: str,
+                      gauges: Dict[str, object]) -> bool:
+        with self._lock:
+            node = self._nodes.get(node_id)
+            if node is None:
+                return False
+            node.gauges = dict(gauges)
+            node.last_heartbeat = time.time()
+            return True
+
+    def _is_healthy(self, node: NodeInfo, now: float) -> bool:
+        return (now - node.last_heartbeat <= self.heartbeat_timeout
+                and node.consecutive_failures < self.failure_threshold)
+
+    def healthy(self) -> List[str]:
+        """Node ids eligible for sharding, sorted for determinism."""
+        now = time.time()
+        with self._lock:
+            return sorted(node_id for node_id, node in self._nodes.items()
+                          if self._is_healthy(node, now))
+
+    def url_of(self, node_id: str) -> Optional[str]:
+        with self._lock:
+            node = self._nodes.get(node_id)
+            return node.url if node is not None else None
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Full registry state for ``/metrics`` and the dashboard."""
+        now = time.time()
+        with self._lock:
+            out: Dict[str, Dict[str, object]] = {}
+            for node_id, node in sorted(self._nodes.items()):
+                doc = node.as_dict()
+                doc["healthy"] = self._is_healthy(node, now)
+                doc["age_seconds"] = round(now - node.last_heartbeat, 3)
+                doc["gauges"] = dict(node.gauges)
+                out[node_id] = doc
+            return out

@@ -8,7 +8,6 @@ simulator and the partitioners' cost models.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
@@ -80,17 +79,6 @@ class MachineConfig:
         program actually occupies is the placement stage's business
         (:mod:`repro.machine.placement`) — this only sizes the machine."""
         return replace(self, n_cores=n_cores)
-
-    def with_threads(self, n_cores: int) -> "MachineConfig":
-        """Deprecated misnomer for :meth:`with_cores` — it always set
-        ``n_cores``, silently conflating threads with cores.  Shim
-        scheduled for removal one release after 1.3."""
-        warnings.warn(
-            "MachineConfig.with_threads() is deprecated; it sets n_cores "
-            "— use with_cores() (threads meet cores in the placement "
-            "stage; shim scheduled for removal one release after 1.3)",
-            DeprecationWarning, stacklevel=2)
-        return self.with_cores(n_cores)
 
     def resolve_topology(self) -> Topology:
         """The effective topology: the explicit one when set, else a

@@ -31,6 +31,8 @@ import warnings
 
 from .cache import (ArtifactCache, CacheStats, configure_cache,
                     default_cache_dir, get_cache)
+from .store import (ArtifactStore, HttpStore, LocalStore, make_store,
+                    STORE_URL_ENV)
 from .fingerprint import (digest, fingerprint_config, fingerprint_function,
                           fingerprint_inputs, fingerprint_profile)
 from .matrix import MatrixCell, build_cells, pool_payload, run_cell_payload
@@ -47,6 +49,9 @@ __all__ = [
     # caching
     "ArtifactCache", "CacheStats", "configure_cache", "default_cache_dir",
     "get_cache",
+    # blob stores
+    "ArtifactStore", "HttpStore", "LocalStore", "make_store",
+    "STORE_URL_ENV",
     # fingerprints
     "digest", "fingerprint_config", "fingerprint_function",
     "fingerprint_inputs", "fingerprint_profile",

@@ -16,6 +16,14 @@ cached because stages mutate their payloads in place (the local
 scheduler reorders instruction lists); every hit deserializes a fresh
 object graph.  Memory hits count as ordinary hits plus ``memory_hits``.
 
+Blob I/O is delegated to a pluggable :class:`~repro.pipeline.store.
+ArtifactStore`: by default the historical on-disk layout
+(:class:`~repro.pipeline.store.LocalStore`), or — when
+``REPRO_STORE_URL`` names a coordinator — a read-through
+:class:`~repro.pipeline.store.HttpStore` that replicates remote blobs
+into the local tier so a cell computed on one cluster node is a cache
+hit everywhere.
+
 The cache is best-effort by design: a missing, corrupted, or truncated
 blob is counted as an invalidation and recomputed, never raised.
 """
@@ -25,12 +33,12 @@ from __future__ import annotations
 import os
 import pickle
 import shutil
-import tempfile
 import time
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from .fingerprint import SCHEMA_VERSION
+from .store import ArtifactStore, make_store
 
 _DISABLE_VALUES = ("0", "off", "no", "false")
 
@@ -89,12 +97,14 @@ class ArtifactCache:
 
     def __init__(self, directory: Optional[str] = None,
                  enabled: Optional[bool] = None,
-                 memory_budget: Optional[int] = None):
+                 memory_budget: Optional[int] = None,
+                 store: Optional[ArtifactStore] = None):
         if enabled is None:
             enabled = (os.environ.get("REPRO_CACHE", "1").lower()
                        not in _DISABLE_VALUES)
         self.directory = directory or default_cache_dir()
         self.enabled = enabled
+        self.store_backend = store or make_store(self.directory)
         self.stats = CacheStats()
         if memory_budget is None:
             memory_budget = _default_memory_budget()
@@ -130,19 +140,17 @@ class ArtifactCache:
                 meta = {"stored_at": float(envelope.get("stored_at", 0.0))}
                 return True, envelope["payload"], meta
             self._memory_drop(mem_key)
-        path = self._path(stage, key)
         try:
-            with open(path, "rb") as handle:
-                blob = handle.read()
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return False, None, {}
+            blob = self.store_backend.get(stage, key)
         except Exception:
-            self._invalidate(path)
+            self._invalidate(stage, key)
+            return False, None, {}
+        if blob is None:
+            self.stats.misses += 1
             return False, None, {}
         envelope = self._decode(blob, stage)
         if envelope is None:
-            self._invalidate(path)
+            self._invalidate(stage, key)
             return False, None, {}
         self.stats.hits += 1
         self._memory_put(mem_key, blob)
@@ -153,7 +161,6 @@ class ArtifactCache:
         """Atomically persist ``payload`` under (stage, key)."""
         if not self.enabled:
             return
-        path = self._path(stage, key)
         envelope = {"schema": SCHEMA_VERSION, "stage": stage, "key": key,
                     "stored_at": time.time(), "payload": payload}
         try:
@@ -162,19 +169,7 @@ class ArtifactCache:
             return  # unpicklable payloads are simply not cached
         self._memory_put((stage, key), blob)
         try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, temp_path = tempfile.mkstemp(dir=os.path.dirname(path),
-                                             suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(temp_path, path)
-            except BaseException:
-                try:
-                    os.unlink(temp_path)
-                except OSError:
-                    pass
-                raise
+            self.store_backend.put(stage, key, blob)
         except Exception:
             return  # best effort: an unwritable cache never fails the run
         self.stats.stores += 1
@@ -189,10 +184,15 @@ class ArtifactCache:
         self.drop_memory()
         shutil.rmtree(self.directory, ignore_errors=True)
 
+    def store_counters(self) -> Dict[str, int]:
+        """Blob-store traffic counters (empty for the plain local store;
+        remote hit/replication counters for an ``http`` store)."""
+        return self.store_backend.counters()
+
     # -- internals ---------------------------------------------------------
 
     def _path(self, stage: str, key: str) -> str:
-        return os.path.join(self.directory, stage, key[:2], key + ".pkl")
+        return self.store_backend.path(stage, key)
 
     def _decode(self, blob: bytes, stage: str) -> Optional[Dict[str, Any]]:
         """Unpickle and validate an envelope; ``None`` on any mismatch."""
@@ -222,12 +222,12 @@ class ArtifactCache:
         if blob is not None:
             self._memory_bytes -= len(blob)
 
-    def _invalidate(self, path: str) -> None:
+    def _invalidate(self, stage: str, key: str) -> None:
         self.stats.invalidations += 1
         self.stats.misses += 1
         try:
-            os.unlink(path)
-        except OSError:
+            self.store_backend.delete(stage, key)
+        except Exception:
             pass
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -16,18 +16,18 @@ The service consumes the pipeline exclusively through the
 ``docs/api.md`` for the wire schemas.
 """
 
-from .admission import AdmissionQueue, QueueFullError
+from .admission import AdmissionQueue, DEFAULT_TENANT, QueueFullError
 from .app import RESULT_STAGE, SchedulerService
-from .config import ServiceConfig
+from .config import ROLES, ServiceConfig
 from .daemon import ServiceDaemon, serve
 from .metrics import METRICS_SCHEMA, ServiceMetrics
 from .workers import (InlineWorkerPool, ProcessWorkerPool, Task,
                       make_pool)
 
 __all__ = [
-    "AdmissionQueue", "QueueFullError",
+    "AdmissionQueue", "DEFAULT_TENANT", "QueueFullError",
     "SchedulerService", "RESULT_STAGE",
-    "ServiceConfig", "ServiceDaemon", "serve",
+    "ServiceConfig", "ROLES", "ServiceDaemon", "serve",
     "ServiceMetrics", "METRICS_SCHEMA",
     "InlineWorkerPool", "ProcessWorkerPool", "Task", "make_pool",
 ]

@@ -1,4 +1,5 @@
-"""Admission control: a bounded concurrent-request gate.
+"""Admission control: a bounded concurrent-request gate with per-tenant
+fairness.
 
 The daemon admits at most ``limit`` requests at a time (queued for a
 worker slot + executing).  Beyond that it *sheds*: the handler answers
@@ -6,28 +7,55 @@ HTTP 429 immediately instead of letting a burst build an unbounded
 backlog whose entries would all time out anyway.  Memoized responses
 bypass admission entirely — they cost microseconds and never occupy a
 worker.
+
+Requests carry a tenant id (the ``X-Repro-Tenant`` header; absent =
+``"default"``).  Each tenant is additionally capped at ``tenant_limit``
+in-flight requests (default: the global limit, i.e. no extra cap), so a
+single flooding tenant exhausts *its own* allowance and gets the 429s
+while other tenants' requests keep being admitted — shedding is fair,
+not first-come-first-starved.  Per-tenant active/admitted/shed counters
+feed the ``/metrics`` ``tenants`` section and the cluster dashboard.
 """
 
 from __future__ import annotations
 
 import threading
+from typing import Dict, Optional
+
+DEFAULT_TENANT = "default"
 
 
 class QueueFullError(Exception):
     """The admission queue is at capacity (HTTP 429)."""
 
-    def __init__(self, limit: int):
-        super().__init__("admission queue full (limit %d)" % limit)
+    def __init__(self, limit: int, tenant: str = DEFAULT_TENANT,
+                 tenant_full: bool = False):
+        scope = ("tenant %r at limit %d" % (tenant, limit) if tenant_full
+                 else "admission queue full (limit %d)" % limit)
+        super().__init__(scope)
         self.limit = limit
+        self.tenant = tenant
+        self.tenant_full = tenant_full
+
+
+class _TenantSlot:
+    __slots__ = ("active", "admitted", "shed")
+
+    def __init__(self) -> None:
+        self.active = 0
+        self.admitted = 0
+        self.shed = 0
 
 
 class AdmissionQueue:
     """A counting gate with shed-on-full semantics (no blocking)."""
 
-    def __init__(self, limit: int):
+    def __init__(self, limit: int, tenant_limit: Optional[int] = None):
         self.limit = limit
+        self.tenant_limit = tenant_limit if tenant_limit else limit
         self._lock = threading.Lock()
         self._active = 0
+        self._tenants: Dict[str, _TenantSlot] = {}
         self.admitted_total = 0
         self.shed_total = 0
 
@@ -36,21 +64,41 @@ class AdmissionQueue:
         with self._lock:
             return self._active
 
-    def enter(self) -> None:
+    def enter(self, tenant: str = DEFAULT_TENANT) -> None:
         """Admit the caller or raise :class:`QueueFullError` — never
         blocks, by design: under overload, fast rejection beats a
         convoy of doomed waiters."""
         with self._lock:
-            if self._active >= self.limit:
+            slot = self._tenants.setdefault(tenant, _TenantSlot())
+            if slot.active >= self.tenant_limit:
+                slot.shed += 1
                 self.shed_total += 1
-                raise QueueFullError(self.limit)
+                raise QueueFullError(self.tenant_limit, tenant,
+                                     tenant_full=True)
+            if self._active >= self.limit:
+                slot.shed += 1
+                self.shed_total += 1
+                raise QueueFullError(self.limit, tenant)
             self._active += 1
+            slot.active += 1
+            slot.admitted += 1
             self.admitted_total += 1
 
-    def leave(self) -> None:
+    def leave(self, tenant: str = DEFAULT_TENANT) -> None:
         with self._lock:
             if self._active > 0:
                 self._active -= 1
+            slot = self._tenants.get(tenant)
+            if slot is not None and slot.active > 0:
+                slot.active -= 1
+
+    def tenants(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant gauge/counter snapshot for ``/metrics``."""
+        with self._lock:
+            return {name: {"active": slot.active,
+                           "admitted": slot.admitted,
+                           "shed": slot.shed}
+                    for name, slot in sorted(self._tenants.items())}
 
     def __enter__(self) -> "AdmissionQueue":
         self.enter()

@@ -29,7 +29,7 @@ import time
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..api import (EvaluateRequest, RequestValidationError, get_cache)
-from .admission import AdmissionQueue, QueueFullError
+from .admission import AdmissionQueue, DEFAULT_TENANT, QueueFullError
 from .config import ServiceConfig
 from .metrics import ServiceMetrics
 from .workers import make_pool
@@ -51,7 +51,8 @@ class SchedulerService:
     def __init__(self, config: ServiceConfig):
         self.config = config.validate()
         self.metrics = ServiceMetrics()
-        self.admission = AdmissionQueue(config.queue_limit)
+        self.admission = AdmissionQueue(config.queue_limit,
+                                        config.tenant_limit or None)
         self.pool = make_pool(config, self.metrics)
         self._memo: Dict[str, Dict[str, object]] = {}
         self._memo_lock = threading.Lock()
@@ -63,11 +64,14 @@ class SchedulerService:
 
     # -- request handling --------------------------------------------------
 
-    def handle_evaluate(self, body: object
+    def handle_evaluate(self, body: object, tenant: str = DEFAULT_TENANT
                         ) -> Tuple[int, Dict[str, object], str]:
         """Process one evaluation request body (already JSON-decoded).
-        Returns ``(http_status, response_document, outcome)`` where
-        ``outcome`` is the one-word disposition for the request log."""
+        ``tenant`` is the fairness bucket (the ``X-Repro-Tenant``
+        header); it never affects results or request keys, only which
+        admission allowance the request draws from.  Returns
+        ``(http_status, response_document, outcome)`` where ``outcome``
+        is the one-word disposition for the request log."""
         self.metrics.incr("requests_total")
         started = time.perf_counter()
         try:
@@ -91,12 +95,13 @@ class SchedulerService:
             return HTTP_OK, memoized, "memo"
 
         try:
-            self.admission.enter()
+            self.admission.enter(tenant)
         except QueueFullError as error:
             self.metrics.incr("shed_total")
             snap = self.pool.snapshot()
             return (HTTP_TOO_MANY,
                     {"error": str(error), "kind": "shed",
+                     "tenant": tenant,
                      "queue_depth": snap["queue_depth"],
                      "queue_limit": self.admission.limit},
                     "shed")
@@ -104,7 +109,7 @@ class SchedulerService:
             status, document, outcome = self._evaluate_admitted(
                 request, key)
         finally:
-            self.admission.leave()
+            self.admission.leave(tenant)
         if status == HTTP_OK:
             self.metrics.incr("responses_ok")
             self.metrics.observe_request(time.perf_counter() - started)
@@ -194,4 +199,6 @@ class SchedulerService:
             queue_depth=snap["queue_depth"],
             in_flight=snap["in_flight"],
             workers=snap["workers"],
-            queue_limit=self.admission.limit)
+            queue_limit=self.admission.limit,
+            tenants=self.admission.tenants(),
+            store_counters=get_cache().store_counters())

@@ -7,6 +7,9 @@ from typing import Callable, Optional
 
 from ..machine.backend import DEFAULT_BACKEND, validate_backend
 
+#: Roles ``repro serve`` can assume (see :mod:`repro.cluster`).
+ROLES = ("standalone", "coordinator", "worker")
+
 
 @dataclass
 class ServiceConfig:
@@ -50,6 +53,24 @@ class ServiceConfig:
     #: Test seam: replaces the evaluation callable in *inline* mode
     #: (process workers always run the real facade path).
     evaluate_fn: Optional[Callable] = field(default=None, repr=False)
+    #: Cluster role: ``standalone`` (this host answers ``/v1/evaluate``
+    #: itself — the historical behaviour), ``coordinator`` (shard
+    #: requests across registered worker nodes, serve the remote
+    #: artifact store and cluster dashboard), or ``worker`` (register
+    #: with a coordinator and evaluate the shard routed here).
+    role: str = "standalone"
+    #: Coordinator base URL (required when ``role == "worker"``).
+    coordinator_url: Optional[str] = None
+    #: Stable node identity used for rendezvous sharding; defaults to
+    #: ``host:port`` when unset.
+    node_id: Optional[str] = None
+    #: Worker → coordinator heartbeat period, seconds.  A node silent
+    #: for ~3 periods is marked unhealthy and sharded around.
+    heartbeat_interval: float = 2.0
+    #: Per-tenant in-flight cap (0/None = the global ``queue_limit``,
+    #: i.e. no extra cap).  Set below ``queue_limit`` to guarantee one
+    #: flooding tenant cannot occupy every admission slot.
+    tenant_limit: int = 0
 
     def validate(self) -> "ServiceConfig":
         validate_backend(self.backend)
@@ -63,4 +84,12 @@ class ServiceConfig:
             raise ValueError("max_retries must be >= 0")
         if self.inline_threads < 1:
             raise ValueError("inline_threads must be >= 1")
+        if self.role not in ROLES:
+            raise ValueError("role must be one of %s" % (ROLES,))
+        if self.role == "worker" and not self.coordinator_url:
+            raise ValueError("--role worker requires --coordinator URL")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.tenant_limit < 0:
+            raise ValueError("tenant_limit must be >= 0")
         return self

@@ -190,7 +190,8 @@ def _make_handler(daemon: ServiceDaemon):
                               started, "invalid")
                 return
             key = None
-            if isinstance(body, dict) and "workload" in body:
+            if isinstance(body, dict) and ("program" in body
+                                           or "workload" in body):
                 # Best-effort key for the log line; real validation is
                 # the service's job.
                 try:
@@ -198,8 +199,10 @@ def _make_handler(daemon: ServiceDaemon):
                     key = EvaluateRequest.from_dict(body).request_key()
                 except Exception:
                     key = None
+            tenant = (self.headers.get("X-Repro-Tenant")
+                      or "default").strip() or "default"
             status, document, outcome = \
-                daemon.service.handle_evaluate(body)
+                daemon.service.handle_evaluate(body, tenant=tenant)
             self._respond(status, document, started, outcome, key)
 
     return Handler

@@ -82,10 +82,14 @@ class ServiceMetrics:
             }
 
     def snapshot(self, queue_depth: int = 0, in_flight: int = 0,
-                 workers: int = 0,
-                 queue_limit: int = 0) -> Dict[str, object]:
+                 workers: int = 0, queue_limit: int = 0,
+                 tenants: Optional[Dict[str, Dict[str, int]]] = None,
+                 store_counters: Optional[Dict[str, int]] = None
+                 ) -> Dict[str, object]:
         """The ``/metrics`` document."""
         cache = self.cache_section()
+        if store_counters:
+            cache["store"] = dict(store_counters)
         with self._lock:
             return {
                 "schema": METRICS_SCHEMA,
@@ -112,4 +116,5 @@ class ServiceMetrics:
                     for name, record in self.telemetry.stages.items()},
                 "pipeline_counters": dict(self.telemetry.counters),
                 "cache": cache,
+                "tenants": dict(tenants or {}),
             }

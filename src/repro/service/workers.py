@@ -24,6 +24,7 @@ that is :mod:`repro.service.app`'s job.
 from __future__ import annotations
 
 import collections
+import os
 import queue as queue_module
 import threading
 import time
@@ -37,6 +38,14 @@ from .metrics import ServiceMetrics
 _TIMEOUT_ERROR = "evaluation timed out"
 
 
+def _test_delay() -> None:
+    """Test seam: stretch every evaluation (both executors) so failover
+    tests can SIGKILL a node mid-request deterministically."""
+    delay = float(os.environ.get("REPRO_SERVE_TEST_DELAY", "0") or 0)
+    if delay > 0:
+        time.sleep(delay)
+
+
 def _evaluate_request_dict(request_dict: Dict[str, object],
                            cache_dir: str,
                            cache_enabled: bool) -> Dict[str, object]:
@@ -46,6 +55,7 @@ def _evaluate_request_dict(request_dict: Dict[str, object],
     from ..api import EvaluateResult, configure_cache, evaluate, \
         run_cell_payload
     from ..api import EvaluateRequest as Request
+    _test_delay()
     request = Request.from_dict(request_dict)
     if request.trace:
         # Traced requests carry per-run trace state that the cell-based
@@ -423,6 +433,7 @@ class InlineWorkerPool:
             with self._lock:
                 self._in_flight += 1
             try:
+                _test_delay()
                 evaluate_fn = self.config.evaluate_fn or evaluate
                 result = evaluate_fn(task.request)
                 task.complete(result.as_dict())

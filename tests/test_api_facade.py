@@ -12,14 +12,14 @@ import pytest
 import repro
 import repro.pipeline
 from repro.api import (API_SCHEMA_VERSION, EvaluateRequest, EvaluateResult,
-                       RequestValidationError, configure_cache, evaluate,
-                       evaluate_workload)
+                       ProgramSpec, RequestValidationError,
+                       configure_cache, evaluate, evaluate_workload)
 from repro.workloads import get_workload
 
 
 def _request(**overrides):
-    fields = dict(workload="ks", technique="gremio", n_threads=2,
-                  scale="train")
+    fields = dict(program=ProgramSpec.registry("ks"),
+                  technique="gremio", n_threads=2, scale="train")
     fields.update(overrides)
     return EvaluateRequest(**fields)
 
@@ -46,7 +46,8 @@ class TestEvaluateRequest:
             EvaluateRequest.from_dict(["ks"])
 
     @pytest.mark.parametrize("overrides,fragment", [
-        (dict(workload="no-such-workload"), "unknown workload"),
+        (dict(program=ProgramSpec.registry("no-such-workload")),
+         "unknown workload"),
         (dict(technique="magic"), "unknown technique"),
         (dict(n_threads=0), "n_threads"),
         (dict(n_threads=True), "n_threads"),
@@ -108,7 +109,8 @@ class TestFacadeEvaluate:
 
     def test_rejects_invalid_before_running(self):
         with pytest.raises(RequestValidationError):
-            evaluate(_request(workload="no-such-workload"))
+            evaluate(_request(
+                program=ProgramSpec.registry("no-such-workload")))
 
 
 class TestDeprecationShims:
@@ -145,9 +147,9 @@ class TestDeprecationShims:
 
 
 class TestLayeringCovenant:
-    """cli, bench, and service must consume the pipeline only via the
-    facade — a direct ``repro.pipeline`` import outside ``repro.api``
-    (and the pipeline itself) is a layering regression."""
+    """cli, bench, service, and cluster must consume the pipeline only
+    via the facade — a direct ``repro.pipeline`` import outside
+    ``repro.api`` (and the pipeline itself) is a layering regression."""
 
     FORBIDDEN = re.compile(
         r"^\s*(from\s+(repro)?\.*pipeline[.\s]|import\s+repro\.pipeline)",
@@ -156,7 +158,7 @@ class TestLayeringCovenant:
     def _sources(self):
         package = Path(repro.__file__).parent
         yield package / "cli.py"
-        for sub in ("bench", "service"):
+        for sub in ("bench", "service", "cluster"):
             yield from sorted((package / sub).rglob("*.py"))
 
     def test_no_direct_pipeline_imports(self):

@@ -94,13 +94,10 @@ class TestConfigHelpers:
         assert DEFAULT_CONFIG.with_cores(4).n_cores == 4
         assert DEFAULT_CONFIG.n_cores == 2  # frozen original untouched
 
-    def test_with_threads_shim_warns(self):
-        import warnings
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert DEFAULT_CONFIG.with_threads(4).n_cores == 4
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
+    def test_with_threads_shim_removed(self):
+        # The one-release with_threads() deprecation shim is gone;
+        # with_cores() is the only sizing helper.
+        assert not hasattr(DEFAULT_CONFIG, "with_threads")
 
     def test_latency_of_defaults(self):
         from repro.ir import Instruction, Opcode

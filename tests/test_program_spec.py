@@ -1,6 +1,6 @@
 """The ProgramSpec program-input redesign: the registry/ir/source
 union, request-key stability against pre-redesign goldens, the
-one-release ``workload=`` deprecation shim, inline-program
+completed removal of the one-release ``workload=`` shim, inline-program
 materialization, and the registered ``synthetic`` frontend family."""
 
 from __future__ import annotations
@@ -9,7 +9,6 @@ import io
 import json
 import urllib.error
 import urllib.request
-import warnings
 
 import pytest
 
@@ -27,40 +26,37 @@ def saxpy(a: int, x: "int[16]", y: "int[16]"):
     return s
 '''
 
-#: Request keys recorded before ProgramSpec existed (PR 8).  The
-#: deprecated ``workload=`` constructor shim must keep every one
-#: byte-identical, or the artifact cache and serve memo invalidate.
+#: Request keys recorded before ProgramSpec existed (PR 8), now
+#: expressed through the canonical ``program=`` path.  They must stay
+#: byte-identical forever (short of a schema bump), or the artifact
+#: cache and serve memo invalidate.
 GOLDEN_KEYS = [
-    (dict(workload="ks"),
+    (dict(program=ProgramSpec.registry("ks")),
      "7aeadf595a8d78a35321500dd3389d83b1bc1fd529760ab99f4bf39fec5d6dc2"),
-    (dict(workload="ks", technique="gremio", n_threads=2, scale="train"),
+    (dict(program=ProgramSpec.registry("ks"), technique="gremio",
+          n_threads=2, scale="train"),
      "8690542d997dac687cbe38c58244c300532a7a17ca747cc5316b8dac6a63c602"),
-    (dict(workload="adpcmdec", technique="dswp", coco=True, n_threads=4),
+    (dict(program=ProgramSpec.registry("adpcmdec"), technique="dswp",
+          coco=True, n_threads=4),
      "da3955f9953e17d4b787301276e4b90d43bcd0525462836aad035341bde0209f"),
-    (dict(workload="mcf", trace=True),
+    (dict(program=ProgramSpec.registry("mcf"), trace=True),
      "5d0ca4097d623d042d89d6e9744648e9524045ff802cbbf72f4298d9fef15dd0"),
-    (dict(workload="ks", overrides=(("machine.comm_latency", 2),)),
+    (dict(program=ProgramSpec.registry("ks"),
+          overrides=(("machine.comm_latency", 2),)),
      "832769aa0eba80ecc2a605bc4bf4458a1204de792d2c5f0ca3681706acf9607d"),
 ]
-
-
-def _quiet(**kwargs) -> EvaluateRequest:
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return EvaluateRequest(**kwargs)
 
 
 class TestRequestKeyStability:
     def test_golden_keys_byte_identical(self):
         for kwargs, expected in GOLDEN_KEYS:
-            assert _quiet(**kwargs).request_key() == expected, kwargs
+            assert EvaluateRequest(**kwargs).request_key() == expected, \
+                kwargs
 
-    def test_registry_spec_and_shim_share_keys(self):
-        old = _quiet(workload="ks", technique="dswp", coco=True)
-        new = EvaluateRequest(program=ProgramSpec.registry("ks"),
-                              technique="dswp", coco=True)
-        assert old == new
-        assert old.request_key() == new.request_key()
+    def test_workload_field_derived_from_program(self):
+        request = EvaluateRequest(program=ProgramSpec.registry("ks"),
+                                  technique="dswp", coco=True)
+        assert request.workload == "ks"
 
     def test_identical_inline_content_shares_keys(self):
         a = EvaluateRequest(program=ProgramSpec.source(SAXPY))
@@ -72,30 +68,26 @@ class TestRequestKeyStability:
         assert a.workload.startswith("inline-py-")
 
 
-class TestDeprecationShim:
-    def test_workload_kwarg_warns_once_per_construction(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            request = EvaluateRequest(workload="ks")
-        assert any(issubclass(entry.category, DeprecationWarning)
-                   for entry in caught)
-        assert request.program == ProgramSpec.registry("ks")
+class TestShimRemoval:
+    def test_workload_kwarg_now_rejected(self):
+        # The PR-9 one-release shim has expired: a workload=-only
+        # construction is an error, with a migration hint.
+        with pytest.raises(RequestValidationError) as info:
+            EvaluateRequest(workload="ks")
+        assert "program=ProgramSpec.registry('ks')" in str(info.value)
 
-    def test_program_kwarg_does_not_warn(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            EvaluateRequest(program=ProgramSpec.registry("ks"))
-        assert not [entry for entry in caught
-                    if issubclass(entry.category, DeprecationWarning)]
-
-    def test_wire_dict_shim_is_silent(self):
-        # A bare {"workload": ...} body is the documented deprecated
-        # wire form; rebuilding it server-side must not warn.
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+    def test_wire_dict_workload_only_rejected(self):
+        with pytest.raises(RequestValidationError):
             EvaluateRequest.from_dict({"workload": "ks"})
-        assert not [entry for entry in caught
-                    if issubclass(entry.category, DeprecationWarning)]
+
+    def test_as_dict_round_trip_still_carries_workload(self):
+        # as_dict() emits both fields; the round-trip form (workload
+        # consistent with program) stays valid on the wire forever.
+        body = EvaluateRequest(
+            program=ProgramSpec.registry("ks")).as_dict()
+        assert body["workload"] == "ks"
+        again = EvaluateRequest.from_dict(body)
+        assert again.program == ProgramSpec.registry("ks")
 
     def test_round_trip_preserves_program(self):
         request = EvaluateRequest(program=ProgramSpec.source(SAXPY),
@@ -145,8 +137,9 @@ class TestProgramSpecValidation:
 
     def test_workload_program_mismatch_rejected(self):
         with pytest.raises(RequestValidationError):
-            _quiet(workload="ks",
-                   program=ProgramSpec.registry("adpcmdec")).validate()
+            EvaluateRequest(
+                workload="ks",
+                program=ProgramSpec.registry("adpcmdec")).validate()
 
 
 class TestInlineMaterialization:

@@ -20,8 +20,8 @@ from repro.workloads import get_workload
 
 #: 8 distinct cells — the daemon must sustain these concurrently.
 CELLS = [
-    dict(workload="ks", technique="gremio", n_threads=n, scale="train",
-         coco=coco)
+    dict(program={"kind": "registry", "value": "ks"},
+         technique="gremio", n_threads=n, scale="train", coco=coco)
     for n in (1, 2, 3, 4) for coco in (False, True)
 ]
 
@@ -83,7 +83,8 @@ class TestServeEndToEnd:
         assert [status for status, _ in responses] == [200] * len(CELLS)
         for cell, (_, document) in zip(CELLS, responses):
             assert document["schema_version"] == API_SCHEMA_VERSION
-            assert document["request"]["workload"] == cell["workload"]
+            assert (document["request"]["workload"]
+                    == cell["program"]["value"])
             assert document["request"]["n_threads"] == cell["n_threads"]
             assert document["metrics"]["speedup"] > 0.0
             assert not document["stale"]
@@ -118,10 +119,16 @@ class TestServeEndToEnd:
             assert record["runs"] + record["cache_hits"] >= 0
 
     def test_error_paths_over_http(self, daemon):
-        status, document = _post(daemon, {"workload": "no-such-workload"})
+        status, document = _post(daemon, {
+            "program": {"kind": "registry", "value": "no-such-workload"}})
         assert status == 400 and document["kind"] == "validation"
 
-        status, document = _post(daemon, {"workload": "ks", "threds": 4})
+        # The removed PR-9 wire shim: workload=-only bodies are 400 now.
+        status, document = _post(daemon, {"workload": "ks"})
+        assert status == 400 and document["kind"] == "validation"
+
+        status, document = _post(daemon, {
+            "program": {"kind": "registry", "value": "ks"}, "threds": 4})
         assert status == 400 and "threds" in document["error"]
 
         status, document = _get(daemon, "/v1/schema")

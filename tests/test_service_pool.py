@@ -31,8 +31,8 @@ def isolated_cache(tmp_path):
 
 
 def _body(**overrides):
-    fields = dict(workload="ks", technique="gremio", n_threads=2,
-                  scale="train")
+    fields = dict(program={"kind": "registry", "value": "ks"},
+                  technique="gremio", n_threads=2, scale="train")
     fields.update(overrides)
     return fields
 
@@ -54,6 +54,27 @@ class TestAdmissionQueue:
         queue.enter()  # freed slot is reusable
         assert queue.active == 2
         assert queue.admitted_total == 3
+
+    def test_tenant_cap_keeps_shedding_fair(self):
+        queue = AdmissionQueue(4, tenant_limit=2)
+        queue.enter("noisy")
+        queue.enter("noisy")
+        with pytest.raises(QueueFullError) as shed:
+            queue.enter("noisy")
+        assert shed.value.tenant == "noisy" and shed.value.tenant_full
+        # The flooding tenant is at its own cap, but the global queue
+        # is not: another tenant is still admitted into the slack.
+        queue.enter("quiet")
+        queue.enter("quiet")
+        tenants = queue.tenants()
+        assert tenants["noisy"] == {"active": 2, "admitted": 2,
+                                    "shed": 1}
+        assert tenants["quiet"] == {"active": 2, "admitted": 2,
+                                    "shed": 0}
+        queue.leave("noisy")
+        queue.enter("noisy")  # freed tenant allowance is reusable
+        assert queue.active == 4
+        assert queue.admitted_total == 5 and queue.shed_total == 1
 
 
 class TestShedding:
@@ -102,6 +123,73 @@ class TestShedding:
             assert counters["shed_total"] == 1
             assert counters["requests_total"] == 3
             assert counters["responses_ok"] == 2
+        finally:
+            release.set()
+            service.close()
+
+    def test_flooding_tenant_cannot_starve_another(self, isolated_cache):
+        release = threading.Event()
+
+        def blocking_evaluate(request):
+            release.wait(10.0)
+            return _fake_result(request)
+
+        service = SchedulerService(ServiceConfig(
+            workers=0, inline_threads=4, queue_limit=4, tenant_limit=2,
+            request_timeout=10.0, quiet=True,
+            evaluate_fn=blocking_evaluate))
+        try:
+            outcomes = {}
+
+            def post(tag, n_threads, tenant):
+                status, document, outcome = service.handle_evaluate(
+                    _body(n_threads=n_threads), tenant=tenant)
+                outcomes[tag] = (status, document, outcome)
+
+            flood = [threading.Thread(target=post,
+                                      args=("noisy-%d" % n, n, "noisy"))
+                     for n in (2, 4)]
+            for thread in flood:
+                thread.start()
+            deadline = time.time() + 5.0
+            while service.admission.active < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            assert service.admission.active == 2
+
+            # The third noisy request hits the per-tenant cap although
+            # the global queue still has room -> shed with 429, fairly.
+            status, document, outcome = service.handle_evaluate(
+                _body(n_threads=8), tenant="noisy")
+            assert (status, outcome) == (429, "shed")
+            assert document["kind"] == "shed"
+            assert document["tenant"] == "noisy"
+
+            # A quieter tenant is admitted into the remaining room the
+            # flooder could not claim.
+            quiet = threading.Thread(target=post,
+                                     args=("quiet", 6, "quiet"))
+            quiet.start()
+            deadline = time.time() + 5.0
+            while (service.admission.tenants()
+                   .get("quiet", {}).get("active", 0) < 1
+                   and time.time() < deadline):
+                time.sleep(0.01)
+            tenants = service.admission.tenants()
+            assert tenants["noisy"]["active"] == 2
+            assert tenants["noisy"]["shed"] == 1
+            assert tenants["quiet"]["active"] == 1
+
+            release.set()
+            for thread in flood + [quiet]:
+                thread.join(5.0)
+            assert outcomes["quiet"][0] == 200
+            assert {outcomes["noisy-%d" % n][0] for n in (2, 4)} == {200}
+
+            # Per-tenant depth and shed counters surface in /metrics.
+            document = service.metrics_document()
+            assert document["tenants"]["noisy"]["shed"] == 1
+            assert document["tenants"]["noisy"]["admitted"] == 2
+            assert document["tenants"]["quiet"]["admitted"] == 1
         finally:
             release.set()
             service.close()
@@ -182,7 +270,8 @@ class TestMemoization:
         service = SchedulerService(ServiceConfig(workers=0, quiet=True))
         try:
             status, document, outcome = service.handle_evaluate(
-                _body(workload="no-such-workload"))
+                _body(program={"kind": "registry",
+                               "value": "no-such-workload"}))
             assert (status, outcome) == (400, "invalid")
             assert document["kind"] == "validation"
             assert service.metrics.counters["validation_errors"] == 1
@@ -194,7 +283,7 @@ def _sleepy_evaluate(request_dict, cache_dir, cache_enabled):
     """Fork-inherited stand-in for the real evaluation (slow enough to
     kill a worker mid-flight, fast enough to keep the test snappy)."""
     time.sleep(0.6)
-    return {"workload": request_dict["workload"],
+    return {"workload": request_dict["program"]["value"],
             "n_threads": request_dict["n_threads"], "telemetry": None}
 
 

@@ -6,7 +6,8 @@ import dataclasses
 
 import pytest
 
-from repro.api import (EvaluateRequest, PLACERS, RequestValidationError,
+from repro.api import (EvaluateRequest, PLACERS, ProgramSpec,
+                       RequestValidationError,
                        TOPOLOGIES, evaluate_workload, get_topology,
                        get_workload, parallelize, topology_names)
 from repro.machine import (DEFAULT_CONFIG, Placement,
@@ -190,7 +191,7 @@ class TestTopologyPipeline:
 
 class TestEvaluateRequestTopology:
     def test_round_trip_and_key(self):
-        request = EvaluateRequest(workload="ks", n_threads=4,
+        request = EvaluateRequest(program=ProgramSpec.registry("ks"), n_threads=4,
                                   topology="quad-2x2",
                                   placer="affinity").validate()
         assert EvaluateRequest.from_dict(request.as_dict()) == request
@@ -198,16 +199,16 @@ class TestEvaluateRequestTopology:
         assert cell.topology == "quad-2x2"
         assert cell.placer == "affinity"
         assert EvaluateRequest.from_cell(cell) == request
-        flat = EvaluateRequest(workload="ks", n_threads=4)
+        flat = EvaluateRequest(program=ProgramSpec.registry("ks"), n_threads=4)
         assert request.request_key() != flat.request_key()
 
     def test_validation(self):
         with pytest.raises(RequestValidationError):
-            EvaluateRequest(workload="ks",
+            EvaluateRequest(program=ProgramSpec.registry("ks"),
                             topology="nonexistent").validate()
         with pytest.raises(RequestValidationError):
             # 4 threads do not fit the papers' dual-core machine.
-            EvaluateRequest(workload="ks", n_threads=4,
+            EvaluateRequest(program=ProgramSpec.registry("ks"), n_threads=4,
                             topology="paper-dual").validate()
         with pytest.raises(RequestValidationError):
-            EvaluateRequest(workload="ks", placer="random").validate()
+            EvaluateRequest(program=ProgramSpec.registry("ks"), placer="random").validate()

@@ -7,9 +7,9 @@ import json
 
 import pytest
 
-from repro.api import (EvaluateRequest, EvaluateResult, configure_cache,
-                       evaluate, evaluate_workload, get_cache,
-                       get_workload)
+from repro.api import (EvaluateRequest, EvaluateResult, ProgramSpec,
+                       configure_cache, evaluate, evaluate_workload,
+                       get_cache, get_workload)
 from repro.cli import main
 from repro.trace import STALL_CATEGORIES
 
@@ -106,19 +106,19 @@ class TestTracingIsBitIdentical:
 
 class TestApiFacadeTrace:
     def test_request_roundtrip_and_key(self):
-        request = EvaluateRequest(workload="ks", technique="dswp",
+        request = EvaluateRequest(program=ProgramSpec.registry("ks"), technique="dswp",
                                   trace=True)
         clone = EvaluateRequest.from_dict(request.as_dict())
         assert clone.trace is True
-        untraced = EvaluateRequest(workload="ks", technique="dswp")
+        untraced = EvaluateRequest(program=ProgramSpec.registry("ks"), technique="dswp")
         assert request.request_key() != untraced.request_key()
 
     def test_trace_flag_must_be_bool(self):
         with pytest.raises((TypeError, ValueError)):
-            EvaluateRequest(workload="ks", trace="yes").validate()
+            EvaluateRequest(program=ProgramSpec.registry("ks"), trace="yes").validate()
 
     def test_evaluate_carries_summary(self, isolated_cache):
-        result = evaluate(EvaluateRequest(workload="ks",
+        result = evaluate(EvaluateRequest(program=ProgramSpec.registry("ks"),
                                           technique="dswp",
                                           scale="train", trace=True))
         assert result.trace is not None
@@ -130,7 +130,7 @@ class TestApiFacadeTrace:
         assert clone.trace == result.trace
 
     def test_untraced_result_has_no_summary(self, isolated_cache):
-        result = evaluate(EvaluateRequest(workload="ks",
+        result = evaluate(EvaluateRequest(program=ProgramSpec.registry("ks"),
                                           technique="dswp",
                                           scale="train"))
         assert result.trace is None

@@ -1,0 +1,299 @@
+#!/usr/bin/env python
+"""CI smoke check for ``repro serve --role coordinator/worker`` (the
+``cluster-smoke`` job): boot a coordinator plus two worker-node
+processes on localhost, push a deduplicated 8-cell sweep through the
+cluster, and assert
+
+* every cluster answer is **byte-identical** (telemetry aside) to an
+  in-process ``evaluate_many`` baseline, including the recomputed
+  request keys;
+* routing matches the rendezvous-hash prediction exactly, and a
+  repeated cell is memoized by the owning node;
+* after replacing both workers with fresh ones (empty local caches),
+  the second sweep is served through the coordinator's remote artifact
+  store — remote hits and replications show up in the workers'
+  ``/metrics`` and store reads in the coordinator's.
+
+Usage: PYTHONPATH=src python tools/check_cluster_smoke.py [--work-dir D]
+Exits nonzero (with a diagnostic) on any failed expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+BOOT_TIMEOUT = 90.0
+
+#: 8 distinct cells; CELLS[0] is re-posted afterwards to check cluster
+#: memoization, so the sweep itself is deduplicated by request key.
+#: The backend is pinned because the daemon fills its own default into
+#: requests that omit one — the echoed request would differ from the
+#: in-process baseline on that field alone (results never differ:
+#: backends are bit-identical).
+CELLS = [
+    {"program": {"kind": "registry", "value": "ks"},
+     "technique": "gremio", "n_threads": n, "scale": "train",
+     "coco": coco, "backend": "fast"}
+    for n in (1, 2, 3, 4) for coco in (False, True)
+]
+
+NODE_IDS = ("smoke-w0", "smoke-w1")
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821
+    print("cluster-smoke: FAIL: %s" % message)
+    sys.exit(1)
+
+
+class Proc:
+    """One daemon subprocess with captured stdout lines."""
+
+    def __init__(self, argv, env):
+        self.process = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        self.lines: list = []
+        self._reader = threading.Thread(
+            target=lambda: self.lines.extend(
+                iter(self.process.stdout.readline, "")),
+            daemon=True)
+        self._reader.start()
+
+    def wait_for_port(self) -> int:
+        pattern = re.compile(r"listening on http://[^:]+:(\d+)")
+        deadline = time.time() + BOOT_TIMEOUT
+        while time.time() < deadline:
+            if self.process.poll() is not None:
+                fail("daemon exited during startup (rc=%d): %s"
+                     % (self.process.returncode, " | ".join(self.lines)))
+            for line in list(self.lines):
+                match = pattern.search(line)
+                if match:
+                    return int(match.group(1))
+            time.sleep(0.1)
+        fail("daemon never announced a port within %.0fs: %s"
+             % (BOOT_TIMEOUT, " | ".join(self.lines)))
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGINT)
+            try:
+                self.process.wait(10)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(10)
+
+
+def _daemon_env(cache_dir: str) -> dict:
+    env = dict(os.environ)
+    env.pop("REPRO_STORE_URL", None)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    return env
+
+
+def spawn_coordinator(work_dir: str) -> Proc:
+    return Proc([sys.executable, "-m", "repro", "serve",
+                 "--role", "coordinator", "--port", "0",
+                 "--queue-limit", "8", "--heartbeat-interval", "0.5"],
+                _daemon_env(os.path.join(work_dir, "coord-store")))
+
+
+def spawn_worker(work_dir: str, coordinator: str, node_id: str,
+                 generation: int) -> Proc:
+    cache_dir = os.path.join(work_dir,
+                             "%s-gen%d-cache" % (node_id, generation))
+    return Proc([sys.executable, "-m", "repro", "serve",
+                 "--role", "worker", "--coordinator", coordinator,
+                 "--node-id", node_id, "--port", "0", "--workers", "0",
+                 "--heartbeat-interval", "0.5"],
+                _daemon_env(cache_dir))
+
+
+def get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=30) as reply:
+        return reply.status, json.loads(reply.read().decode("utf-8"))
+
+
+def post(base: str, body):
+    request = urllib.request.Request(
+        base + "/v1/evaluate", data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=180) as reply:
+            return reply.status, json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def wait_for_nodes(base: str, expected_urls: dict) -> None:
+    """Block until every node id is registered at its expected URL and
+    healthy (covers both first registration and worker replacement)."""
+    deadline = time.time() + BOOT_TIMEOUT
+    nodes: dict = {}
+    while time.time() < deadline:
+        try:
+            _, document = get(base, "/cluster/nodes")
+        except OSError:
+            time.sleep(0.2)
+            continue
+        nodes = document.get("nodes", {})
+        if all(nodes.get(node_id, {}).get("url") == url
+               and nodes.get(node_id, {}).get("healthy")
+               for node_id, url in expected_urls.items()):
+            return
+        time.sleep(0.2)
+    fail("worker nodes never became healthy at %r (registry: %r)"
+         % (expected_urls, nodes))
+
+
+def canonical(document) -> bytes:
+    """Everything but wall-clock telemetry, as stable bytes."""
+    stripped = {k: v for k, v in document.items() if k != "telemetry"}
+    return json.dumps(stripped, sort_keys=True).encode("utf-8")
+
+
+def run_sweep(base: str) -> list:
+    documents = []
+    for cell in CELLS:
+        status, document = post(base, cell)
+        if status != 200:
+            fail("cell %r answered %d: %r" % (cell, status, document))
+        if document.get("stale") or document.get("memoized"):
+            fail("first evaluation carried stale/memoized markers: %r"
+                 % {k: document.get(k) for k in ("stale", "memoized")})
+        documents.append(document)
+    return documents
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--work-dir", default=None,
+                        help="scratch directory (default: a tempdir)")
+    args = parser.parse_args()
+    work_dir = args.work_dir or tempfile.mkdtemp(prefix="cluster-smoke-")
+    os.makedirs(work_dir, exist_ok=True)
+
+    # In-process baseline with its own isolated local cache.
+    from repro.api import EvaluateRequest, configure_cache, evaluate_many
+    from repro.cluster import shard_node
+    os.environ.pop("REPRO_STORE_URL", None)
+    configure_cache(os.path.join(work_dir, "inprocess-cache"))
+    requests = [EvaluateRequest.from_dict(dict(cell)) for cell in CELLS]
+    keys = [request.request_key() for request in requests]
+    if len(set(keys)) != len(CELLS):
+        fail("sweep cells are not deduplicated: %d unique keys"
+             % len(set(keys)))
+    baseline = [result.as_dict() for result in evaluate_many(requests)]
+    print("cluster-smoke: in-process baseline over %d cells" % len(CELLS))
+
+    processes: list = []
+    try:
+        coordinator = spawn_coordinator(work_dir)
+        processes.append(coordinator)
+        base = "http://127.0.0.1:%d" % coordinator.wait_for_port()
+        print("cluster-smoke: coordinator up on %s" % base)
+
+        workers = {node_id: spawn_worker(work_dir, base, node_id, 1)
+                   for node_id in NODE_IDS}
+        processes.extend(workers.values())
+        worker_urls = {node_id: "http://127.0.0.1:%d"
+                       % worker.wait_for_port()
+                       for node_id, worker in workers.items()}
+        wait_for_nodes(base, worker_urls)
+        print("cluster-smoke: %d worker nodes registered" % len(workers))
+
+        # Sweep 1: byte-identical to the in-process baseline.
+        first = run_sweep(base)
+        for cell, key, expected, got in zip(CELLS, keys, baseline, first):
+            if canonical(got) != canonical(expected):
+                fail("cluster answer diverged from evaluate_many for "
+                     "%r:\n  expected %s\n  got      %s"
+                     % (cell, canonical(expected), canonical(got)))
+            echoed = EvaluateRequest.from_dict(
+                dict(got["request"])).request_key()
+            if echoed != key:
+                fail("request key changed through the cluster: %s != %s"
+                     % (echoed, key))
+        print("cluster-smoke: sweep 1 byte-identical to evaluate_many")
+
+        # Routing matches the rendezvous prediction; memo on repeat.
+        predicted: dict = {}
+        for key in keys:
+            owner = shard_node(key, list(NODE_IDS))
+            predicted[owner] = predicted.get(owner, 0) + 1
+        _, metrics = get(base, "/metrics")
+        cluster = metrics["cluster"]
+        if cluster["shard_distribution"] != predicted:
+            fail("shard distribution %r != predicted %r"
+                 % (cluster["shard_distribution"], predicted))
+        status, repeat = post(base, CELLS[0])
+        if status != 200 or repeat.get("memoized") is not True:
+            fail("repeated cell was not memoized by its owner: %d %r"
+                 % (status, {k: repeat.get(k)
+                             for k in ("memoized", "stale")}))
+        counters = cluster["counters"]
+        for name, floor in (("routed_total", len(CELLS)),
+                            ("store_puts", 1), ("events_received", 2)):
+            if counters.get(name, 0) < floor:
+                fail("coordinator counter %s=%r below %d"
+                     % (name, counters.get(name), floor))
+        print("cluster-smoke: shards %r, memo hit on repeat"
+              % cluster["shard_distribution"])
+
+        # Replace both workers: fresh processes, empty local caches.
+        for worker in workers.values():
+            worker.stop()
+        workers = {node_id: spawn_worker(work_dir, base, node_id, 2)
+                   for node_id in NODE_IDS}
+        processes.extend(workers.values())
+        worker_urls = {node_id: "http://127.0.0.1:%d"
+                       % worker.wait_for_port()
+                       for node_id, worker in workers.items()}
+        wait_for_nodes(base, worker_urls)
+
+        # Sweep 2: same bytes, now served through the remote store.
+        second = run_sweep(base)
+        for cell, expected, got in zip(CELLS, baseline, second):
+            if canonical(got) != canonical(expected):
+                fail("second-run answer diverged for %r" % (cell,))
+        remote_hits = replications = 0
+        for node_id, url in worker_urls.items():
+            _, node_metrics = get(url, "/metrics")
+            store = node_metrics.get("cache", {}).get("store", {})
+            remote_hits += store.get("remote_hits", 0)
+            replications += store.get("replications", 0)
+        if remote_hits < 1 or replications < 1:
+            fail("fresh workers never read through the remote store "
+                 "(remote_hits=%d, replications=%d)"
+                 % (remote_hits, replications))
+        _, metrics = get(base, "/metrics")
+        if metrics["cluster"]["counters"].get("store_gets", 0) < 1:
+            fail("coordinator served no store reads: %r"
+                 % metrics["cluster"]["counters"])
+        print("cluster-smoke: PASS (sweep 2 served via remote store: "
+              "remote_hits=%d, replications=%d, coordinator "
+              "store_gets=%d)"
+              % (remote_hits, replications,
+                 metrics["cluster"]["counters"]["store_gets"]))
+        return 0
+    finally:
+        for proc in processes:
+            proc.stop()
+        if args.work_dir is None:
+            shutil.rmtree(work_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

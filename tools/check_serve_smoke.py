@@ -21,8 +21,8 @@ import urllib.error
 import urllib.request
 
 BOOT_TIMEOUT = 60.0
-REQUEST = {"workload": "ks", "technique": "gremio", "n_threads": 2,
-           "scale": "train"}
+REQUEST = {"program": {"kind": "registry", "value": "ks"},
+           "technique": "gremio", "n_threads": 2, "scale": "train"}
 
 
 def fail(message: str) -> "NoReturn":  # noqa: F821
@@ -89,7 +89,7 @@ def main() -> int:
         if not speedup > 0.0:
             fail("evaluation produced no speedup metric: %r" % document)
         print("serve-smoke: evaluated %s -> speedup %.4f"
-              % (REQUEST["workload"], speedup))
+              % (REQUEST["program"]["value"], speedup))
 
         status, repeat = post(base, REQUEST)
         if status != 200 or repeat.get("memoized") is not True:
